@@ -1,0 +1,108 @@
+// Command sl-remote runs the SecureLease license server (SL-Remote) as a
+// TCP daemon. SL-Local daemons on client machines connect to it for
+// initialization (remote attestation + SLID assignment), lease renewal
+// (Algorithm 1), and root-key escrow.
+//
+// Licenses can be pre-registered at startup with repeated -license flags:
+//
+//	sl-remote -addr :7600 -license demo:count:100000 -license pro:perpetual:1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/attest"
+	"repro/internal/lease"
+	"repro/internal/slremote"
+	"repro/internal/wire"
+)
+
+type licenseFlags []string
+
+func (l *licenseFlags) String() string { return strings.Join(*l, ",") }
+func (l *licenseFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sl-remote:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7600", "listen address")
+		d        = flag.Float64("d", 4, "Algorithm 1 scale-down factor D (paper: 4)")
+		th       = flag.Float64("th", 0.9, "health threshold T_H (paper: 0.9)")
+		beta     = flag.Float64("beta", 0.01, "initial beta (paper: 0.01)")
+		tau      = flag.Float64("tau", 0.10, "expected-loss bound as fraction of TG (paper: 0.10)")
+		open     = flag.Bool("open-attestation", true, "accept any platform/measurement (demo mode; disable to require explicit enrollment)")
+		licenses licenseFlags
+	)
+	flag.Var(&licenses, "license", "pre-register license as id:kind:totalGCL (kind: count|time|exec-time|perpetual); repeatable")
+	flag.Parse()
+
+	var service *attest.Service
+	if !*open {
+		service = attest.NewService()
+		log.Printf("attestation service enabled: enroll platforms before clients can init")
+	}
+	remote, err := slremote.NewServer(slremote.Config{
+		D:               *d,
+		HealthThreshold: *th,
+		Beta:            *beta,
+		TauFraction:     *tau,
+	}, service)
+	if err != nil {
+		return err
+	}
+	for _, spec := range licenses {
+		id, kind, total, err := parseLicense(spec)
+		if err != nil {
+			return err
+		}
+		if err := remote.RegisterLicense(id, kind, total); err != nil {
+			return err
+		}
+		log.Printf("registered license %q (%s, %d GCL units)", id, kind, total)
+	}
+
+	srv, err := wire.NewServer(remote, log.Printf)
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(*addr)
+}
+
+func parseLicense(spec string) (string, lease.Kind, int64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return "", 0, 0, fmt.Errorf("license %q: want id:kind:totalGCL", spec)
+	}
+	var kind lease.Kind
+	switch parts[1] {
+	case "count":
+		kind = lease.CountBased
+	case "time":
+		kind = lease.TimeBased
+	case "exec-time":
+		kind = lease.ExecTimeBased
+	case "perpetual":
+		kind = lease.Perpetual
+	default:
+		return "", 0, 0, fmt.Errorf("license %q: unknown kind %q", spec, parts[1])
+	}
+	total, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil || total <= 0 {
+		return "", 0, 0, fmt.Errorf("license %q: bad total %q", spec, parts[2])
+	}
+	return parts[0], kind, total, nil
+}

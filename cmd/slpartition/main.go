@@ -1,0 +1,104 @@
+// Command slpartition partitions a workload's call graph with every
+// scheme the paper compares and prints the resulting migration sets and
+// their estimated costs. With -dot it also writes Graphviz files showing
+// the clusters and the migrated functions (the paper's Figure 7).
+//
+//	slpartition -workload openssl
+//	slpartition -workload bfs -dot -mt 92MB-equivalent-bytes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/partition"
+	"repro/internal/sgx"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slpartition:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload = flag.String("workload", "openssl", "workload to partition (see -list)")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		scale    = flag.Int("scale", 1, "input scale factor")
+		seed     = flag.Int64("seed", 7, "clustering seed")
+		k        = flag.Int("k", 0, "k-means cluster count (0 = heuristic)")
+		mt       = flag.Int64("mt", 0, "memory threshold m_t in bytes (0 = EPC size)")
+		rt       = flag.Float64("rt", 0, "overhead threshold r_t (0 = 0.5)")
+		dot      = flag.Bool("dot", false, "write Graphviz DOT files per scheme")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workloads.All() {
+			fmt.Printf("%-12s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+
+	spec, err := workloads.Get(*workload)
+	if err != nil {
+		return err
+	}
+	prof, err := spec.Run(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s: %s\n", spec.Name, prof.Output)
+	fmt.Printf("call graph: %d functions, %d edges, %d dynamic work units\n\n",
+		prof.Graph.Len(), len(prof.Graph.Edges()), prof.Trace.TotalWork())
+
+	opts := partition.Options{K: *k, MemThreshold: *mt, OverheadThreshold: *rt, Seed: *seed}
+	schemes := []struct {
+		name string
+		run  func() (*partition.Partition, error)
+	}{
+		{"securelease", func() (*partition.Partition, error) {
+			return partition.SecureLease(prof.Graph, prof.Trace, opts)
+		}},
+		{"glamdring", func() (*partition.Partition, error) {
+			return partition.Glamdring(prof.Graph, 1)
+		}},
+		{"f-laas", func() (*partition.Partition, error) {
+			return partition.FLaaS(prof.Graph, 3)
+		}},
+		{"am-only", func() (*partition.Partition, error) {
+			return partition.AMOnly(prof.Graph)
+		}},
+		{"full-enclave", func() (*partition.Partition, error) {
+			return partition.FullEnclave(prof.Graph)
+		}},
+	}
+
+	est := partition.NewEstimator(sgx.DefaultCostModel())
+	for _, s := range schemes {
+		p, err := s.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		cost := est.Evaluate(prof.Graph, prof.Trace, p.Migrated)
+		fmt.Printf("%s:\n", s.name)
+		fmt.Printf("  migrated (%d): %v\n", len(p.MigratedList()), p.MigratedList())
+		fmt.Printf("  static: %d B (%.1f%% of app)   dynamic coverage: %.1f%%\n",
+			cost.StaticBytes, 100*cost.StaticFraction, 100*cost.DynamicCoverage)
+		fmt.Printf("  ecalls: %d  ocalls: %d  EPC: %d MB  faults: %d  predicted overhead: %.2f%%\n\n",
+			cost.ECalls, cost.OCalls, cost.EPCBytes>>20, cost.EPCFaults, 100*cost.PredictedOverhead)
+
+		if *dot {
+			path := fmt.Sprintf("%s-%s.dot", spec.Name, s.name)
+			if err := os.WriteFile(path, []byte(prof.Graph.DOT(spec.Name+" "+s.name, p.Migrated)), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n\n", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+// Package attack implements control-flow-bending (CFB) attacks against
+// license-protected applications, reproducing the threat model of the
+// paper (Sections 2.1.1 and 6.1): the attacker runs the victim binary on a
+// virtual CPU (an Intel Pin analogue) with full access to registers,
+// memory, and branch outcomes of all *untrusted* code, and can
+//
+//   - flip branch decisions (force the jne of Figure 2 to fall through),
+//   - skip function calls entirely,
+//   - forge program state to make the binary believe a check passed.
+//
+// What the attacker cannot do is observe or tamper with code executing
+// inside an SGX enclave — and, under SecureLease, cannot execute enclave
+// key functions at all without a valid token of execution.
+//
+// The package provides a small program representation, the virtual CPU,
+// and outcome evaluation: an attack fully succeeds only if the program
+// runs to completion AND produces the same output a licensed run produces.
+// Completing with wrong or missing output is the "handicapped" result the
+// paper's partitioning aims for.
+package attack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Instr is one instruction of the program model.
+type Instr interface{ isInstr() }
+
+// Call invokes another function of the program.
+type Call struct {
+	// Fn is the callee.
+	Fn string
+}
+
+// Branch evaluates a condition over the program state; if the condition is
+// false the program aborts (the license-check pattern of Figure 2). Each
+// branch has an ID the attacker can target.
+type Branch struct {
+	// ID names the branch for attacker targeting.
+	ID string
+	// Cond reads the state and decides whether execution proceeds.
+	Cond func(s *State) bool
+}
+
+// Compute mutates the program state (real work).
+type Compute struct {
+	// Fn performs the computation.
+	Fn func(s *State)
+}
+
+func (Call) isInstr()    {}
+func (Branch) isInstr()  {}
+func (Compute) isInstr() {}
+
+// Function is a named body of instructions.
+type Function struct {
+	Name string
+	// Enclave marks the function as migrated to SGX: the attacker cannot
+	// flip its branches or forge state while it runs, and the function is
+	// token-gated when a Gate is installed.
+	Enclave bool
+	Body    []Instr
+}
+
+// Program is a complete application model.
+type Program struct {
+	Entry     string
+	Functions map[string]*Function
+}
+
+// Validate checks structural integrity: entry exists, calls resolve.
+func (p *Program) Validate() error {
+	if _, ok := p.Functions[p.Entry]; !ok {
+		return fmt.Errorf("attack: entry %q not defined", p.Entry)
+	}
+	for name, fn := range p.Functions {
+		if fn == nil {
+			return fmt.Errorf("attack: nil function %q", name)
+		}
+		for _, in := range fn.Body {
+			if c, ok := in.(Call); ok {
+				if _, ok := p.Functions[c.Fn]; !ok {
+					return fmt.Errorf("attack: %q calls undefined %q", name, c.Fn)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// State is the program's memory: named variables plus the accumulated
+// output. The output is how we judge whether an attack obtained the
+// program's real functionality.
+type State struct {
+	Vars      map[string]int64
+	Output    []int64
+	aborted   bool
+	inEnclave int // >0 while executing enclave code
+}
+
+// Abort reports whether the program aborted (failed a branch).
+func (s *State) Aborted() bool { return s.aborted }
+
+// Gate authorizes execution of enclave functions. In a full SecureLease
+// deployment this is the SL-Manager; tests may use stubs.
+type Gate interface {
+	// Authorize returns nil if the named enclave function may execute.
+	Authorize(function string) error
+}
+
+// GateFunc adapts a function to the Gate interface.
+type GateFunc func(function string) error
+
+// Authorize implements Gate.
+func (f GateFunc) Authorize(function string) error { return f(function) }
+
+// Tamper is the attacker's control plane on the virtual CPU.
+type Tamper struct {
+	// FlipBranches forces the targeted branch IDs to evaluate as true
+	// (proceed) regardless of the real condition.
+	FlipBranches map[string]bool
+	// SkipCalls drops calls to the named functions entirely.
+	SkipCalls map[string]bool
+	// ForgeVars overwrites state variables before every branch in
+	// untrusted code (the "fix some local state" attack of Section 6.1).
+	ForgeVars map[string]int64
+}
+
+// Result of one virtual-CPU execution.
+type Result struct {
+	// Completed is true if the program ran to the end without aborting.
+	Completed bool
+	// Output is the produced output.
+	Output []int64
+	// EnclaveDenials counts enclave functions that refused to run for
+	// lack of a valid lease.
+	EnclaveDenials int
+	// SkippedEnclave counts enclave calls the attacker skipped.
+	SkippedEnclave int
+}
+
+// FullyFunctional reports whether the run produced exactly the reference
+// output — the attacker got the complete, correct program functionality.
+func (r Result) FullyFunctional(reference []int64) bool {
+	if !r.Completed || len(r.Output) != len(reference) {
+		return false
+	}
+	for i := range r.Output {
+		if r.Output[i] != reference[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VCPU is the attacker-controlled virtual CPU.
+type VCPU struct {
+	program *Program
+	gate    Gate
+	tamper  Tamper
+
+	maxSteps int
+	steps    int
+}
+
+// ErrRunaway reports an execution exceeding the step budget.
+var ErrRunaway = errors.New("attack: execution exceeded step budget")
+
+// NewVCPU builds a virtual CPU for the program. gate may be nil (no
+// SecureLease protection: enclave functions run untamperable but ungated).
+// tamper may be the zero value for an honest run.
+func NewVCPU(p *Program, gate Gate, tamper Tamper) (*VCPU, error) {
+	if p == nil {
+		return nil, errors.New("attack: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &VCPU{program: p, gate: gate, tamper: tamper, maxSteps: 1_000_000}, nil
+}
+
+// Run executes the program from its entry point and returns the result.
+func (v *VCPU) Run() (Result, error) {
+	v.steps = 0
+	s := &State{Vars: make(map[string]int64)}
+	res := Result{}
+	if err := v.exec(v.program.Entry, s, &res); err != nil {
+		return res, err
+	}
+	res.Completed = !s.aborted
+	res.Output = s.Output
+	return res, nil
+}
+
+func (v *VCPU) exec(name string, s *State, res *Result) error {
+	if s.aborted {
+		return nil
+	}
+	fn := v.program.Functions[name]
+	if fn.Enclave {
+		if v.gate != nil {
+			if err := v.gate.Authorize(name); err != nil {
+				// No valid lease: the enclave refuses to run the key
+				// function. Execution continues outside (the attacker can
+				// bend around the failure) but the function's effects are
+				// missing.
+				res.EnclaveDenials++
+				return nil
+			}
+		}
+		s.inEnclave++
+		defer func() { s.inEnclave-- }()
+	}
+	for _, in := range fn.Body {
+		if s.aborted {
+			return nil
+		}
+		v.steps++
+		if v.steps > v.maxSteps {
+			return fmt.Errorf("%w (in %q)", ErrRunaway, name)
+		}
+		switch instr := in.(type) {
+		case Call:
+			callee := v.program.Functions[instr.Fn]
+			if s.inEnclave == 0 && v.tamper.SkipCalls[instr.Fn] {
+				if callee.Enclave {
+					res.SkippedEnclave++
+				}
+				continue
+			}
+			if err := v.exec(instr.Fn, s, res); err != nil {
+				return err
+			}
+		case Branch:
+			// Outside the enclave the attacker forges state and flips
+			// branches at will; inside, the hardware prevents both.
+			if s.inEnclave == 0 {
+				for k, val := range v.tamper.ForgeVars {
+					s.Vars[k] = val
+				}
+				if v.tamper.FlipBranches[instr.ID] {
+					continue // forced fall-through: proceed regardless
+				}
+			}
+			if !instr.Cond(s) {
+				s.aborted = true
+				return nil
+			}
+		case Compute:
+			instr.Fn(s)
+		default:
+			return fmt.Errorf("attack: unknown instruction %T in %q", in, name)
+		}
+	}
+	return nil
+}

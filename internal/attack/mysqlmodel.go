@@ -1,0 +1,116 @@
+package attack
+
+// Protection selects how the demo application is hardened, mirroring the
+// three configurations the paper walks through in Figure 6.
+type Protection int
+
+// Protection levels.
+const (
+	// NoSGX: software-only authentication module.
+	NoSGX Protection = iota
+	// AMOnlySGX: only the authentication module runs in the enclave; its
+	// result is consumed by untrusted code (attack ② in Figure 6).
+	AMOnlySGX
+	// SecureLeaseSGX: the AM and the query-parsing key function run in
+	// the enclave and are token-gated (the paper's partitioning).
+	SecureLeaseSGX
+)
+
+// NewMySQLModel builds a program modeled on the MySQL flow of Figure 6:
+// initialization → authentication (acl_authenticate) → the protected
+// region (query parsing, execution, result writing). The "license" is
+// valid iff the licenseOK argument is true (simulating what the AM's
+// verification of the license file would conclude).
+//
+// The output encodes real data flow: parse produces a parse tree token,
+// execute consumes it, write emits results derived from both. Skipping or
+// losing any stage corrupts the output — exactly why migrating the parser
+// handicaps a CFB attacker.
+func NewMySQLModel(level Protection, licenseOK bool) *Program {
+	amEnclave := level != NoSGX
+	parseEnclave := level == SecureLeaseSGX
+
+	return &Program{
+		Entry: "main",
+		Functions: map[string]*Function{
+			"main": {
+				Name: "main",
+				Body: []Instr{
+					Call{Fn: "init_server"},
+					Call{Fn: "acl_authenticate"},
+					// The decision branch of Figure 2: consumes the AM's
+					// result ("res") in untrusted code.
+					Branch{ID: "auth_check", Cond: func(s *State) bool {
+						return s.Vars["auth_res"] == 1
+					}},
+					Call{Fn: "parse_query"},
+					Call{Fn: "execute_query"},
+					Call{Fn: "write_result"},
+				},
+			},
+			"init_server": {
+				Name: "init_server",
+				Body: []Instr{
+					Compute{Fn: func(s *State) {
+						s.Vars["initialized"] = 1
+						s.Vars["query"] = 0x51
+					}},
+				},
+			},
+			"acl_authenticate": {
+				Name:    "acl_authenticate",
+				Enclave: amEnclave,
+				Body: []Instr{
+					Compute{Fn: func(s *State) {
+						if licenseOK {
+							s.Vars["auth_res"] = 1
+						} else {
+							s.Vars["auth_res"] = 0
+						}
+					}},
+				},
+			},
+			"parse_query": {
+				Name:    "parse_query",
+				Enclave: parseEnclave,
+				Body: []Instr{
+					Compute{Fn: func(s *State) {
+						// The parse tree is derived state later stages need.
+						s.Vars["parse_tree"] = s.Vars["query"]*31 + 7
+					}},
+				},
+			},
+			"execute_query": {
+				Name: "execute_query",
+				Body: []Instr{
+					Compute{Fn: func(s *State) {
+						s.Vars["result"] = s.Vars["parse_tree"] * 13
+					}},
+				},
+			},
+			"write_result": {
+				Name: "write_result",
+				Body: []Instr{
+					Compute{Fn: func(s *State) {
+						s.Output = append(s.Output, s.Vars["result"], s.Vars["parse_tree"])
+					}},
+				},
+			},
+		},
+	}
+}
+
+// ReferenceOutput runs the program honestly with a valid license and no
+// gate, yielding the output a legitimate user obtains.
+func ReferenceOutput(level Protection) ([]int64, error) {
+	p := NewMySQLModel(level, true)
+	cpu, err := NewVCPU(p, nil, Tamper{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := cpu.Run()
+	if err != nil {
+		return nil, err
+	}
+	return res.Output, nil
+}

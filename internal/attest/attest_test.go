@@ -1,0 +1,260 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sgx"
+)
+
+func newPlatform(t *testing.T, name string) *Platform {
+	t.Helper()
+	m, err := sgx.NewMachine(sgx.MachineConfig{Name: name, EPCBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	p, err := NewPlatform(name, m)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	return p
+}
+
+func mkEnclave(t *testing.T, p *Platform, name, code string) *sgx.Enclave {
+	t.Helper()
+	e, err := p.Machine().CreateEnclave(name, []byte(code), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	return e
+}
+
+func TestLocalAttestRoundTrip(t *testing.T) {
+	p := newPlatform(t, "host")
+	mgr := mkEnclave(t, p, "sl-manager", "manager-code")
+	local := mkEnclave(t, p, "sl-local", "local-code")
+
+	r, err := p.CreateReport(mgr, local, []byte("hello"))
+	if err != nil {
+		t.Fatalf("CreateReport: %v", err)
+	}
+	if err := p.VerifyReport(r, local); err != nil {
+		t.Fatalf("VerifyReport: %v", err)
+	}
+	if r.Source != mgr.Measurement() || r.Target != local.Measurement() {
+		t.Fatal("report identities wrong")
+	}
+}
+
+func TestLocalAttestChargesCost(t *testing.T) {
+	p := newPlatform(t, "host")
+	a := mkEnclave(t, p, "a", "code-a")
+	b := mkEnclave(t, p, "b", "code-b")
+	before := p.Machine().Stats()
+	start := p.Machine().Clock().Now()
+	if err := p.MutualLocalAttest(a, b); err != nil {
+		t.Fatalf("MutualLocalAttest: %v", err)
+	}
+	delta := p.Machine().Stats().Sub(before)
+	if delta.LocalAttests != 2 {
+		t.Fatalf("local attest count = %d, want 2 (one per direction)", delta.LocalAttests)
+	}
+	charged := p.Machine().Clock().Since(start)
+	if want := 2 * p.Machine().Model().LocalAttest; charged != want {
+		t.Fatalf("charged %d cycles, want %d", charged, want)
+	}
+}
+
+func TestVerifyReportRejectsTamper(t *testing.T) {
+	p := newPlatform(t, "host")
+	a := mkEnclave(t, p, "a", "code-a")
+	b := mkEnclave(t, p, "b", "code-b")
+	r, err := p.CreateReport(a, b, []byte("data"))
+	if err != nil {
+		t.Fatalf("CreateReport: %v", err)
+	}
+	r.Data[0] ^= 0xFF
+	if err := p.VerifyReport(r, b); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("tampered report: got %v, want ErrBadReport", err)
+	}
+}
+
+func TestVerifyReportRejectsWrongTarget(t *testing.T) {
+	p := newPlatform(t, "host")
+	a := mkEnclave(t, p, "a", "code-a")
+	b := mkEnclave(t, p, "b", "code-b")
+	c := mkEnclave(t, p, "c", "code-c")
+	r, err := p.CreateReport(a, b, nil)
+	if err != nil {
+		t.Fatalf("CreateReport: %v", err)
+	}
+	if err := p.VerifyReport(r, c); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("misdirected report: got %v, want ErrBadReport", err)
+	}
+}
+
+func TestReportDoesNotCrossMachines(t *testing.T) {
+	p1 := newPlatform(t, "host1")
+	p2 := newPlatform(t, "host2")
+	a := mkEnclave(t, p1, "a", "code-a")
+	b := mkEnclave(t, p1, "b", "code-b")
+	// Same code identity on machine 2, so measurements match — but the
+	// machine-local MAC key differs, which is the point of local attestation.
+	b2 := mkEnclave(t, p2, "b", "code-b")
+
+	r, err := p1.CreateReport(a, b, nil)
+	if err != nil {
+		t.Fatalf("CreateReport: %v", err)
+	}
+	if err := p2.VerifyReport(r, b2); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("cross-machine report accepted: %v", err)
+	}
+}
+
+func TestCreateReportRejectsForeignEnclave(t *testing.T) {
+	p1 := newPlatform(t, "host1")
+	p2 := newPlatform(t, "host2")
+	a := mkEnclave(t, p1, "a", "code-a")
+	b := mkEnclave(t, p2, "b", "code-b")
+	if _, err := p1.CreateReport(a, b, nil); err == nil {
+		t.Fatal("report created for enclave on another platform")
+	}
+}
+
+func TestRemoteAttestRoundTrip(t *testing.T) {
+	p := newPlatform(t, "client")
+	e := mkEnclave(t, p, "sl-local", "sl-local-code")
+	svc := NewService()
+	svc.RegisterPlatform(p)
+	svc.TrustMeasurement(e.Measurement())
+
+	q, err := p.CreateQuote(e, []byte("nonce-123"))
+	if err != nil {
+		t.Fatalf("CreateQuote: %v", err)
+	}
+	serverMachine, err := sgx.NewMachine(sgx.MachineConfig{Name: "server", EPCBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	start := serverMachine.Clock().Now()
+	if err := svc.VerifyQuote(q, serverMachine); err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+	elapsed := serverMachine.Clock().Elapsed(start, serverMachine.Model())
+	if elapsed < 3*time.Second || elapsed > 4*time.Second {
+		t.Fatalf("RA latency = %v, want 3-4s per the paper", elapsed)
+	}
+	if serverMachine.Stats().RemoteAttests != 1 {
+		t.Fatal("remote attestation not counted")
+	}
+}
+
+func TestVerifyQuoteRejections(t *testing.T) {
+	p := newPlatform(t, "client")
+	e := mkEnclave(t, p, "sl-local", "sl-local-code")
+	svc := NewService()
+
+	q, err := p.CreateQuote(e, nil)
+	if err != nil {
+		t.Fatalf("CreateQuote: %v", err)
+	}
+
+	// Unregistered platform.
+	if err := svc.VerifyQuote(q, nil); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("unknown platform: got %v", err)
+	}
+
+	svc.RegisterPlatform(p)
+	// Registered but untrusted measurement.
+	if err := svc.VerifyQuote(q, nil); !errors.Is(err, ErrUntrustedMeasurement) {
+		t.Fatalf("untrusted measurement: got %v", err)
+	}
+
+	svc.TrustMeasurement(e.Measurement())
+	if err := svc.VerifyQuote(q, nil); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+
+	// Tampered quote.
+	bad := q
+	bad.Report.Data[5] ^= 1
+	if err := svc.VerifyQuote(bad, nil); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("tampered quote: got %v", err)
+	}
+
+	// Revocation.
+	svc.RevokeMeasurement(e.Measurement())
+	if err := svc.VerifyQuote(q, nil); !errors.Is(err, ErrUntrustedMeasurement) {
+		t.Fatalf("revoked measurement: got %v", err)
+	}
+}
+
+func TestQuoteForgeryFails(t *testing.T) {
+	p1 := newPlatform(t, "honest")
+	p2 := newPlatform(t, "attacker")
+	e := mkEnclave(t, p1, "e", "code")
+	svc := NewService()
+	svc.RegisterPlatform(p1)
+	svc.TrustMeasurement(e.Measurement())
+
+	q, err := p1.CreateQuote(e, nil)
+	if err != nil {
+		t.Fatalf("CreateQuote: %v", err)
+	}
+	// Attacker claims the quote comes from their registered platform.
+	svc.RegisterPlatform(p2)
+	forged := q
+	forged.Platform = "attacker"
+	if err := svc.VerifyQuote(forged, nil); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("forged platform attribution accepted: %v", err)
+	}
+}
+
+func TestReportDataTruncation(t *testing.T) {
+	p := newPlatform(t, "host")
+	a := mkEnclave(t, p, "a", "code-a")
+	b := mkEnclave(t, p, "b", "code-b")
+	long := make([]byte, ReportDataSize+32)
+	for i := range long {
+		long[i] = byte(i)
+	}
+	r, err := p.CreateReport(a, b, long)
+	if err != nil {
+		t.Fatalf("CreateReport: %v", err)
+	}
+	for i := 0; i < ReportDataSize; i++ {
+		if r.Data[i] != byte(i) {
+			t.Fatalf("data byte %d = %d, want %d", i, r.Data[i], i)
+		}
+	}
+	if err := p.VerifyReport(r, b); err != nil {
+		t.Fatalf("VerifyReport: %v", err)
+	}
+}
+
+func BenchmarkLocalAttest(b *testing.B) {
+	m, err := sgx.NewMachine(sgx.MachineConfig{EPCBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewPlatform("bench", m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := m.CreateEnclave("a", []byte("ca"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := m.CreateEnclave("c", []byte("cc"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.MutualLocalAttest(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

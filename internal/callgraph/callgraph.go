@@ -1,0 +1,277 @@
+// Package callgraph models an application's control-flow graph at function
+// granularity, as used by SecureLease's partitioning algorithm (Section 4.2
+// of the paper): nodes are functions, directed weighted edges are calls.
+//
+// Each function carries the attributes partitioning needs: static code
+// size, runtime memory footprint (estimated via the proc interface in the
+// paper), its source module (the paper's observation is that modules show
+// up as dense clusters in the CFG), whether it belongs to the
+// authentication module, whether the developer annotated it as a key
+// function, and whether it touches sensitive data (the annotation the
+// Glamdring baseline partitions on).
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one function in the graph.
+type Node struct {
+	// Name is the unique function name.
+	Name string
+	// CodeBytes is the function's static code size (drives the paper's
+	// "static coverage" metric).
+	CodeBytes int64
+	// MemoryBytes is the function's runtime memory footprint (drives EPC
+	// sizing; estimated from /proc in the paper).
+	MemoryBytes int64
+	// Module is the submodule the function belongs to (ground truth used
+	// to seed workload generation; the partitioner does not read it).
+	Module string
+	// AuthModule marks authentication-module functions.
+	AuthModule bool
+	// KeyFunction marks developer-annotated key functions (Section 4.2.1).
+	KeyFunction bool
+	// TouchesSensitive marks functions that access developer-annotated
+	// sensitive data (the Glamdring criterion).
+	TouchesSensitive bool
+}
+
+// Edge is a directed call edge with a call-count weight.
+type Edge struct {
+	From, To string
+	// Count is the number of (static or profiled) call sites × frequency;
+	// partitioners treat it as the edge weight.
+	Count int64
+}
+
+// Graph is a directed call graph. It is not safe for concurrent mutation;
+// build it once, then share read-only.
+type Graph struct {
+	nodes map[string]*Node
+	out   map[string]map[string]int64
+	in    map[string]map[string]int64
+	order []string // insertion order for deterministic iteration
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]*Node),
+		out:   make(map[string]map[string]int64),
+		in:    make(map[string]map[string]int64),
+	}
+}
+
+// AddNode inserts a function; re-adding a name replaces its attributes but
+// keeps its edges.
+func (g *Graph) AddNode(n Node) error {
+	if n.Name == "" {
+		return fmt.Errorf("callgraph: empty function name")
+	}
+	if _, exists := g.nodes[n.Name]; !exists {
+		g.order = append(g.order, n.Name)
+	}
+	copied := n
+	g.nodes[n.Name] = &copied
+	return nil
+}
+
+// AddCall adds weight to the edge from→to, creating it as needed. Both
+// endpoints must exist.
+func (g *Graph) AddCall(from, to string, count int64) error {
+	if count <= 0 {
+		return fmt.Errorf("callgraph: non-positive call count %d", count)
+	}
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("callgraph: unknown caller %q", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("callgraph: unknown callee %q", to)
+	}
+	if g.out[from] == nil {
+		g.out[from] = make(map[string]int64)
+	}
+	g.out[from][to] += count
+	if g.in[to] == nil {
+		g.in[to] = make(map[string]int64)
+	}
+	g.in[to][from] += count
+	return nil
+}
+
+// Node returns the node, or nil.
+func (g *Graph) Node(name string) *Node {
+	return g.nodes[name]
+}
+
+// Len returns the number of functions.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Names returns all function names in insertion order.
+func (g *Graph) Names() []string {
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Edges returns all edges, ordered deterministically.
+func (g *Graph) Edges() []Edge {
+	var edges []Edge
+	for _, from := range g.order {
+		tos := make([]string, 0, len(g.out[from]))
+		for to := range g.out[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			edges = append(edges, Edge{From: from, To: to, Count: g.out[from][to]})
+		}
+	}
+	return edges
+}
+
+// CallWeight returns the weight of the from→to edge (0 if absent).
+func (g *Graph) CallWeight(from, to string) int64 {
+	return g.out[from][to]
+}
+
+// OutDegree returns the number of distinct callees of a function (the
+// F-LaaS migration criterion).
+func (g *Graph) OutDegree(name string) int {
+	return len(g.out[name])
+}
+
+// OutWeight returns the total outgoing call count of a function.
+func (g *Graph) OutWeight(name string) int64 {
+	var w int64
+	for _, c := range g.out[name] {
+		w += c
+	}
+	return w
+}
+
+// Neighbors returns the union of callees and callers with summed weights,
+// i.e. the undirected weighted adjacency used for clustering.
+func (g *Graph) Neighbors(name string) map[string]int64 {
+	out := make(map[string]int64, len(g.out[name])+len(g.in[name]))
+	for to, c := range g.out[name] {
+		out[to] += c
+	}
+	for from, c := range g.in[name] {
+		out[from] += c
+	}
+	return out
+}
+
+// TotalCodeBytes sums the static code size over a set of functions
+// (nil = all).
+func (g *Graph) TotalCodeBytes(names []string) int64 {
+	var total int64
+	if names == nil {
+		names = g.order
+	}
+	for _, n := range names {
+		if node := g.nodes[n]; node != nil {
+			total += node.CodeBytes
+		}
+	}
+	return total
+}
+
+// TotalMemoryBytes sums the runtime memory footprint over a set of
+// functions (nil = all).
+func (g *Graph) TotalMemoryBytes(names []string) int64 {
+	var total int64
+	if names == nil {
+		names = g.order
+	}
+	for _, n := range names {
+		if node := g.nodes[n]; node != nil {
+			total += node.MemoryBytes
+		}
+	}
+	return total
+}
+
+// FunctionsWhere returns the names of nodes matching the predicate, in
+// insertion order.
+func (g *Graph) FunctionsWhere(pred func(*Node) bool) []string {
+	var out []string
+	for _, name := range g.order {
+		if pred(g.nodes[name]) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// AuthFunctions returns the authentication-module functions.
+func (g *Graph) AuthFunctions() []string {
+	return g.FunctionsWhere(func(n *Node) bool { return n.AuthModule })
+}
+
+// KeyFunctions returns the developer-annotated key functions.
+func (g *Graph) KeyFunctions() []string {
+	return g.FunctionsWhere(func(n *Node) bool { return n.KeyFunction })
+}
+
+// IntraFraction computes the fraction of total edge weight that stays
+// within groups, given a node→group assignment. The paper's clustering
+// observation is that this fraction is high when groups are the true
+// modules.
+func (g *Graph) IntraFraction(group map[string]string) float64 {
+	var intra, total int64
+	for from, tos := range g.out {
+		for to, c := range tos {
+			total += c
+			if group[from] != "" && group[from] == group[to] {
+				intra += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(intra) / float64(total)
+}
+
+// DOT renders the graph in Graphviz format. migrated marks the functions
+// drawn as filled (the enclave side), reproducing Figure 7's visual.
+func (g *Graph) DOT(title string, migrated map[string]bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n")
+
+	// Group nodes by module as subgraph clusters.
+	byModule := make(map[string][]string)
+	var moduleOrder []string
+	for _, name := range g.order {
+		m := g.nodes[name].Module
+		if _, seen := byModule[m]; !seen {
+			moduleOrder = append(moduleOrder, m)
+		}
+		byModule[m] = append(byModule[m], name)
+	}
+	for i, m := range moduleOrder {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, m)
+		for _, name := range byModule[m] {
+			attrs := ""
+			if migrated[name] {
+				attrs = ", style=filled, fillcolor=lightblue"
+			}
+			if g.nodes[name].AuthModule {
+				attrs += ", shape=box"
+			}
+			fmt.Fprintf(&b, "    %q [label=%q%s];\n", name, name, attrs)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%d\"];\n", e.From, e.To, e.Count)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

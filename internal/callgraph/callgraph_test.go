@@ -1,0 +1,198 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSample(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	nodes := []Node{
+		{Name: "main", CodeBytes: 100, MemoryBytes: 1 << 12, Module: "init"},
+		{Name: "auth", CodeBytes: 200, MemoryBytes: 1 << 12, Module: "am", AuthModule: true},
+		{Name: "check", CodeBytes: 150, MemoryBytes: 1 << 12, Module: "am", AuthModule: true, TouchesSensitive: true},
+		{Name: "parse", CodeBytes: 400, MemoryBytes: 1 << 14, Module: "core", KeyFunction: true},
+		{Name: "exec", CodeBytes: 800, MemoryBytes: 1 << 20, Module: "core", TouchesSensitive: true},
+		{Name: "log", CodeBytes: 50, MemoryBytes: 1 << 10, Module: "util"},
+	}
+	for _, n := range nodes {
+		if err := g.AddNode(n); err != nil {
+			t.Fatalf("AddNode(%s): %v", n.Name, err)
+		}
+	}
+	calls := []struct {
+		from, to string
+		count    int64
+	}{
+		{"main", "auth", 1},
+		{"auth", "check", 5},
+		{"main", "parse", 100},
+		{"parse", "exec", 100},
+		{"exec", "log", 300},
+		{"parse", "log", 50},
+	}
+	for _, c := range calls {
+		if err := g.AddCall(c.from, c.to, c.count); err != nil {
+			t.Fatalf("AddCall(%s→%s): %v", c.from, c.to, err)
+		}
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := buildSample(t)
+	if g.Len() != 6 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.Node("parse") == nil || g.Node("ghost") != nil {
+		t.Fatal("Node lookup wrong")
+	}
+	if got := g.CallWeight("parse", "exec"); got != 100 {
+		t.Fatalf("CallWeight = %d", got)
+	}
+	if got := g.OutDegree("parse"); got != 2 {
+		t.Fatalf("OutDegree(parse) = %d", got)
+	}
+	if got := g.OutWeight("parse"); got != 150 {
+		t.Fatalf("OutWeight(parse) = %d", got)
+	}
+	if got := len(g.Edges()); got != 6 {
+		t.Fatalf("Edges = %d", got)
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	g := New()
+	if err := g.AddNode(Node{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := g.AddNode(Node{Name: "a"}); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if err := g.AddCall("a", "missing", 1); err == nil {
+		t.Fatal("edge to unknown node accepted")
+	}
+	if err := g.AddCall("missing", "a", 1); err == nil {
+		t.Fatal("edge from unknown node accepted")
+	}
+	if err := g.AddCall("a", "a", 0); err == nil {
+		t.Fatal("zero-count edge accepted")
+	}
+}
+
+func TestAddCallAccumulates(t *testing.T) {
+	g := New()
+	for _, n := range []string{"a", "b"} {
+		if err := g.AddNode(Node{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddCall("a", "b", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddCall("a", "b", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CallWeight("a", "b"); got != 7 {
+		t.Fatalf("accumulated weight = %d, want 7", got)
+	}
+}
+
+func TestNeighborsUndirected(t *testing.T) {
+	g := buildSample(t)
+	n := g.Neighbors("parse")
+	if n["main"] != 100 || n["exec"] != 100 || n["log"] != 50 {
+		t.Fatalf("Neighbors(parse) = %v", n)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	g := buildSample(t)
+	if got := g.TotalCodeBytes(nil); got != 1700 {
+		t.Fatalf("total code = %d", got)
+	}
+	if got := g.TotalCodeBytes([]string{"auth", "check"}); got != 350 {
+		t.Fatalf("AM code = %d", got)
+	}
+	if got := g.TotalMemoryBytes([]string{"exec"}); got != 1<<20 {
+		t.Fatalf("exec memory = %d", got)
+	}
+	if got := g.TotalCodeBytes([]string{"ghost"}); got != 0 {
+		t.Fatalf("ghost code = %d", got)
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	g := buildSample(t)
+	am := g.AuthFunctions()
+	if len(am) != 2 || am[0] != "auth" || am[1] != "check" {
+		t.Fatalf("auth functions = %v", am)
+	}
+	kf := g.KeyFunctions()
+	if len(kf) != 1 || kf[0] != "parse" {
+		t.Fatalf("key functions = %v", kf)
+	}
+	sens := g.FunctionsWhere(func(n *Node) bool { return n.TouchesSensitive })
+	if len(sens) != 2 {
+		t.Fatalf("sensitive = %v", sens)
+	}
+}
+
+func TestIntraFraction(t *testing.T) {
+	g := buildSample(t)
+	byModule := make(map[string]string)
+	for _, name := range g.Names() {
+		byModule[name] = g.Node(name).Module
+	}
+	frac := g.IntraFraction(byModule)
+	// Intra edges: auth→check (5, am) and parse→exec (100, core) = 105 of 556.
+	want := 105.0 / 556.0
+	if frac < want-1e-9 || frac > want+1e-9 {
+		t.Fatalf("intra fraction = %v, want %v", frac, want)
+	}
+	if got := New().IntraFraction(nil); got != 0 {
+		t.Fatalf("empty graph intra = %v", got)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := buildSample(t)
+	dot := g.DOT("sample", map[string]bool{"parse": true, "auth": true, "check": true})
+	for _, want := range []string{
+		"digraph \"sample\"",
+		"cluster_0",
+		"fillcolor=lightblue",
+		"shape=box",
+		"\"parse\" -> \"exec\"",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestNamesIsCopy(t *testing.T) {
+	g := buildSample(t)
+	names := g.Names()
+	names[0] = "corrupted"
+	if g.Names()[0] == "corrupted" {
+		t.Fatal("Names returned aliased slice")
+	}
+}
+
+func TestReAddNodeKeepsEdges(t *testing.T) {
+	g := buildSample(t)
+	if err := g.AddNode(Node{Name: "parse", CodeBytes: 999, Module: "core"}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 6 {
+		t.Fatalf("Len after re-add = %d", g.Len())
+	}
+	if got := g.Node("parse").CodeBytes; got != 999 {
+		t.Fatalf("updated code bytes = %d", got)
+	}
+	if got := g.CallWeight("parse", "exec"); got != 100 {
+		t.Fatal("re-add dropped edges")
+	}
+}

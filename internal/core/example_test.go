@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lease"
+	"repro/internal/sllocal"
+)
+
+// Example shows the minimal SecureLease deployment: one system, one
+// license, one guarded key function.
+func Example() {
+	sys, _ := core.NewSystem(core.Config{})
+	_ = sys.RegisterLicense("lic-demo", lease.CountBased, 2)
+
+	app, _ := sys.LaunchApp("demo")
+	app.Guard("render", "lic-demo")
+
+	for i := 0; i < 3; i++ {
+		err := app.Execute("render", func() error { return nil })
+		fmt.Printf("run %d ok=%v\n", i+1, err == nil)
+	}
+	// Output:
+	// run 1 ok=true
+	// run 2 ok=true
+	// run 3 ok=false
+}
+
+// Example_restart shows graceful shutdown and restore: the lease tree is
+// committed and escrowed, and counters survive the restart exactly.
+// TokenBatch is 1 so no grants sit in the SL-Manager's cache at shutdown
+// (cached grants die with the application enclave, by design).
+func Example_restart() {
+	sys, _ := core.NewSystem(core.Config{
+		Local: sllocal.Config{TokenBatch: 1, MemoryBudget: 1600 << 10},
+	})
+	_ = sys.RegisterLicense("lic", lease.CountBased, 10)
+	app, _ := sys.LaunchApp("tool")
+	app.Guard("f", "lic")
+	_ = app.Execute("f", func() error { return nil })
+
+	_ = sys.Shutdown()
+	_ = sys.Restart()
+
+	app, _ = sys.LaunchApp("tool")
+	app.Guard("f", "lic")
+	used := 1
+	for app.Execute("f", func() error { return nil }) == nil {
+		used++
+	}
+	fmt.Println("total executions:", used)
+	// Output:
+	// total executions: 10
+}

@@ -1,0 +1,92 @@
+// Package harness drives the paper's experiments: every table and figure
+// of the evaluation section (Section 7) has a driver here that runs the
+// relevant components and produces the same rows or series the paper
+// reports. Absolute numbers differ (the substrate is a simulator, not the
+// authors' testbed) but the comparisons — who wins, by what factor, where
+// the crossovers fall — reproduce the paper's shape.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// renderTable renders rows as a fixed-width text table with a header.
+func renderTable(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// fmtBytes renders a byte count in the units Table 5/6 use.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// fmtCount renders large counts compactly (1.4K, 2.2M).
+func fmtCount(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// geomean computes the geometric mean of positive values; zero/negative
+// values are clamped to a small epsilon to stay defined.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v < 1e-9 {
+			v = 1e-9
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}

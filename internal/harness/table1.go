@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lease"
+	"repro/internal/leasetree"
+)
+
+// Table1OpCounts are the lease-operation counts the paper measures
+// (Table 1: 10, 100, 1000, 5000 lease ops).
+var Table1OpCounts = []int{10, 100, 1000, 5000}
+
+// Table1Row is one storage scheme's lookup latencies.
+type Table1Row struct {
+	Technique string
+	// Latency maps op count → total wall time for that many find()
+	// operations (the paper reports the same aggregate in µs).
+	Latency map[int]time.Duration
+}
+
+// Table1Result reproduces Table 1: find() performance of the tree-based
+// SL-Local against MurmurHash and SHA-256 hash tables.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 populates each store with 5000 leases and times find() batches
+// at each op count. Repeats smooth scheduler noise.
+func Table1(repeats int) (*Table1Result, error) {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	type scheme struct {
+		name string
+		mk   func() leasetree.Store
+	}
+	schemes := []scheme{
+		{"Murmur Hash", func() leasetree.Store { return leasetree.NewHashStore(leasetree.HashMurmur) }},
+		{"SHA-256", func() leasetree.Store { return leasetree.NewHashStore(leasetree.HashSHA256) }},
+		{"Tree", func() leasetree.Store { return leasetree.NewTree() }},
+	}
+
+	const population = 5000
+	res := &Table1Result{}
+	for _, s := range schemes {
+		store := s.mk()
+		alloc := leasetree.NewIDAllocator()
+		block := alloc.NextBlock()
+		ids := make([]lease.ID, 0, population)
+		for i := 0; i < population; i++ {
+			if block.Remaining() == 0 {
+				block = alloc.NextBlock()
+			}
+			id, _ := block.Next()
+			ids = append(ids, id)
+			if err := store.Put(lease.Record{ID: id, GCL: lease.NewCountGCL(100), Owner: "t1"}); err != nil {
+				return nil, fmt.Errorf("harness: populating %s: %w", s.name, err)
+			}
+		}
+		row := Table1Row{Technique: s.name, Latency: make(map[int]time.Duration, len(Table1OpCounts))}
+		for _, ops := range Table1OpCounts {
+			var best time.Duration
+			for r := 0; r < repeats; r++ {
+				start := time.Now()
+				for i := 0; i < ops; i++ {
+					if _, err := store.Find(ids[(i*97)%population]); err != nil {
+						return nil, fmt.Errorf("harness: %s find: %w", s.name, err)
+					}
+				}
+				elapsed := time.Since(start)
+				if r == 0 || elapsed < best {
+					best = elapsed
+				}
+			}
+			row.Latency[ops] = best
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// TreeFasterThanHashes reports whether the tree wins at the largest op
+// count — the paper's key claim (58% vs Murmur, 89% vs SHA-256 at 5000).
+func (r *Table1Result) TreeFasterThanHashes() bool {
+	byName := make(map[string]time.Duration, len(r.Rows))
+	maxOps := Table1OpCounts[len(Table1OpCounts)-1]
+	for _, row := range r.Rows {
+		byName[row.Technique] = row.Latency[maxOps]
+	}
+	tree, okT := byName["Tree"]
+	mur, okM := byName["Murmur Hash"]
+	sha, okS := byName["SHA-256"]
+	return okT && okM && okS && tree < mur && tree < sha
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table1Result) Render() string {
+	header := []string{"Technique"}
+	for _, ops := range Table1OpCounts {
+		header = append(header, fmt.Sprintf("%d", ops))
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		cells := []string{row.Technique}
+		for _, ops := range Table1OpCounts {
+			cells = append(cells, fmt.Sprintf("%.1fµs", float64(row.Latency[ops].Nanoseconds())/1e3))
+		}
+		rows = append(rows, cells)
+	}
+	return renderTable("Table 1: find() latency for different lease-storage schemes (lease ops)", header, rows)
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/sgx"
+	"repro/internal/workloads"
+)
+
+// Table5Row is one workload's partitioning comparison (Table 5 of the
+// paper): static and dynamic coverage of SecureLease vs Glamdring, EPC
+// memory and fault behaviour, and the end-to-end improvement.
+type Table5Row struct {
+	Workload string
+	// KeyFunctions are the functions SecureLease migrates (besides the AM).
+	KeyFunctions []string
+
+	// Static code migrated into the enclave, in bytes.
+	GlamStaticBytes int64
+	SLStaticBytes   int64
+	// SLStaticVsGlam is SL static as a fraction of Glamdring's (the
+	// parenthesised percentage in the paper's table).
+	SLStaticVsGlam float64
+
+	// Dynamic coverage of each partition.
+	GlamDynCoverage float64
+	SLDynCoverage   float64
+
+	// EPC residency and estimated faults.
+	GlamEPCBytes  int64
+	GlamEPCFaults int64
+	SLEPCBytes    int64
+	SLEPCFaults   int64
+
+	// PerfImprovement of SecureLease over Glamdring on the partitioning
+	// alone (no attestation), as a fraction: (T_glam − T_sl) / T_glam.
+	PerfImprovement float64
+	// SLOverheadVsVanilla is SecureLease's slowdown over vanilla.
+	SLOverheadVsVanilla float64
+}
+
+// Table5Result reproduces Table 5 across all workloads.
+type Table5Result struct {
+	Rows []Table5Row
+	// Aggregates reported in the paper's text (Section 7.2).
+	GeomeanStaticReduction float64 // paper: 67.80% less static code
+	GeomeanDynCoverage     float64 // paper: 92.93%
+	MeanPerfImprovement    float64 // paper: 32.62%
+	MeanSLOverhead         float64 // paper: 41.82% over vanilla
+}
+
+// Table5 runs every workload, partitions it with SecureLease and
+// Glamdring, and prices both partitions.
+func Table5(scale int, seed int64) (*Table5Result, error) {
+	est := partition.NewEstimator(sgx.DefaultCostModel())
+	res := &Table5Result{}
+	var staticRatios, dynCovs, perfImprs, slOverheads []float64
+
+	for _, spec := range workloads.All() {
+		prof, err := spec.Run(scale)
+		if err != nil {
+			return nil, fmt.Errorf("harness: running %s: %w", spec.Name, err)
+		}
+		sl, err := partition.SecureLease(prof.Graph, prof.Trace, partition.Options{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("harness: partitioning %s: %w", spec.Name, err)
+		}
+		gl, err := partition.Glamdring(prof.Graph, 1)
+		if err != nil {
+			return nil, fmt.Errorf("harness: glamdring %s: %w", spec.Name, err)
+		}
+		slCost := est.Evaluate(prof.Graph, prof.Trace, sl.Migrated)
+		glCost := est.Evaluate(prof.Graph, prof.Trace, gl.Migrated)
+
+		row := Table5Row{
+			Workload:        spec.Name,
+			KeyFunctions:    spec.KeyFunctions,
+			GlamStaticBytes: glCost.StaticBytes,
+			SLStaticBytes:   slCost.StaticBytes,
+			GlamDynCoverage: glCost.DynamicCoverage,
+			SLDynCoverage:   slCost.DynamicCoverage,
+			GlamEPCBytes:    glCost.EPCBytes,
+			GlamEPCFaults:   glCost.EPCFaults,
+			SLEPCBytes:      slCost.EPCBytes,
+			SLEPCFaults:     slCost.EPCFaults,
+		}
+		if glCost.StaticBytes > 0 {
+			row.SLStaticVsGlam = float64(slCost.StaticBytes) / float64(glCost.StaticBytes)
+		}
+		tGlam := 1 + glCost.PredictedOverhead
+		tSL := 1 + slCost.PredictedOverhead
+		row.PerfImprovement = (tGlam - tSL) / tGlam
+		row.SLOverheadVsVanilla = slCost.PredictedOverhead
+		res.Rows = append(res.Rows, row)
+
+		staticRatios = append(staticRatios, row.SLStaticVsGlam)
+		dynCovs = append(dynCovs, row.SLDynCoverage)
+		perfImprs = append(perfImprs, row.PerfImprovement)
+		slOverheads = append(slOverheads, row.SLOverheadVsVanilla)
+	}
+
+	res.GeomeanStaticReduction = 1 - geomean(staticRatios)
+	res.GeomeanDynCoverage = geomean(dynCovs)
+	var sumImpr, sumOver float64
+	for i := range perfImprs {
+		sumImpr += perfImprs[i]
+		sumOver += slOverheads[i]
+	}
+	res.MeanPerfImprovement = sumImpr / float64(len(perfImprs))
+	res.MeanSLOverhead = sumOver / float64(len(slOverheads))
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table5Result) Render() string {
+	header := []string{"Workload", "Key functions", "Static Glam", "Static SL (vs Glam)",
+		"DynCov Glam", "DynCov SL", "Mem Glam (faults)", "Mem SL (faults)", "Perf impr."}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Workload,
+			strings.Join(row.KeyFunctions, ","),
+			fmtBytes(row.GlamStaticBytes),
+			fmt.Sprintf("%s (%.1f%%)", fmtBytes(row.SLStaticBytes), 100*row.SLStaticVsGlam),
+			fmt.Sprintf("%.1f%%", 100*row.GlamDynCoverage),
+			fmt.Sprintf("%.1f%%", 100*row.SLDynCoverage),
+			fmt.Sprintf("%s (%s)", fmtBytes(row.GlamEPCBytes), fmtCount(row.GlamEPCFaults)),
+			fmt.Sprintf("%s (%s)", fmtBytes(row.SLEPCBytes), fmtCount(row.SLEPCFaults)),
+			fmt.Sprintf("%.1f%%", 100*row.PerfImprovement),
+		})
+	}
+	out := renderTable("Table 5: partitioning comparison, SecureLease vs Glamdring", header, rows)
+	out += fmt.Sprintf("\nGeomean static-code reduction: %.1f%% (paper: 67.8%%)\n", 100*r.GeomeanStaticReduction)
+	out += fmt.Sprintf("Geomean dynamic coverage:      %.1f%% (paper: 92.93%%)\n", 100*r.GeomeanDynCoverage)
+	out += fmt.Sprintf("Mean perf improvement:         %.1f%% (paper: 32.62%%)\n", 100*r.MeanPerfImprovement)
+	out += fmt.Sprintf("Mean SL overhead vs vanilla:   %.1f%% (paper: 41.82%%)\n", 100*r.MeanSLOverhead)
+	return out
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/lease"
+	"repro/internal/leasetree"
+)
+
+// Table6LeaseCounts are the lease populations the paper measures.
+var Table6LeaseCounts = []int{1_000, 5_000, 10_000, 50_000}
+
+// Table6Budget is the eviction budget of the paper's SL-Local
+// configuration (the ~1.6 MB footprint plateau of Table 6).
+const Table6Budget = 1664 << 10
+
+// Table6Row is one configuration's memory footprints.
+type Table6Row struct {
+	Config string
+	// Footprint maps lease count → trusted-memory bytes.
+	Footprint map[int]int64
+}
+
+// Table6Result reproduces Table 6: SL-Local memory with and without
+// eviction, and (extension, Section 5.2.3) the array and hash baselines.
+type Table6Result struct {
+	Rows []Table6Row
+}
+
+// Table6 populates trees (with and without eviction budgets) and the
+// comparison stores at each lease count and measures footprints.
+func Table6() (*Table6Result, error) {
+	type cfg struct {
+		name string
+		mk   func() leasetree.Store
+	}
+	cfgs := []cfg{
+		{"No-Evict", func() leasetree.Store { return leasetree.NewTree() }},
+		{"SecureLease", func() leasetree.Store {
+			t := leasetree.NewTree()
+			t.SetBudget(Table6Budget)
+			return t
+		}},
+		{"Array", func() leasetree.Store { return leasetree.NewArrayStore() }},
+		{"Hash (Murmur)", func() leasetree.Store { return leasetree.NewHashStore(leasetree.HashMurmur) }},
+	}
+	res := &Table6Result{}
+	for _, c := range cfgs {
+		row := Table6Row{Config: c.name, Footprint: make(map[int]int64, len(Table6LeaseCounts))}
+		for _, n := range Table6LeaseCounts {
+			store := c.mk()
+			alloc := leasetree.NewIDAllocator()
+			block := alloc.NextBlock()
+			for i := 0; i < n; i++ {
+				if block.Remaining() == 0 {
+					block = alloc.NextBlock()
+				}
+				id, _ := block.Next()
+				if err := store.Put(lease.Record{ID: id, GCL: lease.NewCountGCL(10), Owner: "t6"}); err != nil {
+					return nil, fmt.Errorf("harness: table6 %s: %w", c.name, err)
+				}
+			}
+			row.Footprint[n] = store.Footprint()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// EvictionFlattens reports the paper's claim: with eviction the footprint
+// stays (approximately) flat while No-Evict grows linearly.
+func (r *Table6Result) EvictionFlattens() bool {
+	var evict, noEvict map[int]int64
+	for _, row := range r.Rows {
+		switch row.Config {
+		case "SecureLease":
+			evict = row.Footprint
+		case "No-Evict":
+			noEvict = row.Footprint
+		}
+	}
+	if evict == nil || noEvict == nil {
+		return false
+	}
+	nMax := Table6LeaseCounts[len(Table6LeaseCounts)-1]
+	nMin := Table6LeaseCounts[0]
+	// No-Evict grows by >10× from 1K to 50K; SecureLease stays within the
+	// budget at 50K.
+	return noEvict[nMax] > 10*noEvict[nMin] && evict[nMax] <= Table6Budget
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table6Result) Render() string {
+	header := []string{"# Total leases"}
+	for _, n := range Table6LeaseCounts {
+		header = append(header, fmtCount(int64(n)))
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		cells := []string{row.Config}
+		for _, n := range Table6LeaseCounts {
+			cells = append(cells, fmtBytes(row.Footprint[n]))
+		}
+		rows = append(rows, cells)
+	}
+	return renderTable("Table 6: SL-Local trusted-memory usage with and without eviction", header, rows)
+}

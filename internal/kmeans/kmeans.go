@@ -1,0 +1,290 @@
+// Package kmeans implements the k-means clustering algorithm SecureLease
+// uses to find submodule clusters in an application's call graph
+// (Section 4.2.1 of the paper, citing Kanungo et al.), plus the graph
+// embedding that turns call-graph nodes into feature vectors.
+//
+// All randomness comes from a caller-supplied *rand.Rand so clustering is
+// deterministic per seed.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/callgraph"
+)
+
+// Result is the output of one clustering run.
+type Result struct {
+	// Assignment maps each point index to its cluster in [0, K).
+	Assignment []int
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Iterations is how many Lloyd iterations ran.
+	Iterations int
+	// Inertia is the summed squared distance of points to their centroids.
+	Inertia float64
+}
+
+// Run clusters points into k groups with k-means++ seeding and Lloyd
+// iterations, stopping after maxIter iterations or when assignments are
+// stable. Points must be non-empty and share one dimension.
+func Run(points [][]float64, k, maxIter int, rng *rand.Rand) (Result, error) {
+	if len(points) == 0 {
+		return Result{}, errors.New("kmeans: no points")
+	}
+	if k <= 0 {
+		return Result{}, fmt.Errorf("kmeans: k must be positive, got %d", k)
+	}
+	if rng == nil {
+		return Result{}, errors.New("kmeans: nil rng (pass a seeded *rand.Rand)")
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return Result{}, fmt.Errorf("kmeans: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids; re-seed empty clusters from the farthest
+		// point to keep k effective clusters.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				next[c][d] += v
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				next[c] = append([]float64(nil), points[farthestPoint(points, centroids)]...)
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(counts[c])
+			}
+		}
+		centroids = next
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	return Result{Assignment: assign, Centroids: centroids, Iterations: iter, Inertia: inertia}, nil
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ strategy.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	dists := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if sd := sqDist(p, c); sd < d {
+					d = sd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), points[rng.Intn(len(points))]...))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, d := range dists {
+			target -= d
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+func farthestPoint(points [][]float64, centroids [][]float64) int {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		d := math.Inf(1)
+		for _, c := range centroids {
+			if sd := sqDist(p, c); sd < d {
+				d = sd
+			}
+		}
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// EmbedGraph turns call-graph nodes into feature vectors for clustering.
+// The embedding concatenates, for each of the top-degree "landmark"
+// functions, the node's normalized undirected edge weight to that landmark.
+// Nodes of one module share heavy edges to the same landmarks (the paper's
+// intra-cluster-dominance observation), so they land close together.
+//
+// It returns the vectors in the order of g.Names() along with that order.
+func EmbedGraph(g *callgraph.Graph, landmarks int) ([][]float64, []string) {
+	names := g.Names()
+	if landmarks <= 0 {
+		landmarks = 8
+	}
+	if landmarks > len(names) {
+		landmarks = len(names)
+	}
+
+	// Landmarks: high-weight functions chosen for diversity, so that each
+	// dense submodule contributes roughly one landmark (its hub) instead
+	// of the single hottest module monopolizing the feature space. A
+	// candidate is diverse if its direct connection to every already
+	// chosen landmark is a small fraction of its own total weight.
+	type degree struct {
+		name   string
+		weight int64
+	}
+	degs := make([]degree, 0, len(names))
+	for _, n := range names {
+		var w int64
+		for _, c := range g.Neighbors(n) {
+			w += c
+		}
+		degs = append(degs, degree{n, w})
+	}
+	sort.SliceStable(degs, func(i, j int) bool {
+		if degs[i].weight != degs[j].weight {
+			return degs[i].weight > degs[j].weight
+		}
+		return degs[i].name < degs[j].name
+	})
+	landmarkNames := make([]string, 0, landmarks)
+	chosen := make(map[string]bool, landmarks)
+	for _, d := range degs {
+		if len(landmarkNames) == landmarks {
+			break
+		}
+		nb := g.Neighbors(d.name)
+		diverse := true
+		for _, lm := range landmarkNames {
+			if float64(nb[lm]) > 0.25*float64(d.weight) {
+				diverse = false
+				break
+			}
+		}
+		if diverse {
+			landmarkNames = append(landmarkNames, d.name)
+			chosen[d.name] = true
+		}
+	}
+	// Fill any remaining slots with the next-highest-weight functions.
+	for _, d := range degs {
+		if len(landmarkNames) == landmarks {
+			break
+		}
+		if !chosen[d.name] {
+			landmarkNames = append(landmarkNames, d.name)
+			chosen[d.name] = true
+		}
+	}
+
+	vectors := make([][]float64, len(names))
+	for i, n := range names {
+		nb := g.Neighbors(n)
+		var total int64
+		for _, c := range nb {
+			total += c
+		}
+		vec := make([]float64, landmarks+1)
+		for j, lm := range landmarkNames {
+			w := nb[lm]
+			if n == lm {
+				// A landmark is maximally associated with itself.
+				w = total + 1
+			}
+			if total > 0 {
+				vec[j] = float64(w) / float64(total+1)
+			}
+		}
+		// One structural feature: log code size, weakly weighted, to
+		// separate disconnected nodes deterministically.
+		if cb := g.Node(n).CodeBytes; cb > 0 {
+			vec[landmarks] = 0.01 * math.Log1p(float64(cb))
+		}
+		vectors[i] = vec
+	}
+	return vectors, names
+}
+
+// ClusterGraph embeds the graph and k-means-clusters it, returning a
+// cluster label per function name.
+func ClusterGraph(g *callgraph.Graph, k int, rng *rand.Rand) (map[string]int, error) {
+	if g.Len() == 0 {
+		return nil, errors.New("kmeans: empty graph")
+	}
+	vectors, names := EmbedGraph(g, 2*k)
+	res, err := Run(vectors, k, 200, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(names))
+	for i, n := range names {
+		out[n] = res.Assignment[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/callgraph"
+)
+
+func TestRunSeparatesObviousClusters(t *testing.T) {
+	// Two tight blobs far apart.
+	var points [][]float64
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{float64(i % 3), float64(i % 2)})
+	}
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{100 + float64(i%3), 100 + float64(i%2)})
+	}
+	res, err := Run(points, 2, 100, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	first := res.Assignment[0]
+	for i := 0; i < 20; i++ {
+		if res.Assignment[i] != first {
+			t.Fatalf("blob A split at %d", i)
+		}
+	}
+	second := res.Assignment[20]
+	if second == first {
+		t.Fatal("blobs merged")
+	}
+	for i := 20; i < 40; i++ {
+		if res.Assignment[i] != second {
+			t.Fatalf("blob B split at %d", i)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Run(nil, 2, 10, rng); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	if _, err := Run([][]float64{{1}}, 0, 10, rng); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Run([][]float64{{1}}, 1, 10, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := Run([][]float64{{1}, {1, 2}}, 1, 10, rng); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestRunKLargerThanPoints(t *testing.T) {
+	points := [][]float64{{0}, {10}}
+	res, err := Run(points, 5, 10, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Fatal("distinct points share a cluster with k>n")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	points := make([][]float64, 50)
+	src := rand.New(rand.NewSource(7))
+	for i := range points {
+		points[i] = []float64{src.Float64() * 10, src.Float64() * 10}
+	}
+	a, err := Run(points, 4, 100, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(points, 4, 100, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("nondeterministic assignment at %d", i)
+		}
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatal("nondeterministic inertia")
+	}
+}
+
+func TestRunIdenticalPoints(t *testing.T) {
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := Run(points, 2, 10, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("inertia = %v, want 0", res.Inertia)
+	}
+}
+
+func TestRunInvariantsProperty(t *testing.T) {
+	// Properties: every point gets a cluster in range; inertia is finite
+	// and non-negative.
+	f := func(seed int64, raw []float64, kRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		for i, v := range raw {
+			if v != v || v > 1e9 || v < -1e9 { // NaN/huge guards
+				raw[i] = float64(i)
+			}
+		}
+		points := make([][]float64, len(raw)/2)
+		for i := range points {
+			points[i] = []float64{raw[2*i], raw[2*i+1]}
+		}
+		k := int(kRaw%5) + 1
+		res, err := Run(points, k, 50, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		if res.Inertia < 0 {
+			return false
+		}
+		limit := k
+		if limit > len(points) {
+			limit = len(points)
+		}
+		for _, a := range res.Assignment {
+			if a < 0 || a >= limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// modularGraph builds a graph with nMod dense modules of size modSize and
+// sparse inter-module edges.
+func modularGraph(t testing.TB, nMod, modSize int) *callgraph.Graph {
+	t.Helper()
+	g := callgraph.New()
+	name := func(m, i int) string {
+		return string(rune('A'+m)) + "-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	for m := 0; m < nMod; m++ {
+		for i := 0; i < modSize; i++ {
+			if err := g.AddNode(callgraph.Node{
+				Name:        name(m, i),
+				CodeBytes:   int64(100 + i),
+				MemoryBytes: 4096,
+				Module:      string(rune('A' + m)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Dense intra-module edges through a hub (star + chain).
+	for m := 0; m < nMod; m++ {
+		hub := name(m, 0)
+		for i := 1; i < modSize; i++ {
+			if err := g.AddCall(hub, name(m, i), 50); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddCall(name(m, i), hub, 30); err != nil {
+				t.Fatal(err)
+			}
+			if i > 1 {
+				if err := g.AddCall(name(m, i-1), name(m, i), 20); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Sparse inter-module edges.
+	for m := 1; m < nMod; m++ {
+		if err := g.AddCall(name(0, 0), name(m, 0), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestClusterGraphRecoversModules(t *testing.T) {
+	g := modularGraph(t, 4, 8)
+	labels, err := ClusterGraph(g, 4, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("ClusterGraph: %v", err)
+	}
+	// Evaluate cluster purity: functions of one module should mostly share
+	// a label. Majority-label agreement must be high.
+	byModule := make(map[string]map[int]int)
+	for _, n := range g.Names() {
+		mod := g.Node(n).Module
+		if byModule[mod] == nil {
+			byModule[mod] = make(map[int]int)
+		}
+		byModule[mod][labels[n]]++
+	}
+	agree, total := 0, 0
+	for _, counts := range byModule {
+		best := 0
+		sum := 0
+		for _, c := range counts {
+			sum += c
+			if c > best {
+				best = c
+			}
+		}
+		agree += best
+		total += sum
+	}
+	purity := float64(agree) / float64(total)
+	if purity < 0.8 {
+		t.Fatalf("cluster purity = %v, want ≥0.8", purity)
+	}
+}
+
+func TestClusterGraphEmpty(t *testing.T) {
+	if _, err := ClusterGraph(callgraph.New(), 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestEmbedGraphShape(t *testing.T) {
+	g := modularGraph(t, 2, 5)
+	vecs, names := EmbedGraph(g, 4)
+	if len(vecs) != g.Len() || len(names) != g.Len() {
+		t.Fatalf("embedding sizes: %d vectors, %d names", len(vecs), len(names))
+	}
+	for i, v := range vecs {
+		if len(v) != 5 { // 4 landmarks + 1 structural
+			t.Fatalf("vector %d has dim %d", i, len(v))
+		}
+	}
+	// Landmark cap.
+	vecs2, _ := EmbedGraph(g, 1000)
+	if len(vecs2[0]) != g.Len()+1 {
+		t.Fatalf("landmark cap: dim %d, want %d", len(vecs2[0]), g.Len()+1)
+	}
+}
+
+func BenchmarkClusterGraph(b *testing.B) {
+	g := modularGraph(b, 6, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ClusterGraph(g, 6, rand.New(rand.NewSource(1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package lease implements SecureLease's generalized count-based lease
+// (GCL) abstraction (Section 4.3 of the paper) and the 312-byte lease
+// record that SL-Local stores at the leaves of its lease tree.
+//
+// A GCL is a counter plus a decrement criterion. Every commercial license
+// flavor maps onto it:
+//
+//   - count-based: the counter is the number of remaining executions and
+//     decrements once per execution;
+//   - time-based ("valid for 30 days"): time is discretized into intervals
+//     and the counter decrements once per elapsed interval, using stored
+//     state to catch up across power-off periods;
+//   - execution-time-based: the counter decrements per unit of accumulated
+//     execution time;
+//   - perpetual: the decrement is vacuous — a binary activated/revoked flag.
+//
+// Revocation sets the counter to zero in every case.
+package lease
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ID is a 32-bit lease identifier. Its bits index the four levels of the
+// lease tree, 8 bits per level (Section 5.2.2).
+type ID uint32
+
+// Level extracts the 8-bit index for tree level l (0 = root). Level 0 uses
+// the most significant byte, matching the paper's running example.
+func (id ID) Level(l int) uint8 {
+	if l < 0 || l > 3 {
+		return 0
+	}
+	return uint8(id >> (8 * (3 - uint(l))))
+}
+
+// Kind enumerates the license flavors modeled over a GCL.
+type Kind uint8
+
+// Lease kinds. Values start at one so the zero value is invalid and
+// unmarshaling catches uninitialized records.
+const (
+	// CountBased restricts the number of executions.
+	CountBased Kind = iota + 1
+	// TimeBased is valid for a fixed number of wall-time intervals.
+	TimeBased
+	// ExecTimeBased restricts total accumulated execution time.
+	ExecTimeBased
+	// Perpetual never expires unless revoked.
+	Perpetual
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case CountBased:
+		return "count"
+	case TimeBased:
+		return "time"
+	case ExecTimeBased:
+		return "exec-time"
+	case Perpetual:
+		return "perpetual"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+func (k Kind) valid() bool {
+	return k >= CountBased && k <= Perpetual
+}
+
+// GCL is a generalized count-based lease: the counter, the criterion that
+// modifies it, and the state needed to apply the criterion across restarts.
+type GCL struct {
+	Kind Kind
+	// Counter is the remaining budget: executions for CountBased,
+	// intervals for TimeBased, time units for ExecTimeBased, and 1/0
+	// (active/revoked) for Perpetual.
+	Counter int64
+	// Interval is the discretization step for TimeBased and ExecTimeBased
+	// leases (e.g. one day for a 30-day trial).
+	Interval time.Duration
+	// LastUpdate records when the counter was last brought up to date
+	// (TimeBased only), as nanoseconds since the Unix epoch, so that
+	// off-time is accounted for at the next power-on.
+	LastUpdate int64
+}
+
+// Errors produced by GCL operations.
+var (
+	// ErrExpired reports a lease whose counter has reached zero.
+	ErrExpired = errors.New("lease: expired")
+	// ErrInvalid reports a structurally invalid lease or GCL.
+	ErrInvalid = errors.New("lease: invalid")
+)
+
+// NewCountGCL returns a count-based GCL allowing n executions.
+func NewCountGCL(n int64) GCL {
+	return GCL{Kind: CountBased, Counter: n}
+}
+
+// NewTimeGCL returns a time-based GCL valid for intervals steps of length
+// interval, anchored at start.
+func NewTimeGCL(intervals int64, interval time.Duration, start time.Time) GCL {
+	return GCL{Kind: TimeBased, Counter: intervals, Interval: interval, LastUpdate: start.UnixNano()}
+}
+
+// NewExecTimeGCL returns an execution-time-based GCL allowing units steps
+// of execution of length interval each.
+func NewExecTimeGCL(units int64, interval time.Duration) GCL {
+	return GCL{Kind: ExecTimeBased, Counter: units, Interval: interval}
+}
+
+// NewPerpetualGCL returns an activated perpetual GCL.
+func NewPerpetualGCL() GCL {
+	return GCL{Kind: Perpetual, Counter: 1}
+}
+
+// Validate reports structural problems with the GCL.
+func (g GCL) Validate() error {
+	if !g.Kind.valid() {
+		return fmt.Errorf("%w: unknown kind %d", ErrInvalid, g.Kind)
+	}
+	if g.Counter < 0 {
+		return fmt.Errorf("%w: negative counter %d", ErrInvalid, g.Counter)
+	}
+	if (g.Kind == TimeBased || g.Kind == ExecTimeBased) && g.Interval <= 0 {
+		return fmt.Errorf("%w: %s lease requires a positive interval", ErrInvalid, g.Kind)
+	}
+	return nil
+}
+
+// Valid reports whether the lease still authorizes execution.
+func (g GCL) Valid() bool {
+	return g.Counter > 0
+}
+
+// Revoke expires the lease immediately by zeroing the counter.
+func (g *GCL) Revoke() {
+	g.Counter = 0
+}
+
+// Consume applies one execution request at virtual/wall time now, charging
+// the GCL per its kind, and reports whether execution is authorized:
+//
+//   - CountBased: decrements the counter by one.
+//   - TimeBased: first catches the counter up for intervals elapsed since
+//     LastUpdate (handles machines that were powered off), then authorizes
+//     without additional charge.
+//   - ExecTimeBased: charges nothing here; call ChargeExecution with the
+//     measured run time afterwards.
+//   - Perpetual: authorizes while activated.
+//
+// Consume returns ErrExpired once the counter reaches zero.
+func (g *GCL) Consume(now time.Time) error {
+	switch g.Kind {
+	case CountBased:
+		if g.Counter <= 0 {
+			return ErrExpired
+		}
+		g.Counter--
+		return nil
+	case TimeBased:
+		g.catchUp(now)
+		if g.Counter <= 0 {
+			return ErrExpired
+		}
+		return nil
+	case ExecTimeBased, Perpetual:
+		if g.Counter <= 0 {
+			return ErrExpired
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrInvalid, g.Kind)
+	}
+}
+
+// ChargeExecution charges elapsed execution time against an ExecTimeBased
+// lease, rounding up to whole intervals. It is a no-op for other kinds.
+func (g *GCL) ChargeExecution(elapsed time.Duration) {
+	if g.Kind != ExecTimeBased || elapsed <= 0 || g.Interval <= 0 {
+		return
+	}
+	units := int64((elapsed + g.Interval - 1) / g.Interval)
+	if units > g.Counter {
+		units = g.Counter
+	}
+	g.Counter -= units
+}
+
+// catchUp advances a TimeBased counter for wall time elapsed since the last
+// update. If the machine was off for several intervals, all of them are
+// charged at once, exactly as Section 4.3 prescribes.
+func (g *GCL) catchUp(now time.Time) {
+	if g.Interval <= 0 {
+		return
+	}
+	last := time.Unix(0, g.LastUpdate)
+	if !now.After(last) {
+		return
+	}
+	elapsed := now.Sub(last)
+	intervals := int64(elapsed / g.Interval)
+	if intervals <= 0 {
+		return
+	}
+	if intervals > g.Counter {
+		intervals = g.Counter
+	}
+	g.Counter -= intervals
+	g.LastUpdate = last.Add(time.Duration(intervals) * g.Interval).UnixNano()
+}
+
+// Remaining returns the counter value.
+func (g GCL) Remaining() int64 { return g.Counter }
+
+// Record layout constants (Section 5.2.2: "The size of a lease is 312 B.
+// It contains a 32-bit lock, 64-bit hash, and 300 B for the lease data.")
+const (
+	// RecordSize is the on-EPC size of one lease record.
+	RecordSize = 312
+	// recordLockSize is the embedded spinlock word.
+	recordLockSize = 4
+	// recordHashSize is the integrity hash field.
+	recordHashSize = 8
+	// RecordDataSize is the lease payload area.
+	RecordDataSize = RecordSize - recordLockSize - recordHashSize // 300
+)
+
+// fixed header inside the 300-byte data area
+const recordHeaderSize = 4 /*id*/ + 1 /*kind*/ + 8 /*counter*/ + 8 /*interval*/ + 8 /*lastUpdate*/ + 2 /*ownerLen*/
+
+// MaxOwnerLen is the longest owner/license string a record can carry.
+const MaxOwnerLen = RecordDataSize - recordHeaderSize
+
+// Record is one lease as stored at a leaf of the lease tree: a lease ID,
+// its GCL, and the owning license identifier, serialized into exactly
+// RecordSize bytes. The lock word exists in the layout (and is what
+// sgx_spin_lock protects in the paper); the Go implementation locks at the
+// tree level instead and keeps the word for layout fidelity.
+type Record struct {
+	ID    ID
+	GCL   GCL
+	Owner string // license identifier this lease belongs to
+}
+
+// Validate reports structural problems with the record.
+func (r Record) Validate() error {
+	if err := r.GCL.Validate(); err != nil {
+		return err
+	}
+	if len(r.Owner) > MaxOwnerLen {
+		return fmt.Errorf("%w: owner %q exceeds %d bytes", ErrInvalid, r.Owner, MaxOwnerLen)
+	}
+	return nil
+}
+
+// MarshalBinary encodes the record into exactly RecordSize bytes with an
+// integrity hash over the data area.
+func (r Record) MarshalBinary() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, RecordSize)
+	data := buf[recordLockSize+recordHashSize:]
+	binary.LittleEndian.PutUint32(data[0:], uint32(r.ID))
+	data[4] = byte(r.GCL.Kind)
+	binary.LittleEndian.PutUint64(data[5:], uint64(r.GCL.Counter))
+	binary.LittleEndian.PutUint64(data[13:], uint64(r.GCL.Interval))
+	binary.LittleEndian.PutUint64(data[21:], uint64(r.GCL.LastUpdate))
+	binary.LittleEndian.PutUint16(data[29:], uint16(len(r.Owner)))
+	copy(data[recordHeaderSize:], r.Owner)
+	binary.LittleEndian.PutUint64(buf[recordLockSize:], recordHash(data))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a RecordSize-byte buffer, verifying the embedded
+// integrity hash.
+func (r *Record) UnmarshalBinary(buf []byte) error {
+	if len(buf) != RecordSize {
+		return fmt.Errorf("%w: record is %d bytes, want %d", ErrInvalid, len(buf), RecordSize)
+	}
+	data := buf[recordLockSize+recordHashSize:]
+	want := binary.LittleEndian.Uint64(buf[recordLockSize:])
+	if recordHash(data) != want {
+		return fmt.Errorf("%w: integrity hash mismatch", ErrInvalid)
+	}
+	ownerLen := int(binary.LittleEndian.Uint16(data[29:]))
+	if ownerLen > MaxOwnerLen {
+		return fmt.Errorf("%w: owner length %d", ErrInvalid, ownerLen)
+	}
+	r.ID = ID(binary.LittleEndian.Uint32(data[0:]))
+	r.GCL = GCL{
+		Kind:       Kind(data[4]),
+		Counter:    int64(binary.LittleEndian.Uint64(data[5:])),
+		Interval:   time.Duration(binary.LittleEndian.Uint64(data[13:])),
+		LastUpdate: int64(binary.LittleEndian.Uint64(data[21:])),
+	}
+	r.Owner = string(data[recordHeaderSize : recordHeaderSize+ownerLen])
+	return r.Validate()
+}
+
+// recordHash is the record's 64-bit FNV-1a integrity hash. Tampering with
+// the data area without recomputing it is detectable; stronger protection
+// (AES + fresh keys) applies when records leave the EPC (Algorithm 2).
+func recordHash(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// Token is a token of execution (Section 4.4, step ❷): SL-Local's grant to
+// an SL-Manager that execution may proceed. Grants is the number of
+// executions authorized by this token — the paper's batching optimization
+// issues 10 grants per local attestation (Section 7.3).
+type Token struct {
+	LeaseID ID
+	License string
+	Grants  int
+	Nonce   uint64
+	// IssuedAtCycles timestamps the token on the issuing machine's
+	// virtual clock, for audit and expiry policies.
+	IssuedAtCycles int64
+}
+
+// Use consumes one grant from the token, reporting whether a grant was
+// available.
+func (t *Token) Use() bool {
+	if t.Grants <= 0 {
+		return false
+	}
+	t.Grants--
+	return true
+}

@@ -1,0 +1,332 @@
+package lease
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIDLevelIndexing(t *testing.T) {
+	// The paper's running example: the ID's bytes index the four tree
+	// levels, most significant byte first.
+	id := ID(0x01020304)
+	want := []uint8{1, 2, 3, 4}
+	for l := 0; l < 4; l++ {
+		if got := id.Level(l); got != want[l] {
+			t.Fatalf("Level(%d) = %d, want %d", l, got, want[l])
+		}
+	}
+	if id.Level(-1) != 0 || id.Level(4) != 0 {
+		t.Fatal("out-of-range levels should return 0")
+	}
+}
+
+func TestIDLevelProperty(t *testing.T) {
+	// Property: reassembling the four level indices reconstructs the ID.
+	f := func(raw uint32) bool {
+		id := ID(raw)
+		var back uint32
+		for l := 0; l < 4; l++ {
+			back = back<<8 | uint32(id.Level(l))
+		}
+		return back == raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		CountBased:    "count",
+		TimeBased:     "time",
+		ExecTimeBased: "exec-time",
+		Perpetual:     "perpetual",
+		Kind(99):      "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestCountGCLConsume(t *testing.T) {
+	g := NewCountGCL(3)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if err := g.Consume(now); err != nil {
+			t.Fatalf("consume %d: %v", i, err)
+		}
+	}
+	if g.Valid() {
+		t.Fatal("lease still valid after exhausting its count")
+	}
+	if err := g.Consume(now); !errors.Is(err, ErrExpired) {
+		t.Fatalf("consume after exhaustion: got %v, want ErrExpired", err)
+	}
+}
+
+func TestTimeGCLDiscretization(t *testing.T) {
+	// A 30-day evaluation lease discretized into 1-day intervals
+	// (the paper's Section 4.3 example).
+	start := time.Date(2022, 11, 7, 0, 0, 0, 0, time.UTC)
+	g := NewTimeGCL(30, 24*time.Hour, start)
+
+	// Same day: no intervals consumed.
+	if err := g.Consume(start.Add(6 * time.Hour)); err != nil {
+		t.Fatalf("same-day consume: %v", err)
+	}
+	if g.Remaining() != 30 {
+		t.Fatalf("remaining = %d, want 30", g.Remaining())
+	}
+
+	// Ten days later, even with the machine off in between, ten intervals
+	// are charged at once.
+	if err := g.Consume(start.Add(10*24*time.Hour + time.Hour)); err != nil {
+		t.Fatalf("day-10 consume: %v", err)
+	}
+	if g.Remaining() != 20 {
+		t.Fatalf("remaining = %d, want 20", g.Remaining())
+	}
+
+	// Far past the end: expired, counter clamped at zero.
+	if err := g.Consume(start.Add(100 * 24 * time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("after expiry: got %v, want ErrExpired", err)
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", g.Remaining())
+	}
+}
+
+func TestTimeGCLClockGoingBackwards(t *testing.T) {
+	start := time.Unix(10_000, 0)
+	g := NewTimeGCL(5, time.Hour, start)
+	if err := g.Consume(start.Add(-48 * time.Hour)); err != nil {
+		t.Fatalf("backwards consume: %v", err)
+	}
+	if g.Remaining() != 5 {
+		t.Fatalf("backwards clock charged intervals: remaining = %d", g.Remaining())
+	}
+}
+
+func TestExecTimeGCL(t *testing.T) {
+	g := NewExecTimeGCL(10, time.Minute) // 10 minutes of execution
+	now := time.Unix(0, 0)
+	if err := g.Consume(now); err != nil {
+		t.Fatalf("consume: %v", err)
+	}
+	g.ChargeExecution(150 * time.Second) // 2.5 min → rounds up to 3
+	if g.Remaining() != 7 {
+		t.Fatalf("remaining = %d, want 7", g.Remaining())
+	}
+	g.ChargeExecution(time.Hour) // overshoot clamps at zero
+	if g.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", g.Remaining())
+	}
+	if err := g.Consume(now); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired exec-time lease: got %v", err)
+	}
+	// Charging other kinds is a no-op.
+	c := NewCountGCL(5)
+	c.ChargeExecution(time.Hour)
+	if c.Remaining() != 5 {
+		t.Fatal("ChargeExecution touched a count-based lease")
+	}
+}
+
+func TestPerpetualGCL(t *testing.T) {
+	g := NewPerpetualGCL()
+	now := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ {
+		if err := g.Consume(now); err != nil {
+			t.Fatalf("perpetual consume %d: %v", i, err)
+		}
+	}
+	g.Revoke()
+	if err := g.Consume(now); !errors.Is(err, ErrExpired) {
+		t.Fatalf("revoked perpetual lease: got %v, want ErrExpired", err)
+	}
+}
+
+func TestGCLValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    GCL
+		ok   bool
+	}{
+		{"count ok", NewCountGCL(5), true},
+		{"zero kind", GCL{}, false},
+		{"unknown kind", GCL{Kind: Kind(42), Counter: 1}, false},
+		{"negative counter", GCL{Kind: CountBased, Counter: -1}, false},
+		{"time without interval", GCL{Kind: TimeBased, Counter: 5}, false},
+		{"exec-time without interval", GCL{Kind: ExecTimeBased, Counter: 5}, false},
+		{"perpetual ok", NewPerpetualGCL(), true},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed unexpectedly", tc.name)
+		}
+	}
+}
+
+func TestConsumeInvalidKind(t *testing.T) {
+	g := GCL{Kind: Kind(42), Counter: 1}
+	if err := g.Consume(time.Unix(0, 0)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("invalid kind consume: got %v, want ErrInvalid", err)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := Record{
+		ID:    0xDEADBEEF,
+		GCL:   NewTimeGCL(30, 24*time.Hour, time.Unix(1_600_000_000, 0)),
+		Owner: "matlab-toolbox-signal",
+	}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	if len(buf) != RecordSize {
+		t.Fatalf("record is %d bytes, want %d (paper Section 5.2.2)", len(buf), RecordSize)
+	}
+	var got Record
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if got != r {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestRecordLayoutConstants(t *testing.T) {
+	if RecordDataSize != 300 {
+		t.Fatalf("data area = %d bytes, want 300 per the paper", RecordDataSize)
+	}
+	if RecordSize != 312 {
+		t.Fatalf("record = %d bytes, want 312 per the paper", RecordSize)
+	}
+}
+
+func TestRecordDetectsTamper(t *testing.T) {
+	r := Record{ID: 7, GCL: NewCountGCL(100), Owner: "lic"}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	// Bump the counter field directly (a classic in-memory patch attack).
+	buf[4+8+4+1] ^= 0xFF
+	var got Record
+	if err := got.UnmarshalBinary(buf); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("tampered record accepted: %v", err)
+	}
+}
+
+func TestRecordRejectsBadSizes(t *testing.T) {
+	var r Record
+	if err := r.UnmarshalBinary(make([]byte, RecordSize-1)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("short buffer: got %v", err)
+	}
+	if err := r.UnmarshalBinary(make([]byte, RecordSize+1)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("long buffer: got %v", err)
+	}
+}
+
+func TestRecordRejectsOversizeOwner(t *testing.T) {
+	owner := make([]byte, MaxOwnerLen+1)
+	for i := range owner {
+		owner[i] = 'x'
+	}
+	r := Record{ID: 1, GCL: NewCountGCL(1), Owner: string(owner)}
+	if _, err := r.MarshalBinary(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("oversize owner: got %v", err)
+	}
+}
+
+func TestRecordMaxOwnerFits(t *testing.T) {
+	owner := make([]byte, MaxOwnerLen)
+	for i := range owner {
+		owner[i] = 'a'
+	}
+	r := Record{ID: 1, GCL: NewCountGCL(1), Owner: string(owner)}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatalf("max-size owner: %v", err)
+	}
+	var got Record
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if got.Owner != r.Owner {
+		t.Fatal("owner mismatch at max length")
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(id uint32, counter uint16, ownerRaw []byte) bool {
+		owner := ownerRaw
+		if len(owner) > 64 {
+			owner = owner[:64]
+		}
+		r := Record{
+			ID:    ID(id),
+			GCL:   NewCountGCL(int64(counter)),
+			Owner: string(owner),
+		}
+		buf, err := r.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Record
+		if err := got.UnmarshalBinary(buf); err != nil {
+			return false
+		}
+		return got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenUse(t *testing.T) {
+	tok := Token{LeaseID: 9, License: "lic", Grants: 2, Nonce: 42}
+	if !tok.Use() || !tok.Use() {
+		t.Fatal("grants not usable")
+	}
+	if tok.Use() {
+		t.Fatal("token over-granted")
+	}
+	if tok.Grants != 0 {
+		t.Fatalf("grants = %d, want 0", tok.Grants)
+	}
+}
+
+func BenchmarkRecordMarshal(b *testing.B) {
+	r := Record{ID: 345, GCL: NewCountGCL(1000), Owner: "bench-license"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordUnmarshal(b *testing.B) {
+	r := Record{ID: 345, GCL: NewCountGCL(1000), Owner: "bench-license"}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got Record
+		if err := got.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

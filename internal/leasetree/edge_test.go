@@ -1,0 +1,160 @@
+package leasetree
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/lease"
+)
+
+func TestUpdatePropagatesFnError(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(mkRecord(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("boom")
+	if err := tr.Update(1, func(*lease.Record) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Update error = %v", err)
+	}
+	if err := tr.Update(1, nil); err == nil {
+		t.Fatal("nil update fn accepted")
+	}
+}
+
+func TestDeleteThroughCommittedSubtree(t *testing.T) {
+	// Shutdown-style commit of everything, then restore and delete a
+	// record that lives behind offloaded interior nodes.
+	tr := NewTree()
+	ids := []lease.ID{0x01020304, 0x01020305, 0xAABBCCDD}
+	for _, id := range ids {
+		if err := tr.Put(mkRecord(id, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, key, err := tr.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(snap, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Delete(0x01020304); err != nil {
+		t.Fatalf("Delete through committed subtree: %v", err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("Len = %d", restored.Len())
+	}
+	if _, err := restored.Find(0x01020305); err != nil {
+		t.Fatalf("sibling lost: %v", err)
+	}
+}
+
+func TestCommitLeaseOnCommittedSubtreeIsNoop(t *testing.T) {
+	tr := NewTree()
+	tr.SetBudget(NodeSize) // force aggressive subtree eviction
+	if err := tr.Put(mkRecord(0x01020304, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// The record (and possibly its whole subtree) is offloaded; committing
+	// again must be a clean no-op regardless of which state it is in.
+	if err := tr.CommitLease(0x01020304); err != nil {
+		t.Fatalf("CommitLease: %v", err)
+	}
+	if _, err := tr.Find(0x01020304); err != nil {
+		t.Fatalf("Find after commit: %v", err)
+	}
+}
+
+func TestShutdownEmptyTree(t *testing.T) {
+	tr := NewTree()
+	snap, key, err := tr.Shutdown()
+	if err != nil {
+		t.Fatalf("Shutdown empty: %v", err)
+	}
+	restored, err := Restore(snap, key)
+	if err != nil {
+		t.Fatalf("Restore empty: %v", err)
+	}
+	if restored.Len() != 0 {
+		t.Fatalf("Len = %d", restored.Len())
+	}
+	if err := restored.Put(mkRecord(7, 1)); err != nil {
+		t.Fatalf("Put into restored empty tree: %v", err)
+	}
+}
+
+func TestRestoreRejectsTruncatedRoot(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(mkRecord(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	snap, key, err := tr.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.RootCipher = snap.RootCipher[:len(snap.RootCipher)/2]
+	if _, err := Restore(snap, key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated root: %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(mkRecord(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CommitLease(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Find(1); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Commits != 1 || st.Restores != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFootprintAfterDeleteShrinks(t *testing.T) {
+	tr := NewTree()
+	for i := lease.ID(1); i <= 100; i++ {
+		if err := tr.Put(mkRecord(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tr.Footprint()
+	for i := lease.ID(1); i <= 100; i++ {
+		if err := tr.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Footprint(); got >= before {
+		t.Fatalf("footprint %d did not shrink from %d", got, before)
+	}
+	if tr.ResidentRecords() != 0 {
+		t.Fatalf("resident = %d", tr.ResidentRecords())
+	}
+}
+
+func TestHashStoreUpdateNil(t *testing.T) {
+	s := NewHashStore(HashMurmur)
+	if err := s.Update(1, nil); err == nil {
+		t.Fatal("nil update fn accepted")
+	}
+	a := NewArrayStore()
+	if err := a.Update(1, nil); err == nil {
+		t.Fatal("nil update fn accepted")
+	}
+}
+
+func TestHashStoreRejectsInvalidRecord(t *testing.T) {
+	s := NewHashStore(HashSHA256)
+	if err := s.Put(lease.Record{ID: 1}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	a := NewArrayStore()
+	if err := a.Put(lease.Record{ID: 1}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}

@@ -1,0 +1,373 @@
+package leasetree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/lease"
+	"repro/internal/seccrypto"
+)
+
+// HashKind selects the hash function of a HashStore, matching the two
+// hash-table contenders measured in Table 1 of the paper.
+type HashKind uint8
+
+// Hash table variants.
+const (
+	// HashMurmur uses the 64-bit MurmurHash3 (the hash behind common
+	// C++ unordered_map implementations, per the paper).
+	HashMurmur HashKind = iota + 1
+	// HashSHA256 uses SHA-256 truncated to 64 bits.
+	HashSHA256
+)
+
+// String returns the variant name.
+func (k HashKind) String() string {
+	switch k {
+	case HashMurmur:
+		return "murmur"
+	case HashSHA256:
+		return "sha-256"
+	default:
+		return fmt.Sprintf("hash(%d)", uint8(k))
+	}
+}
+
+// hashKeySize is the serialized key the hash function digests per lookup.
+// The paper hashes the lease's identifying information (ID plus license
+// context); 32 bytes reproduces a realistic hashing cost per find().
+const hashKeySize = 32
+
+// HashStore is an open-addressing hash table of lease records, used as the
+// baseline against the lease tree in Table 1. Every Find/Put hashes the
+// serialized lease key — the hashing cost is exactly what the paper's
+// measurements attribute the tree's win to.
+type HashStore struct {
+	kind HashKind
+
+	mu    sync.Mutex
+	slots []hashSlot
+	used  int
+	tomb  int
+	seed  uint64
+}
+
+type hashSlot struct {
+	state uint8 // 0 empty, 1 full, 2 tombstone
+	id    lease.ID
+	rec   lease.Record
+}
+
+// NewHashStore returns an empty hash store of the given kind.
+func NewHashStore(kind HashKind) *HashStore {
+	return &HashStore{
+		kind:  kind,
+		slots: make([]hashSlot, 64),
+		seed:  0x5ec07e1ea5e, // fixed seed: deterministic layout
+	}
+}
+
+func (h *HashStore) hash(id lease.ID) uint64 {
+	var key [hashKeySize]byte
+	binary.LittleEndian.PutUint32(key[0:], uint32(id))
+	binary.LittleEndian.PutUint32(key[4:], ^uint32(id))
+	binary.LittleEndian.PutUint64(key[8:], uint64(id)*0x9e3779b97f4a7c15)
+	copy(key[16:], "secure-lease-key")
+	switch h.kind {
+	case HashSHA256:
+		return seccrypto.SHA256Sum64(key[:])
+	default:
+		return seccrypto.Murmur64(key[:], h.seed)
+	}
+}
+
+// Put inserts or replaces a record.
+func (h *HashStore) Put(rec lease.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if (h.used+h.tomb)*4 >= len(h.slots)*3 {
+		h.growLocked()
+	}
+	h.putLocked(rec)
+	return nil
+}
+
+func (h *HashStore) putLocked(rec lease.Record) {
+	mask := uint64(len(h.slots) - 1)
+	i := h.hash(rec.ID) & mask
+	firstTomb := -1
+	for {
+		s := &h.slots[i]
+		switch s.state {
+		case 0:
+			if firstTomb >= 0 {
+				s = &h.slots[firstTomb]
+				h.tomb--
+			}
+			s.state = 1
+			s.id = rec.ID
+			s.rec = rec
+			h.used++
+			return
+		case 1:
+			if s.id == rec.ID {
+				s.rec = rec
+				return
+			}
+		case 2:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (h *HashStore) growLocked() {
+	old := h.slots
+	h.slots = make([]hashSlot, len(old)*2)
+	h.used = 0
+	h.tomb = 0
+	for i := range old {
+		if old[i].state == 1 {
+			h.putLocked(old[i].rec)
+		}
+	}
+}
+
+// Find returns a copy of the record with the given ID.
+func (h *HashStore) Find(id lease.ID) (lease.Record, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.findSlotLocked(id)
+	if s == nil {
+		return lease.Record{}, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return s.rec, nil
+}
+
+// Update applies fn to the record under the store lock.
+func (h *HashStore) Update(id lease.ID, fn func(*lease.Record) error) error {
+	if fn == nil {
+		return fmt.Errorf("leasetree: nil update function")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.findSlotLocked(id)
+	if s == nil {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return fn(&s.rec)
+}
+
+// Delete removes the record.
+func (h *HashStore) Delete(id lease.ID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.findSlotLocked(id)
+	if s == nil {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	s.state = 2
+	s.rec = lease.Record{}
+	h.used--
+	h.tomb++
+	return nil
+}
+
+func (h *HashStore) findSlotLocked(id lease.ID) *hashSlot {
+	mask := uint64(len(h.slots) - 1)
+	i := h.hash(id) & mask
+	for probes := 0; probes < len(h.slots); probes++ {
+		s := &h.slots[i]
+		switch s.state {
+		case 0:
+			return nil
+		case 1:
+			if s.id == id {
+				return s
+			}
+		}
+		i = (i + 1) & mask
+	}
+	return nil
+}
+
+// Len returns the number of live records.
+func (h *HashStore) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.used
+}
+
+// Footprint returns the trusted bytes held: the whole slot array must stay
+// in the EPC. Unlike the tree, a hash table cannot offload cold metadata
+// without breaking probing — this is the ~94% memory argument of
+// Section 5.2.3.
+func (h *HashStore) Footprint() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// A slot carries the record inline plus state and ID.
+	const slotOverhead = 8
+	return int64(len(h.slots)) * (lease.RecordSize + slotOverhead)
+}
+
+var _ Store = (*HashStore)(nil)
+
+// ArrayStore keeps records in a flat array indexed by lease ID chunks. It
+// is the simplest scheme the paper mentions and the most memory-hungry:
+// the array must be sized for the ID space actually used and cannot
+// offload anything.
+type ArrayStore struct {
+	mu   sync.Mutex
+	recs []*lease.Record
+	used int
+}
+
+// NewArrayStore returns an empty array store.
+func NewArrayStore() *ArrayStore {
+	return &ArrayStore{recs: make([]*lease.Record, 0, 1024)}
+}
+
+// Put inserts or replaces a record, growing the array to cover the ID.
+func (a *ArrayStore) Put(rec lease.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx := int(rec.ID)
+	if idx >= len(a.recs) {
+		// Grow geometrically so a run of inserts is amortized O(1).
+		newCap := cap(a.recs)
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		for newCap <= idx {
+			newCap *= 2
+		}
+		if newCap > cap(a.recs) {
+			grown := make([]*lease.Record, idx+1, newCap)
+			copy(grown, a.recs)
+			a.recs = grown
+		} else {
+			a.recs = a.recs[:idx+1]
+		}
+	}
+	if a.recs[idx] == nil {
+		a.used++
+	}
+	r := rec
+	a.recs[idx] = &r
+	return nil
+}
+
+// Find returns a copy of the record.
+func (a *ArrayStore) Find(id lease.ID) (lease.Record, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(id) >= len(a.recs) || a.recs[id] == nil {
+		return lease.Record{}, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return *a.recs[id], nil
+}
+
+// Update applies fn to the record under the store lock.
+func (a *ArrayStore) Update(id lease.ID, fn func(*lease.Record) error) error {
+	if fn == nil {
+		return fmt.Errorf("leasetree: nil update function")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(id) >= len(a.recs) || a.recs[id] == nil {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return fn(a.recs[id])
+}
+
+// Delete removes the record.
+func (a *ArrayStore) Delete(id lease.ID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(id) >= len(a.recs) || a.recs[id] == nil {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	a.recs[id] = nil
+	a.used--
+	return nil
+}
+
+// Len returns the number of live records.
+func (a *ArrayStore) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Footprint counts the pointer array plus every resident record; nothing
+// can be offloaded.
+func (a *ArrayStore) Footprint() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(len(a.recs))*8 + int64(a.used)*lease.RecordSize
+}
+
+var _ Store = (*ArrayStore)(nil)
+
+// IDAllocator hands out lease IDs with the spatial locality the paper
+// prescribes (Section 5.2.2): all leases of one application share the same
+// level-4 node when the application needs at most 256 leases, so a whole
+// application's leases can be committed or restored with one subtree
+// operation.
+type IDAllocator struct {
+	mu        sync.Mutex
+	nextBlock uint32
+}
+
+// NewIDAllocator returns an allocator whose first block starts at ID 256
+// (block 0 is reserved so that lease ID 0 is never issued).
+func NewIDAllocator() *IDAllocator {
+	return &IDAllocator{nextBlock: 1}
+}
+
+// Block is a contiguous run of 256 lease IDs for one application.
+type Block struct {
+	base uint32
+	mu   sync.Mutex
+	next uint32
+}
+
+// NextBlock reserves the next aligned 256-ID block.
+func (a *IDAllocator) NextBlock() *Block {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := &Block{base: a.nextBlock << 8}
+	a.nextBlock++
+	return b
+}
+
+// Base returns the first ID of the block.
+func (b *Block) Base() lease.ID { return lease.ID(b.base) }
+
+// Next issues the next ID in the block, or false when the block is full.
+func (b *Block) Next() (lease.ID, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.next >= fanout {
+		return 0, false
+	}
+	id := lease.ID(b.base | b.next)
+	b.next++
+	return id, true
+}
+
+// Remaining returns how many IDs the block can still issue.
+func (b *Block) Remaining() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return fanout - int(b.next)
+}

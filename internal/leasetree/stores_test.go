@@ -1,0 +1,286 @@
+package leasetree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lease"
+)
+
+func allStores() map[string]func() Store {
+	return map[string]func() Store{
+		"tree":    func() Store { return NewTree() },
+		"murmur":  func() Store { return NewHashStore(HashMurmur) },
+		"sha-256": func() Store { return NewHashStore(HashSHA256) },
+		"array":   func() Store { return NewArrayStore() },
+	}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, mk := range allStores() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			const n = 300
+			for i := 1; i <= n; i++ {
+				if err := s.Put(mkRecord(lease.ID(i), int64(i))); err != nil {
+					t.Fatalf("Put(%d): %v", i, err)
+				}
+			}
+			if s.Len() != n {
+				t.Fatalf("Len = %d, want %d", s.Len(), n)
+			}
+			for i := 1; i <= n; i++ {
+				rec, err := s.Find(lease.ID(i))
+				if err != nil {
+					t.Fatalf("Find(%d): %v", i, err)
+				}
+				if rec.GCL.Counter != int64(i) {
+					t.Fatalf("Find(%d).Counter = %d", i, rec.GCL.Counter)
+				}
+			}
+			if _, err := s.Find(n + 1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing Find: %v", err)
+			}
+			if err := s.Update(5, func(r *lease.Record) error {
+				r.GCL.Counter = 999
+				return nil
+			}); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+			rec, err := s.Find(5)
+			if err != nil || rec.GCL.Counter != 999 {
+				t.Fatalf("after Update: %+v, %v", rec, err)
+			}
+			if err := s.Update(n+1, func(*lease.Record) error { return nil }); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Update missing: %v", err)
+			}
+			if err := s.Delete(5); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Find(5); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Find deleted: %v", err)
+			}
+			if err := s.Delete(5); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double Delete: %v", err)
+			}
+			if s.Len() != n-1 {
+				t.Fatalf("Len after delete = %d", s.Len())
+			}
+			if s.Footprint() <= 0 {
+				t.Fatal("non-positive footprint")
+			}
+		})
+	}
+}
+
+func TestStoresAgreeProperty(t *testing.T) {
+	// Property: all four stores behave identically for any op sequence.
+	f := func(seed int64, ops []uint16) bool {
+		stores := []Store{
+			NewTree(),
+			NewHashStore(HashMurmur),
+			NewHashStore(HashSHA256),
+			NewArrayStore(),
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			id := lease.ID(op%128 + 1)
+			kind := rng.Intn(3)
+			var wantCounter int64
+			var wantErr bool
+			for i, s := range stores {
+				switch kind {
+				case 0:
+					if err := s.Put(mkRecord(id, int64(op)+1)); err != nil {
+						return false
+					}
+				case 1:
+					rec, err := s.Find(id)
+					if i == 0 {
+						wantErr = err != nil
+						wantCounter = rec.GCL.Counter
+					} else if (err != nil) != wantErr || rec.GCL.Counter != wantCounter {
+						return false
+					}
+				case 2:
+					err := s.Delete(id)
+					if i == 0 {
+						wantErr = err != nil
+					} else if (err != nil) != wantErr {
+						return false
+					}
+				}
+			}
+			for _, s := range stores[1:] {
+				if s.Len() != stores[0].Len() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashStoreGrowth(t *testing.T) {
+	s := NewHashStore(HashMurmur)
+	const n = 10_000
+	for i := 1; i <= n; i++ {
+		if err := s.Put(mkRecord(lease.ID(i), 1)); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for _, probe := range []lease.ID{1, n / 2, n} {
+		if _, err := s.Find(probe); err != nil {
+			t.Fatalf("Find(%d): %v", probe, err)
+		}
+	}
+}
+
+func TestHashStoreTombstoneReuse(t *testing.T) {
+	s := NewHashStore(HashSHA256)
+	for i := 1; i <= 100; i++ {
+		if err := s.Put(mkRecord(lease.ID(i), 1)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	for i := 1; i <= 50; i++ {
+		if err := s.Delete(lease.ID(i)); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	// Reinsert over the tombstones.
+	for i := 1; i <= 50; i++ {
+		if err := s.Put(mkRecord(lease.ID(i), 2)); err != nil {
+			t.Fatalf("re-Put: %v", err)
+		}
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	rec, err := s.Find(25)
+	if err != nil || rec.GCL.Counter != 2 {
+		t.Fatalf("rec=%+v err=%v", rec, err)
+	}
+}
+
+func TestHashKindString(t *testing.T) {
+	if HashMurmur.String() != "murmur" || HashSHA256.String() != "sha-256" {
+		t.Fatal("hash kind names wrong")
+	}
+	if HashKind(9).String() != "hash(9)" {
+		t.Fatal("unknown hash kind name wrong")
+	}
+}
+
+func TestFootprintComparison(t *testing.T) {
+	// Section 5.2.3: the tree's evictable design wins on memory by a large
+	// margin once a budget is set; array and hash tables cannot offload.
+	tree := NewTree()
+	tree.SetBudget(256 << 10)
+	hash := NewHashStore(HashMurmur)
+	array := NewArrayStore()
+	alloc := NewIDAllocator()
+	block := alloc.NextBlock()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if block.Remaining() == 0 {
+			block = alloc.NextBlock()
+		}
+		id, _ := block.Next()
+		rec := mkRecord(id, 10)
+		for _, s := range []Store{tree, hash, array} {
+			if err := s.Put(rec); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+	}
+	tf, hf, af := tree.Footprint(), hash.Footprint(), array.Footprint()
+	if tf >= hf || tf >= af {
+		t.Fatalf("tree footprint %d should undercut hash %d and array %d", tf, hf, af)
+	}
+	// The paper claims up to 94% savings; require at least 80% here.
+	if float64(tf) > 0.2*float64(hf) {
+		t.Fatalf("tree %d is not <20%% of hash %d", tf, hf)
+	}
+}
+
+func TestIDAllocatorBlocks(t *testing.T) {
+	alloc := NewIDAllocator()
+	b1 := alloc.NextBlock()
+	b2 := alloc.NextBlock()
+	if b1.Base() == b2.Base() {
+		t.Fatal("blocks overlap")
+	}
+	if b1.Base()&0xFF != 0 {
+		t.Fatalf("block base %#x not 256-aligned", b1.Base())
+	}
+	seen := make(map[lease.ID]bool, 256)
+	for i := 0; i < 256; i++ {
+		id, ok := b1.Next()
+		if !ok {
+			t.Fatalf("block exhausted at %d", i)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		if id>>8 != b1.Base()>>8 {
+			t.Fatalf("id %#x escapes block %#x", id, b1.Base())
+		}
+	}
+	if _, ok := b1.Next(); ok {
+		t.Fatal("block issued a 257th id")
+	}
+	if b1.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", b1.Remaining())
+	}
+	if b2.Remaining() != 256 {
+		t.Fatalf("fresh block Remaining = %d, want 256", b2.Remaining())
+	}
+}
+
+func TestIDAllocatorNeverIssuesZero(t *testing.T) {
+	alloc := NewIDAllocator()
+	b := alloc.NextBlock()
+	id, ok := b.Next()
+	if !ok || id == 0 {
+		t.Fatalf("first id = %d, want non-zero", id)
+	}
+}
+
+func benchmarkStoreFind(b *testing.B, mk func() Store, n int) {
+	s := mk()
+	ids := make([]lease.ID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = lease.ID(i + 1)
+		if err := s.Put(mkRecord(ids[i], 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Find(ids[i%n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreFind(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 5000} {
+		for name, mk := range allStores() {
+			b.Run(fmt.Sprintf("%s/%d", name, n), func(b *testing.B) {
+				benchmarkStoreFind(b, mk, n)
+			})
+		}
+	}
+}

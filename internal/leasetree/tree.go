@@ -1,0 +1,798 @@
+// Package leasetree implements SL-Local's lease storage (Section 5.2 of the
+// paper): a 4-level, 256-way tree indexed by the bytes of a 32-bit lease ID,
+// exactly like a page table. All nodes are 4 KB; entries are (key, pointer)
+// pairs; leaf entries point to 312-byte lease records.
+//
+// The tree supports the paper's "commit" operation (Section 5.5): a lease —
+// or a whole cold subtree — is hashed, encrypted under a fresh random key
+// (Algorithm 2), and offloaded to untrusted memory; the key lives in the
+// parent entry inside the EPC. Because the key changes at every commit,
+// replaying an old ciphertext fails validation (Section 6.2). The root node
+// is the root of trust and is only committed at graceful shutdown, when its
+// key is escrowed with SL-Remote.
+//
+// The package also provides the alternative stores the paper evaluates
+// against in Table 1 (MurmurHash and SHA-256 hash tables) and the
+// array-backed store referenced in Section 5.2.3, all behind the Store
+// interface.
+package leasetree
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/lease"
+	"repro/internal/seccrypto"
+)
+
+// Store is the interface shared by every lease-storage scheme compared in
+// the paper (tree, hash tables, array).
+type Store interface {
+	// Put inserts or replaces the record.
+	Put(rec lease.Record) error
+	// Find returns a copy of the record with the given ID.
+	Find(id lease.ID) (lease.Record, error)
+	// Update applies fn to the record under the store's lock.
+	Update(id lease.ID, fn func(*lease.Record) error) error
+	// Delete removes the record.
+	Delete(id lease.ID) error
+	// Len returns the number of live records.
+	Len() int
+	// Footprint returns the trusted-memory bytes the store occupies.
+	Footprint() int64
+}
+
+// NodeSize is the size of one tree node (one EPC page).
+const NodeSize = 4096
+
+// fanout is the number of entries per node (256, indexed by one ID byte).
+const fanout = 256
+
+// levels is the depth of the tree (4 internal levels, as in the paper).
+const levels = 4
+
+// Errors returned by tree operations.
+var (
+	// ErrNotFound reports a lease ID with no record.
+	ErrNotFound = errors.New("leasetree: lease not found")
+	// ErrShutdown reports an operation on a tree that has been shut down.
+	ErrShutdown = errors.New("leasetree: tree is shut down")
+	// ErrCorrupt reports untrusted-memory state that failed validation —
+	// tampering or a replay of stale ciphertext.
+	ErrCorrupt = errors.New("leasetree: untrusted state failed validation")
+)
+
+// entry is one 16-byte (key, pointer) slot of a node. Exactly one of
+// {child, rec, ref} is meaningful:
+//
+//	child != nil          → resident internal node
+//	rec != nil            → resident leaf record (level 3 only)
+//	ref != 0              → offloaded child; key decrypts blob ref
+//	all zero              → empty slot
+type entry struct {
+	child *node
+	rec   *lease.Record
+	key   seccrypto.Key
+	ref   uint64
+}
+
+func (e *entry) empty() bool   { return e.child == nil && e.rec == nil && e.ref == 0 }
+func (e *entry) evicted() bool { return e.child == nil && e.rec == nil && e.ref != 0 }
+
+// node is one 4 KB tree node.
+type node struct {
+	level   int // 0 = root … 3 = leaf-parent
+	entries [fanout]entry
+	used    int    // non-empty entries
+	lastUse uint64 // tree op counter at last traversal, for cold detection
+}
+
+// Tree is the lease tree. It is safe for concurrent use; operations take a
+// single tree-wide mutex, which corresponds to the paper's per-lease
+// sgx_spin_lock at the granularity our simulations need.
+type Tree struct {
+	mu   sync.Mutex
+	root *node
+	down bool // shut down
+
+	count    int    // live records (resident + offloaded)
+	resident int    // resident records
+	nodes    int    // resident nodes (incl. root)
+	ops      uint64 // monotonic operation counter (drives LRU)
+
+	budget int64 // max trusted bytes (0 = unlimited)
+
+	// entropy is a buffered CSPRNG stream for commit keys/nonces; the
+	// buffering amortizes getrandom syscalls across the thousands of
+	// per-record commits an eviction storm performs. Guarded by mu.
+	entropy io.Reader
+
+	untrusted *blobStore
+
+	stats TreeStats
+}
+
+// TreeStats counts tree maintenance events.
+type TreeStats struct {
+	Commits   int64 // records or nodes offloaded
+	Restores  int64 // records or nodes brought back
+	Evictions int64 // budget-driven record evictions
+}
+
+// NewTree returns an empty lease tree with no memory budget.
+func NewTree() *Tree {
+	return &Tree{
+		root:      &node{level: 0},
+		nodes:     1, // the root itself
+		entropy:   bufio.NewReaderSize(rand.Reader, 1<<16),
+		untrusted: newBlobStore(),
+	}
+}
+
+// SetBudget caps the tree's trusted-memory footprint at maxBytes; cold
+// records and empty subtrees are committed to untrusted memory to stay
+// under it. A zero budget disables eviction ("No-Evict" in Table 6).
+func (t *Tree) SetBudget(maxBytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.budget = maxBytes
+	t.enforceBudgetLocked()
+}
+
+// Len returns the number of live records (resident or offloaded).
+func (t *Tree) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// ResidentRecords returns how many records are currently in trusted memory.
+func (t *Tree) ResidentRecords() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.resident
+}
+
+// ResidentNodes returns how many tree nodes are currently in trusted memory.
+func (t *Tree) ResidentNodes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nodes
+}
+
+// Footprint returns the trusted-memory bytes occupied: resident nodes at
+// 4 KB each (their EPC pages) plus resident records at 312 B each.
+func (t *Tree) Footprint() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.footprintLocked()
+}
+
+func (t *Tree) footprintLocked() int64 {
+	return int64(t.nodes)*NodeSize + int64(t.resident)*lease.RecordSize
+}
+
+// Stats returns a copy of the maintenance counters.
+func (t *Tree) Stats() TreeStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Put inserts or replaces a record, allocating interior nodes lazily.
+func (t *Tree) Put(rec lease.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.down {
+		return ErrShutdown
+	}
+	n := t.root
+	t.ops++
+	for l := 0; l < levels-1; l++ {
+		n.lastUse = t.ops
+		idx := rec.ID.Level(l)
+		e := &n.entries[idx]
+		if e.child == nil {
+			if e.evicted() {
+				child, err := t.restoreNodeLocked(e, l+1)
+				if err != nil {
+					return err
+				}
+				e.child = child
+			} else {
+				e.child = &node{level: l + 1}
+				n.used++
+				t.nodes++
+			}
+		}
+		n = e.child
+	}
+	n.lastUse = t.ops
+	idx := rec.ID.Level(levels - 1)
+	e := &n.entries[idx]
+	replacing := !e.empty()
+	switch {
+	case e.evicted():
+		// Replacing an offloaded record: drop the stale blob. The record
+		// was live but not resident, so the resident count is untouched
+		// until the new copy is installed below.
+		t.untrusted.drop(e.ref)
+		e.ref = 0
+		e.key = seccrypto.Key{}
+	case e.rec != nil:
+		t.resident--
+	default:
+		n.used++
+	}
+	r := rec
+	e.rec = &r
+	e.child = nil
+	t.resident++
+	if !replacing {
+		t.count++
+	}
+	t.enforceBudgetLocked()
+	return nil
+}
+
+// Find returns a copy of the record, restoring any committed subtrees along
+// the path (charging a restore per hop).
+func (t *Tree) Find(id lease.ID) (lease.Record, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, err := t.findLocked(id)
+	if err != nil {
+		return lease.Record{}, err
+	}
+	out := *rec
+	t.enforceBudgetLocked()
+	return out, nil
+}
+
+// Update applies fn to the record in place under the tree lock. If fn
+// returns an error the record is left as fn left it (fn owns atomicity of
+// its own mutation), and the error is returned.
+func (t *Tree) Update(id lease.ID, fn func(*lease.Record) error) error {
+	if fn == nil {
+		return errors.New("leasetree: nil update function")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, err := t.findLocked(id)
+	if err != nil {
+		return err
+	}
+	if err := fn(rec); err != nil {
+		return err
+	}
+	t.enforceBudgetLocked()
+	return nil
+}
+
+// Delete removes a record (resident or offloaded).
+func (t *Tree) Delete(id lease.ID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.down {
+		return ErrShutdown
+	}
+	n := t.root
+	t.ops++
+	for l := 0; l < levels-1; l++ {
+		e := &n.entries[id.Level(l)]
+		if e.child == nil {
+			if e.evicted() {
+				child, err := t.restoreNodeLocked(e, l+1)
+				if err != nil {
+					return err
+				}
+				e.child = child
+			} else {
+				return fmt.Errorf("%w: id %d", ErrNotFound, id)
+			}
+		}
+		n = e.child
+	}
+	e := &n.entries[id.Level(levels-1)]
+	switch {
+	case e.rec != nil:
+		t.resident--
+	case e.evicted():
+		t.untrusted.drop(e.ref)
+	default:
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	*e = entry{}
+	n.used--
+	t.count--
+	return nil
+}
+
+// CommitLease explicitly commits one lease to untrusted memory (the
+// operation an application triggers when it quits, Section 5.5).
+func (t *Tree) CommitLease(id lease.ID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.down {
+		return ErrShutdown
+	}
+	n := t.root
+	for l := 0; l < levels-1; l++ {
+		e := &n.entries[id.Level(l)]
+		if e.child == nil {
+			if e.evicted() {
+				return nil // whole subtree already committed
+			}
+			return fmt.Errorf("%w: id %d", ErrNotFound, id)
+		}
+		n = e.child
+	}
+	e := &n.entries[id.Level(levels-1)]
+	if e.evicted() {
+		return nil
+	}
+	if e.rec == nil {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return t.commitRecordLocked(e)
+}
+
+// findLocked walks to the record, restoring offloaded subtrees on the path.
+func (t *Tree) findLocked(id lease.ID) (*lease.Record, error) {
+	if t.down {
+		return nil, ErrShutdown
+	}
+	n := t.root
+	t.ops++
+	for l := 0; l < levels-1; l++ {
+		n.lastUse = t.ops
+		e := &n.entries[id.Level(l)]
+		if e.child == nil {
+			if e.evicted() {
+				child, err := t.restoreNodeLocked(e, l+1)
+				if err != nil {
+					return nil, err
+				}
+				e.child = child
+			} else {
+				return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+			}
+		}
+		n = e.child
+	}
+	n.lastUse = t.ops
+	e := &n.entries[id.Level(levels-1)]
+	if e.rec == nil {
+		if !e.evicted() {
+			return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+		}
+		rec, err := t.restoreRecordLocked(e)
+		if err != nil {
+			return nil, err
+		}
+		e.rec = rec
+		t.resident++
+	}
+	return e.rec, nil
+}
+
+// commitRecordLocked protects a resident record (Algorithm 2) and moves its
+// ciphertext to untrusted memory; the fresh key stays in the parent entry.
+func (t *Tree) commitRecordLocked(e *entry) error {
+	buf, err := e.rec.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	p, err := seccrypto.Protect(buf, t.entropy)
+	if err != nil {
+		return err
+	}
+	if e.ref != 0 {
+		t.untrusted.drop(e.ref)
+	}
+	e.ref = t.untrusted.put(p.Ciphertext)
+	e.key = p.Key
+	e.rec = nil
+	t.resident--
+	t.stats.Commits++
+	return nil
+}
+
+// restoreRecordLocked validates and decrypts an offloaded record
+// (Algorithm 3).
+func (t *Tree) restoreRecordLocked(e *entry) (*lease.Record, error) {
+	blob, ok := t.untrusted.get(e.ref)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing blob %d", ErrCorrupt, e.ref)
+	}
+	buf, err := seccrypto.Validate(blob, e.key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var rec lease.Record
+	if err := rec.UnmarshalBinary(buf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	t.untrusted.drop(e.ref)
+	e.ref = 0
+	e.key = seccrypto.Key{}
+	t.stats.Restores++
+	return &rec, nil
+}
+
+// commitNodeLocked serializes a node whose children are all already
+// offloaded (or empty), protects it, and returns the entry state for its
+// parent. The caller decrements the node count.
+func (t *Tree) commitNodeLocked(n *node) (seccrypto.Key, uint64, error) {
+	buf := make([]byte, 0, fanout*(seccrypto.KeySize+8))
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(n.level))
+	buf = append(buf, hdr[:]...)
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.child != nil || e.rec != nil {
+			return seccrypto.Key{}, 0, errors.New("leasetree: committing node with resident children")
+		}
+		var refBytes [8]byte
+		binary.LittleEndian.PutUint64(refBytes[:], e.ref)
+		buf = append(buf, e.key.Bytes()...)
+		buf = append(buf, refBytes[:]...)
+	}
+	p, err := seccrypto.Protect(buf, t.entropy)
+	if err != nil {
+		return seccrypto.Key{}, 0, err
+	}
+	ref := t.untrusted.put(p.Ciphertext)
+	t.stats.Commits++
+	return p.Key, ref, nil
+}
+
+// restoreNodeLocked validates and rebuilds an offloaded interior node.
+func (t *Tree) restoreNodeLocked(e *entry, level int) (*node, error) {
+	blob, ok := t.untrusted.get(e.ref)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing node blob %d", ErrCorrupt, e.ref)
+	}
+	buf, err := seccrypto.Validate(blob, e.key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	n, err := decodeNode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n.level != level {
+		return nil, fmt.Errorf("%w: node level %d, want %d", ErrCorrupt, n.level, level)
+	}
+	t.untrusted.drop(e.ref)
+	e.ref = 0
+	e.key = seccrypto.Key{}
+	t.nodes++
+	t.stats.Restores++
+	return n, nil
+}
+
+func decodeNode(buf []byte) (*node, error) {
+	const entrySize = seccrypto.KeySize + 8
+	if len(buf) != 4+fanout*entrySize {
+		return nil, fmt.Errorf("%w: node blob is %d bytes", ErrCorrupt, len(buf))
+	}
+	n := &node{level: int(binary.LittleEndian.Uint32(buf[:4]))}
+	if n.level < 0 || n.level >= levels {
+		return nil, fmt.Errorf("%w: node level %d", ErrCorrupt, n.level)
+	}
+	body := buf[4:]
+	for i := 0; i < fanout; i++ {
+		off := i * entrySize
+		keyBytes := body[off : off+seccrypto.KeySize]
+		ref := binary.LittleEndian.Uint64(body[off+seccrypto.KeySize : off+entrySize])
+		if ref == 0 {
+			continue
+		}
+		key, err := seccrypto.KeyFromBytes(keyBytes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		n.entries[i] = entry{key: key, ref: ref}
+		n.used++
+	}
+	return n, nil
+}
+
+// enforceBudgetLocked commits cold records (then empty subtrees) until the
+// footprint is within budget.
+func (t *Tree) enforceBudgetLocked() {
+	if t.budget <= 0 {
+		return
+	}
+	guard := 0
+	for t.footprintLocked() > t.budget && guard < 1<<20 {
+		guard++
+		if t.resident > 0 {
+			if t.evictColdestRecordLocked() {
+				continue
+			}
+		}
+		if !t.evictEmptySubtreeLocked() {
+			return // nothing further can be evicted
+		}
+	}
+}
+
+// evictColdestRecordLocked commits the resident records of the
+// least-recently-used leaf-parent node — whole-node eviction, matching the
+// paper's subtree-commit design (one application's cold leases leave
+// together) — stopping early once the footprint is within budget.
+// Returns false if no resident record exists.
+func (t *Tree) evictColdestRecordLocked() bool {
+	target, _ := t.coldestNodeWithRecordLocked(t.root)
+	if target == nil {
+		return false
+	}
+	evicted := false
+	for i := range target.entries {
+		e := &target.entries[i]
+		if e.rec == nil {
+			continue
+		}
+		if err := t.commitRecordLocked(e); err != nil {
+			return evicted
+		}
+		t.stats.Evictions++
+		evicted = true
+		if t.footprintLocked() <= t.budget {
+			break
+		}
+	}
+	return evicted
+}
+
+// coldestNodeWithRecordLocked finds the level-3 node with the smallest
+// lastUse that still holds a resident record.
+func (t *Tree) coldestNodeWithRecordLocked(n *node) (*node, uint64) {
+	if n.level == levels-1 {
+		for i := range n.entries {
+			if n.entries[i].rec != nil {
+				return n, n.lastUse
+			}
+		}
+		return nil, 0
+	}
+	var best *node
+	var bestUse uint64
+	for i := range n.entries {
+		child := n.entries[i].child
+		if child == nil {
+			continue
+		}
+		c, use := t.coldestNodeWithRecordLocked(child)
+		if c != nil && (best == nil || use < bestUse) {
+			best, bestUse = c, use
+		}
+	}
+	return best, bestUse
+}
+
+// evictEmptySubtreeLocked commits one deepest node all of whose children
+// are already offloaded or empty (never the root). Returns false if none.
+func (t *Tree) evictEmptySubtreeLocked() bool {
+	var parentEntry *entry
+	var victim *node
+	var walk func(n *node)
+	walk = func(n *node) {
+		for i := range n.entries {
+			child := n.entries[i].child
+			if child == nil {
+				continue
+			}
+			walk(child)
+			if victim != nil {
+				return
+			}
+			committable := true
+			for j := range child.entries {
+				if child.entries[j].child != nil || child.entries[j].rec != nil {
+					committable = false
+					break
+				}
+			}
+			if committable && child.used > 0 {
+				parentEntry = &n.entries[i]
+				victim = child
+				return
+			}
+		}
+	}
+	walk(t.root)
+	if victim == nil {
+		return false
+	}
+	key, ref, err := t.commitNodeLocked(victim)
+	if err != nil {
+		return false
+	}
+	parentEntry.child = nil
+	parentEntry.key = key
+	parentEntry.ref = ref
+	t.nodes--
+	return true
+}
+
+// Snapshot is the untrusted-memory image of a shut-down tree: the protected
+// root node plus the blob store holding every committed descendant. The
+// root key is escrowed separately (with SL-Remote) and is NOT part of the
+// snapshot — that is precisely what defeats replay.
+type Snapshot struct {
+	RootCipher []byte
+	Blobs      map[uint64][]byte
+	NextRef    uint64
+}
+
+// Shutdown commits every record and node bottom-up, protects the root with
+// a fresh key, and returns the untrusted snapshot plus the root key for
+// escrow (Section 5.6). After Shutdown the tree rejects all operations.
+func (t *Tree) Shutdown() (Snapshot, seccrypto.Key, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.down {
+		return Snapshot{}, seccrypto.Key{}, ErrShutdown
+	}
+	if err := t.commitSubtreeLocked(t.root); err != nil {
+		return Snapshot{}, seccrypto.Key{}, err
+	}
+	key, ref, err := t.commitNodeLocked(t.root)
+	if err != nil {
+		return Snapshot{}, seccrypto.Key{}, err
+	}
+	rootCipher, ok := t.untrusted.get(ref)
+	if !ok {
+		return Snapshot{}, seccrypto.Key{}, errors.New("leasetree: root blob vanished")
+	}
+	t.untrusted.drop(ref)
+	t.down = true
+	t.nodes = 0
+	snap := Snapshot{
+		RootCipher: rootCipher,
+		Blobs:      t.untrusted.export(),
+		NextRef:    t.untrusted.next,
+	}
+	return snap, key, nil
+}
+
+// commitSubtreeLocked commits all records and all non-root nodes below n.
+func (t *Tree) commitSubtreeLocked(n *node) error {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.rec != nil {
+			if err := t.commitRecordLocked(e); err != nil {
+				return err
+			}
+			continue
+		}
+		if e.child != nil {
+			if err := t.commitSubtreeLocked(e.child); err != nil {
+				return err
+			}
+			key, ref, err := t.commitNodeLocked(e.child)
+			if err != nil {
+				return err
+			}
+			e.child = nil
+			e.key = key
+			e.ref = ref
+			t.nodes--
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds a tree from a snapshot and the escrowed root key (the
+// OBK received from SL-Remote at re-initialization, Section 5.6). A wrong
+// key — or a replayed stale snapshot — fails with ErrCorrupt.
+func Restore(snap Snapshot, rootKey seccrypto.Key) (*Tree, error) {
+	buf, err := seccrypto.Validate(snap.RootCipher, rootKey)
+	if err != nil {
+		return nil, fmt.Errorf("%w: root validation: %v", ErrCorrupt, err)
+	}
+	root, err := decodeNode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if root.level != 0 {
+		return nil, fmt.Errorf("%w: root has level %d", ErrCorrupt, root.level)
+	}
+	t := &Tree{
+		root:      root,
+		entropy:   bufio.NewReaderSize(rand.Reader, 1<<16),
+		untrusted: newBlobStore(),
+	}
+	t.untrusted.load(snap.Blobs, snap.NextRef)
+	t.nodes = 1
+	// Count live records by walking the offloaded structure lazily would
+	// decrypt everything; instead restore eagerly to recompute counts.
+	// Restoration is a cold-start path (Section 5.6 repopulates levels on
+	// demand); we restore counts by a full walk so Len() is exact.
+	if err := t.walkRestoreCount(root); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// walkRestoreCount restores every node (but leaves records offloaded) to
+// establish exact record counts after a restore.
+func (t *Tree) walkRestoreCount(n *node) error {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.level == levels-1 {
+			if e.evicted() {
+				t.count++
+			}
+			continue
+		}
+		if e.evicted() {
+			child, err := t.restoreNodeLocked(e, n.level+1)
+			if err != nil {
+				return err
+			}
+			e.child = child
+			if err := t.walkRestoreCount(child); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// blobStore is the simulated untrusted memory region holding committed
+// ciphertexts. It deliberately lives outside the footprint accounting.
+type blobStore struct {
+	blobs map[uint64][]byte
+	next  uint64
+}
+
+func newBlobStore() *blobStore {
+	return &blobStore{blobs: make(map[uint64][]byte), next: 1}
+}
+
+func (b *blobStore) put(blob []byte) uint64 {
+	ref := b.next
+	b.next++
+	b.blobs[ref] = blob
+	return ref
+}
+
+func (b *blobStore) get(ref uint64) ([]byte, bool) {
+	blob, ok := b.blobs[ref]
+	return blob, ok
+}
+
+func (b *blobStore) drop(ref uint64) {
+	delete(b.blobs, ref)
+}
+
+func (b *blobStore) export() map[uint64][]byte {
+	out := make(map[uint64][]byte, len(b.blobs))
+	for k, v := range b.blobs {
+		out[k] = v
+	}
+	return out
+}
+
+func (b *blobStore) load(blobs map[uint64][]byte, next uint64) {
+	for k, v := range blobs {
+		b.blobs[k] = v
+	}
+	if next > b.next {
+		b.next = next
+	}
+}
+
+var _ Store = (*Tree)(nil)

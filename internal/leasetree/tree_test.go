@@ -1,0 +1,572 @@
+package leasetree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lease"
+	"repro/internal/seccrypto"
+)
+
+func mkRecord(id lease.ID, count int64) lease.Record {
+	return lease.Record{ID: id, GCL: lease.NewCountGCL(count), Owner: fmt.Sprintf("lic-%d", id)}
+}
+
+func TestTreePutFindUpdateDelete(t *testing.T) {
+	tr := NewTree()
+	ids := []lease.ID{1, 255, 256, 345, 0x01020304, 0xFFFFFFFF}
+	for _, id := range ids {
+		if err := tr.Put(mkRecord(id, 10)); err != nil {
+			t.Fatalf("Put(%d): %v", id, err)
+		}
+	}
+	if tr.Len() != len(ids) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ids))
+	}
+	for _, id := range ids {
+		rec, err := tr.Find(id)
+		if err != nil {
+			t.Fatalf("Find(%d): %v", id, err)
+		}
+		if rec.ID != id || rec.GCL.Counter != 10 {
+			t.Fatalf("Find(%d) = %+v", id, rec)
+		}
+	}
+	if err := tr.Update(345, func(r *lease.Record) error {
+		r.GCL.Counter = 5
+		return nil
+	}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	rec, err := tr.Find(345)
+	if err != nil || rec.GCL.Counter != 5 {
+		t.Fatalf("after update: rec=%+v err=%v", rec, err)
+	}
+	if err := tr.Delete(345); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := tr.Find(345); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Find deleted: got %v", err)
+	}
+	if tr.Len() != len(ids)-1 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+}
+
+func TestTreeFindMissing(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.Find(42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty tree Find: got %v", err)
+	}
+	if err := tr.Put(mkRecord(42, 1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Sibling in the same leaf node but different slot.
+	if _, err := tr.Find(43); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("sibling Find: got %v", err)
+	}
+	// Entirely different subtree.
+	if _, err := tr.Find(0xAABBCCDD); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("foreign Find: got %v", err)
+	}
+	if err := tr.Delete(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete missing: got %v", err)
+	}
+	if err := tr.Update(99, func(*lease.Record) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Update missing: got %v", err)
+	}
+}
+
+func TestTreePutReplaces(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(mkRecord(7, 1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := tr.Put(mkRecord(7, 99)); err != nil {
+		t.Fatalf("Put replace: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	rec, err := tr.Find(7)
+	if err != nil || rec.GCL.Counter != 99 {
+		t.Fatalf("rec=%+v err=%v", rec, err)
+	}
+}
+
+func TestTreePutRejectsInvalid(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(lease.Record{ID: 1}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}
+
+func TestTreeNodeCountSpatialLocality(t *testing.T) {
+	// 256 leases allocated contiguously must share one leaf-parent node:
+	// root + L1 + L2 + L3 = 4 nodes.
+	tr := NewTree()
+	alloc := NewIDAllocator()
+	block := alloc.NextBlock()
+	for {
+		id, ok := block.Next()
+		if !ok {
+			break
+		}
+		if err := tr.Put(mkRecord(id, 1)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if got := tr.ResidentNodes(); got != 4 {
+		t.Fatalf("resident nodes = %d, want 4 (spatial locality)", got)
+	}
+	if tr.Len() != 256 {
+		t.Fatalf("Len = %d, want 256", tr.Len())
+	}
+	// Footprint = 4 nodes + 256 records.
+	want := int64(4*NodeSize + 256*lease.RecordSize)
+	if got := tr.Footprint(); got != want {
+		t.Fatalf("footprint = %d, want %d", got, want)
+	}
+}
+
+func TestCommitLeaseAndTransparentRestore(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(mkRecord(345, 42)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := tr.CommitLease(345); err != nil {
+		t.Fatalf("CommitLease: %v", err)
+	}
+	if got := tr.ResidentRecords(); got != 0 {
+		t.Fatalf("resident after commit = %d, want 0", got)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after commit = %d, want 1 (still live)", tr.Len())
+	}
+	// Committing again is a no-op.
+	if err := tr.CommitLease(345); err != nil {
+		t.Fatalf("double CommitLease: %v", err)
+	}
+	// Find transparently restores.
+	rec, err := tr.Find(345)
+	if err != nil {
+		t.Fatalf("Find after commit: %v", err)
+	}
+	if rec.GCL.Counter != 42 {
+		t.Fatalf("restored counter = %d, want 42", rec.GCL.Counter)
+	}
+	if got := tr.ResidentRecords(); got != 1 {
+		t.Fatalf("resident after restore = %d, want 1", got)
+	}
+	st := tr.Stats()
+	if st.Commits != 1 || st.Restores != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := tr.CommitLease(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("CommitLease missing: got %v", err)
+	}
+}
+
+func TestUpdateAfterCommitRestores(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(mkRecord(10, 5)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := tr.CommitLease(10); err != nil {
+		t.Fatalf("CommitLease: %v", err)
+	}
+	if err := tr.Update(10, func(r *lease.Record) error {
+		r.GCL.Counter--
+		return nil
+	}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	rec, err := tr.Find(10)
+	if err != nil || rec.GCL.Counter != 4 {
+		t.Fatalf("rec=%+v err=%v", rec, err)
+	}
+}
+
+func TestPutReplacesOffloadedRecord(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(mkRecord(20, 5)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := tr.CommitLease(20); err != nil {
+		t.Fatalf("CommitLease: %v", err)
+	}
+	if err := tr.Put(mkRecord(20, 77)); err != nil {
+		t.Fatalf("Put over offloaded: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	rec, err := tr.Find(20)
+	if err != nil || rec.GCL.Counter != 77 {
+		t.Fatalf("rec=%+v err=%v", rec, err)
+	}
+}
+
+func TestDeleteOffloadedRecord(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(mkRecord(30, 5)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := tr.CommitLease(30); err != nil {
+		t.Fatalf("CommitLease: %v", err)
+	}
+	if err := tr.Delete(30); err != nil {
+		t.Fatalf("Delete offloaded: %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestBudgetEvictionFlattensFootprint(t *testing.T) {
+	// Table 6: with eviction enabled SL-Local's footprint stays ~flat as
+	// the lease count grows.
+	const budget = 1600 << 10 // 1.6 MB
+	tr := NewTree()
+	tr.SetBudget(budget)
+	alloc := NewIDAllocator()
+	var block *Block
+	for i := 0; i < 10_000; i++ {
+		if block == nil || block.Remaining() == 0 {
+			block = alloc.NextBlock()
+		}
+		id, _ := block.Next()
+		if err := tr.Put(mkRecord(id, 100)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 10_000 {
+		t.Fatalf("Len = %d, want 10000", tr.Len())
+	}
+	if got := tr.Footprint(); got > budget {
+		t.Fatalf("footprint %d exceeds budget %d", got, budget)
+	}
+	if tr.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded despite budget pressure")
+	}
+	// Every lease remains reachable.
+	for _, probe := range []lease.ID{0x100, 0x1FF, 0x2700, 0x2704} {
+		if _, err := tr.Find(probe); err != nil {
+			t.Fatalf("Find(%#x) after eviction: %v", probe, err)
+		}
+	}
+}
+
+func TestBudgetUnlimitedNoEviction(t *testing.T) {
+	tr := NewTree()
+	alloc := NewIDAllocator()
+	var block *Block
+	for i := 0; i < 2000; i++ {
+		if block == nil || block.Remaining() == 0 {
+			block = alloc.NextBlock()
+		}
+		id, _ := block.Next()
+		if err := tr.Put(mkRecord(id, 1)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if tr.Stats().Evictions != 0 {
+		t.Fatal("evictions happened without a budget")
+	}
+	if tr.ResidentRecords() != 2000 {
+		t.Fatalf("resident = %d, want 2000", tr.ResidentRecords())
+	}
+}
+
+func TestShutdownAndRestore(t *testing.T) {
+	tr := NewTree()
+	ids := []lease.ID{0x100, 0x101, 0x245, 0x01020304}
+	for _, id := range ids {
+		if err := tr.Put(mkRecord(id, int64(id%97)+1)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	snap, rootKey, err := tr.Shutdown()
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if rootKey.IsZero() {
+		t.Fatal("zero root key")
+	}
+	// The shut-down tree rejects everything.
+	if _, err := tr.Find(ids[0]); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Find after shutdown: got %v", err)
+	}
+	if err := tr.Put(mkRecord(1, 1)); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Put after shutdown: got %v", err)
+	}
+	if _, _, err := tr.Shutdown(); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("double Shutdown: got %v", err)
+	}
+
+	got, err := Restore(snap, rootKey)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got.Len() != len(ids) {
+		t.Fatalf("restored Len = %d, want %d", got.Len(), len(ids))
+	}
+	for _, id := range ids {
+		rec, err := got.Find(id)
+		if err != nil {
+			t.Fatalf("restored Find(%d): %v", id, err)
+		}
+		if rec.GCL.Counter != int64(id%97)+1 {
+			t.Fatalf("restored counter for %d = %d", id, rec.GCL.Counter)
+		}
+	}
+}
+
+func TestRestoreRejectsWrongKey(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Put(mkRecord(1, 1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	snap, _, err := tr.Shutdown()
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wrong, err := seccrypto.NewKey(nil)
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	if _, err := Restore(snap, wrong); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Restore with wrong key: got %v", err)
+	}
+}
+
+func TestRestoreRejectsReplayedSnapshot(t *testing.T) {
+	// The paper's replay scenario (Section 6.2): an attacker saves an old
+	// snapshot, lets the tree shut down again (fresh root key escrowed),
+	// then replays the old snapshot. Validation with the *new* escrowed
+	// key must fail.
+	tr := NewTree()
+	if err := tr.Put(mkRecord(5, 100)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	oldSnap, oldKey, err := tr.Shutdown()
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	tr2, err := Restore(oldSnap, oldKey)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := tr2.Update(5, func(r *lease.Record) error {
+		r.GCL.Counter = 50 // consumed half the budget
+		return nil
+	}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	_, newKey, err := tr2.Shutdown()
+	if err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	// Replay the old snapshot against the currently-escrowed key.
+	if _, err := Restore(oldSnap, newKey); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replayed snapshot accepted: %v", err)
+	}
+}
+
+func TestRestoreRejectsTamperedBlob(t *testing.T) {
+	tr := NewTree()
+	for i := lease.ID(1); i <= 10; i++ {
+		if err := tr.Put(mkRecord(i, 10)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	snap, key, err := tr.Shutdown()
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Corrupt one interior blob.
+	for ref, blob := range snap.Blobs {
+		mod := append([]byte(nil), blob...)
+		mod[len(mod)/2] ^= 0xFF
+		snap.Blobs[ref] = mod
+		break
+	}
+	got, err := Restore(snap, key)
+	if err == nil {
+		// The tampered blob may be a record blob, only detected on access.
+		for i := lease.ID(1); i <= 10; i++ {
+			if _, ferr := got.Find(i); ferr != nil {
+				err = ferr
+				break
+			}
+		}
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered snapshot not detected: %v", err)
+	}
+}
+
+func TestShutdownAfterBudgetEviction(t *testing.T) {
+	tr := NewTree()
+	tr.SetBudget(64 << 10)
+	alloc := NewIDAllocator()
+	block := alloc.NextBlock()
+	ids := make([]lease.ID, 0, 200)
+	for i := 0; i < 200; i++ {
+		if block.Remaining() == 0 {
+			block = alloc.NextBlock()
+		}
+		id, _ := block.Next()
+		ids = append(ids, id)
+		if err := tr.Put(mkRecord(id, int64(i)+1)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	snap, key, err := tr.Shutdown()
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	got, err := Restore(snap, key)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i, id := range ids {
+		rec, err := got.Find(id)
+		if err != nil {
+			t.Fatalf("Find(%d): %v", id, err)
+		}
+		if rec.GCL.Counter != int64(i)+1 {
+			t.Fatalf("counter for %d = %d, want %d", id, rec.GCL.Counter, i+1)
+		}
+	}
+}
+
+func TestTreeConcurrentAccess(t *testing.T) {
+	tr := NewTree()
+	const n = 512
+	for i := 0; i < n; i++ {
+		if err := tr.Put(mkRecord(lease.ID(i+1), 1_000_000)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				id := lease.ID(rng.Intn(n) + 1)
+				switch i % 3 {
+				case 0:
+					if _, err := tr.Find(id); err != nil {
+						errs[w] = err
+						return
+					}
+				case 1:
+					if err := tr.Update(id, func(r *lease.Record) error {
+						r.GCL.Counter--
+						return nil
+					}); err != nil {
+						errs[w] = err
+						return
+					}
+				case 2:
+					if err := tr.CommitLease(id); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+}
+
+func TestTreeRandomOpsProperty(t *testing.T) {
+	// Property: the tree agrees with a plain map reference model under any
+	// operation sequence, including interleaved commits.
+	f := func(seed int64, opsRaw []uint16) bool {
+		tr := NewTree()
+		ref := make(map[lease.ID]int64)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range opsRaw {
+			id := lease.ID(op%64 + 1)
+			switch rng.Intn(4) {
+			case 0:
+				c := int64(op) + 1
+				if tr.Put(mkRecord(id, c)) != nil {
+					return false
+				}
+				ref[id] = c
+			case 1:
+				rec, err := tr.Find(id)
+				want, ok := ref[id]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && rec.GCL.Counter != want {
+					return false
+				}
+			case 2:
+				err := tr.Delete(id)
+				_, ok := ref[id]
+				if ok != (err == nil) {
+					return false
+				}
+				delete(ref, id)
+			case 3:
+				err := tr.CommitLease(id)
+				_, ok := ref[id]
+				if ok != (err == nil) {
+					return false
+				}
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeFind(b *testing.B) {
+	tr := NewTree()
+	const n = 5000
+	alloc := NewIDAllocator()
+	block := alloc.NextBlock()
+	ids := make([]lease.ID, 0, n)
+	for i := 0; i < n; i++ {
+		if block.Remaining() == 0 {
+			block = alloc.NextBlock()
+		}
+		id, _ := block.Next()
+		ids = append(ids, id)
+		if err := tr.Put(mkRecord(id, 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Find(ids[i%n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

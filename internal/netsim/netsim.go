@@ -1,0 +1,151 @@
+// Package netsim models the network between client machines (SL-Local) and
+// the license server (SL-Remote). Algorithm 1 of the paper takes a network
+// reliability factor n ∈ [0,1] per client; this package turns that scalar
+// into concrete behaviour — message drops and latency — and measures the
+// observed reliability so experiments can feed honest values back into the
+// lease-renewal policy.
+//
+// All randomness comes from an explicit seed, so simulations are
+// reproducible. Latency is charged to a virtual clock by the caller (the
+// wire layer), keeping netsim free of SGX dependencies.
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrDropped reports a message lost by the link.
+var ErrDropped = errors.New("netsim: message dropped")
+
+// ErrLinkDown reports a send on a partitioned link.
+var ErrLinkDown = errors.New("netsim: link is down")
+
+// LinkConfig describes one simulated link.
+type LinkConfig struct {
+	// Reliability is the per-message delivery probability in [0,1]
+	// (the paper's n: 0 = dead network, 1 = stable network).
+	Reliability float64
+	// Latency is the one-way base latency.
+	Latency time.Duration
+	// Jitter is the maximum extra latency added uniformly at random.
+	Jitter time.Duration
+	// Seed initializes the link's private RNG.
+	Seed int64
+}
+
+// Link is a simulated unidirectional message path. It is safe for
+// concurrent use.
+type Link struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	reliability float64
+	latency     time.Duration
+	jitter      time.Duration
+	down        bool
+
+	sent      int64
+	delivered int64
+}
+
+// NewLink builds a link from the config. Reliability outside [0,1] is
+// clamped.
+func NewLink(cfg LinkConfig) *Link {
+	r := cfg.Reliability
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	return &Link{
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		reliability: r,
+		latency:     cfg.Latency,
+		jitter:      cfg.Jitter,
+	}
+}
+
+// Send attempts one message delivery. On success it returns the simulated
+// one-way latency for the caller to charge; on failure it returns
+// ErrDropped or ErrLinkDown.
+func (l *Link) Send() (time.Duration, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return 0, ErrLinkDown
+	}
+	l.sent++
+	if l.rng.Float64() >= l.reliability {
+		return 0, ErrDropped
+	}
+	l.delivered++
+	d := l.latency
+	if l.jitter > 0 {
+		d += time.Duration(l.rng.Int63n(int64(l.jitter) + 1))
+	}
+	return d, nil
+}
+
+// SetDown partitions or heals the link.
+func (l *Link) SetDown(down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = down
+}
+
+// SetReliability updates the delivery probability (clamped to [0,1]).
+func (l *Link) SetReliability(r float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	l.reliability = r
+}
+
+// ObservedReliability returns the measured delivery ratio so far, or 1 if
+// nothing has been sent. SL-Remote feeds this into Algorithm 1 as n_i.
+func (l *Link) ObservedReliability() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sent == 0 {
+		return 1
+	}
+	return float64(l.delivered) / float64(l.sent)
+}
+
+// Counters returns messages sent and delivered.
+func (l *Link) Counters() (sent, delivered int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent, l.delivered
+}
+
+// SendWithRetry retries Send up to attempts times, returning the total
+// latency of all attempts that were made (drops still consume a timeout,
+// which the caller supplies as dropPenalty).
+func (l *Link) SendWithRetry(attempts int, dropPenalty time.Duration) (time.Duration, error) {
+	var total time.Duration
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		d, err := l.Send()
+		if err == nil {
+			return total + d, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrLinkDown) {
+			return total, err
+		}
+		total += dropPenalty
+	}
+	if lastErr == nil {
+		lastErr = ErrDropped
+	}
+	return total, lastErr
+}

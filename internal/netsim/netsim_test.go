@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPerfectLinkDeliversEverything(t *testing.T) {
+	l := NewLink(LinkConfig{Reliability: 1, Latency: 5 * time.Millisecond, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		d, err := l.Send()
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if d != 5*time.Millisecond {
+			t.Fatalf("latency = %v, want 5ms", d)
+		}
+	}
+	if got := l.ObservedReliability(); got != 1 {
+		t.Fatalf("observed reliability = %v, want 1", got)
+	}
+}
+
+func TestDeadLinkDropsEverything(t *testing.T) {
+	l := NewLink(LinkConfig{Reliability: 0, Seed: 2})
+	for i := 0; i < 100; i++ {
+		if _, err := l.Send(); !errors.Is(err, ErrDropped) {
+			t.Fatalf("send %d: got %v, want ErrDropped", i, err)
+		}
+	}
+	if got := l.ObservedReliability(); got != 0 {
+		t.Fatalf("observed reliability = %v, want 0", got)
+	}
+}
+
+func TestObservedReliabilityConverges(t *testing.T) {
+	l := NewLink(LinkConfig{Reliability: 0.7, Seed: 42})
+	for i := 0; i < 20_000; i++ {
+		_, _ = l.Send()
+	}
+	got := l.ObservedReliability()
+	if math.Abs(got-0.7) > 0.02 {
+		t.Fatalf("observed reliability = %v, want ≈0.7", got)
+	}
+	sent, delivered := l.Counters()
+	if sent != 20_000 {
+		t.Fatalf("sent = %d", sent)
+	}
+	if delivered <= 0 || delivered >= sent {
+		t.Fatalf("delivered = %d out of %d", delivered, sent)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	l := NewLink(LinkConfig{Reliability: 1, Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 7})
+	sawJitter := false
+	for i := 0; i < 1000; i++ {
+		d, err := l.Send()
+		if err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		if d < 10*time.Millisecond || d > 15*time.Millisecond {
+			t.Fatalf("latency %v outside [10ms, 15ms]", d)
+		}
+		if d > 10*time.Millisecond {
+			sawJitter = true
+		}
+	}
+	if !sawJitter {
+		t.Fatal("jitter never applied")
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	l := NewLink(LinkConfig{Reliability: 1, Seed: 3})
+	l.SetDown(true)
+	if _, err := l.Send(); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("down link: got %v", err)
+	}
+	l.SetDown(false)
+	if _, err := l.Send(); err != nil {
+		t.Fatalf("healed link: %v", err)
+	}
+	// Down sends do not count against reliability.
+	if got := l.ObservedReliability(); got != 1 {
+		t.Fatalf("observed reliability = %v, want 1", got)
+	}
+}
+
+func TestSetReliabilityClamps(t *testing.T) {
+	l := NewLink(LinkConfig{Reliability: 5, Seed: 4}) // clamped to 1
+	if _, err := l.Send(); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	l.SetReliability(-3) // clamped to 0
+	if _, err := l.Send(); !errors.Is(err, ErrDropped) {
+		t.Fatalf("clamped-to-0 link delivered: %v", err)
+	}
+}
+
+func TestFreshLinkReportsFullReliability(t *testing.T) {
+	l := NewLink(LinkConfig{Reliability: 0.5, Seed: 5})
+	if got := l.ObservedReliability(); got != 1 {
+		t.Fatalf("fresh link reliability = %v, want 1 (optimistic prior)", got)
+	}
+}
+
+func TestSendWithRetry(t *testing.T) {
+	// A 50% link should almost always succeed within 20 attempts.
+	l := NewLink(LinkConfig{Reliability: 0.5, Latency: time.Millisecond, Seed: 6})
+	d, err := l.SendWithRetry(20, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("SendWithRetry: %v", err)
+	}
+	if d < time.Millisecond {
+		t.Fatalf("latency %v too small", d)
+	}
+
+	dead := NewLink(LinkConfig{Reliability: 0, Seed: 7})
+	d, err = dead.SendWithRetry(3, 10*time.Millisecond)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("dead retry: got %v", err)
+	}
+	if d != 30*time.Millisecond {
+		t.Fatalf("drop penalty total = %v, want 30ms", d)
+	}
+
+	down := NewLink(LinkConfig{Reliability: 1, Seed: 8})
+	down.SetDown(true)
+	if _, err := down.SendWithRetry(5, time.Millisecond); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("down retry: got %v", err)
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	mk := func() []bool {
+		l := NewLink(LinkConfig{Reliability: 0.5, Seed: 99})
+		out := make([]bool, 200)
+		for i := range out {
+			_, err := l.Send()
+			out[i] = err == nil
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at message %d", i)
+		}
+	}
+}
+
+func TestReliabilityMonotoneProperty(t *testing.T) {
+	// Property: with the same seed, a more reliable link delivers at least
+	// as many messages.
+	f := func(seed int64, r1, r2 float64) bool {
+		lo, hi := math.Abs(math.Mod(r1, 1)), math.Abs(math.Mod(r2, 1))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		count := func(r float64) int64 {
+			l := NewLink(LinkConfig{Reliability: r, Seed: seed})
+			for i := 0; i < 500; i++ {
+				_, _ = l.Send()
+			}
+			_, d := l.Counters()
+			return d
+		}
+		return count(lo) <= count(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package partition
+
+import (
+	"repro/internal/callgraph"
+	"repro/internal/sgx"
+	"repro/internal/trace"
+)
+
+// Cost is the estimator's assessment of one partition against one dynamic
+// trace — the quantities Table 5 of the paper reports per workload.
+type Cost struct {
+	// StaticBytes is the code migrated into the enclave ("static
+	// coverage" in the paper; smaller is better for SecureLease).
+	StaticBytes int64
+	// StaticFraction is StaticBytes over the application total.
+	StaticFraction float64
+	// DynamicCoverage is the fraction of dynamic work executed inside the
+	// enclave (higher = more of the execution is CFB-protected).
+	DynamicCoverage float64
+	// ECalls and OCalls are boundary crossings observed in the trace.
+	ECalls, OCalls int64
+	// EPCBytes is the enclave's resident-memory requirement.
+	EPCBytes int64
+	// EPCFaults estimates page faults caused by exceeding the EPC.
+	EPCFaults int64
+	// PredictedOverhead is the estimated slowdown over vanilla execution
+	// (0.42 = 42% slower), from pricing crossings and faults against the
+	// trace's total work.
+	PredictedOverhead float64
+	// PredictedCycles is the absolute cycle cost of the SGX events.
+	PredictedCycles int64
+}
+
+// Estimator prices partitions under an SGX cost model.
+type Estimator struct {
+	model sgx.CostModel
+	// epcBudget is the usable EPC; exceeding it causes faults.
+	epcBudget int64
+	// workCyclesPerUnit converts trace work units into baseline cycles.
+	workCyclesPerUnit int64
+	// faultsPerPagePerReuse scales fault pressure: each trace work unit
+	// touching memory beyond the EPC causes proportional faulting.
+	faultReuseFactor float64
+}
+
+// NewEstimator builds an estimator with the paper's EPC budget (92 MB)
+// and a calibration of one work unit = 100 cycles.
+func NewEstimator(model sgx.CostModel) *Estimator {
+	if model == (sgx.CostModel{}) {
+		model = sgx.DefaultCostModel()
+	}
+	return &Estimator{
+		model:             model,
+		epcBudget:         sgx.DefaultEPC,
+		workCyclesPerUnit: 100,
+		faultReuseFactor:  0.01,
+	}
+}
+
+// SetEPCBudget overrides the usable EPC size (for what-if analyses such as
+// the scalable-SGX discussion in Section 7.5).
+func (e *Estimator) SetEPCBudget(bytes int64) {
+	if bytes > 0 {
+		e.epcBudget = bytes
+	}
+}
+
+// Evaluate prices a partition against a dynamic trace.
+//
+// The model mirrors the paper's observed cost structure:
+//
+//   - every untrusted→trusted dynamic call is an ECALL (~17k cycles), every
+//     trusted→untrusted call an OCALL;
+//   - the enclave's memory need is the sum of migrated functions'
+//     footprints; the portion beyond the EPC budget faults at a rate
+//     proportional to the dynamic work executed inside the enclave over
+//     the overflowing pages (each fault ~12k cycles plus a page load);
+//   - vanilla execution time is the trace's total work in cycles, so
+//     overhead = SGX event cycles / vanilla cycles.
+func (e *Estimator) Evaluate(g *callgraph.Graph, tr *trace.Trace, migrated map[string]bool) Cost {
+	var c Cost
+	names := make([]string, 0, len(migrated))
+	for f, in := range migrated {
+		if in {
+			names = append(names, f)
+		}
+	}
+	c.StaticBytes = g.TotalCodeBytes(names)
+	if total := g.TotalCodeBytes(nil); total > 0 {
+		c.StaticFraction = float64(c.StaticBytes) / float64(total)
+	}
+	c.DynamicCoverage = tr.DynamicCoverage(migrated)
+	c.ECalls, c.OCalls = tr.CrossingCalls(migrated)
+	c.EPCBytes = g.TotalMemoryBytes(names)
+
+	// EPC overflow → faults. The working set beyond the EPC thrashes: the
+	// fraction of enclave work touching overflow pages times the reuse
+	// factor gives the fault count.
+	if c.EPCBytes > e.epcBudget {
+		overflowPages := (c.EPCBytes - e.epcBudget + sgx.PageSize - 1) / sgx.PageSize
+		enclaveWork := tr.WorkIn(migrated)
+		overflowFrac := float64(c.EPCBytes-e.epcBudget) / float64(c.EPCBytes)
+		c.EPCFaults = int64(float64(enclaveWork) * overflowFrac * e.faultReuseFactor)
+		if c.EPCFaults < overflowPages {
+			c.EPCFaults = overflowPages // at least one fault per overflow page
+		}
+	}
+
+	c.PredictedCycles = c.ECalls*e.model.ECall +
+		c.OCalls*e.model.OCall +
+		c.EPCFaults*(e.model.EPCFault+e.model.PageLoad)
+
+	vanilla := tr.TotalWork() * e.workCyclesPerUnit
+	if vanilla > 0 {
+		c.PredictedOverhead = float64(c.PredictedCycles) / float64(vanilla)
+	}
+	return c
+}

@@ -1,0 +1,46 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/sgx"
+	"repro/internal/workloads"
+)
+
+// ExampleSecureLease partitions the BFS workload: the authentication
+// module plus the traversal core migrate; the 190 MB graph loader stays
+// untrusted, so the enclave fits the EPC with zero faults.
+func ExampleSecureLease() {
+	spec, _ := workloads.Get("bfs")
+	prof, _ := spec.Run(1)
+
+	p, _ := partition.SecureLease(prof.Graph, prof.Trace, partition.Options{Seed: 7})
+	est := partition.NewEstimator(sgx.DefaultCostModel())
+	cost := est.Evaluate(prof.Graph, prof.Trace, p.Migrated)
+
+	fmt.Println("key function inside:", p.Migrated["bfs.update"])
+	fmt.Println("data loader outside:", !p.Migrated["bfs.load_graph"])
+	fmt.Println("EPC faults:", cost.EPCFaults)
+	// Output:
+	// key function inside: true
+	// data loader outside: true
+	// EPC faults: 0
+}
+
+// ExampleGlamdring shows the data-annotation baseline dragging the
+// sensitive bulk into the enclave and overflowing the EPC.
+func ExampleGlamdring() {
+	spec, _ := workloads.Get("bfs")
+	prof, _ := spec.Run(1)
+
+	p, _ := partition.Glamdring(prof.Graph, 1)
+	est := partition.NewEstimator(sgx.DefaultCostModel())
+	cost := est.Evaluate(prof.Graph, prof.Trace, p.Migrated)
+
+	fmt.Println("data loader inside:", p.Migrated["bfs.load_graph"])
+	fmt.Println("overflows the EPC:", cost.EPCFaults > 0)
+	// Output:
+	// data loader inside: true
+	// overflows the EPC: true
+}

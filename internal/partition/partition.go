@@ -1,0 +1,490 @@
+// Package partition implements SecureLease's dependency-based application
+// partitioning (Section 4.2 of the paper) and the baselines it is evaluated
+// against:
+//
+//   - SecureLease: k-means-cluster the call graph, then migrate whole
+//     clusters — the authentication module plus the smallest clusters
+//     containing key functions — subject to a memory threshold m_t (≤ EPC)
+//     and an overhead threshold r_t. Whole-cluster migration minimizes
+//     boundary crossings because intra-cluster calls dominate.
+//   - Glamdring (Lind et al.): migrate every function that touches
+//     developer-annotated sensitive data (taint propagation over the call
+//     graph).
+//   - F-LaaS (Kumar et al.): migrate the functions with the highest
+//     out-degree.
+//   - FullEnclave / AMOnly: the whole application, or only the
+//     authentication module.
+//
+// The package also provides the cost estimator that turns a partition plus
+// a dynamic trace into the paper's Table 5 metrics: static and dynamic
+// coverage, boundary crossings, EPC residency and faults, and a predicted
+// slowdown.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/callgraph"
+	"repro/internal/kmeans"
+	"repro/internal/sgx"
+	"repro/internal/trace"
+)
+
+// Partition is the result of a partitioning algorithm: the functions to
+// run inside the enclave.
+type Partition struct {
+	// Scheme names the algorithm that produced the partition.
+	Scheme string
+	// Migrated is the set of enclave-resident functions.
+	Migrated map[string]bool
+	// Clusters, for cluster-based schemes, maps each function to its
+	// cluster label (diagnostics and Figure 7 rendering).
+	Clusters map[string]int
+}
+
+// MigratedList returns the migrated functions sorted by name.
+func (p *Partition) MigratedList() []string {
+	out := make([]string, 0, len(p.Migrated))
+	for f, in := range p.Migrated {
+		if in {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options tunes the SecureLease partitioner.
+type Options struct {
+	// K is the number of k-means clusters; 0 derives it from the module
+	// count heuristic (√(n/2), min 2).
+	K int
+	// MemThreshold is m_t: the maximum total memory footprint of migrated
+	// functions. 0 defaults to the EPC size (92 MB).
+	MemThreshold int64
+	// OverheadThreshold is r_t: the maximum acceptable predicted slowdown
+	// (e.g. 0.5 = 50% over vanilla). 0 defaults to 0.5.
+	OverheadThreshold float64
+	// Seed drives k-means seeding.
+	Seed int64
+	// Model prices boundary crossings and faults; zero value uses the
+	// default SGX cost model.
+	Model sgx.CostModel
+
+	// DisableClusterMerge turns off the chatty-cluster coarsening pass
+	// (ablation: shows the boundary-crossing storms k-means splits cause).
+	DisableClusterMerge bool
+	// DisableTrim turns off data-structure trimming, so oversized
+	// clusters are rejected whole (ablation: shows the safety-net
+	// fallback and its cost).
+	DisableTrim bool
+}
+
+func (o Options) withDefaults(g *callgraph.Graph) Options {
+	if o.K <= 0 {
+		o.K = approxClusterCount(g.Len())
+	}
+	if o.MemThreshold <= 0 {
+		o.MemThreshold = sgx.DefaultEPC
+	}
+	if o.OverheadThreshold <= 0 {
+		o.OverheadThreshold = 0.5
+	}
+	if o.Model == (sgx.CostModel{}) {
+		o.Model = sgx.DefaultCostModel()
+	}
+	return o
+}
+
+func approxClusterCount(n int) int {
+	k := 2
+	for k*k*2 < n {
+		k++
+	}
+	return k
+}
+
+// SecureLease computes the paper's dependency-based partition.
+//
+// Steps (Section 4.2.1): cluster the CFG with k-means; the authentication
+// module always migrates; then clusters are sorted by memory footprint
+// (ascending) and added while the total stays under m_t and the estimated
+// overhead under r_t — with the constraint that at least one cluster
+// containing a key function migrates, because that dependency is the whole
+// point. Common data stays untrusted (the estimator charges OCALLs for
+// trusted→untrusted calls accordingly).
+func SecureLease(g *callgraph.Graph, tr *trace.Trace, opts Options) (*Partition, error) {
+	if g == nil || g.Len() == 0 {
+		return nil, errors.New("partition: empty graph")
+	}
+	if tr == nil {
+		return nil, errors.New("partition: nil trace")
+	}
+	opts = opts.withDefaults(g)
+
+	labels, err := kmeans.ClusterGraph(g, opts.K, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("partition: clustering: %w", err)
+	}
+
+	// Group functions by cluster, then coarsen: clusters joined by call
+	// traffic comparable to their own internal traffic are really one
+	// submodule (the paper's intra-cluster-dominance observation) and
+	// must migrate together, or the boundary crossings between them
+	// would dominate.
+	clusters := make(map[int][]string)
+	for _, name := range g.Names() {
+		c := labels[name]
+		clusters[c] = append(clusters[c], name)
+	}
+	if !opts.DisableClusterMerge {
+		clusters = mergeChattyClusters(g, clusters, labels)
+	}
+
+	type clusterInfo struct {
+		id      int
+		fns     []string
+		memory  int64
+		hasKey  bool
+		hasAuth bool
+	}
+	infos := make([]clusterInfo, 0, len(clusters))
+	for id, fns := range clusters {
+		sort.Strings(fns)
+		ci := clusterInfo{id: id, fns: fns, memory: g.TotalMemoryBytes(fns)}
+		for _, f := range fns {
+			n := g.Node(f)
+			if n.KeyFunction {
+				ci.hasKey = true
+			}
+			if n.AuthModule {
+				ci.hasAuth = true
+			}
+		}
+		infos = append(infos, ci)
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].memory != infos[j].memory {
+			return infos[i].memory < infos[j].memory
+		}
+		return infos[i].id < infos[j].id
+	})
+
+	migrated := make(map[string]bool)
+	var usedMem int64
+
+	// The AM always migrates — it is the part the lease logic lives in.
+	for _, name := range g.AuthFunctions() {
+		migrated[name] = true
+	}
+	usedMem = g.TotalMemoryBytes(g.AuthFunctions())
+
+	est := NewEstimator(opts.Model)
+	keyCovered := false
+	// Greedy pass: smallest clusters first, considering only clusters
+	// that contain key functions; stop at the thresholds. Clusters that
+	// merely contain the AM contribute nothing beyond the AM functions
+	// already migrated above.
+	for _, ci := range infos {
+		if !ci.hasKey {
+			continue
+		}
+		// Tentatively add and check both thresholds.
+		var clusterMem int64
+		for _, f := range ci.fns {
+			if !migrated[f] {
+				clusterMem += g.Node(f).MemoryBytes
+			}
+		}
+		// Candidate member set; if the cluster busts the memory threshold,
+		// trim its heaviest non-key, non-AM members — the functions that
+		// own the big common data structures — which the paper keeps in
+		// the untrusted region anyway (Section 4.2.1).
+		members := append([]string(nil), ci.fns...)
+		if usedMem+clusterMem > opts.MemThreshold {
+			if opts.DisableTrim {
+				continue
+			}
+			members, clusterMem = trimToBudget(g, members, opts.MemThreshold-usedMem)
+			if members == nil {
+				continue
+			}
+		}
+		trial := make(map[string]bool, len(migrated)+len(members))
+		for f := range migrated {
+			trial[f] = true
+		}
+		for _, f := range members {
+			trial[f] = true
+		}
+		cost := est.Evaluate(g, tr, trial)
+		if cost.PredictedOverhead > opts.OverheadThreshold {
+			continue
+		}
+		for _, f := range members {
+			if !migrated[f] {
+				migrated[f] = true
+				usedMem += g.Node(f).MemoryBytes
+			}
+		}
+		keyCovered = true
+	}
+
+	// Safety net: if no key-function cluster fit (tiny thresholds), migrate
+	// the single cheapest key function so the dependency exists — the
+	// paper's security requirement dominates the performance thresholds.
+	if !keyCovered {
+		var cheapest string
+		var cheapestMem int64 = 1 << 62
+		for _, f := range g.KeyFunctions() {
+			if m := g.Node(f).MemoryBytes; m < cheapestMem {
+				cheapest, cheapestMem = f, m
+			}
+		}
+		if cheapest == "" {
+			return nil, errors.New("partition: graph has no key functions to protect")
+		}
+		migrated[cheapest] = true
+	}
+
+	return &Partition{Scheme: "securelease", Migrated: migrated, Clusters: labels}, nil
+}
+
+// Glamdring computes the data-annotation baseline: every function marked
+// as touching sensitive data migrates, plus taint propagated one step
+// along data flow — callees that the tainted functions call heavily are
+// assumed to receive sensitive data and migrate too (Lind et al. propagate
+// via dataflow analysis; call weight is our observable proxy).
+func Glamdring(g *callgraph.Graph, taintDepth int) (*Partition, error) {
+	if g == nil || g.Len() == 0 {
+		return nil, errors.New("partition: empty graph")
+	}
+	if taintDepth < 0 {
+		taintDepth = 1
+	}
+	migrated := make(map[string]bool)
+	frontier := make([]string, 0, g.Len())
+	for _, name := range g.Names() {
+		n := g.Node(name)
+		if n.TouchesSensitive || n.AuthModule {
+			migrated[name] = true
+			frontier = append(frontier, name)
+		}
+	}
+	for depth := 0; depth < taintDepth; depth++ {
+		var next []string
+		for _, f := range frontier {
+			// Sensitive data flows both down (arguments) and up (returns),
+			// so the taint spreads along undirected call edges.
+			for neighbor := range g.Neighbors(f) {
+				if !migrated[neighbor] {
+					migrated[neighbor] = true
+					next = append(next, neighbor)
+				}
+			}
+		}
+		sort.Strings(next)
+		frontier = next
+	}
+	return &Partition{Scheme: "glamdring", Migrated: migrated}, nil
+}
+
+// FLaaS computes the out-degree baseline: the topN functions with the most
+// distinct callees migrate (plus the AM). Kumar et al. do not bound EPC
+// usage or boundary crossings, which is why this partitioning collapses on
+// real hardware (the 2000× slowdowns reported in the paper).
+func FLaaS(g *callgraph.Graph, topN int) (*Partition, error) {
+	if g == nil || g.Len() == 0 {
+		return nil, errors.New("partition: empty graph")
+	}
+	if topN <= 0 {
+		topN = 3
+	}
+	type od struct {
+		name   string
+		degree int
+	}
+	degs := make([]od, 0, g.Len())
+	for _, name := range g.Names() {
+		degs = append(degs, od{name, g.OutDegree(name)})
+	}
+	sort.SliceStable(degs, func(i, j int) bool {
+		if degs[i].degree != degs[j].degree {
+			return degs[i].degree > degs[j].degree
+		}
+		return degs[i].name < degs[j].name
+	})
+	migrated := make(map[string]bool)
+	for _, name := range g.AuthFunctions() {
+		migrated[name] = true
+	}
+	for i := 0; i < topN && i < len(degs); i++ {
+		migrated[degs[i].name] = true
+	}
+	return &Partition{Scheme: "f-laas", Migrated: migrated}, nil
+}
+
+// FullEnclave migrates the entire application.
+func FullEnclave(g *callgraph.Graph) (*Partition, error) {
+	if g == nil || g.Len() == 0 {
+		return nil, errors.New("partition: empty graph")
+	}
+	migrated := make(map[string]bool, g.Len())
+	for _, name := range g.Names() {
+		migrated[name] = true
+	}
+	return &Partition{Scheme: "full-enclave", Migrated: migrated}, nil
+}
+
+// AMOnly migrates only the authentication module — the strawman a CFB
+// attack walks straight past (Section 2.1.1).
+func AMOnly(g *callgraph.Graph) (*Partition, error) {
+	if g == nil || g.Len() == 0 {
+		return nil, errors.New("partition: empty graph")
+	}
+	migrated := make(map[string]bool)
+	for _, name := range g.AuthFunctions() {
+		migrated[name] = true
+	}
+	if len(migrated) == 0 {
+		return nil, errors.New("partition: graph has no authentication module")
+	}
+	return &Partition{Scheme: "am-only", Migrated: migrated}, nil
+}
+
+// mergeChattyClusters coarsens a clustering by uniting clusters whose
+// inter-cluster call traffic rivals their own internal traffic. Such pairs
+// are one logical submodule that k-means happened to split; migrating only
+// half of one would create exactly the boundary-crossing storm the paper's
+// whole-cluster rule exists to avoid.
+func mergeChattyClusters(g *callgraph.Graph, clusters map[int][]string, labels map[string]int) map[int][]string {
+	const ratio = 0.5 // merge when inter ≥ ratio × min(intra)
+
+	// Intra-cluster weight per cluster and inter-cluster weights per pair.
+	intra := make(map[int]int64, len(clusters))
+	inter := make(map[[2]int]int64)
+	for _, e := range g.Edges() {
+		a, b := labels[e.From], labels[e.To]
+		if a == b {
+			intra[a] += e.Count
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		inter[[2]int{a, b}] += e.Count
+	}
+
+	// Union-find over cluster IDs.
+	parent := make(map[int]int, len(clusters))
+	for id := range clusters {
+		parent[id] = id
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// Deterministic iteration order over pairs.
+	pairs := make([][2]int, 0, len(inter))
+	for p := range inter {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, p := range pairs {
+		w := inter[p]
+		ia, ib := intra[p[0]], intra[p[1]]
+		if ia < 1 {
+			ia = 1
+		}
+		if ib < 1 {
+			ib = 1
+		}
+		minIntra := ia
+		if ib < minIntra {
+			minIntra = ib
+		}
+		if float64(w) >= ratio*float64(minIntra) {
+			ra, rb := find(p[0]), find(p[1])
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+
+	merged := make(map[int][]string, len(clusters))
+	for id, fns := range clusters {
+		root := find(id)
+		merged[root] = append(merged[root], fns...)
+	}
+	return merged
+}
+
+// trimToBudget drops non-key, non-AM members of a candidate cluster until
+// its memory footprint fits the remaining budget — the dropped functions
+// own the common data structures that stay untrusted (Section 4.2.1).
+// Members are dropped in order of least call coupling to the rest of the
+// cluster (ties broken by largest memory), so the functions evicted to the
+// untrusted side are the ones whose calls across the boundary are rare —
+// dropping a chatty member would just trade memory for ECALLs.
+// It returns nil if even the key/AM members alone do not fit.
+func trimToBudget(g *callgraph.Graph, members []string, budget int64) ([]string, int64) {
+	inCluster := make(map[string]bool, len(members))
+	for _, f := range members {
+		inCluster[f] = true
+	}
+	type member struct {
+		name     string
+		mem      int64
+		coupling int64
+		keep     bool
+	}
+	ms := make([]member, 0, len(members))
+	var total int64
+	for _, f := range members {
+		n := g.Node(f)
+		var coupling int64
+		for neighbor, w := range g.Neighbors(f) {
+			if inCluster[neighbor] {
+				coupling += w
+			}
+		}
+		ms = append(ms, member{
+			name:     f,
+			mem:      n.MemoryBytes,
+			coupling: coupling,
+			keep:     n.KeyFunction || n.AuthModule,
+		})
+		total += n.MemoryBytes
+	}
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].coupling != ms[j].coupling {
+			return ms[i].coupling < ms[j].coupling
+		}
+		return ms[i].mem > ms[j].mem
+	})
+	kept := make([]string, 0, len(ms))
+	for _, m := range ms {
+		if total > budget && !m.keep {
+			total -= m.mem
+			continue
+		}
+		kept = append(kept, m.name)
+	}
+	if total > budget {
+		return nil, 0
+	}
+	sort.Strings(kept)
+	return kept, total
+}

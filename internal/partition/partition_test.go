@@ -1,0 +1,338 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/sgx"
+	"repro/internal/trace"
+)
+
+// buildApp constructs a synthetic application shaped like the paper's
+// workloads: a small AM cluster, a protected-region core with a key
+// function, a large memory-heavy data module touching sensitive data, and
+// a utility module. Returns the graph and a dynamic trace.
+func buildApp(t testing.TB) (*callgraph.Graph, *trace.Trace) {
+	t.Helper()
+	r := trace.NewRecorder()
+	decl := func(n callgraph.Node) {
+		if err := r.Declare(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// AM cluster.
+	decl(callgraph.Node{Name: "am.check", CodeBytes: 2000, MemoryBytes: 64 << 10, Module: "am", AuthModule: true, TouchesSensitive: true})
+	decl(callgraph.Node{Name: "am.verify", CodeBytes: 1500, MemoryBytes: 32 << 10, Module: "am", AuthModule: true, TouchesSensitive: true})
+	// Core cluster with the key function.
+	decl(callgraph.Node{Name: "core.parse", CodeBytes: 8000, MemoryBytes: 2 << 20, Module: "core", KeyFunction: true})
+	decl(callgraph.Node{Name: "core.plan", CodeBytes: 6000, MemoryBytes: 1 << 20, Module: "core"})
+	// Data module: big memory, touches sensitive data (Glamdring taints it).
+	decl(callgraph.Node{Name: "data.load", CodeBytes: 20000, MemoryBytes: 120 << 20, Module: "data", TouchesSensitive: true})
+	decl(callgraph.Node{Name: "data.scan", CodeBytes: 15000, MemoryBytes: 60 << 20, Module: "data", TouchesSensitive: true})
+	// Utility module.
+	decl(callgraph.Node{Name: "util.log", CodeBytes: 1000, MemoryBytes: 16 << 10, Module: "util"})
+	decl(callgraph.Node{Name: "main", CodeBytes: 500, MemoryBytes: 16 << 10, Module: "init"})
+
+	// Dense intra-cluster, sparse inter-cluster call structure.
+	r.EnterN("main", "am.check", 1)
+	r.EnterN("am.check", "am.verify", 200)
+	r.EnterN("main", "core.parse", 100)
+	r.EnterN("core.parse", "core.plan", 5000)
+	r.EnterN("core.plan", "core.parse", 3000)
+	r.EnterN("core.plan", "data.load", 10)
+	r.EnterN("data.load", "data.scan", 8000)
+	r.EnterN("data.scan", "data.load", 6000)
+	r.EnterN("data.scan", "util.log", 50)
+	r.EnterN("core.parse", "util.log", 30)
+
+	// Dynamic work: core does most of the interesting work; data moves
+	// lots of bytes.
+	r.Work("main", 1000)
+	r.Work("am.check", 500)
+	r.Work("am.verify", 300)
+	r.Work("core.parse", 400_000)
+	r.Work("core.plan", 300_000)
+	r.Work("data.load", 150_000)
+	r.Work("data.scan", 100_000)
+	r.Work("util.log", 5_000)
+
+	g, err := r.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, r.Trace()
+}
+
+func TestSecureLeaseMigratesAMAndKeyCluster(t *testing.T) {
+	g, tr := buildApp(t)
+	p, err := SecureLease(g, tr, Options{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("SecureLease: %v", err)
+	}
+	for _, f := range []string{"am.check", "am.verify"} {
+		if !p.Migrated[f] {
+			t.Fatalf("AM function %q not migrated", f)
+		}
+	}
+	// The dependency: at least one key function inside.
+	hasKey := false
+	for f := range p.Migrated {
+		if g.Node(f) != nil && g.Node(f).KeyFunction {
+			hasKey = true
+		}
+	}
+	if !hasKey {
+		t.Fatal("no key function migrated — CFB dependency missing")
+	}
+	// The memory-heavy data module must stay out (it would blow the EPC).
+	if p.Migrated["data.load"] {
+		t.Fatal("EPC-busting data module migrated")
+	}
+}
+
+func TestSecureLeaseRespectsMemThreshold(t *testing.T) {
+	g, tr := buildApp(t)
+	p, err := SecureLease(g, tr, Options{K: 4, Seed: 1, MemThreshold: 8 << 20})
+	if err != nil {
+		t.Fatalf("SecureLease: %v", err)
+	}
+	var mem int64
+	for f := range p.Migrated {
+		mem += g.Node(f).MemoryBytes
+	}
+	if mem > 8<<20 {
+		t.Fatalf("migrated memory %d exceeds threshold", mem)
+	}
+}
+
+func TestSecureLeaseSafetyNetTinyThreshold(t *testing.T) {
+	// Thresholds so small no cluster fits: the safety net must still
+	// migrate one key function.
+	g, tr := buildApp(t)
+	p, err := SecureLease(g, tr, Options{K: 4, Seed: 1, MemThreshold: 1})
+	if err != nil {
+		t.Fatalf("SecureLease: %v", err)
+	}
+	hasKey := false
+	for f := range p.Migrated {
+		if g.Node(f).KeyFunction {
+			hasKey = true
+		}
+	}
+	if !hasKey {
+		t.Fatal("safety net failed: no key function migrated")
+	}
+}
+
+func TestSecureLeaseErrorsWithoutKeyFunctions(t *testing.T) {
+	r := trace.NewRecorder()
+	if err := r.Declare(callgraph.Node{Name: "f", CodeBytes: 1, MemoryBytes: 1, Module: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SecureLease(g, r.Trace(), Options{K: 1, Seed: 1, MemThreshold: 1}); err == nil {
+		t.Fatal("graph without key functions accepted")
+	}
+}
+
+func TestSecureLeaseInputValidation(t *testing.T) {
+	if _, err := SecureLease(nil, &trace.Trace{}, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g, _ := buildApp(t)
+	if _, err := SecureLease(g, nil, Options{}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestGlamdringTaintsSensitiveAndNeighbors(t *testing.T) {
+	g, _ := buildApp(t)
+	p, err := Glamdring(g, 1)
+	if err != nil {
+		t.Fatalf("Glamdring: %v", err)
+	}
+	for _, f := range []string{"am.check", "am.verify", "data.load", "data.scan"} {
+		if !p.Migrated[f] {
+			t.Fatalf("sensitive function %q not migrated", f)
+		}
+	}
+	// One taint step spreads to heavy callees of tainted functions.
+	if !p.Migrated["util.log"] {
+		t.Fatal("taint did not propagate to util.log")
+	}
+}
+
+func TestSecureLeaseSmallerThanGlamdring(t *testing.T) {
+	// The paper's Table 5 headline: SecureLease migrates far less static
+	// code (avg -67.8%) at comparable dynamic coverage, with zero EPC
+	// faults while Glamdring faults heavily.
+	g, tr := buildApp(t)
+	sl, err := SecureLease(g, tr, Options{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("SecureLease: %v", err)
+	}
+	gl, err := Glamdring(g, 1)
+	if err != nil {
+		t.Fatalf("Glamdring: %v", err)
+	}
+	est := NewEstimator(sgx.DefaultCostModel())
+	slCost := est.Evaluate(g, tr, sl.Migrated)
+	glCost := est.Evaluate(g, tr, gl.Migrated)
+	if slCost.StaticBytes >= glCost.StaticBytes {
+		t.Fatalf("SecureLease static %d should be < Glamdring %d", slCost.StaticBytes, glCost.StaticBytes)
+	}
+	if slCost.EPCFaults != 0 {
+		t.Fatalf("SecureLease EPC faults = %d, want 0", slCost.EPCFaults)
+	}
+	if glCost.EPCFaults == 0 {
+		t.Fatal("Glamdring shows no EPC faults despite 180MB footprint")
+	}
+	if slCost.PredictedOverhead >= glCost.PredictedOverhead {
+		t.Fatalf("SecureLease overhead %v should be < Glamdring %v",
+			slCost.PredictedOverhead, glCost.PredictedOverhead)
+	}
+}
+
+func TestFLaaSPicksHighOutDegree(t *testing.T) {
+	g, _ := buildApp(t)
+	p, err := FLaaS(g, 2)
+	if err != nil {
+		t.Fatalf("FLaaS: %v", err)
+	}
+	// Out-degrees: core.parse=2(plan,log), core.plan=2, data.scan=2,
+	// main=2, am.check=1, data.load=1. Top-2 by (degree, name):
+	// core.parse and core.plan tie at 2 with earliest names.
+	if !p.Migrated["core.parse"] {
+		t.Fatalf("top out-degree function missing: %v", p.MigratedList())
+	}
+	// AM always included.
+	if !p.Migrated["am.check"] || !p.Migrated["am.verify"] {
+		t.Fatal("AM missing from F-LaaS partition")
+	}
+}
+
+func TestFullEnclaveAndAMOnly(t *testing.T) {
+	g, _ := buildApp(t)
+	full, err := FullEnclave(g)
+	if err != nil {
+		t.Fatalf("FullEnclave: %v", err)
+	}
+	if len(full.MigratedList()) != g.Len() {
+		t.Fatalf("full enclave migrated %d of %d", len(full.MigratedList()), g.Len())
+	}
+	am, err := AMOnly(g)
+	if err != nil {
+		t.Fatalf("AMOnly: %v", err)
+	}
+	if len(am.MigratedList()) != 2 {
+		t.Fatalf("AM-only migrated %v", am.MigratedList())
+	}
+}
+
+func TestAMOnlyRequiresAM(t *testing.T) {
+	r := trace.NewRecorder()
+	if err := r.Declare(callgraph.Node{Name: "f", CodeBytes: 1, MemoryBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AMOnly(g); err == nil {
+		t.Fatal("graph without AM accepted")
+	}
+}
+
+func TestEstimatorHandComputed(t *testing.T) {
+	r := trace.NewRecorder()
+	for _, n := range []callgraph.Node{
+		{Name: "u", CodeBytes: 100, MemoryBytes: 4096},
+		{Name: "t", CodeBytes: 300, MemoryBytes: 8192},
+	} {
+		if err := r.Declare(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.EnterN("u", "t", 10) // 10 ecalls
+	r.EnterN("t", "u", 4)  // 4 ocalls
+	r.Work("u", 1000)
+	r.Work("t", 3000)
+	g, err := r.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Trace()
+	model := sgx.DefaultCostModel()
+	est := NewEstimator(model)
+	c := est.Evaluate(g, tr, map[string]bool{"t": true})
+
+	if c.ECalls != 10 || c.OCalls != 4 {
+		t.Fatalf("crossings = %d/%d", c.ECalls, c.OCalls)
+	}
+	if c.StaticBytes != 300 {
+		t.Fatalf("static = %d", c.StaticBytes)
+	}
+	if c.StaticFraction != 0.75 {
+		t.Fatalf("static fraction = %v", c.StaticFraction)
+	}
+	if c.DynamicCoverage != 0.75 {
+		t.Fatalf("dynamic coverage = %v", c.DynamicCoverage)
+	}
+	if c.EPCBytes != 8192 || c.EPCFaults != 0 {
+		t.Fatalf("epc = %d bytes, %d faults", c.EPCBytes, c.EPCFaults)
+	}
+	wantCycles := 10*model.ECall + 4*model.OCall
+	if c.PredictedCycles != wantCycles {
+		t.Fatalf("cycles = %d, want %d", c.PredictedCycles, wantCycles)
+	}
+	wantOverhead := float64(wantCycles) / float64(4000*100)
+	if c.PredictedOverhead != wantOverhead {
+		t.Fatalf("overhead = %v, want %v", c.PredictedOverhead, wantOverhead)
+	}
+}
+
+func TestEstimatorFaultsOnEPCOverflow(t *testing.T) {
+	r := trace.NewRecorder()
+	if err := r.Declare(callgraph.Node{Name: "big", CodeBytes: 100, MemoryBytes: 200 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	r.Work("big", 1_000_000)
+	g, err := r.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(sgx.DefaultCostModel())
+	c := est.Evaluate(g, r.Trace(), map[string]bool{"big": true})
+	if c.EPCFaults == 0 {
+		t.Fatal("200MB enclave shows no EPC faults")
+	}
+	// Raising the budget above the footprint clears the faults — the
+	// scalable-SGX scenario.
+	est.SetEPCBudget(512 << 30)
+	c = est.Evaluate(g, r.Trace(), map[string]bool{"big": true})
+	if c.EPCFaults != 0 {
+		t.Fatalf("faults under 512GB EPC = %d", c.EPCFaults)
+	}
+}
+
+func TestMigratedListSorted(t *testing.T) {
+	p := &Partition{Migrated: map[string]bool{"z": true, "a": true, "m": false}}
+	got := p.MigratedList()
+	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func BenchmarkSecureLeasePartition(b *testing.B) {
+	g, tr := buildApp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SecureLease(g, tr, Options{K: 4, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

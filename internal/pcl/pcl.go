@@ -1,0 +1,229 @@
+// Package pcl models Intel SGX's Protected Code Loader (Section 2.3.1 of
+// the paper): an application ships with *encrypted* functions that are only
+// decrypted inside a valid enclave, after a remote key server has verified
+// the enclave's attestation quote and released the decryption key.
+//
+// The paper's observation is that plain PCL is one-shot — once code is
+// decrypted, nothing stops continued use — so SecureLease embeds the lease
+// logic *inside* the protected code: the decrypted function itself checks
+// for a token of execution before doing anything. This package implements
+// both pieces: the provisioning/loading protocol and the lease-gated
+// execution wrapper.
+package pcl
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/seccrypto"
+	"repro/internal/sgx"
+	"repro/internal/slmanager"
+)
+
+// Errors returned by the loader and key server.
+var (
+	// ErrNotProvisioned reports a request for a function the key server
+	// has never sealed.
+	ErrNotProvisioned = errors.New("pcl: function not provisioned")
+	// ErrAttestationRequired reports a key request without a verified
+	// quote.
+	ErrAttestationRequired = errors.New("pcl: attestation failed")
+	// ErrNotLoaded reports execution of a function not yet decrypted.
+	ErrNotLoaded = errors.New("pcl: function not loaded")
+	// ErrCorruptPayload reports an encrypted function that failed
+	// validation (tampered binary).
+	ErrCorruptPayload = errors.New("pcl: encrypted payload corrupt")
+)
+
+// EncryptedFunction is a function as shipped in the binary: ciphertext of
+// its body plus its name. The body in this simulation is an opaque byte
+// description whose integrity witnesses "the code"; Loader pairs it with
+// the actual Go implementation at load time.
+type EncryptedFunction struct {
+	Name       string
+	Ciphertext []byte
+}
+
+// KeyServer is the vendor-side service that provisions function keys and
+// releases them only to attested enclaves with the expected measurement.
+// It is safe for concurrent use.
+type KeyServer struct {
+	service *attest.Service
+
+	mu       sync.Mutex
+	keys     map[string]seccrypto.Key // function name → decryption key
+	expected map[string]sgx.Measurement
+	released int64
+}
+
+// NewKeyServer builds a key server verifying quotes against the given
+// attestation service.
+func NewKeyServer(service *attest.Service) (*KeyServer, error) {
+	if service == nil {
+		return nil, errors.New("pcl: nil attestation service")
+	}
+	return &KeyServer{
+		service:  service,
+		keys:     make(map[string]seccrypto.Key),
+		expected: make(map[string]sgx.Measurement),
+	}, nil
+}
+
+// Provision encrypts a function body for distribution: the vendor runs
+// this at build time. The returned EncryptedFunction ships in the binary;
+// the key stays with the server, bound to the enclave measurement allowed
+// to receive it.
+func (ks *KeyServer) Provision(name string, body []byte, allowed sgx.Measurement) (EncryptedFunction, error) {
+	if name == "" {
+		return EncryptedFunction{}, errors.New("pcl: empty function name")
+	}
+	p, err := seccrypto.Protect(body, nil)
+	if err != nil {
+		return EncryptedFunction{}, fmt.Errorf("pcl: encrypting %q: %w", name, err)
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.keys[name] = p.Key
+	ks.expected[name] = allowed
+	return EncryptedFunction{Name: name, Ciphertext: p.Ciphertext}, nil
+}
+
+// RequestKey releases a function's decryption key to an enclave that
+// presents a valid quote with the provisioned measurement. The quote
+// verification is a remote attestation (charged to the client machine).
+func (ks *KeyServer) RequestKey(name string, quote attest.Quote, clientMachine *sgx.Machine) (seccrypto.Key, error) {
+	ks.mu.Lock()
+	key, ok := ks.keys[name]
+	want, _ := ks.expected[name]
+	ks.mu.Unlock()
+	if !ok {
+		return seccrypto.Key{}, fmt.Errorf("%w: %q", ErrNotProvisioned, name)
+	}
+	if err := ks.service.VerifyQuote(quote, clientMachine); err != nil {
+		return seccrypto.Key{}, fmt.Errorf("%w: %v", ErrAttestationRequired, err)
+	}
+	if quote.Report.Source != want {
+		return seccrypto.Key{}, fmt.Errorf("%w: measurement mismatch for %q", ErrAttestationRequired, name)
+	}
+	ks.mu.Lock()
+	ks.released++
+	ks.mu.Unlock()
+	return key, nil
+}
+
+// KeysReleased reports how many keys the server has handed out.
+func (ks *KeyServer) KeysReleased() int64 {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.released
+}
+
+// Loader runs inside an application enclave: it fetches keys for the
+// binary's encrypted functions, decrypts them in-enclave, and exposes
+// lease-gated execution. With a nil manager the loader reproduces plain
+// PCL (the paper's "sad part": decrypt once, use forever); with an
+// SL-Manager attached, every execution demands a lease token — the
+// paper's fix.
+type Loader struct {
+	enclave  *sgx.Enclave
+	platform *attest.Platform
+	server   *KeyServer
+	manager  *slmanager.Manager // nil = plain PCL
+
+	mu     sync.Mutex
+	loaded map[string]loadedFn
+}
+
+type loadedFn struct {
+	bodyDigest [sha256.Size]byte
+	impl       func() error
+	license    string
+}
+
+// NewLoader builds a loader for the enclave. manager may be nil for plain
+// PCL semantics.
+func NewLoader(enclave *sgx.Enclave, platform *attest.Platform, server *KeyServer, manager *slmanager.Manager) (*Loader, error) {
+	if enclave == nil || platform == nil || server == nil {
+		return nil, errors.New("pcl: enclave, platform, and server are required")
+	}
+	return &Loader{
+		enclave:  enclave,
+		platform: platform,
+		server:   server,
+		manager:  manager,
+		loaded:   make(map[string]loadedFn),
+	}, nil
+}
+
+// Load performs the PCL chain of events for one encrypted function: quote
+// the enclave, obtain the key from the server, decrypt and validate the
+// body inside the enclave, and bind it to the given implementation and
+// license. The decrypted body never leaves the enclave.
+func (l *Loader) Load(ef EncryptedFunction, impl func() error, licenseID string) error {
+	if impl == nil {
+		return errors.New("pcl: nil implementation")
+	}
+	quote, err := l.platform.CreateQuote(l.enclave, []byte(ef.Name))
+	if err != nil {
+		return fmt.Errorf("pcl: quoting: %w", err)
+	}
+	key, err := l.server.RequestKey(ef.Name, quote, l.enclave.Machine())
+	if err != nil {
+		return err
+	}
+	var digest [sha256.Size]byte
+	err = l.enclave.ECall(func() error {
+		body, verr := seccrypto.Validate(ef.Ciphertext, key)
+		if verr != nil {
+			return fmt.Errorf("%w: %v", ErrCorruptPayload, verr)
+		}
+		digest = sha256.Sum256(body)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.loaded[ef.Name] = loadedFn{bodyDigest: digest, impl: impl, license: licenseID}
+	l.mu.Unlock()
+	if l.manager != nil && licenseID != "" {
+		l.manager.Guard(ef.Name, licenseID)
+	}
+	return nil
+}
+
+// Execute runs a loaded function. Under plain PCL (nil manager) it runs
+// unconditionally — the one-shot weakness. With an SL-Manager, every call
+// first obtains a lease token, making the protected code leasable.
+func (l *Loader) Execute(name string) error {
+	l.mu.Lock()
+	fn, ok := l.loaded[name]
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotLoaded, name)
+	}
+	if l.manager != nil && fn.license != "" {
+		return l.manager.Execute(name, fn.impl)
+	}
+	return l.enclave.ECall(fn.impl)
+}
+
+// Loaded reports whether a function has been decrypted.
+func (l *Loader) Loaded(name string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.loaded[name]
+	return ok
+}
+
+// BodyDigest returns the digest of the decrypted body (tests use it to
+// confirm the decrypted code is the provisioned code).
+func (l *Loader) BodyDigest(name string) ([sha256.Size]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn, ok := l.loaded[name]
+	return fn.bodyDigest, ok
+}

@@ -1,0 +1,255 @@
+package pcl
+
+import (
+	"crypto/sha256"
+	"errors"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/lease"
+	"repro/internal/sgx"
+	"repro/internal/sllocal"
+	"repro/internal/slmanager"
+	"repro/internal/slremote"
+)
+
+type env struct {
+	machine  *sgx.Machine
+	platform *attest.Platform
+	service  *attest.Service
+	server   *KeyServer
+	enclave  *sgx.Enclave
+	manager  *slmanager.Manager
+	remote   *slremote.Server
+}
+
+func newEnv(t *testing.T, withManager bool, licenses map[string]int64) *env {
+	t.Helper()
+	m, err := sgx.NewMachine(sgx.MachineConfig{Name: "pcl", EPCBytes: 8 << 20})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	plat, err := attest.NewPlatform("pcl", m)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	service := attest.NewService()
+	service.RegisterPlatform(plat)
+	server, err := NewKeyServer(service)
+	if err != nil {
+		t.Fatalf("NewKeyServer: %v", err)
+	}
+	enclave, err := m.CreateEnclave("app-secure", []byte("app-secure-code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	service.TrustMeasurement(enclave.Measurement())
+
+	e := &env{machine: m, platform: plat, service: service, server: server, enclave: enclave}
+	if withManager {
+		remote, err := slremote.NewServer(slremote.DefaultConfig(), nil)
+		if err != nil {
+			t.Fatalf("slremote.NewServer: %v", err)
+		}
+		for id, total := range licenses {
+			if err := remote.RegisterLicense(id, lease.CountBased, total); err != nil {
+				t.Fatalf("RegisterLicense: %v", err)
+			}
+		}
+		local, err := sllocal.New(sllocal.DefaultConfig(), sllocal.Deps{
+			Machine: m, Platform: plat, Remote: remote,
+		})
+		if err != nil {
+			t.Fatalf("sllocal.New: %v", err)
+		}
+		if err := local.Init(); err != nil {
+			t.Fatalf("Init: %v", err)
+		}
+		mgr, err := slmanager.New(enclave, local)
+		if err != nil {
+			t.Fatalf("slmanager.New: %v", err)
+		}
+		e.manager = mgr
+		e.remote = remote
+	}
+	return e
+}
+
+func TestProvisionLoadExecute(t *testing.T) {
+	e := newEnv(t, false, nil)
+	body := []byte("secret decrypt kernel v1")
+	ef, err := e.server.Provision("decrypt", body, e.enclave.Measurement())
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	loader, err := NewLoader(e.enclave, e.platform, e.server, nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	ran := 0
+	if err := loader.Load(ef, func() error { ran++; return nil }, ""); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !loader.Loaded("decrypt") {
+		t.Fatal("function not loaded")
+	}
+	digest, ok := loader.BodyDigest("decrypt")
+	if !ok || digest != sha256.Sum256(body) {
+		t.Fatal("decrypted body is not the provisioned code")
+	}
+	if err := loader.Execute("decrypt"); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d", ran)
+	}
+	if e.server.KeysReleased() != 1 {
+		t.Fatalf("keys released = %d", e.server.KeysReleased())
+	}
+	if err := loader.Execute("ghost"); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("unloaded execute: %v", err)
+	}
+}
+
+func TestKeyDeniedToWrongEnclave(t *testing.T) {
+	e := newEnv(t, false, nil)
+	ef, err := e.server.Provision("decrypt", []byte("body"), e.enclave.Measurement())
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	// A different enclave (trusted for attestation, wrong measurement for
+	// this function) must not receive the key.
+	other, err := e.machine.CreateEnclave("impostor", []byte("impostor-code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	e.service.TrustMeasurement(other.Measurement())
+	loader, err := NewLoader(other, e.platform, e.server, nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if err := loader.Load(ef, func() error { return nil }, ""); !errors.Is(err, ErrAttestationRequired) {
+		t.Fatalf("wrong-measurement load: %v", err)
+	}
+}
+
+func TestKeyDeniedWithoutTrust(t *testing.T) {
+	e := newEnv(t, false, nil)
+	ef, err := e.server.Provision("f", []byte("body"), e.enclave.Measurement())
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	e.service.RevokeMeasurement(e.enclave.Measurement())
+	loader, err := NewLoader(e.enclave, e.platform, e.server, nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if err := loader.Load(ef, func() error { return nil }, ""); !errors.Is(err, ErrAttestationRequired) {
+		t.Fatalf("untrusted load: %v", err)
+	}
+}
+
+func TestTamperedPayloadRejected(t *testing.T) {
+	e := newEnv(t, false, nil)
+	ef, err := e.server.Provision("f", []byte("body"), e.enclave.Measurement())
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	ef.Ciphertext[len(ef.Ciphertext)/2] ^= 0xFF
+	loader, err := NewLoader(e.enclave, e.platform, e.server, nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if err := loader.Load(ef, func() error { return nil }, ""); !errors.Is(err, ErrCorruptPayload) {
+		t.Fatalf("tampered load: %v", err)
+	}
+}
+
+func TestUnprovisionedFunction(t *testing.T) {
+	e := newEnv(t, false, nil)
+	loader, err := NewLoader(e.enclave, e.platform, e.server, nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	ef := EncryptedFunction{Name: "never", Ciphertext: []byte("junk")}
+	if err := loader.Load(ef, func() error { return nil }, ""); !errors.Is(err, ErrNotProvisioned) {
+		t.Fatalf("unprovisioned load: %v", err)
+	}
+}
+
+// TestPlainPCLIsOneShot pins the paper's critique: once decrypted, plain
+// PCL code runs forever with no further checks.
+func TestPlainPCLIsOneShot(t *testing.T) {
+	e := newEnv(t, false, nil)
+	ef, err := e.server.Provision("f", []byte("body"), e.enclave.Measurement())
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	loader, err := NewLoader(e.enclave, e.platform, e.server, nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if err := loader.Load(ef, func() error { return nil }, ""); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := loader.Execute("f"); err != nil {
+			t.Fatalf("plain PCL stopped at %d: %v", i, err)
+		}
+	}
+	if e.server.KeysReleased() != 1 {
+		t.Fatal("plain PCL contacted the server after load")
+	}
+}
+
+// TestLeaseGatedPCL pins the paper's fix: with the lease logic embedded,
+// the decrypted code only runs while a lease is valid.
+func TestLeaseGatedPCL(t *testing.T) {
+	e := newEnv(t, true, map[string]int64{"lic": 8})
+	ef, err := e.server.Provision("f", []byte("body"), e.enclave.Measurement())
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	loader, err := NewLoader(e.enclave, e.platform, e.server, e.manager)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if err := loader.Load(ef, func() error { return nil }, "lic"); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	runs := 0
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		if err := loader.Execute("f"); err != nil {
+			lastErr = err
+			break
+		}
+		runs++
+	}
+	if runs == 0 || runs > 8 {
+		t.Fatalf("lease-gated PCL allowed %d runs from an 8-unit license", runs)
+	}
+	if !errors.Is(lastErr, slmanager.ErrNoLease) {
+		t.Fatalf("denial error = %v", lastErr)
+	}
+}
+
+func TestLoaderValidation(t *testing.T) {
+	e := newEnv(t, false, nil)
+	if _, err := NewLoader(nil, e.platform, e.server, nil); err == nil {
+		t.Fatal("nil enclave accepted")
+	}
+	loader, err := NewLoader(e.enclave, e.platform, e.server, nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if err := loader.Load(EncryptedFunction{Name: "f"}, nil, ""); err == nil {
+		t.Fatal("nil implementation accepted")
+	}
+	if _, err := e.server.Provision("", []byte("b"), sgx.Measurement{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewKeyServer(nil); err == nil {
+		t.Fatal("nil service accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package seccrypto implements the cryptographic primitives SecureLease
+// relies on: the Protect/Validate pair used to commit lease-tree nodes to
+// untrusted memory (Algorithms 2 and 3 in the paper), authenticated
+// encryption built on AES-GCM, and the hash functions compared in the
+// paper's Table 1 (MurmurHash3 and SHA-256).
+//
+// All keys are 128-bit AES keys wrapped in the Key type. Every Protect call
+// draws a fresh random key, which is what defeats replay: a stale ciphertext
+// can no longer be validated once its parent re-commits with a new key.
+package seccrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the size in bytes of the symmetric keys used throughout
+// SecureLease (AES-128).
+const KeySize = 16
+
+// Key is a symmetric encryption key. The zero value is not a valid key;
+// obtain keys from NewKey or KeyFromBytes.
+type Key struct {
+	b [KeySize]byte
+}
+
+// ErrInvalidKey reports a malformed key encoding.
+var ErrInvalidKey = errors.New("seccrypto: invalid key")
+
+// ErrValidationFailed reports that a protected payload failed authentication:
+// it was tampered with, replayed under a stale key, or truncated.
+var ErrValidationFailed = errors.New("seccrypto: validation failed")
+
+// NewKey generates a fresh random key from the given entropy source.
+// If src is nil, crypto/rand is used.
+func NewKey(src io.Reader) (Key, error) {
+	if src == nil {
+		src = rand.Reader
+	}
+	var k Key
+	if _, err := io.ReadFull(src, k.b[:]); err != nil {
+		return Key{}, fmt.Errorf("seccrypto: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromBytes builds a key from an existing byte slice. The slice must be
+// exactly KeySize bytes.
+func KeyFromBytes(b []byte) (Key, error) {
+	if len(b) != KeySize {
+		return Key{}, fmt.Errorf("%w: got %d bytes, want %d", ErrInvalidKey, len(b), KeySize)
+	}
+	var k Key
+	copy(k.b[:], b)
+	return k, nil
+}
+
+// Bytes returns a copy of the raw key material.
+func (k Key) Bytes() []byte {
+	out := make([]byte, KeySize)
+	copy(out, k.b[:])
+	return out
+}
+
+// IsZero reports whether the key is the (invalid) zero key.
+func (k Key) IsZero() bool {
+	return k.b == [KeySize]byte{}
+}
+
+// Protected is the result of Protect: ciphertext of payload‖hash under a
+// fresh random key, together with that key. The caller stores the
+// ciphertext in untrusted memory and keeps the key inside the enclave
+// (in the parent tree node, per Section 5.5 of the paper).
+type Protected struct {
+	Ciphertext []byte
+	Key        Key
+}
+
+// Protect implements Algorithm 2 of the paper. It hashes the payload,
+// generates a fresh random key, and encrypts payload‖hash with
+// authenticated encryption. The returned key must be retained in trusted
+// memory; the ciphertext may live anywhere.
+//
+// If src is nil, crypto/rand supplies the key and nonce entropy.
+func Protect(payload []byte, src io.Reader) (Protected, error) {
+	key, err := NewKey(src)
+	if err != nil {
+		return Protected{}, err
+	}
+	ct, err := ProtectWithKey(payload, key, src)
+	if err != nil {
+		return Protected{}, err
+	}
+	return Protected{Ciphertext: ct, Key: key}, nil
+}
+
+// ProtectWithKey is Protect with a caller-supplied key. It is used by the
+// sealing machinery, where the key is derived from the enclave identity
+// rather than freshly generated.
+func ProtectWithKey(payload []byte, key Key, src io.Reader) ([]byte, error) {
+	if src == nil {
+		src = rand.Reader
+	}
+	sum := sha256.Sum256(payload)
+	plain := make([]byte, 0, len(payload)+sha256.Size)
+	plain = append(plain, payload...)
+	plain = append(plain, sum[:]...)
+
+	block, err := aes.NewCipher(key.b[:])
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: cipher init: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: gcm init: %w", err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(src, nonce); err != nil {
+		return nil, fmt.Errorf("seccrypto: generating nonce: %w", err)
+	}
+	out := make([]byte, 0, len(nonce)+len(plain)+gcm.Overhead())
+	out = append(out, nonce...)
+	out = gcm.Seal(out, nonce, plain, nil)
+	return out, nil
+}
+
+// Validate implements Algorithm 3 of the paper. It decrypts the ciphertext
+// with the supplied key, recomputes the hash of the recovered payload, and
+// compares it with the stored hash. On any mismatch — wrong key (replay of
+// an old ciphertext), bit flips, truncation — it returns
+// ErrValidationFailed.
+func Validate(ciphertext []byte, key Key) ([]byte, error) {
+	block, err := aes.NewCipher(key.b[:])
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: cipher init: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: gcm init: %w", err)
+	}
+	if len(ciphertext) < gcm.NonceSize() {
+		return nil, ErrValidationFailed
+	}
+	nonce, ct := ciphertext[:gcm.NonceSize()], ciphertext[gcm.NonceSize():]
+	plain, err := gcm.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, ErrValidationFailed
+	}
+	if len(plain) < sha256.Size {
+		return nil, ErrValidationFailed
+	}
+	payload, sum := plain[:len(plain)-sha256.Size], plain[len(plain)-sha256.Size:]
+	want := sha256.Sum256(payload)
+	if [sha256.Size]byte(sum) != want {
+		return nil, ErrValidationFailed
+	}
+	return payload, nil
+}
+
+// SHA256Sum64 returns the first 8 bytes of the SHA-256 digest of data as a
+// uint64. It backs the SHA-256 hash-table variant measured in Table 1 of
+// the paper.
+func SHA256Sum64(data []byte) uint64 {
+	sum := sha256.Sum256(data)
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// Murmur64 computes the 64-bit finalized MurmurHash3 (x64 variant, first
+// half of the 128-bit digest) of data with the given seed. This is the
+// "MurmurHash" contender from Table 1 of the paper (the hash behind C++
+// unordered_map in common implementations).
+func Murmur64(data []byte, seed uint64) uint64 {
+	const (
+		c1 = 0x87c37b91114253d5
+		c2 = 0x4cf5ad432745937f
+	)
+	h1 := seed
+	h2 := seed
+	n := len(data)
+	nblocks := n / 16
+
+	for i := 0; i < nblocks; i++ {
+		k1 := binary.LittleEndian.Uint64(data[i*16:])
+		k2 := binary.LittleEndian.Uint64(data[i*16+8:])
+
+		k1 *= c1
+		k1 = rotl64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+		h1 = rotl64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = rotl64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		h2 = rotl64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	tail := data[nblocks*16:]
+	var k1, k2 uint64
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2
+		k2 = rotl64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1
+		k1 = rotl64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	return h1
+}
+
+func rotl64(x uint64, r uint) uint64 {
+	return (x << r) | (x >> (64 - r))
+}
+
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}

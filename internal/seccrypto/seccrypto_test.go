@@ -1,0 +1,312 @@
+package seccrypto
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKeyDistinct(t *testing.T) {
+	a, err := NewKey(nil)
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	b, err := NewKey(nil)
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	if a == b {
+		t.Fatal("two fresh keys are identical")
+	}
+	if a.IsZero() || b.IsZero() {
+		t.Fatal("fresh key is zero")
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	raw := bytes.Repeat([]byte{0xAB}, KeySize)
+	k, err := KeyFromBytes(raw)
+	if err != nil {
+		t.Fatalf("KeyFromBytes: %v", err)
+	}
+	if !bytes.Equal(k.Bytes(), raw) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := KeyFromBytes(raw[:KeySize-1]); !errors.Is(err, ErrInvalidKey) {
+		t.Fatalf("short key: got %v, want ErrInvalidKey", err)
+	}
+	if _, err := KeyFromBytes(append(raw, 0)); !errors.Is(err, ErrInvalidKey) {
+		t.Fatalf("long key: got %v, want ErrInvalidKey", err)
+	}
+}
+
+func TestKeyBytesIsCopy(t *testing.T) {
+	k, err := NewKey(nil)
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	b := k.Bytes()
+	b[0] ^= 0xFF
+	if bytes.Equal(b, k.Bytes()) {
+		t.Fatal("Bytes returned an aliased slice")
+	}
+}
+
+func TestProtectValidateRoundTrip(t *testing.T) {
+	payload := []byte("lease node payload 0123456789")
+	p, err := Protect(payload, nil)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	got, err := Validate(p.Ciphertext, p.Key)
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %q want %q", got, payload)
+	}
+}
+
+func TestProtectEmptyPayload(t *testing.T) {
+	p, err := Protect(nil, nil)
+	if err != nil {
+		t.Fatalf("Protect(nil): %v", err)
+	}
+	got, err := Validate(p.Ciphertext, p.Key)
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty payload, got %d bytes", len(got))
+	}
+}
+
+func TestValidateDetectsTamper(t *testing.T) {
+	payload := []byte("sensitive lease data")
+	p, err := Protect(payload, nil)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	for i := 0; i < len(p.Ciphertext); i += 7 {
+		ct := append([]byte(nil), p.Ciphertext...)
+		ct[i] ^= 0x01
+		if _, err := Validate(ct, p.Key); !errors.Is(err, ErrValidationFailed) {
+			t.Fatalf("flip at byte %d: got %v, want ErrValidationFailed", i, err)
+		}
+	}
+}
+
+func TestValidateDetectsWrongKey(t *testing.T) {
+	payload := []byte("payload under key A")
+	p, err := Protect(payload, nil)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	other, err := NewKey(nil)
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	if _, err := Validate(p.Ciphertext, other); !errors.Is(err, ErrValidationFailed) {
+		t.Fatalf("wrong key: got %v, want ErrValidationFailed", err)
+	}
+}
+
+func TestValidateDetectsReplay(t *testing.T) {
+	// Simulates the paper's replay scenario (Section 6.2): protect the
+	// same logical node twice; the old ciphertext must not validate under
+	// the new key.
+	payload := []byte("lease count = 10")
+	oldP, err := Protect(payload, nil)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	newP, err := Protect([]byte("lease count = 9"), nil)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	if _, err := Validate(oldP.Ciphertext, newP.Key); !errors.Is(err, ErrValidationFailed) {
+		t.Fatalf("replayed ciphertext validated: %v", err)
+	}
+}
+
+func TestValidateTruncated(t *testing.T) {
+	p, err := Protect([]byte("x"), nil)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	for _, n := range []int{0, 1, 5, 11, len(p.Ciphertext) - 1} {
+		if n > len(p.Ciphertext) {
+			continue
+		}
+		if _, err := Validate(p.Ciphertext[:n], p.Key); !errors.Is(err, ErrValidationFailed) {
+			t.Fatalf("truncated to %d bytes: got %v, want ErrValidationFailed", n, err)
+		}
+	}
+}
+
+func TestProtectWithKeyDeterministicKey(t *testing.T) {
+	key, err := NewKey(nil)
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	payload := []byte("sealed state")
+	ct, err := ProtectWithKey(payload, key, nil)
+	if err != nil {
+		t.Fatalf("ProtectWithKey: %v", err)
+	}
+	got, err := Validate(ct, key)
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestProtectValidateProperty(t *testing.T) {
+	// Property: for any payload, Protect followed by Validate is identity,
+	// and single-bit corruption anywhere in the ciphertext is detected.
+	rng := rand.New(rand.NewSource(42))
+	f := func(payload []byte) bool {
+		p, err := Protect(payload, nil)
+		if err != nil {
+			return false
+		}
+		got, err := Validate(p.Ciphertext, p.Key)
+		if err != nil || !bytes.Equal(got, payload) {
+			return false
+		}
+		ct := append([]byte(nil), p.Ciphertext...)
+		i := rng.Intn(len(ct))
+		ct[i] ^= 1 << uint(rng.Intn(8))
+		_, err = Validate(ct, p.Key)
+		return errors.Is(err, ErrValidationFailed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMurmur64KnownDistinct(t *testing.T) {
+	// MurmurHash must be deterministic, seed-sensitive, and input-sensitive.
+	h1 := Murmur64([]byte("lease-42"), 0)
+	h2 := Murmur64([]byte("lease-42"), 0)
+	if h1 != h2 {
+		t.Fatal("Murmur64 not deterministic")
+	}
+	if Murmur64([]byte("lease-42"), 1) == h1 {
+		t.Fatal("Murmur64 ignores seed")
+	}
+	if Murmur64([]byte("lease-43"), 0) == h1 {
+		t.Fatal("Murmur64 ignores input")
+	}
+}
+
+func TestMurmur64AllTailLengths(t *testing.T) {
+	// Exercise every tail-switch arm (lengths 0..16 mod 16).
+	seen := make(map[uint64]int, 33)
+	buf := make([]byte, 33)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	for n := 0; n <= 32; n++ {
+		h := Murmur64(buf[:n], 99)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision between lengths %d and %d", prev, n)
+		}
+		seen[h] = n
+	}
+}
+
+func TestSHA256Sum64(t *testing.T) {
+	a := SHA256Sum64([]byte("alpha"))
+	b := SHA256Sum64([]byte("alpha"))
+	c := SHA256Sum64([]byte("beta"))
+	if a != b {
+		t.Fatal("SHA256Sum64 not deterministic")
+	}
+	if a == c {
+		t.Fatal("SHA256Sum64 collision on trivially distinct inputs")
+	}
+}
+
+func TestHashDistributionProperty(t *testing.T) {
+	// Property: hashing distinct 8-byte inputs produces (with overwhelming
+	// probability) distinct 64-bit values for both hash functions.
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		var ab, bb [8]byte
+		for i := 0; i < 8; i++ {
+			ab[i] = byte(a >> (8 * uint(i)))
+			bb[i] = byte(b >> (8 * uint(i)))
+		}
+		return Murmur64(ab[:], 0) != Murmur64(bb[:], 0) &&
+			SHA256Sum64(ab[:]) != SHA256Sum64(bb[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkProtect(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 312) // one lease record
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Protect(payload, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 312)
+	p, err := Protect(payload, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Validate(p.Ciphertext, p.Key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMurmur64(b *testing.B) {
+	data := bytes.Repeat([]byte{0xC3}, 32)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Murmur64(data, 0)
+	}
+}
+
+func BenchmarkSHA256Sum64(b *testing.B) {
+	data := bytes.Repeat([]byte{0xC3}, 32)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		SHA256Sum64(data)
+	}
+}
+
+func TestMurmur64ReferenceVectors(t *testing.T) {
+	// First 64-bit word of the canonical MurmurHash3 x64 128-bit digest,
+	// seed 0 — pins our implementation to the reference algorithm.
+	vectors := []struct {
+		input string
+		want  uint64
+	}{
+		{"", 0x0000000000000000},
+		{"hello", 0xcbd8a7b341bd9b02},
+		{"The quick brown fox jumps over the lazy dog", 0xe34bbc7bbc071b6c},
+	}
+	for _, v := range vectors {
+		if got := Murmur64([]byte(v.input), 0); got != v.want {
+			t.Errorf("Murmur64(%q) = %016x, want %016x", v.input, got, v.want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package sgx
+
+import (
+	"testing"
+)
+
+func TestEnclaveAccessors(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	e, err := m.CreateEnclave("named", []byte("identity"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	if e.Name() != "named" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if e.Machine() != m {
+		t.Fatal("Machine accessor wrong")
+	}
+	if e.ID() == 0 {
+		t.Fatal("zero enclave ID")
+	}
+	if (e.Measurement() == Measurement{}) {
+		t.Fatal("zero measurement")
+	}
+	// Same code → same measurement; different code → different.
+	e2, err := m.CreateEnclave("twin", []byte("identity"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	if e.Measurement() != e2.Measurement() {
+		t.Fatal("same code produced different measurements")
+	}
+	e3, err := m.CreateEnclave("other", []byte("other-identity"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	if e.Measurement() == e3.Measurement() {
+		t.Fatal("different code produced the same measurement")
+	}
+}
+
+func TestCreateEnclaveNegativePages(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	if _, err := m.CreateEnclave("bad", []byte("c"), -1); err == nil {
+		t.Fatal("negative initial pages accepted")
+	}
+}
+
+func TestMachineEnclavesListing(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	a, err := m.CreateEnclave("a", []byte("a"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.CreateEnclave("b", []byte("b"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Enclaves()); got != 2 {
+		t.Fatalf("Enclaves = %d", got)
+	}
+	if m.Enclave(a.ID()) != a || m.Enclave(b.ID()) != b {
+		t.Fatal("Enclave lookup wrong")
+	}
+	a.Destroy()
+	if got := len(m.Enclaves()); got != 1 {
+		t.Fatalf("Enclaves after destroy = %d", got)
+	}
+}
+
+func TestPinUnknownAndEvictedPages(t *testing.T) {
+	m := newTestMachine(t, 4*PageSize)
+	e, err := m.CreateEnclave("e", []byte("c"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Pin(PageID(999)); err == nil {
+		t.Fatal("pin of unknown page accepted")
+	}
+	if err := e.Unpin(PageID(999)); err == nil {
+		t.Fatal("unpin of unknown page accepted")
+	}
+	ids, err := e.AllocPages(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict then pin: the pin must fault the page back in and hold it.
+	if err := e.Evict(ids[0]); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if err := e.Pin(ids[0]); err != nil {
+		t.Fatalf("Pin of evicted page: %v", err)
+	}
+	faulted, err := e.Touch(ids[0])
+	if err != nil {
+		t.Fatalf("Touch: %v", err)
+	}
+	if faulted {
+		t.Fatal("pinned page was not resident")
+	}
+	// Unpin of an unpinned page is a no-op.
+	if err := e.Unpin(ids[1]); err != nil {
+		t.Fatalf("Unpin unpinned: %v", err)
+	}
+}
+
+func TestMachineNameAndModelAccessors(t *testing.T) {
+	m, err := NewMachine(MachineConfig{Name: "box", EPCBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "box" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	if m.Model().CPUHz != DefaultCostModel().CPUHz {
+		t.Fatal("default model not applied")
+	}
+	if m.Clock() == nil {
+		t.Fatal("nil clock")
+	}
+}
+
+func TestNewMachineRejectsBadModel(t *testing.T) {
+	bad := DefaultCostModel()
+	bad.ECall = -5
+	if _, err := NewMachine(MachineConfig{EPCBytes: 1 << 20, Model: bad}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestChargeComputeAdvancesClock(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	before := m.Clock().Now()
+	m.ChargeCompute(12345)
+	if got := m.Clock().Since(before); got != 12345 {
+		t.Fatalf("charged %d", got)
+	}
+}
+
+func TestFreePagesOnUnknownIsSafe(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	e, err := m.CreateEnclave("e", []byte("c"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.FreePages([]PageID{12345}) // must not panic
+	ids, err := e.AllocPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.FreePages(ids)
+	e.FreePages(ids) // double free is a no-op
+}
+
+func TestDestroyedEnclaveRemainingOps(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	e, err := m.CreateEnclave("e", []byte("c"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := e.AllocPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Destroy()
+	if err := e.OCall(nil); err == nil {
+		t.Fatal("OCall after destroy accepted")
+	}
+	if _, err := e.Touch(ids[0]); err == nil {
+		t.Fatal("Touch after destroy accepted")
+	}
+	if err := e.Pin(ids[0]); err == nil {
+		t.Fatal("Pin after destroy accepted")
+	}
+	if err := e.Unpin(ids[0]); err == nil {
+		t.Fatal("Unpin after destroy accepted")
+	}
+	if err := e.Evict(ids[0]); err == nil {
+		t.Fatal("Evict after destroy accepted")
+	}
+	if _, err := e.Unseal(nil); err == nil {
+		t.Fatal("Unseal after destroy accepted")
+	}
+	e.FreePages(ids) // no-op, no panic
+}

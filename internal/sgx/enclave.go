@@ -1,0 +1,243 @@
+package sgx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/seccrypto"
+)
+
+// EnclaveID identifies an enclave within one machine.
+type EnclaveID uint32
+
+// Measurement is the enclave's identity (MRENCLAVE analogue): a digest of
+// the code loaded into it. Attestation protocols compare measurements.
+type Measurement [32]byte
+
+// ErrEnclaveDestroyed reports an operation on a torn-down enclave.
+var ErrEnclaveDestroyed = errors.New("sgx: enclave destroyed")
+
+// Enclave is a simulated SGX enclave: a named, measured sandbox whose
+// memory lives in the machine's EPC and whose entry/exit transitions are
+// charged against the virtual clock. Enclave methods are safe for
+// concurrent use.
+type Enclave struct {
+	id      EnclaveID
+	name    string
+	measure Measurement
+	machine *Machine
+	sealKey seccrypto.Key
+
+	destroyed atomic.Bool
+
+	mu    sync.Mutex
+	pages []PageID
+
+	stats Stats // per-enclave counters (machine keeps global ones too)
+}
+
+// ID returns the enclave's machine-local identifier.
+func (e *Enclave) ID() EnclaveID { return e.id }
+
+// Name returns the human-readable name the enclave was created with.
+func (e *Enclave) Name() string { return e.name }
+
+// Measurement returns the enclave's identity digest.
+func (e *Enclave) Measurement() Measurement { return e.measure }
+
+// Machine returns the machine hosting this enclave.
+func (e *Enclave) Machine() *Machine { return e.machine }
+
+// Stats returns a snapshot of this enclave's own transition counters.
+func (e *Enclave) Stats() StatsSnapshot { return e.stats.Snapshot() }
+
+// ECall enters the enclave, charges the transition cost, and runs fn as
+// trusted code. The returned error is fn's error; transition accounting
+// happens regardless.
+func (e *Enclave) ECall(fn func() error) error {
+	if e.destroyed.Load() {
+		return ErrEnclaveDestroyed
+	}
+	e.machine.clock.Advance(e.machine.model.ECall)
+	e.machine.stats.ecalls.Add(1)
+	e.stats.ecalls.Add(1)
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// OCall exits the enclave to run fn as untrusted code, charging the exit
+// transition cost.
+func (e *Enclave) OCall(fn func() error) error {
+	if e.destroyed.Load() {
+		return ErrEnclaveDestroyed
+	}
+	e.machine.clock.Advance(e.machine.model.OCall)
+	e.machine.stats.ocalls.Add(1)
+	e.stats.ocalls.Add(1)
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// AllocPages adds n 4 KB pages of enclave memory, possibly evicting cold
+// EPC pages belonging to any enclave on the machine. It returns the page
+// handles for later Touch/Evict/Free calls.
+func (e *Enclave) AllocPages(n int) ([]PageID, error) {
+	if e.destroyed.Load() {
+		return nil, ErrEnclaveDestroyed
+	}
+	ids, err := e.machine.pager.alloc(e.id, n)
+	if err != nil {
+		return ids, fmt.Errorf("sgx: enclave %q alloc: %w", e.name, err)
+	}
+	e.mu.Lock()
+	e.pages = append(e.pages, ids...)
+	e.mu.Unlock()
+	e.stats.pageAllocs.Add(int64(n))
+	return ids, nil
+}
+
+// AllocBytes allocates enough pages to hold size bytes and returns them.
+func (e *Enclave) AllocBytes(size int64) ([]PageID, error) {
+	if size <= 0 {
+		return nil, nil
+	}
+	pages := int((size + PageSize - 1) / PageSize)
+	return e.AllocPages(pages)
+}
+
+// Touch records an access to an enclave page. If the page had been evicted
+// from the EPC, the access faults and the fault + load-back costs are
+// charged. It reports whether a fault occurred.
+func (e *Enclave) Touch(id PageID) (bool, error) {
+	if e.destroyed.Load() {
+		return false, ErrEnclaveDestroyed
+	}
+	faulted, err := e.machine.pager.touch(id)
+	if faulted {
+		e.stats.epcFaults.Add(1)
+		e.stats.pageLoads.Add(1)
+	}
+	return faulted, err
+}
+
+// Pin marks a page unevictable (root-of-trust pages).
+func (e *Enclave) Pin(id PageID) error {
+	if e.destroyed.Load() {
+		return ErrEnclaveDestroyed
+	}
+	return e.machine.pager.pin(id)
+}
+
+// Unpin makes a pinned page evictable again.
+func (e *Enclave) Unpin(id PageID) error {
+	if e.destroyed.Load() {
+		return ErrEnclaveDestroyed
+	}
+	return e.machine.pager.unpin(id)
+}
+
+// Evict explicitly pushes a page out of the EPC (after the owning component
+// has committed its contents, per Section 5.5 of the paper).
+func (e *Enclave) Evict(id PageID) error {
+	if e.destroyed.Load() {
+		return ErrEnclaveDestroyed
+	}
+	if err := e.machine.pager.evict(id); err != nil {
+		return err
+	}
+	e.stats.pageEvicts.Add(1)
+	return nil
+}
+
+// FreePages releases pages permanently.
+func (e *Enclave) FreePages(ids []PageID) {
+	if e.destroyed.Load() {
+		return
+	}
+	e.machine.pager.free(ids)
+	e.mu.Lock()
+	e.pages = removePages(e.pages, ids)
+	e.mu.Unlock()
+}
+
+// ResidentPages returns how many of this enclave's pages are currently in
+// the EPC.
+func (e *Enclave) ResidentPages() int {
+	return e.machine.pager.residentOf(e.id)
+}
+
+// Seal encrypts data under a key bound to the enclave's measurement, so
+// only a future instance of the same enclave can recover it. The cost of
+// one seal operation is charged per page of data.
+func (e *Enclave) Seal(data []byte) ([]byte, error) {
+	if e.destroyed.Load() {
+		return nil, ErrEnclaveDestroyed
+	}
+	e.chargeSeal(len(data))
+	ct, err := seccrypto.ProtectWithKey(data, e.sealKey, nil)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal: %w", err)
+	}
+	return ct, nil
+}
+
+// Unseal decrypts data previously sealed by an enclave with the same
+// measurement. Tampered or foreign blobs fail validation.
+func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
+	if e.destroyed.Load() {
+		return nil, ErrEnclaveDestroyed
+	}
+	e.chargeSeal(len(blob))
+	data, err := seccrypto.Validate(blob, e.sealKey)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal: %w", err)
+	}
+	return data, nil
+}
+
+func (e *Enclave) chargeSeal(n int) {
+	pages := int64((n + PageSize - 1) / PageSize)
+	if pages == 0 {
+		pages = 1
+	}
+	e.machine.clock.Advance(pages * e.machine.model.SealCycles)
+	e.machine.stats.sealOps.Add(1)
+	e.stats.sealOps.Add(1)
+}
+
+// Destroy tears the enclave down, releasing all its EPC pages. Further
+// operations fail with ErrEnclaveDestroyed.
+func (e *Enclave) Destroy() {
+	if !e.destroyed.CompareAndSwap(false, true) {
+		return
+	}
+	e.mu.Lock()
+	pages := e.pages
+	e.pages = nil
+	e.mu.Unlock()
+	e.machine.pager.free(pages)
+	e.machine.removeEnclave(e.id)
+}
+
+func removePages(have, drop []PageID) []PageID {
+	if len(drop) == 0 {
+		return have
+	}
+	dropSet := make(map[PageID]struct{}, len(drop))
+	for _, id := range drop {
+		dropSet[id] = struct{}{}
+	}
+	out := have[:0]
+	for _, id := range have {
+		if _, gone := dropSet[id]; !gone {
+			out = append(out, id)
+		}
+	}
+	return out
+}

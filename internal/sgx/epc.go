@@ -1,0 +1,260 @@
+package sgx
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies one 4 KB page owned by an enclave. Page IDs are unique
+// per machine and never reused.
+type PageID uint64
+
+// pageState tracks where a page currently lives.
+type pageState uint8
+
+const (
+	pageResident pageState = iota + 1
+	pageEvicted
+)
+
+// page is the pager's bookkeeping record for one enclave page.
+type page struct {
+	id      PageID
+	owner   EnclaveID
+	state   pageState
+	pinned  bool
+	lruElem *list.Element // non-nil iff resident and unpinned
+}
+
+// ErrEPCExhausted reports that the EPC cannot hold another page even after
+// evicting every unpinned resident page.
+var ErrEPCExhausted = errors.New("sgx: EPC exhausted (all resident pages pinned)")
+
+// errUnknownPage reports a page ID the pager has never issued or has freed.
+var errUnknownPage = errors.New("sgx: unknown page")
+
+// epcPager models the enclave page cache: a fixed pool of resident slots
+// with transparent LRU eviction to untrusted memory. Evictions, load-backs,
+// faults, and allocations advance the machine clock by the cost model's
+// unit charges and bump the driver-style counters.
+//
+// The pager does not hold page contents — SecureLease components keep their
+// own data and use the pager purely for residency accounting, exactly as
+// the paper's evaluation does (it measures fault and eviction counts).
+type epcPager struct {
+	mu       sync.Mutex
+	capacity int // resident slots (pages)
+	resident int
+	pages    map[PageID]*page
+	lru      *list.List // front = least recently used; values are *page
+	nextID   PageID
+
+	clock *Clock
+	model CostModel
+	stats *Stats
+}
+
+func newEPCPager(capacityPages int, clock *Clock, model CostModel, stats *Stats) *epcPager {
+	return &epcPager{
+		capacity: capacityPages,
+		pages:    make(map[PageID]*page, capacityPages),
+		lru:      list.New(),
+		clock:    clock,
+		model:    model,
+		stats:    stats,
+	}
+}
+
+// alloc adds n fresh resident pages for the given enclave, evicting cold
+// pages if the EPC is full. It returns the new page IDs.
+func (p *epcPager) alloc(owner EnclaveID, n int) ([]PageID, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	ids := make([]PageID, 0, n)
+	for i := 0; i < n; i++ {
+		if err := p.makeRoomLocked(); err != nil {
+			return ids, err
+		}
+		p.nextID++
+		pg := &page{id: p.nextID, owner: owner, state: pageResident}
+		pg.lruElem = p.lru.PushBack(pg)
+		p.pages[pg.id] = pg
+		p.resident++
+		p.clock.Advance(p.model.PageAdd)
+		p.stats.pageAllocs.Add(1)
+		ids = append(ids, pg.id)
+	}
+	return ids, nil
+}
+
+// touch records an access to the page. If the page was evicted, the access
+// faults: the fault service cost and a load-back are charged and the page
+// becomes resident again (possibly evicting another page). touch reports
+// whether the access faulted.
+func (p *epcPager) touch(id PageID) (faulted bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	pg, ok := p.pages[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", errUnknownPage, id)
+	}
+	switch pg.state {
+	case pageResident:
+		if pg.lruElem != nil {
+			p.lru.MoveToBack(pg.lruElem)
+		}
+		return false, nil
+	case pageEvicted:
+		p.clock.Advance(p.model.EPCFault)
+		p.stats.epcFaults.Add(1)
+		if err := p.makeRoomLocked(); err != nil {
+			return true, err
+		}
+		p.clock.Advance(p.model.PageLoad)
+		p.stats.pageLoads.Add(1)
+		pg.state = pageResident
+		pg.lruElem = p.lru.PushBack(pg)
+		p.resident++
+		return true, nil
+	default:
+		return false, fmt.Errorf("sgx: page %d in invalid state %d", id, pg.state)
+	}
+}
+
+// pin marks a page as unevictable (e.g. the lease-tree root node, the
+// enclave's root of trust). Pinned pages never leave the EPC.
+func (p *epcPager) pin(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, ok := p.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", errUnknownPage, id)
+	}
+	if pg.state != pageResident {
+		// Fault it in first, inline (cheaper than unlocking and retrying).
+		p.clock.Advance(p.model.EPCFault)
+		p.stats.epcFaults.Add(1)
+		if err := p.makeRoomLocked(); err != nil {
+			return err
+		}
+		p.clock.Advance(p.model.PageLoad)
+		p.stats.pageLoads.Add(1)
+		pg.state = pageResident
+		p.resident++
+	} else if pg.lruElem != nil {
+		p.lru.Remove(pg.lruElem)
+	}
+	pg.pinned = true
+	pg.lruElem = nil
+	return nil
+}
+
+// unpin makes a pinned page evictable again.
+func (p *epcPager) unpin(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, ok := p.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", errUnknownPage, id)
+	}
+	if !pg.pinned {
+		return nil
+	}
+	pg.pinned = false
+	if pg.state == pageResident {
+		pg.lruElem = p.lru.PushBack(pg)
+	}
+	return nil
+}
+
+// evict forces a specific resident page out of the EPC (used when a
+// component explicitly commits-and-offloads state, per Section 5.5).
+func (p *epcPager) evict(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, ok := p.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", errUnknownPage, id)
+	}
+	if pg.state != pageResident {
+		return nil
+	}
+	if pg.pinned {
+		return fmt.Errorf("sgx: page %d is pinned and cannot be evicted", id)
+	}
+	p.evictLocked(pg)
+	return nil
+}
+
+// free releases pages permanently (enclave teardown or explicit dealloc).
+func (p *epcPager) free(ids []PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		pg, ok := p.pages[id]
+		if !ok {
+			continue
+		}
+		if pg.state == pageResident {
+			if pg.lruElem != nil {
+				p.lru.Remove(pg.lruElem)
+			}
+			p.resident--
+		}
+		delete(p.pages, id)
+	}
+}
+
+// residentCount returns the number of pages currently in the EPC.
+func (p *epcPager) residentCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.resident
+}
+
+// residentOf returns the number of resident pages owned by one enclave.
+func (p *epcPager) residentOf(owner EnclaveID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, pg := range p.pages {
+		if pg.owner == owner && pg.state == pageResident {
+			n++
+		}
+	}
+	return n
+}
+
+// makeRoomLocked evicts LRU pages until at least one slot is free.
+func (p *epcPager) makeRoomLocked() error {
+	for p.resident >= p.capacity {
+		front := p.lru.Front()
+		if front == nil {
+			return ErrEPCExhausted
+		}
+		pg, ok := front.Value.(*page)
+		if !ok {
+			return errors.New("sgx: corrupt LRU list")
+		}
+		p.evictLocked(pg)
+	}
+	return nil
+}
+
+func (p *epcPager) evictLocked(pg *page) {
+	if pg.lruElem != nil {
+		p.lru.Remove(pg.lruElem)
+		pg.lruElem = nil
+	}
+	pg.state = pageEvicted
+	p.resident--
+	p.clock.Advance(p.model.PageEvict)
+	p.stats.pageEvicts.Add(1)
+}

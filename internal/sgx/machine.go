@@ -1,0 +1,178 @@
+package sgx
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"repro/internal/seccrypto"
+)
+
+// MachineConfig configures a simulated SGX-capable machine.
+type MachineConfig struct {
+	// Name labels the machine in logs and attestation evidence.
+	Name string
+	// EPCBytes is the usable enclave page cache size. Defaults to the
+	// paper's ~92 MB when zero.
+	EPCBytes int64
+	// Model is the cost model. Defaults to DefaultCostModel when zero.
+	Model CostModel
+}
+
+// Machine is a simulated SGX-capable host: a shared EPC, a virtual cycle
+// clock, driver-style statistics, and the enclaves currently running on it.
+// One Machine corresponds to one client node in the paper's setting.
+//
+// Machine is safe for concurrent use.
+type Machine struct {
+	name  string
+	clock Clock
+	model CostModel
+	pager *epcPager
+	stats Stats
+
+	mu       sync.Mutex
+	nextID   EnclaveID
+	enclaves map[EnclaveID]*Enclave
+	platform seccrypto.Key // platform root key; derives enclave seal keys
+}
+
+// NewMachine builds a machine from the config. Zero-valued fields take the
+// paper's defaults (92 MB EPC, DefaultCostModel).
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	if cfg.EPCBytes == 0 {
+		cfg.EPCBytes = DefaultEPC
+	}
+	if cfg.EPCBytes < PageSize {
+		return nil, fmt.Errorf("sgx: EPC of %d bytes is smaller than one page", cfg.EPCBytes)
+	}
+	if cfg.Model == (CostModel{}) {
+		cfg.Model = DefaultCostModel()
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	platform, err := seccrypto.NewKey(nil)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: platform key: %w", err)
+	}
+	m := &Machine{
+		name:     cfg.Name,
+		model:    cfg.Model,
+		enclaves: make(map[EnclaveID]*Enclave),
+		platform: platform,
+	}
+	m.pager = newEPCPager(int(cfg.EPCBytes/PageSize), &m.clock, cfg.Model, &m.stats)
+	return m, nil
+}
+
+// Name returns the machine's label.
+func (m *Machine) Name() string { return m.name }
+
+// Clock returns the machine's virtual cycle clock.
+func (m *Machine) Clock() *Clock { return &m.clock }
+
+// Model returns the cost model in effect.
+func (m *Machine) Model() CostModel { return m.model }
+
+// Stats returns a snapshot of the machine-wide SGX event counters.
+func (m *Machine) Stats() StatsSnapshot { return m.stats.Snapshot() }
+
+// EPCResidentPages returns the total number of pages currently resident in
+// the EPC across all enclaves.
+func (m *Machine) EPCResidentPages() int { return m.pager.residentCount() }
+
+// EPCCapacityPages returns the EPC capacity in pages.
+func (m *Machine) EPCCapacityPages() int { return m.pager.capacity }
+
+// CreateEnclave launches an enclave named name whose identity is the
+// measurement of codeIdentity (any stable byte description of the code,
+// e.g. the binary's hash). The creation cost plus per-page add costs for
+// initialPages are charged.
+func (m *Machine) CreateEnclave(name string, codeIdentity []byte, initialPages int) (*Enclave, error) {
+	if initialPages < 0 {
+		return nil, fmt.Errorf("sgx: negative initial pages %d", initialPages)
+	}
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.mu.Unlock()
+
+	sealKey, err := m.deriveSealKey(codeIdentity)
+	if err != nil {
+		return nil, err
+	}
+	e := &Enclave{
+		id:      id,
+		name:    name,
+		measure: sha256.Sum256(codeIdentity),
+		machine: m,
+		sealKey: sealKey,
+	}
+	m.clock.Advance(m.model.EnclaveCreate)
+	if initialPages > 0 {
+		if _, err := e.AllocPages(initialPages); err != nil {
+			return nil, err
+		}
+	}
+
+	m.mu.Lock()
+	m.enclaves[id] = e
+	m.mu.Unlock()
+	return e, nil
+}
+
+// Enclave returns the live enclave with the given ID, or nil.
+func (m *Machine) Enclave(id EnclaveID) *Enclave {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.enclaves[id]
+}
+
+// Enclaves returns the live enclaves, in unspecified order.
+func (m *Machine) Enclaves() []*Enclave {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Enclave, 0, len(m.enclaves))
+	for _, e := range m.enclaves {
+		out = append(out, e)
+	}
+	return out
+}
+
+// ChargeLocalAttestation advances the clock by one local-attestation round
+// trip and bumps the counter. The attestation protocol itself lives in
+// internal/attest; the machine only does the accounting.
+func (m *Machine) ChargeLocalAttestation() {
+	m.clock.Advance(m.model.LocalAttest)
+	m.stats.localAttests.Add(1)
+}
+
+// ChargeRemoteAttestation advances the clock by the remote-attestation
+// latency (3-4 s in the paper) and bumps the counter.
+func (m *Machine) ChargeRemoteAttestation() {
+	m.clock.Advance(m.model.DurationToCycles(m.model.RemoteAttest))
+	m.stats.remoteAttests.Add(1)
+}
+
+// ChargeCompute advances the clock by an application compute cost. It lets
+// workload simulations account for their non-SGX execution time on the
+// same timeline as the SGX events.
+func (m *Machine) ChargeCompute(cycles int64) {
+	m.clock.Advance(cycles)
+}
+
+// deriveSealKey derives an enclave-measurement-bound key from the platform
+// root key, mimicking EGETKEY's seal-key derivation.
+func (m *Machine) deriveSealKey(codeIdentity []byte) (seccrypto.Key, error) {
+	h := sha256.New()
+	h.Write(m.platform.Bytes())
+	h.Write(codeIdentity)
+	return seccrypto.KeyFromBytes(h.Sum(nil)[:seccrypto.KeySize])
+}
+
+func (m *Machine) removeEnclave(id EnclaveID) {
+	m.mu.Lock()
+	delete(m.enclaves, id)
+	m.mu.Unlock()
+}

@@ -1,0 +1,626 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestMachine(t *testing.T, epcBytes int64) *Machine {
+	t.Helper()
+	m, err := NewMachine(MachineConfig{Name: "test", EPCBytes: epcBytes})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	return m
+}
+
+func TestDefaultCostModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatalf("default cost model invalid: %v", err)
+	}
+}
+
+func TestCostModelValidateRejectsBad(t *testing.T) {
+	m := DefaultCostModel()
+	m.CPUHz = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero CPUHz accepted")
+	}
+	m = DefaultCostModel()
+	m.ECall = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative ECall accepted")
+	}
+	m = DefaultCostModel()
+	m.RemoteAttest = -time.Second
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative RemoteAttest accepted")
+	}
+}
+
+func TestCyclesDurationRoundTrip(t *testing.T) {
+	m := DefaultCostModel()
+	d := m.CyclesToDuration(2_900_000_000)
+	if d < 999*time.Millisecond || d > 1001*time.Millisecond {
+		t.Fatalf("2.9e9 cycles at 2.9GHz should be ~1s, got %v", d)
+	}
+	c := m.DurationToCycles(time.Second)
+	if c < 2_899_000_000 || c > 2_901_000_000 {
+		t.Fatalf("1s at 2.9GHz should be ~2.9e9 cycles, got %d", c)
+	}
+	if m.CyclesToDuration(-5) != 0 {
+		t.Fatal("negative cycles should convert to 0")
+	}
+	if m.DurationToCycles(-time.Second) != 0 {
+		t.Fatal("negative duration should convert to 0")
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), int64(workers*perWorker*3); got != want {
+		t.Fatalf("clock = %d, want %d", got, want)
+	}
+	c.Advance(-100)
+	if got := c.Now(); got != int64(workers*perWorker*3) {
+		t.Fatalf("negative advance changed the clock to %d", got)
+	}
+}
+
+func TestMachineDefaults(t *testing.T) {
+	m := newTestMachine(t, 0)
+	if got, want := m.EPCCapacityPages(), DefaultEPC/PageSize; got != want {
+		t.Fatalf("EPC capacity = %d pages, want %d", got, want)
+	}
+	if m.Model().ECall != 17000 {
+		t.Fatalf("default ECall cost = %d, want 17000", m.Model().ECall)
+	}
+}
+
+func TestMachineRejectsTinyEPC(t *testing.T) {
+	if _, err := NewMachine(MachineConfig{EPCBytes: 100}); err == nil {
+		t.Fatal("sub-page EPC accepted")
+	}
+}
+
+func TestEnclaveCreateChargesClock(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	before := m.Clock().Now()
+	if _, err := m.CreateEnclave("e", []byte("code"), 4); err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	charged := m.Clock().Since(before)
+	want := m.Model().EnclaveCreate + 4*m.Model().PageAdd
+	if charged != want {
+		t.Fatalf("creation charged %d cycles, want %d", charged, want)
+	}
+}
+
+func TestECallOCallAccounting(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	start := m.Clock().Now()
+	ran := false
+	if err := e.ECall(func() error { ran = true; return nil }); err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+	if !ran {
+		t.Fatal("ECall did not run the trusted function")
+	}
+	if err := e.OCall(nil); err != nil {
+		t.Fatalf("OCall: %v", err)
+	}
+	if got, want := m.Clock().Since(start), m.Model().ECall+m.Model().OCall; got != want {
+		t.Fatalf("transitions charged %d cycles, want %d", got, want)
+	}
+	s := m.Stats()
+	if s.ECalls != 1 || s.OCalls != 1 {
+		t.Fatalf("stats = %+v, want 1 ecall and 1 ocall", s)
+	}
+	es := e.Stats()
+	if es.ECalls != 1 || es.OCalls != 1 {
+		t.Fatalf("enclave stats = %+v, want 1 ecall and 1 ocall", es)
+	}
+}
+
+func TestECallPropagatesError(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	sentinel := errors.New("trusted failure")
+	if err := e.ECall(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("ECall error = %v, want sentinel", err)
+	}
+}
+
+func TestEPCEvictionOnPressure(t *testing.T) {
+	// EPC of 8 pages; allocating 12 must evict 4.
+	m := newTestMachine(t, 8*PageSize)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	ids, err := e.AllocPages(12)
+	if err != nil {
+		t.Fatalf("AllocPages: %v", err)
+	}
+	if len(ids) != 12 {
+		t.Fatalf("got %d pages, want 12", len(ids))
+	}
+	s := m.Stats()
+	if s.PageEvicts != 4 {
+		t.Fatalf("evictions = %d, want 4", s.PageEvicts)
+	}
+	if got := m.EPCResidentPages(); got != 8 {
+		t.Fatalf("resident = %d, want 8", got)
+	}
+}
+
+func TestTouchFaultsEvictedPage(t *testing.T) {
+	m := newTestMachine(t, 4*PageSize)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	ids, err := e.AllocPages(6) // first two get evicted (LRU)
+	if err != nil {
+		t.Fatalf("AllocPages: %v", err)
+	}
+	faulted, err := e.Touch(ids[0])
+	if err != nil {
+		t.Fatalf("Touch: %v", err)
+	}
+	if !faulted {
+		t.Fatal("touching an evicted page did not fault")
+	}
+	faulted, err = e.Touch(ids[0])
+	if err != nil {
+		t.Fatalf("Touch: %v", err)
+	}
+	if faulted {
+		t.Fatal("second touch of a resident page faulted")
+	}
+	s := m.Stats()
+	if s.EPCFaults != 1 {
+		t.Fatalf("faults = %d, want 1", s.EPCFaults)
+	}
+	if s.PageLoads != 1 {
+		t.Fatalf("loads = %d, want 1", s.PageLoads)
+	}
+}
+
+func TestLRUOrderRespectsTouches(t *testing.T) {
+	m := newTestMachine(t, 3*PageSize)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	ids, err := e.AllocPages(3)
+	if err != nil {
+		t.Fatalf("AllocPages: %v", err)
+	}
+	// Touch page 0 to make page 1 the LRU victim.
+	if _, err := e.Touch(ids[0]); err != nil {
+		t.Fatalf("Touch: %v", err)
+	}
+	if _, err := e.AllocPages(1); err != nil {
+		t.Fatalf("AllocPages: %v", err)
+	}
+	faulted, err := e.Touch(ids[1])
+	if err != nil {
+		t.Fatalf("Touch: %v", err)
+	}
+	if !faulted {
+		t.Fatal("expected page 1 to have been the eviction victim")
+	}
+	faulted, err = e.Touch(ids[0])
+	if err != nil {
+		t.Fatalf("Touch: %v", err)
+	}
+	if faulted {
+		// Page 0 was recently used, then page 2 was LRU when page 1 faulted
+		// back in; page 0 may have been evicted at that point. Accept either
+		// but verify the pager still works.
+		if _, err := e.Touch(ids[0]); err != nil {
+			t.Fatalf("re-touch: %v", err)
+		}
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	m := newTestMachine(t, 2*PageSize)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	ids, err := e.AllocPages(2)
+	if err != nil {
+		t.Fatalf("AllocPages: %v", err)
+	}
+	if err := e.Pin(ids[0]); err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	if _, err := e.AllocPages(1); err != nil {
+		t.Fatalf("AllocPages under pressure: %v", err)
+	}
+	// Pinned page must still be resident (touch must not fault).
+	faulted, err := e.Touch(ids[0])
+	if err != nil {
+		t.Fatalf("Touch: %v", err)
+	}
+	if faulted {
+		t.Fatal("pinned page was evicted")
+	}
+	if err := e.Evict(ids[0]); err == nil {
+		t.Fatal("explicit eviction of a pinned page succeeded")
+	}
+	if err := e.Unpin(ids[0]); err != nil {
+		t.Fatalf("Unpin: %v", err)
+	}
+	if err := e.Evict(ids[0]); err != nil {
+		t.Fatalf("Evict after Unpin: %v", err)
+	}
+}
+
+func TestEPCExhaustedWhenAllPinned(t *testing.T) {
+	m := newTestMachine(t, 2*PageSize)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	ids, err := e.AllocPages(2)
+	if err != nil {
+		t.Fatalf("AllocPages: %v", err)
+	}
+	for _, id := range ids {
+		if err := e.Pin(id); err != nil {
+			t.Fatalf("Pin: %v", err)
+		}
+	}
+	if _, err := e.AllocPages(1); !errors.Is(err, ErrEPCExhausted) {
+		t.Fatalf("alloc with all pages pinned: got %v, want ErrEPCExhausted", err)
+	}
+}
+
+func TestExplicitEvictAndFree(t *testing.T) {
+	m := newTestMachine(t, 16*PageSize)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	ids, err := e.AllocPages(4)
+	if err != nil {
+		t.Fatalf("AllocPages: %v", err)
+	}
+	if err := e.Evict(ids[2]); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if got := e.ResidentPages(); got != 3 {
+		t.Fatalf("resident after evict = %d, want 3", got)
+	}
+	// Evicting an already-evicted page is a no-op.
+	if err := e.Evict(ids[2]); err != nil {
+		t.Fatalf("double Evict: %v", err)
+	}
+	e.FreePages(ids)
+	if got := e.ResidentPages(); got != 0 {
+		t.Fatalf("resident after free = %d, want 0", got)
+	}
+	if _, err := e.Touch(ids[0]); err == nil {
+		t.Fatal("touching a freed page succeeded")
+	}
+}
+
+func TestAllocBytesRoundsUp(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	ids, err := e.AllocBytes(PageSize + 1)
+	if err != nil {
+		t.Fatalf("AllocBytes: %v", err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("AllocBytes(4097) = %d pages, want 2", len(ids))
+	}
+	ids, err = e.AllocBytes(0)
+	if err != nil || ids != nil {
+		t.Fatalf("AllocBytes(0) = %v, %v; want nil, nil", ids, err)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	e, err := m.CreateEnclave("e", []byte("codeA"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	data := []byte("lease tree root node contents")
+	blob, err := e.Seal(data)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, err := e.Unseal(blob)
+	if err != nil {
+		t.Fatalf("Unseal: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("seal round trip mismatch")
+	}
+
+	// A same-code enclave on the same machine can unseal.
+	e2, err := m.CreateEnclave("e2", []byte("codeA"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	if _, err := e2.Unseal(blob); err != nil {
+		t.Fatalf("same-measurement Unseal: %v", err)
+	}
+
+	// A different-code enclave cannot.
+	e3, err := m.CreateEnclave("e3", []byte("codeB"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	if _, err := e3.Unseal(blob); err == nil {
+		t.Fatal("different measurement unsealed the blob")
+	}
+}
+
+func TestSealDoesNotCrossMachines(t *testing.T) {
+	m1 := newTestMachine(t, 1<<20)
+	m2 := newTestMachine(t, 1<<20)
+	e1, err := m1.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	e2, err := m2.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	blob, err := e1.Seal([]byte("secret"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := e2.Unseal(blob); err == nil {
+		t.Fatal("seal key leaked across machines")
+	}
+}
+
+func TestDestroyedEnclaveRejectsOps(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	e, err := m.CreateEnclave("e", []byte("code"), 2)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	e.Destroy()
+	e.Destroy() // idempotent
+	if err := e.ECall(nil); !errors.Is(err, ErrEnclaveDestroyed) {
+		t.Fatalf("ECall after destroy: %v", err)
+	}
+	if _, err := e.AllocPages(1); !errors.Is(err, ErrEnclaveDestroyed) {
+		t.Fatalf("AllocPages after destroy: %v", err)
+	}
+	if _, err := e.Seal(nil); !errors.Is(err, ErrEnclaveDestroyed) {
+		t.Fatalf("Seal after destroy: %v", err)
+	}
+	if m.Enclave(e.ID()) != nil {
+		t.Fatal("destroyed enclave still registered on machine")
+	}
+}
+
+func TestDestroyReleasesEPC(t *testing.T) {
+	m := newTestMachine(t, 4*PageSize)
+	e, err := m.CreateEnclave("e", []byte("code"), 4)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	if got := m.EPCResidentPages(); got != 4 {
+		t.Fatalf("resident = %d, want 4", got)
+	}
+	e.Destroy()
+	if got := m.EPCResidentPages(); got != 0 {
+		t.Fatalf("resident after destroy = %d, want 0", got)
+	}
+	// The freed EPC is reusable.
+	e2, err := m.CreateEnclave("e2", []byte("code"), 4)
+	if err != nil {
+		t.Fatalf("CreateEnclave after destroy: %v", err)
+	}
+	if got := e2.ResidentPages(); got != 4 {
+		t.Fatalf("new enclave resident = %d, want 4", got)
+	}
+}
+
+func TestAttestationCharges(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	start := m.Clock().Now()
+	m.ChargeLocalAttestation()
+	la := m.Clock().Since(start)
+	if la != m.Model().LocalAttest {
+		t.Fatalf("local attestation charged %d, want %d", la, m.Model().LocalAttest)
+	}
+	start = m.Clock().Now()
+	m.ChargeRemoteAttestation()
+	ra := m.Clock().Elapsed(start, m.Model())
+	if ra < 3*time.Second || ra > 4*time.Second {
+		t.Fatalf("remote attestation charged %v, want 3-4s", ra)
+	}
+	s := m.Stats()
+	if s.LocalAttests != 1 || s.RemoteAttests != 1 {
+		t.Fatalf("attestation counters = %+v", s)
+	}
+}
+
+func TestStatsSnapshotSub(t *testing.T) {
+	m := newTestMachine(t, 1<<20)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	before := m.Stats()
+	for i := 0; i < 5; i++ {
+		if err := e.ECall(nil); err != nil {
+			t.Fatalf("ECall: %v", err)
+		}
+	}
+	delta := m.Stats().Sub(before)
+	if delta.ECalls != 5 {
+		t.Fatalf("delta ecalls = %d, want 5", delta.ECalls)
+	}
+	if got := delta.String(); got == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestConcurrentEnclaveUse(t *testing.T) {
+	m := newTestMachine(t, 64*PageSize)
+	e, err := m.CreateEnclave("e", []byte("code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	var wg sync.WaitGroup
+	const workers = 8
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids, err := e.AllocPages(4)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := 0; i < 50; i++ {
+				if _, err := e.Touch(ids[i%len(ids)]); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := e.ECall(nil); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	s := m.Stats()
+	if s.ECalls != workers*50 {
+		t.Fatalf("ecalls = %d, want %d", s.ECalls, workers*50)
+	}
+	if s.PageAllocs != workers*4 {
+		t.Fatalf("page allocs = %d, want %d", s.PageAllocs, workers*4)
+	}
+}
+
+func TestPagerInvariantProperty(t *testing.T) {
+	// Property: after any sequence of alloc/touch/evict operations, the
+	// number of resident pages never exceeds capacity.
+	f := func(ops []uint8) bool {
+		m, err := NewMachine(MachineConfig{EPCBytes: 6 * PageSize})
+		if err != nil {
+			return false
+		}
+		e, err := m.CreateEnclave("p", []byte("c"), 0)
+		if err != nil {
+			return false
+		}
+		var ids []PageID
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				got, err := e.AllocPages(1)
+				if err != nil {
+					return false
+				}
+				ids = append(ids, got...)
+			case 1:
+				if len(ids) > 0 {
+					if _, err := e.Touch(ids[int(op)%len(ids)]); err != nil {
+						return false
+					}
+				}
+			case 2:
+				if len(ids) > 0 {
+					if err := e.Evict(ids[int(op)%len(ids)]); err != nil {
+						return false
+					}
+				}
+			}
+			if m.EPCResidentPages() > m.EPCCapacityPages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkECall(b *testing.B) {
+	m, err := NewMachine(MachineConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := m.CreateEnclave("bench", []byte("code"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.ECall(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTouchResident(b *testing.B) {
+	m, err := NewMachine(MachineConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := m.CreateEnclave("bench", []byte("code"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids, err := e.AllocPages(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Touch(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sgx
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats mirrors the counters the paper collects from its modified SGX
+// driver (Section 7.1): EPC page evictions, allocations, and load-backs,
+// plus the enclave transition counts that drive the cost model.
+//
+// Stats is safe for concurrent use; read a consistent copy with Snapshot.
+type Stats struct {
+	ecalls        atomic.Int64
+	ocalls        atomic.Int64
+	epcFaults     atomic.Int64
+	pageAllocs    atomic.Int64
+	pageEvicts    atomic.Int64
+	pageLoads     atomic.Int64
+	localAttests  atomic.Int64
+	remoteAttests atomic.Int64
+	sealOps       atomic.Int64
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	ECalls        int64
+	OCalls        int64
+	EPCFaults     int64
+	PageAllocs    int64
+	PageEvicts    int64
+	PageLoads     int64
+	LocalAttests  int64
+	RemoteAttests int64
+	SealOps       int64
+}
+
+// Snapshot returns a consistent-enough copy of all counters. Individual
+// counters are loaded atomically; cross-counter skew is bounded by whatever
+// activity is concurrently in flight, which is acceptable for reporting.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		ECalls:        s.ecalls.Load(),
+		OCalls:        s.ocalls.Load(),
+		EPCFaults:     s.epcFaults.Load(),
+		PageAllocs:    s.pageAllocs.Load(),
+		PageEvicts:    s.pageEvicts.Load(),
+		PageLoads:     s.pageLoads.Load(),
+		LocalAttests:  s.localAttests.Load(),
+		RemoteAttests: s.remoteAttests.Load(),
+		SealOps:       s.sealOps.Load(),
+	}
+}
+
+// Sub returns the per-field difference s - o, for measuring an interval.
+func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		ECalls:        s.ECalls - o.ECalls,
+		OCalls:        s.OCalls - o.OCalls,
+		EPCFaults:     s.EPCFaults - o.EPCFaults,
+		PageAllocs:    s.PageAllocs - o.PageAllocs,
+		PageEvicts:    s.PageEvicts - o.PageEvicts,
+		PageLoads:     s.PageLoads - o.PageLoads,
+		LocalAttests:  s.LocalAttests - o.LocalAttests,
+		RemoteAttests: s.RemoteAttests - o.RemoteAttests,
+		SealOps:       s.SealOps - o.SealOps,
+	}
+}
+
+// String renders the snapshot compactly for logs and experiment output.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf(
+		"ecalls=%d ocalls=%d epc_faults=%d page_allocs=%d page_evicts=%d page_loads=%d la=%d ra=%d seals=%d",
+		s.ECalls, s.OCalls, s.EPCFaults, s.PageAllocs, s.PageEvicts, s.PageLoads,
+		s.LocalAttests, s.RemoteAttests, s.SealOps)
+}

@@ -1,0 +1,61 @@
+package sllocal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/lease"
+)
+
+// encodeDirectory serializes the license→leaseID directory plus the ID
+// allocator high-water mark for sealing at shutdown.
+func encodeDirectory(dir map[string]lease.ID, nextBlk uint32) []byte {
+	size := 8
+	for k := range dir {
+		size += 2 + len(k) + 4
+	}
+	buf := make([]byte, 0, size)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(dir)))
+	binary.LittleEndian.PutUint32(hdr[4:], nextBlk)
+	buf = append(buf, hdr[:]...)
+	for k, id := range dir {
+		var rec [6]byte
+		binary.LittleEndian.PutUint16(rec[0:], uint16(len(k)))
+		binary.LittleEndian.PutUint32(rec[2:], uint32(id))
+		buf = append(buf, rec[:2]...)
+		buf = append(buf, k...)
+		buf = append(buf, rec[2:]...)
+	}
+	return buf
+}
+
+// decodeDirectory reverses encodeDirectory.
+func decodeDirectory(buf []byte) (map[string]lease.ID, uint32, error) {
+	if len(buf) < 8 {
+		return nil, 0, errors.New("sllocal: directory too short")
+	}
+	count := binary.LittleEndian.Uint32(buf[0:])
+	nextBlk := binary.LittleEndian.Uint32(buf[4:])
+	dir := make(map[string]lease.ID, count)
+	off := 8
+	for i := uint32(0); i < count; i++ {
+		if off+2 > len(buf) {
+			return nil, 0, fmt.Errorf("sllocal: directory truncated at entry %d", i)
+		}
+		klen := int(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		if off+klen+4 > len(buf) {
+			return nil, 0, fmt.Errorf("sllocal: directory truncated at entry %d", i)
+		}
+		key := string(buf[off : off+klen])
+		off += klen
+		dir[key] = lease.ID(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	if off != len(buf) {
+		return nil, 0, errors.New("sllocal: trailing bytes in directory")
+	}
+	return dir, nextBlk, nil
+}

@@ -1,0 +1,174 @@
+package sllocal
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/lease"
+)
+
+// TestTimeBasedLicenseEndToEnd drives a time-based license through the
+// full SL-Remote → SL-Local path: the GCL counter is discretized over
+// wall-clock intervals on the machine's virtual clock, so advancing the
+// clock consumes validity even while the machine is idle (Section 4.3).
+func TestTimeBasedLicenseEndToEnd(t *testing.T) {
+	env := newEnv(t, Config{TokenBatch: 1}, nil)
+	// A 30-interval (days in the paper; virtual seconds here) evaluation
+	// license.
+	if err := env.remote.RegisterLicense("lic-eval", lease.TimeBased, 30); err != nil {
+		t.Fatalf("RegisterLicense: %v", err)
+	}
+	if err := env.svc.Init(); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	app := env.app(t, "app")
+
+	// First request fetches the sub-GCL. The grant arrives as a counter;
+	// SL-Local anchors its interval clock at install time.
+	tok, err := env.svc.RequestToken(app, "lic-eval")
+	if err != nil {
+		t.Fatalf("RequestToken: %v", err)
+	}
+	if tok.Grants == 0 {
+		t.Fatal("no grants on a fresh time-based lease")
+	}
+
+	// Time-based leases authorize without decrementing per execution:
+	// many checks within one interval cost nothing.
+	for i := 0; i < 50; i++ {
+		if _, err := env.svc.RequestToken(app, "lic-eval"); err != nil {
+			t.Fatalf("check %d: %v", i, err)
+		}
+	}
+	remaining := env.remote.Outstanding(env.svc.SLID(), "lic-eval")
+	if remaining == 0 {
+		t.Fatal("outstanding dropped to zero without time passing")
+	}
+}
+
+// TestTimeBasedLicenseExpiresWithClock advances the machine's virtual
+// clock past the whole evaluation period and verifies the lease expires —
+// including the paper's machine-was-off catch-up semantics: the intervals
+// are charged in one step at the next check.
+func TestTimeBasedLicenseExpiresWithClock(t *testing.T) {
+	env := newEnv(t, Config{TokenBatch: 1}, nil)
+	// Three 1-day intervals in the pool; the client's sub-lease gets a
+	// slice of them.
+	if err := env.remote.RegisterLicense("lic-trial", lease.TimeBased, 3); err != nil {
+		t.Fatalf("RegisterLicense: %v", err)
+	}
+	if err := env.svc.Init(); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	app := env.app(t, "app")
+	if _, err := env.svc.RequestToken(app, "lic-trial"); err != nil {
+		t.Fatalf("fresh trial check: %v", err)
+	}
+
+	// Advance the virtual clock by 100 days of cycles: every interval the
+	// client held expires at once.
+	model := env.machine.Model()
+	env.machine.ChargeCompute(model.DurationToCycles(100 * 24 * time.Hour))
+
+	denied := false
+	for i := 0; i < 10 && !denied; i++ {
+		if _, err := env.svc.RequestToken(app, "lic-trial"); err != nil {
+			if !errors.Is(err, ErrLeaseDenied) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			denied = true
+		}
+	}
+	if !denied {
+		t.Fatal("trial lease survived 100 virtual days")
+	}
+}
+
+// TestExecTimeChargeExecution exercises the execution-time lease kind at
+// the GCL level together with a count-based flow through the service, to
+// pin the semantic difference: exec-time leases are charged by measured
+// runtime, not per call.
+func TestExecTimeChargeExecution(t *testing.T) {
+	g := lease.NewExecTimeGCL(10, time.Minute)
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		if err := g.Consume(now); err != nil {
+			t.Fatalf("consume %d: %v", i, err)
+		}
+	}
+	if g.Remaining() != 10 {
+		t.Fatalf("per-call consumption charged an exec-time lease: %d", g.Remaining())
+	}
+	g.ChargeExecution(9 * time.Minute)
+	if g.Remaining() != 1 {
+		t.Fatalf("remaining = %d, want 1", g.Remaining())
+	}
+	g.ChargeExecution(2 * time.Minute)
+	if err := g.Consume(now); !errors.Is(err, lease.ErrExpired) {
+		t.Fatalf("expired exec-time lease authorized: %v", err)
+	}
+}
+
+// TestPerpetualLicenseEndToEnd drives a perpetual (seat) license through
+// the stack: one renewal activates it forever; no further renewals occur
+// no matter how many checks run.
+func TestPerpetualLicenseEndToEnd(t *testing.T) {
+	env := newEnv(t, Config{TokenBatch: 10}, nil)
+	if err := env.remote.RegisterLicense("lic-seat", lease.Perpetual, 2); err != nil {
+		t.Fatalf("RegisterLicense: %v", err)
+	}
+	if err := env.svc.Init(); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	app := env.app(t, "app")
+	for i := 0; i < 500; i++ {
+		if _, err := env.svc.RequestToken(app, "lic-seat"); err != nil {
+			t.Fatalf("check %d: %v", i, err)
+		}
+	}
+	if got := env.svc.Stats().Renewals; got != 1 {
+		t.Fatalf("renewals = %d, want 1 (single seat activation)", got)
+	}
+	// The pool only lost one seat.
+	lic, err := env.remote.License("lic-seat")
+	if err != nil {
+		t.Fatalf("License: %v", err)
+	}
+	if lic.Remaining != 1 {
+		t.Fatalf("remaining seats = %d, want 1", lic.Remaining)
+	}
+}
+
+// TestRevocationPropagatesOnRenewal pins Section 4.3's revocation story:
+// cached grants drain, then the next renewal fails.
+func TestRevocationPropagatesOnRenewal(t *testing.T) {
+	env := newEnv(t, Config{TokenBatch: 1}, map[string]int64{"lic": 1_000_000})
+	if err := env.svc.Init(); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	app := env.app(t, "app")
+	if _, err := env.svc.RequestToken(app, "lic"); err != nil {
+		t.Fatalf("RequestToken: %v", err)
+	}
+	if err := env.remote.Revoke("lic"); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	// Cached sub-GCL still serves...
+	if _, err := env.svc.RequestToken(app, "lic"); err != nil {
+		t.Fatalf("cached check after revocation: %v", err)
+	}
+	// ...but once it drains, denial.
+	denied := false
+	for i := 0; i < 1_000_000 && !denied; i++ {
+		if _, err := env.svc.RequestToken(app, "lic"); err != nil {
+			if !errors.Is(err, ErrLeaseDenied) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			denied = true
+		}
+	}
+	if !denied {
+		t.Fatal("revoked license never stopped serving")
+	}
+}

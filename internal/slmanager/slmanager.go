@@ -1,0 +1,155 @@
+// Package slmanager implements SL-Manager, the authentication module
+// SecureLease embeds in the secure (in-enclave) region of every protected
+// application (Sections 4.4 and 5.1 of the paper).
+//
+// An SL-Manager instance guards a set of key functions. Before a key
+// function may execute, the manager must hold a valid token of execution
+// for the corresponding license, obtained from SL-Local after mutual local
+// attestation. Tokens carry a grant count, so one attestation round trip
+// can authorize a batch of executions (the paper's 10-token optimization).
+//
+// Because SL-Manager and the key functions it guards run inside the same
+// enclave, a control-flow-bending attack on the untrusted part of the
+// application cannot reach the key functions without a token — that is the
+// dependency the paper's partitioning creates.
+package slmanager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/lease"
+	"repro/internal/sgx"
+	"repro/internal/sllocal"
+)
+
+// Errors returned by SL-Manager.
+var (
+	// ErrNoLease reports that no token could be obtained for the license.
+	ErrNoLease = errors.New("slmanager: no valid lease")
+	// ErrNotGuarded reports execution of a function the manager knows
+	// nothing about.
+	ErrNotGuarded = errors.New("slmanager: function not guarded by this manager")
+)
+
+// Manager is the in-enclave authentication module of one application. It
+// is safe for concurrent use.
+type Manager struct {
+	enclave *sgx.Enclave
+	local   *sllocal.Service
+
+	mu     sync.Mutex
+	guards map[string]string      // key function name → license ID
+	tokens map[string]lease.Token // license ID → cached token
+	stats  Stats
+}
+
+// Stats counts manager-side events.
+type Stats struct {
+	Authorizations int64 // successful key-function authorizations
+	TokenRequests  int64 // round trips to SL-Local
+	Denials        int64
+}
+
+// New builds an SL-Manager running in the given application enclave and
+// bound to the machine's SL-Local service.
+func New(enclave *sgx.Enclave, local *sllocal.Service) (*Manager, error) {
+	if enclave == nil {
+		return nil, errors.New("slmanager: nil enclave")
+	}
+	if local == nil {
+		return nil, errors.New("slmanager: nil SL-Local service")
+	}
+	return &Manager{
+		enclave: enclave,
+		local:   local,
+		guards:  make(map[string]string),
+		tokens:  make(map[string]lease.Token),
+	}, nil
+}
+
+// Guard registers a key function as protected by the given license. The
+// developer calls this for every function migrated into the enclave
+// (Section 4.2.1: key functions are developer-annotated).
+func (m *Manager) Guard(function, licenseID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.guards[function] = licenseID
+}
+
+// GuardedFunctions returns the names of all registered key functions.
+func (m *Manager) GuardedFunctions() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.guards))
+	for f := range m.guards {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Authorize obtains (or reuses) an execution grant for the license,
+// consuming one grant from the cached token and fetching a fresh batch
+// from SL-Local when the cache is empty.
+func (m *Manager) Authorize(licenseID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.authorizeLocked(licenseID)
+}
+
+func (m *Manager) authorizeLocked(licenseID string) error {
+	tok, ok := m.tokens[licenseID]
+	if ok && tok.Use() {
+		m.tokens[licenseID] = tok
+		m.stats.Authorizations++
+		return nil
+	}
+	fresh, err := m.local.RequestToken(m.enclave, licenseID)
+	m.stats.TokenRequests++
+	if err != nil {
+		m.stats.Denials++
+		return fmt.Errorf("%w: %v", ErrNoLease, err)
+	}
+	if !fresh.Use() {
+		m.stats.Denials++
+		return fmt.Errorf("%w: empty token for %q", ErrNoLease, licenseID)
+	}
+	m.tokens[licenseID] = fresh
+	m.stats.Authorizations++
+	return nil
+}
+
+// Execute runs a guarded key function inside the enclave: it authorizes
+// against the function's license, enters the enclave (one ECALL), and runs
+// fn as trusted code. This is the only path to the key function — there is
+// no unauthorized entry point, which is what defeats CFB attacks.
+func (m *Manager) Execute(function string, fn func() error) error {
+	m.mu.Lock()
+	licenseID, ok := m.guards[function]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotGuarded, function)
+	}
+	if err := m.authorizeLocked(licenseID); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	return m.enclave.ECall(fn)
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// CachedGrants returns how many unused grants the manager holds for a
+// license (for tests and monitoring).
+func (m *Manager) CachedGrants(licenseID string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tokens[licenseID].Grants
+}

@@ -1,0 +1,213 @@
+package slmanager
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/lease"
+	"repro/internal/sgx"
+	"repro/internal/sllocal"
+	"repro/internal/slremote"
+)
+
+type env struct {
+	machine *sgx.Machine
+	local   *sllocal.Service
+	remote  *slremote.Server
+	app     *sgx.Enclave
+	mgr     *Manager
+}
+
+func newEnv(t *testing.T, batch int, licenses map[string]int64) *env {
+	t.Helper()
+	m, err := sgx.NewMachine(sgx.MachineConfig{Name: "client", EPCBytes: 8 << 20})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	plat, err := attest.NewPlatform("client", m)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	remote, err := slremote.NewServer(slremote.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	for id, total := range licenses {
+		if err := remote.RegisterLicense(id, lease.CountBased, total); err != nil {
+			t.Fatalf("RegisterLicense: %v", err)
+		}
+	}
+	svc, err := sllocal.New(sllocal.Config{TokenBatch: batch}, sllocal.Deps{
+		Machine: m, Platform: plat, Remote: remote,
+	})
+	if err != nil {
+		t.Fatalf("sllocal.New: %v", err)
+	}
+	if err := svc.Init(); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	app, err := m.CreateEnclave("app-secure", []byte("app-secure-code"), 0)
+	if err != nil {
+		t.Fatalf("CreateEnclave: %v", err)
+	}
+	mgr, err := New(app, svc)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &env{machine: m, local: svc, remote: remote, app: app, mgr: mgr}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil enclave accepted")
+	}
+	e := newEnv(t, 1, nil)
+	if _, err := New(e.app, nil); err == nil {
+		t.Fatal("nil SL-Local accepted")
+	}
+}
+
+func TestAuthorizeAndExecute(t *testing.T) {
+	e := newEnv(t, 1, map[string]int64{"lic": 1000})
+	e.mgr.Guard("parse_query", "lic")
+	ran := false
+	if err := e.mgr.Execute("parse_query", func() error {
+		ran = true
+		return nil
+	}); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !ran {
+		t.Fatal("key function did not run")
+	}
+	st := e.mgr.Stats()
+	if st.Authorizations != 1 || st.TokenRequests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExecuteUnguarded(t *testing.T) {
+	e := newEnv(t, 1, map[string]int64{"lic": 10})
+	if err := e.mgr.Execute("mystery", nil); !errors.Is(err, ErrNotGuarded) {
+		t.Fatalf("unguarded execute: %v", err)
+	}
+}
+
+func TestExecutePropagatesError(t *testing.T) {
+	e := newEnv(t, 1, map[string]int64{"lic": 10})
+	e.mgr.Guard("f", "lic")
+	sentinel := errors.New("boom")
+	if err := e.mgr.Execute("f", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Execute error = %v", err)
+	}
+}
+
+func TestTokenCachingAmortizesRequests(t *testing.T) {
+	e := newEnv(t, 10, map[string]int64{"lic": 100_000})
+	e.mgr.Guard("f", "lic")
+	for i := 0; i < 100; i++ {
+		if err := e.mgr.Execute("f", nil); err != nil {
+			t.Fatalf("Execute %d: %v", i, err)
+		}
+	}
+	st := e.mgr.Stats()
+	if st.Authorizations != 100 {
+		t.Fatalf("authorizations = %d", st.Authorizations)
+	}
+	if st.TokenRequests != 10 {
+		t.Fatalf("token requests = %d, want 10 (batch of 10)", st.TokenRequests)
+	}
+}
+
+func TestDenialWhenLicenseExhausted(t *testing.T) {
+	e := newEnv(t, 1, map[string]int64{"lic": 4})
+	e.mgr.Guard("f", "lic")
+	granted := 0
+	for i := 0; i < 20; i++ {
+		if err := e.mgr.Execute("f", nil); err != nil {
+			if !errors.Is(err, ErrNoLease) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		granted++
+	}
+	if granted == 0 || granted > 4 {
+		t.Fatalf("granted %d executions from a 4-unit license", granted)
+	}
+	if e.mgr.Stats().Denials == 0 {
+		t.Fatal("no denial recorded")
+	}
+}
+
+func TestDenialForUnknownLicense(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	if err := e.mgr.Authorize("ghost"); !errors.Is(err, ErrNoLease) {
+		t.Fatalf("unknown license: %v", err)
+	}
+}
+
+func TestGuardedFunctions(t *testing.T) {
+	e := newEnv(t, 1, nil)
+	e.mgr.Guard("a", "lic1")
+	e.mgr.Guard("b", "lic2")
+	fns := e.mgr.GuardedFunctions()
+	if len(fns) != 2 {
+		t.Fatalf("guarded = %v", fns)
+	}
+}
+
+func TestCachedGrants(t *testing.T) {
+	e := newEnv(t, 10, map[string]int64{"lic": 1000})
+	if got := e.mgr.CachedGrants("lic"); got != 0 {
+		t.Fatalf("fresh cache = %d", got)
+	}
+	if err := e.mgr.Authorize("lic"); err != nil {
+		t.Fatalf("Authorize: %v", err)
+	}
+	if got := e.mgr.CachedGrants("lic"); got != 9 {
+		t.Fatalf("cache after first use = %d, want 9", got)
+	}
+}
+
+func TestConcurrentExecute(t *testing.T) {
+	e := newEnv(t, 10, map[string]int64{"lic": 1_000_000})
+	e.mgr.Guard("f", "lic")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := e.mgr.Execute("f", nil); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if got := e.mgr.Stats().Authorizations; got != 800 {
+		t.Fatalf("authorizations = %d, want 800", got)
+	}
+}
+
+func TestECallChargedPerExecute(t *testing.T) {
+	e := newEnv(t, 1, map[string]int64{"lic": 100})
+	e.mgr.Guard("f", "lic")
+	before := e.app.Stats().ECalls
+	if err := e.mgr.Execute("f", nil); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got := e.app.Stats().ECalls - before; got != 1 {
+		t.Fatalf("app enclave ECALLs per execute = %d, want 1", got)
+	}
+}

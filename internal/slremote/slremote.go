@@ -1,0 +1,545 @@
+// Package slremote implements SL-Remote, SecureLease's trusted license
+// server (Sections 4.4, 5.1, 5.3 of the paper). SL-Remote:
+//
+//   - registers licenses, each with a total GCL budget TG shared by a
+//     multi-party group of client machines;
+//   - remote-attests every SL-Local instance once at initialization and
+//     assigns it a stable SLID;
+//   - escrows each SL-Local's lease-tree root key at graceful shutdown and
+//     releases it (the "old backup key", OBK) at the next initialization —
+//     the mechanism that defeats replay of stale lease trees;
+//   - renews leases with the adaptive policy of Algorithm 1, sizing the
+//     sub-GCL g_i granted to client i from its concurrency share α_i, the
+//     scale-down factor D, node health h_i, network reliability n_i, and
+//     the per-license expected-loss bound τ with scale factor β;
+//   - applies the pessimistic crash policy (Section 5.7): a crashed
+//     SL-Local forfeits every GCL it held.
+package slremote
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/lease"
+	"repro/internal/seccrypto"
+	"repro/internal/sgx"
+)
+
+// Errors returned by SL-Remote operations.
+var (
+	// ErrUnknownLicense reports an unregistered license ID.
+	ErrUnknownLicense = errors.New("slremote: unknown license")
+	// ErrUnknownClient reports an SLID that never initialized.
+	ErrUnknownClient = errors.New("slremote: unknown client")
+	// ErrLicenseExhausted reports a license whose global GCL pool is empty.
+	ErrLicenseExhausted = errors.New("slremote: license exhausted")
+	// ErrLicenseRevoked reports a revoked license.
+	ErrLicenseRevoked = errors.New("slremote: license revoked")
+	// ErrAttestationFailed reports a client that failed remote attestation.
+	ErrAttestationFailed = errors.New("slremote: remote attestation failed")
+	// ErrNoEscrow reports a re-initialization with no escrowed root key
+	// (first boot, or state discarded after a crash).
+	ErrNoEscrow = errors.New("slremote: no escrowed root key")
+)
+
+// Config tunes Algorithm 1. The defaults match the paper's evaluation
+// setup (Section 7.4).
+type Config struct {
+	// D is the default scale-down factor: g_i starts at G_i / D.
+	// The paper uses g_i = 25% of G_i, i.e. D = 4.
+	D float64
+	// HealthThreshold is T_H: only clients healthier than this receive the
+	// network-compensation benefit. The paper uses 0.9.
+	HealthThreshold float64
+	// Beta is the initial per-license scale-down factor β (paper: 0.01).
+	Beta float64
+	// TauFraction sets each license's expected-loss bound τ as a fraction
+	// of its total GCL (paper: 10%).
+	TauFraction float64
+}
+
+// DefaultConfig returns the paper's parameter choices.
+func DefaultConfig() Config {
+	return Config{
+		D:               4,
+		HealthThreshold: 0.9,
+		Beta:            0.01,
+		TauFraction:     0.10,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.D < 1 {
+		return fmt.Errorf("slremote: D must be >= 1, got %v", c.D)
+	}
+	if c.HealthThreshold < 0 || c.HealthThreshold > 1 {
+		return fmt.Errorf("slremote: health threshold must be in [0,1], got %v", c.HealthThreshold)
+	}
+	if c.Beta <= 0 || c.Beta > 1 {
+		return fmt.Errorf("slremote: beta must be in (0,1], got %v", c.Beta)
+	}
+	if c.TauFraction <= 0 || c.TauFraction > 1 {
+		return fmt.Errorf("slremote: tau fraction must be in (0,1], got %v", c.TauFraction)
+	}
+	return nil
+}
+
+// License is one registered license with its global GCL pool.
+type License struct {
+	ID string
+	// Kind of lease this license's GCLs represent.
+	Kind lease.Kind
+	// TotalGCL is TG: the total number of GCL units the license may ever
+	// hand out across all clients.
+	TotalGCL int64
+	// Interval is the discretization step for time-based and
+	// execution-time-based licenses (defaults to 24h, the paper's
+	// one-day evaluation-period example).
+	Interval time.Duration
+	// Remaining is the undistributed portion of TotalGCL.
+	Remaining int64
+	// Tau is the absolute expected-loss bound τ for this license.
+	Tau float64
+	// Revoked marks the license dead; all renewals are refused.
+	Revoked bool
+	// Lost counts GCL units forfeited by crashed clients.
+	Lost int64
+}
+
+// clientState is SL-Remote's view of one SL-Local instance.
+type clientState struct {
+	slid        string
+	health      float64 // h_i ∈ [0,1]
+	reliability float64 // n_i ∈ (0,1]
+	weight      float64 // α_i (normalized across concurrent clients at use)
+	escrow      seccrypto.Key
+	hasEscrow   bool
+	// outstanding maps license ID → sub-GCL units currently held.
+	outstanding map[string]int64
+	crashed     bool
+}
+
+// Server is the SL-Remote instance. It is safe for concurrent use.
+type Server struct {
+	cfg     Config
+	service *attest.Service
+
+	mu       sync.Mutex
+	licenses map[string]*License
+	clients  map[string]*clientState
+	nextSLID int
+
+	stats ServerStats
+}
+
+// ServerStats counts server-side events.
+type ServerStats struct {
+	RemoteAttestations int64
+	Renewals           int64
+	RenewalsDenied     int64
+	CrashForfeits      int64
+}
+
+// NewServer builds an SL-Remote with the given attestation service. A nil
+// service disables quote verification (useful in unit tests of the policy
+// alone); production paths always pass one.
+func NewServer(cfg Config, service *attest.Service) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		service:  service,
+		licenses: make(map[string]*License),
+		clients:  make(map[string]*clientState),
+	}, nil
+}
+
+// RegisterLicense adds a license with a total budget of totalGCL units.
+// τ is derived from the config's TauFraction.
+func (s *Server) RegisterLicense(id string, kind lease.Kind, totalGCL int64) error {
+	if totalGCL <= 0 {
+		return fmt.Errorf("slremote: license %q total GCL must be positive, got %d", id, totalGCL)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.licenses[id]; dup {
+		return fmt.Errorf("slremote: license %q already registered", id)
+	}
+	lic := &License{
+		ID:        id,
+		Kind:      kind,
+		TotalGCL:  totalGCL,
+		Remaining: totalGCL,
+		Tau:       s.cfg.TauFraction * float64(totalGCL),
+	}
+	if kind == lease.TimeBased || kind == lease.ExecTimeBased {
+		lic.Interval = 24 * time.Hour
+	}
+	s.licenses[id] = lic
+	return nil
+}
+
+// SetLicenseInterval overrides the discretization step of a time-based or
+// execution-time-based license.
+func (s *Server) SetLicenseInterval(id string, interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("slremote: non-positive interval %v", interval)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lic, ok := s.licenses[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownLicense, id)
+	}
+	lic.Interval = interval
+	return nil
+}
+
+// License returns a copy of the license record.
+func (s *Server) License(id string) (License, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lic, ok := s.licenses[id]
+	if !ok {
+		return License{}, fmt.Errorf("%w: %q", ErrUnknownLicense, id)
+	}
+	return *lic, nil
+}
+
+// Revoke kills a license: future renewals fail, and the paper's semantics
+// (Section 4.3) set the counter to zero — SL-Local learns at its next
+// contact.
+func (s *Server) Revoke(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lic, ok := s.licenses[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownLicense, id)
+	}
+	lic.Revoked = true
+	return nil
+}
+
+// InitResult is what a successfully initialized SL-Local receives.
+type InitResult struct {
+	// SLID is the client's stable identifier (new or confirmed).
+	SLID string
+	// OBK is the escrowed root key from the previous graceful shutdown;
+	// zero when HasOBK is false (first boot or post-crash).
+	OBK    seccrypto.Key
+	HasOBK bool
+}
+
+// InitClient performs the init() handshake of Section 5.2.4: verify the
+// client's remote-attestation quote (charging the multi-second RA latency
+// to the client's machine), assign or confirm its SLID, and release any
+// escrowed root key. An empty slid requests a fresh identity.
+func (s *Server) InitClient(slid string, quote attest.Quote, clientMachine *sgx.Machine) (InitResult, error) {
+	if s.service != nil {
+		if err := s.service.VerifyQuote(quote, clientMachine); err != nil {
+			return InitResult{}, fmt.Errorf("%w: %v", ErrAttestationFailed, err)
+		}
+	} else if clientMachine != nil {
+		clientMachine.ChargeRemoteAttestation()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.RemoteAttestations++
+
+	if slid == "" {
+		s.nextSLID++
+		slid = "slid-" + strconv.Itoa(s.nextSLID)
+	}
+	c, ok := s.clients[slid]
+	if !ok {
+		c = &clientState{
+			slid:        slid,
+			health:      1,
+			reliability: 1,
+			weight:      1,
+			outstanding: make(map[string]int64),
+		}
+		s.clients[slid] = c
+	}
+	res := InitResult{SLID: slid}
+	if c.crashed {
+		// Pessimistic policy: the crash already forfeited the leases and
+		// invalidated any stored state; the client starts fresh.
+		c.crashed = false
+		c.hasEscrow = false
+	} else if !c.hasEscrow {
+		// A client that returns holding leases but without a graceful
+		// shutdown on record must have crashed (or be replaying): forfeit
+		// everything it held (Section 5.7).
+		for licID, held := range c.outstanding {
+			if held == 0 {
+				continue
+			}
+			if lic, ok := s.licenses[licID]; ok {
+				lic.Lost += held
+			}
+			delete(c.outstanding, licID)
+			s.stats.CrashForfeits++
+		}
+	}
+	if c.hasEscrow {
+		res.OBK = c.escrow
+		res.HasOBK = true
+		c.hasEscrow = false // single use; a fresh key arrives at next shutdown
+	}
+	return res, nil
+}
+
+// SetClientProfile updates SL-Remote's view of a client's health h,
+// network reliability n, and demand weight α. Values are clamped to their
+// domains; reliability is floored at a small epsilon to avoid division by
+// zero in the network-compensation term.
+func (s *Server) SetClientProfile(slid string, health, reliability, weight float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[slid]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClient, slid)
+	}
+	c.health = clamp01(health)
+	c.reliability = math.Max(clamp01(reliability), 1e-3)
+	if weight < 0 {
+		weight = 0
+	}
+	c.weight = weight
+	return nil
+}
+
+// EscrowRootKey stores the client's lease-tree root key at graceful
+// shutdown (Section 5.6).
+func (s *Server) EscrowRootKey(slid string, key seccrypto.Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[slid]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClient, slid)
+	}
+	c.escrow = key
+	c.hasEscrow = true
+	return nil
+}
+
+// ReportCrash applies the pessimistic crash policy (Section 5.7): every
+// GCL unit the client held is deemed consumed, and any escrowed state is
+// invalidated. The forfeited units are recorded against each license's
+// Lost counter — the quantity τ bounds in expectation.
+func (s *Server) ReportCrash(slid string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[slid]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClient, slid)
+	}
+	for licID, held := range c.outstanding {
+		if lic, ok := s.licenses[licID]; ok {
+			lic.Lost += held
+		}
+		delete(c.outstanding, licID)
+		s.stats.CrashForfeits++
+	}
+	c.crashed = true
+	c.hasEscrow = false
+	return nil
+}
+
+// Grant is a renewal result: the sub-GCL handed to the client.
+type Grant struct {
+	License string
+	// Units is g_i, the number of GCL units granted.
+	Units int64
+	// GCL is a ready-to-install lease counter for SL-Local.
+	GCL lease.GCL
+}
+
+// RenewLease runs Algorithm 1 for the named client and license and, on
+// success, transfers g_i units from the license pool to the client.
+//
+// The concurrency C and the weight normalization Σα = 1 are computed over
+// the clients currently holding or requesting this license.
+func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	c, ok := s.clients[slid]
+	if !ok {
+		return Grant{}, fmt.Errorf("%w: %q", ErrUnknownClient, slid)
+	}
+	lic, ok := s.licenses[licenseID]
+	if !ok {
+		return Grant{}, fmt.Errorf("%w: %q", ErrUnknownLicense, licenseID)
+	}
+	if lic.Revoked {
+		s.stats.RenewalsDenied++
+		return Grant{}, fmt.Errorf("%w: %q", ErrLicenseRevoked, licenseID)
+	}
+	if lic.Remaining <= 0 {
+		s.stats.RenewalsDenied++
+		return Grant{}, fmt.Errorf("%w: %q", ErrLicenseExhausted, licenseID)
+	}
+
+	var units int64
+	if lic.Kind == lease.Perpetual {
+		// A perpetual license is a seat, not a consumable budget:
+		// activation transfers one whole unit, never a sub-division.
+		units = 1
+	} else {
+		units = s.computeGrantLocked(c, lic)
+		if units <= 0 && lic.Remaining > 0 {
+			// Algorithm 1's scale-downs can floor small pools to zero;
+			// a live license always yields at least one unit so small
+			// (e.g. 3-interval trial) licenses remain usable.
+			units = 1
+		}
+	}
+	if units <= 0 {
+		s.stats.RenewalsDenied++
+		return Grant{}, fmt.Errorf("%w: %q (policy granted zero units)", ErrLicenseExhausted, licenseID)
+	}
+	if units > lic.Remaining {
+		units = lic.Remaining
+	}
+	lic.Remaining -= units
+	c.outstanding[licenseID] += units
+	s.stats.Renewals++
+
+	return Grant{
+		License: licenseID,
+		Units:   units,
+		GCL:     lease.GCL{Kind: lic.Kind, Counter: units, Interval: lic.Interval},
+	}, nil
+}
+
+// computeGrantLocked is Algorithm 1 (RenewLease) from the paper.
+func (s *Server) computeGrantLocked(c *clientState, lic *License) int64 {
+	holders, weightSum := s.holdersLocked(lic.ID, c)
+	concurrency := float64(len(holders))
+	alpha := c.weight / weightSum // α_i with Σα_i = 1
+
+	tg := float64(lic.TotalGCL)
+	gMax := alpha * tg / concurrency // G_i  (line 3)
+	g := gMax / s.cfg.D              // default policy (line 4)
+	g *= c.health                    // crash penalty (line 5)
+	if c.health > s.cfg.HealthThreshold {
+		// Network benefit for healthy clients on flaky links (line 7).
+		g = math.Min(gMax, g*(1/c.reliability))
+	}
+
+	beta := s.cfg.Beta // FetchBeta() (line 9)
+	expLoss := s.expectedLossLocked(lic.ID, holders, c, g)
+	if expLoss > lic.Tau {
+		// Scale down until the expected loss is bounded (lines 10-14).
+		for iter := 0; iter < 64 && expLoss > lic.Tau && g >= 1; iter++ {
+			beta *= (expLoss - lic.Tau) / expLoss
+			g = beta * g
+			expLoss = s.expectedLossLocked(lic.ID, holders, c, g)
+		}
+	} else {
+		// Line 16 ("scaling up"): β = (τ − ExpLoss)/τ, g = β·g. As written
+		// in the paper this damps the grant in proportion to how much loss
+		// headroom has been consumed; with zero expected loss it leaves g
+		// unchanged.
+		beta = (lic.Tau - expLoss) / lic.Tau
+		g = beta * g
+	}
+	if g < 0 {
+		g = 0
+	}
+	return int64(math.Floor(g))
+}
+
+// holdersLocked returns the clients that currently hold or are requesting
+// the license (always including the requester) and their total weight.
+func (s *Server) holdersLocked(licenseID string, requester *clientState) ([]*clientState, float64) {
+	holders := []*clientState{requester}
+	weightSum := requester.weight
+	for _, other := range s.clients {
+		if other == requester || other.crashed {
+			continue
+		}
+		if other.outstanding[licenseID] > 0 {
+			holders = append(holders, other)
+			weightSum += other.weight
+		}
+	}
+	if weightSum <= 0 {
+		weightSum = 1
+	}
+	return holders, weightSum
+}
+
+// expectedLossLocked computes Equation 1: ExpLoss(L) = Σ g_i (1 − h_i),
+// over current holders, with the requester's holding augmented by the
+// candidate grant g.
+func (s *Server) expectedLossLocked(licenseID string, holders []*clientState, requester *clientState, g float64) float64 {
+	var loss float64
+	for _, h := range holders {
+		held := float64(h.outstanding[licenseID])
+		if h == requester {
+			held += g
+		}
+		loss += held * (1 - h.health)
+	}
+	return loss
+}
+
+// ConsumeReport lets a client report consumption of previously granted
+// units (so the server's outstanding view tracks reality and expected-loss
+// computations stay honest).
+func (s *Server) ConsumeReport(slid, licenseID string, units int64) error {
+	if units < 0 {
+		return fmt.Errorf("slremote: negative consumption %d", units)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[slid]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClient, slid)
+	}
+	held := c.outstanding[licenseID]
+	if units > held {
+		units = held
+	}
+	c.outstanding[licenseID] = held - units
+	return nil
+}
+
+// Outstanding returns the units of the license currently held by a client.
+func (s *Server) Outstanding(slid, licenseID string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[slid]
+	if !ok {
+		return 0
+	}
+	return c.outstanding[licenseID]
+}
+
+// Stats returns a copy of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,196 @@
+// Package trace captures dynamic execution profiles of workloads: which
+// function called which (and how often) and how much dynamic work each
+// function performed. Partition evaluation consumes traces to compute the
+// paper's metrics: dynamic coverage (fraction of dynamic work inside SGX),
+// ECALL/OCALL counts (calls crossing the enclave boundary), and EPC
+// residency.
+//
+// Workload implementations are instrumented with a Recorder: they declare
+// their functions once and call Enter/Work at function boundaries while
+// executing real logic. The Recorder simultaneously builds the call graph
+// (static structure) and the trace (dynamic profile), mirroring how the
+// paper derives both from profiled executions.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/callgraph"
+)
+
+// Call is one aggregated dynamic call edge.
+type Call struct {
+	Caller, Callee string
+	Count          int64
+}
+
+// Trace is a dynamic execution profile.
+type Trace struct {
+	// Calls is the aggregated dynamic call-edge multiset.
+	Calls []Call
+	// Work maps function name → dynamic work units executed inside it
+	// (the analogue of dynamic instruction counts in the paper).
+	Work map[string]int64
+}
+
+// TotalWork sums dynamic work over all functions.
+func (t *Trace) TotalWork() int64 {
+	var total int64
+	for _, w := range t.Work {
+		total += w
+	}
+	return total
+}
+
+// WorkIn sums dynamic work over a set of functions.
+func (t *Trace) WorkIn(fns map[string]bool) int64 {
+	var total int64
+	for f, w := range t.Work {
+		if fns[f] {
+			total += w
+		}
+	}
+	return total
+}
+
+// CrossingCalls returns (ecalls, ocalls): dynamic calls entering and
+// leaving the migrated set.
+func (t *Trace) CrossingCalls(migrated map[string]bool) (ecalls, ocalls int64) {
+	for _, c := range t.Calls {
+		fromIn, toIn := migrated[c.Caller], migrated[c.Callee]
+		switch {
+		case !fromIn && toIn:
+			ecalls += c.Count
+		case fromIn && !toIn:
+			ocalls += c.Count
+		}
+	}
+	return ecalls, ocalls
+}
+
+// DynamicCoverage returns the fraction of total dynamic work executed by
+// the migrated functions — the paper's Table 5 "dynamic coverage" metric.
+func (t *Trace) DynamicCoverage(migrated map[string]bool) float64 {
+	total := t.TotalWork()
+	if total == 0 {
+		return 0
+	}
+	return float64(t.WorkIn(migrated)) / float64(total)
+}
+
+// Recorder instruments a workload run. It is safe for concurrent use so
+// parallel workloads (MapReduce) can record from several goroutines.
+type Recorder struct {
+	mu    sync.Mutex
+	graph *callgraph.Graph
+	calls map[[2]string]int64
+	work  map[string]int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		graph: callgraph.New(),
+		calls: make(map[[2]string]int64),
+		work:  make(map[string]int64),
+	}
+}
+
+// Declare registers a function with its static attributes. Declare every
+// function before recording calls through it.
+func (r *Recorder) Declare(n callgraph.Node) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.graph.AddNode(n)
+}
+
+// Enter records one dynamic call from caller to callee.
+func (r *Recorder) Enter(caller, callee string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls[[2]string{caller, callee}]++
+}
+
+// EnterN records n dynamic calls from caller to callee at once (cheaper
+// for hot loops).
+func (r *Recorder) EnterN(caller, callee string, n int64) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls[[2]string{caller, callee}] += n
+}
+
+// Work records units of dynamic work performed inside a function.
+func (r *Recorder) Work(fn string, units int64) {
+	if units <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.work[fn] += units
+}
+
+// Graph finalizes and returns the call graph: every recorded dynamic call
+// becomes a weighted edge. Calls involving undeclared functions are an
+// error — they indicate a broken instrumentation.
+func (r *Recorder) Graph() (*callgraph.Graph, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for pair := range r.calls {
+		if r.graph.Node(pair[0]) == nil {
+			return nil, fmt.Errorf("trace: call from undeclared function %q", pair[0])
+		}
+		if r.graph.Node(pair[1]) == nil {
+			return nil, fmt.Errorf("trace: call to undeclared function %q", pair[1])
+		}
+	}
+	// AddCall accumulates, so flush pending calls into the graph exactly
+	// once and reset the pending map to keep Graph idempotent.
+	for pair, count := range r.calls {
+		if err := r.graph.AddCall(pair[0], pair[1], count); err != nil {
+			return nil, err
+		}
+	}
+	r.calls = make(map[[2]string]int64)
+	return r.graph, nil
+}
+
+// Trace returns the dynamic profile recorded so far, with calls in
+// deterministic order. Call after Graph (Graph folds pending calls into
+// the graph; Trace reads edge weights back from it so both views agree).
+func (r *Recorder) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr := &Trace{Work: make(map[string]int64, len(r.work))}
+	for f, w := range r.work {
+		tr.Work[f] = w
+	}
+	edges := r.graph.Edges()
+	// Include any calls not yet flushed into the graph.
+	pending := make(map[[2]string]int64, len(r.calls))
+	for k, v := range r.calls {
+		pending[k] = v
+	}
+	for _, e := range edges {
+		pending[[2]string{e.From, e.To}] += e.Count
+	}
+	keys := make([][2]string, 0, len(pending))
+	for k := range pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	tr.Calls = make([]Call, 0, len(keys))
+	for _, k := range keys {
+		tr.Calls = append(tr.Calls, Call{Caller: k[0], Callee: k[1], Count: pending[k]})
+	}
+	return tr
+}

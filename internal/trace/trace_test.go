@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/callgraph"
+)
+
+func declare(t *testing.T, r *Recorder, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		if err := r.Declare(callgraph.Node{Name: n, CodeBytes: 100, MemoryBytes: 4096}); err != nil {
+			t.Fatalf("Declare(%s): %v", n, err)
+		}
+	}
+}
+
+func TestRecorderBuildsGraphAndTrace(t *testing.T) {
+	r := NewRecorder()
+	declare(t, r, "main", "auth", "work")
+	r.Enter("main", "auth")
+	r.EnterN("main", "work", 10)
+	r.Work("work", 500)
+	r.Work("main", 50)
+
+	g, err := r.Graph()
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	if got := g.CallWeight("main", "work"); got != 10 {
+		t.Fatalf("edge weight = %d", got)
+	}
+	tr := r.Trace()
+	if len(tr.Calls) != 2 {
+		t.Fatalf("calls = %+v", tr.Calls)
+	}
+	if tr.TotalWork() != 550 {
+		t.Fatalf("total work = %d", tr.TotalWork())
+	}
+}
+
+func TestRecorderGraphIdempotent(t *testing.T) {
+	r := NewRecorder()
+	declare(t, r, "a", "b")
+	r.EnterN("a", "b", 5)
+	g1, err := r.Graph()
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	g2, err := r.Graph()
+	if err != nil {
+		t.Fatalf("second Graph: %v", err)
+	}
+	if g1 != g2 {
+		t.Fatal("Graph returned different instances")
+	}
+	if got := g2.CallWeight("a", "b"); got != 5 {
+		t.Fatalf("double-counted edge: %d", got)
+	}
+}
+
+func TestRecorderUndeclaredCall(t *testing.T) {
+	r := NewRecorder()
+	declare(t, r, "a")
+	r.Enter("a", "ghost")
+	if _, err := r.Graph(); err == nil {
+		t.Fatal("undeclared callee accepted")
+	}
+	r2 := NewRecorder()
+	declare(t, r2, "a")
+	r2.Enter("ghost", "a")
+	if _, err := r2.Graph(); err == nil {
+		t.Fatal("undeclared caller accepted")
+	}
+}
+
+func TestRecorderIgnoresNonPositive(t *testing.T) {
+	r := NewRecorder()
+	declare(t, r, "a", "b")
+	r.EnterN("a", "b", 0)
+	r.EnterN("a", "b", -5)
+	r.Work("a", 0)
+	r.Work("a", -10)
+	if _, err := r.Graph(); err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	tr := r.Trace()
+	if len(tr.Calls) != 0 || tr.TotalWork() != 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestTraceBeforeGraphIncludesPending(t *testing.T) {
+	r := NewRecorder()
+	declare(t, r, "a", "b")
+	r.EnterN("a", "b", 7)
+	tr := r.Trace() // before Graph flushes
+	if len(tr.Calls) != 1 || tr.Calls[0].Count != 7 {
+		t.Fatalf("pending calls missing: %+v", tr.Calls)
+	}
+}
+
+func TestCrossingCalls(t *testing.T) {
+	r := NewRecorder()
+	declare(t, r, "u1", "u2", "t1", "t2")
+	r.EnterN("u1", "t1", 10)  // ecall
+	r.EnterN("t1", "t2", 100) // internal
+	r.EnterN("t2", "u2", 5)   // ocall
+	r.EnterN("u1", "u2", 50)  // untrusted internal
+	tr := r.Trace()
+	migrated := map[string]bool{"t1": true, "t2": true}
+	e, o := tr.CrossingCalls(migrated)
+	if e != 10 || o != 5 {
+		t.Fatalf("ecalls=%d ocalls=%d, want 10/5", e, o)
+	}
+}
+
+func TestDynamicCoverage(t *testing.T) {
+	r := NewRecorder()
+	declare(t, r, "u", "t")
+	r.Work("u", 100)
+	r.Work("t", 900)
+	tr := r.Trace()
+	if got := tr.DynamicCoverage(map[string]bool{"t": true}); got != 0.9 {
+		t.Fatalf("coverage = %v, want 0.9", got)
+	}
+	empty := &Trace{Work: map[string]int64{}}
+	if got := empty.DynamicCoverage(nil); got != 0 {
+		t.Fatalf("empty coverage = %v", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	declare(t, r, "a", "b")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Enter("a", "b")
+				r.Work("b", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	tr := r.Trace()
+	if tr.Calls[0].Count != 8000 {
+		t.Fatalf("concurrent count = %d", tr.Calls[0].Count)
+	}
+	if tr.Work["b"] != 16000 {
+		t.Fatalf("concurrent work = %d", tr.Work["b"])
+	}
+}
+
+func TestTraceDeterministicOrder(t *testing.T) {
+	r := NewRecorder()
+	declare(t, r, "z", "a", "m")
+	r.Enter("z", "a")
+	r.Enter("a", "m")
+	r.Enter("m", "z")
+	tr := r.Trace()
+	if tr.Calls[0].Caller != "a" || tr.Calls[1].Caller != "m" || tr.Calls[2].Caller != "z" {
+		t.Fatalf("order = %+v", tr.Calls)
+	}
+}

@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/lease"
+	"repro/internal/seccrypto"
+	"repro/internal/sgx"
+	"repro/internal/sllocal"
+	"repro/internal/slremote"
+)
+
+// Client is the TCP binding of SL-Remote: it implements sllocal.RemoteAPI
+// over a connection to a wire.Server, so an sllocal.Service runs against a
+// real license-server daemon unchanged.
+//
+// Client serializes requests on one connection; it is safe for concurrent
+// use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a wire.Server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads the reply.
+func (c *Client) roundTrip(msgType string, payload any) (Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteMessage(c.conn, msgType, payload); err != nil {
+		return Envelope{}, err
+	}
+	return ReadMessage(c.conn)
+}
+
+// InitClient implements sllocal.RemoteAPI over the wire. The remote
+// attestation's multi-second latency is charged to the client machine
+// (the server side cannot reach its clock).
+func (c *Client) InitClient(slid string, quote attest.Quote, clientMachine *sgx.Machine) (slremote.InitResult, error) {
+	if clientMachine != nil {
+		clientMachine.ChargeRemoteAttestation()
+	}
+	env, err := c.roundTrip(TypeInit, InitRequest{SLID: slid, Quote: encodeQuote(quote)})
+	if err != nil {
+		return slremote.InitResult{}, err
+	}
+	if env.Type != TypeInit {
+		return slremote.InitResult{}, RemoteErr(env)
+	}
+	var resp InitResponse
+	if err := DecodePayload(env, &resp); err != nil {
+		return slremote.InitResult{}, err
+	}
+	out := slremote.InitResult{SLID: resp.SLID, HasOBK: resp.HasOBK}
+	if resp.HasOBK {
+		key, err := seccrypto.KeyFromBytes(resp.OBK)
+		if err != nil {
+			return slremote.InitResult{}, fmt.Errorf("wire: decoding OBK: %w", err)
+		}
+		out.OBK = key
+	}
+	return out, nil
+}
+
+// RenewLease implements sllocal.RemoteAPI over the wire.
+func (c *Client) RenewLease(slid, licenseID string) (slremote.Grant, error) {
+	env, err := c.roundTrip(TypeRenew, RenewRequest{SLID: slid, License: licenseID})
+	if err != nil {
+		return slremote.Grant{}, err
+	}
+	if env.Type != TypeRenew {
+		return slremote.Grant{}, RemoteErr(env)
+	}
+	var resp RenewResponse
+	if err := DecodePayload(env, &resp); err != nil {
+		return slremote.Grant{}, err
+	}
+	grant := slremote.Grant{License: licenseID, Units: resp.Units}
+	grant.GCL.Kind = lease.Kind(resp.Kind)
+	grant.GCL.Counter = resp.Counter
+	grant.GCL.Interval = time.Duration(resp.IntervalNS)
+	return grant, nil
+}
+
+// EscrowRootKey implements sllocal.RemoteAPI over the wire.
+func (c *Client) EscrowRootKey(slid string, key seccrypto.Key) error {
+	env, err := c.roundTrip(TypeEscrow, EscrowRequest{SLID: slid, Key: key.Bytes()})
+	if err != nil {
+		return err
+	}
+	if env.Type != TypeOK {
+		return RemoteErr(env)
+	}
+	return nil
+}
+
+// RegisterLicense registers a license on the remote server (admin).
+func (c *Client) RegisterLicense(id string, kind uint8, totalGCL int64) error {
+	env, err := c.roundTrip(TypeRegisterLicense, RegisterLicenseRequest{ID: id, Kind: kind, TotalGCL: totalGCL})
+	if err != nil {
+		return err
+	}
+	if env.Type != TypeOK {
+		return RemoteErr(env)
+	}
+	return nil
+}
+
+// ReportCrash reports a crashed SL-Local (admin/monitor).
+func (c *Client) ReportCrash(slid string) error {
+	env, err := c.roundTrip(TypeReportCrash, ReportCrashRequest{SLID: slid})
+	if err != nil {
+		return err
+	}
+	if env.Type != TypeOK {
+		return RemoteErr(env)
+	}
+	return nil
+}
+
+// SetProfile updates a client's Algorithm 1 inputs (admin/monitor).
+func (c *Client) SetProfile(slid string, health, reliability, weight float64) error {
+	env, err := c.roundTrip(TypeSetProfile, SetProfileRequest{
+		SLID: slid, Health: health, Reliability: reliability, Weight: weight,
+	})
+	if err != nil {
+		return err
+	}
+	if env.Type != TypeOK {
+		return RemoteErr(env)
+	}
+	return nil
+}
+
+// LicenseInfo fetches license state (admin).
+func (c *Client) LicenseInfo(id string) (LicenseInfoResponse, error) {
+	env, err := c.roundTrip(TypeLicenseInfo, LicenseInfoRequest{ID: id})
+	if err != nil {
+		return LicenseInfoResponse{}, err
+	}
+	if env.Type != TypeLicenseInfo {
+		return LicenseInfoResponse{}, RemoteErr(env)
+	}
+	var resp LicenseInfoResponse
+	if err := DecodePayload(env, &resp); err != nil {
+		return LicenseInfoResponse{}, err
+	}
+	return resp, nil
+}
+
+var _ sllocal.RemoteAPI = (*Client)(nil)

@@ -1,0 +1,266 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/lease"
+	"repro/internal/seccrypto"
+	"repro/internal/slremote"
+)
+
+// Server exposes an slremote.Server over TCP. Each connection is handled
+// by its own goroutine; requests within a connection are sequential.
+type Server struct {
+	remote *slremote.Server
+	logf   func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a license server for network serving. logf may be nil
+// (silent).
+func NewServer(remote *slremote.Server, logf func(string, ...any)) (*Server, error) {
+	if remote == nil {
+		return nil, errors.New("wire: nil SL-Remote")
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{remote: remote, logf: logf, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts connections until the listener is closed (by Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("wire: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		env, err := ReadMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := s.dispatch(conn, env); err != nil {
+			s.logf("wire: reply to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, env Envelope) error {
+	fail := func(err error) error {
+		return WriteMessage(conn, TypeError, ErrorResponse{Message: err.Error()})
+	}
+	switch env.Type {
+	case TypeInit:
+		var req InitRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		quote, err := decodeQuote(req.Quote)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := s.remote.InitClient(req.SLID, quote, nil)
+		if err != nil {
+			return fail(err)
+		}
+		resp := InitResponse{SLID: res.SLID, HasOBK: res.HasOBK}
+		if res.HasOBK {
+			resp.OBK = res.OBK.Bytes()
+		}
+		return WriteMessage(conn, TypeInit, resp)
+
+	case TypeRenew:
+		var req RenewRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		grant, err := s.remote.RenewLease(req.SLID, req.License)
+		if err != nil {
+			return fail(err)
+		}
+		return WriteMessage(conn, TypeRenew, RenewResponse{
+			Units:      grant.Units,
+			Kind:       uint8(grant.GCL.Kind),
+			Counter:    grant.GCL.Counter,
+			IntervalNS: int64(grant.GCL.Interval),
+		})
+
+	case TypeEscrow:
+		var req EscrowRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		key, err := seccrypto.KeyFromBytes(req.Key)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.remote.EscrowRootKey(req.SLID, key); err != nil {
+			return fail(err)
+		}
+		return WriteMessage(conn, TypeOK, nil)
+
+	case TypeRegisterLicense:
+		var req RegisterLicenseRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		if err := s.remote.RegisterLicense(req.ID, lease.Kind(req.Kind), req.TotalGCL); err != nil {
+			return fail(err)
+		}
+		return WriteMessage(conn, TypeOK, nil)
+
+	case TypeReportCrash:
+		var req ReportCrashRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		if err := s.remote.ReportCrash(req.SLID); err != nil {
+			return fail(err)
+		}
+		return WriteMessage(conn, TypeOK, nil)
+
+	case TypeSetProfile:
+		var req SetProfileRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		if err := s.remote.SetClientProfile(req.SLID, req.Health, req.Reliability, req.Weight); err != nil {
+			return fail(err)
+		}
+		return WriteMessage(conn, TypeOK, nil)
+
+	case TypeLicenseInfo:
+		var req LicenseInfoRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		lic, err := s.remote.License(req.ID)
+		if err != nil {
+			return fail(err)
+		}
+		return WriteMessage(conn, TypeLicenseInfo, LicenseInfoResponse{
+			ID:        lic.ID,
+			Kind:      uint8(lic.Kind),
+			TotalGCL:  lic.TotalGCL,
+			Remaining: lic.Remaining,
+			Revoked:   lic.Revoked,
+			Lost:      lic.Lost,
+		})
+
+	default:
+		return fail(fmt.Errorf("unknown message type %q", env.Type))
+	}
+}
+
+// encodeQuote converts an attest.Quote for transport.
+func encodeQuote(q attest.Quote) Quote {
+	return Quote{
+		Source:    append([]byte(nil), q.Report.Source[:]...),
+		Target:    append([]byte(nil), q.Report.Target[:]...),
+		Data:      append([]byte(nil), q.Report.Data[:]...),
+		MAC:       append([]byte(nil), q.Report.MAC[:]...),
+		Platform:  q.Platform,
+		Signature: append([]byte(nil), q.Signature[:]...),
+	}
+}
+
+// decodeQuote converts a transported quote back.
+func decodeQuote(q Quote) (attest.Quote, error) {
+	var out attest.Quote
+	if len(q.Source) != len(out.Report.Source) ||
+		len(q.Target) != len(out.Report.Target) ||
+		len(q.Data) != len(out.Report.Data) ||
+		len(q.MAC) != len(out.Report.MAC) ||
+		len(q.Signature) != len(out.Signature) {
+		return attest.Quote{}, errors.New("wire: malformed quote field sizes")
+	}
+	copy(out.Report.Source[:], q.Source)
+	copy(out.Report.Target[:], q.Target)
+	copy(out.Report.Data[:], q.Data)
+	copy(out.Report.MAC[:], q.MAC)
+	copy(out.Signature[:], q.Signature)
+	out.Platform = q.Platform
+	return out, nil
+}
+
+// ListenAndServe is a convenience for the daemon binary: listen on addr
+// and serve until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	log.Printf("sl-remote: listening on %s", ln.Addr())
+	return s.Serve(ln)
+}

@@ -1,0 +1,202 @@
+// Package wire is the network protocol between SL-Local daemons and the
+// SL-Remote license server: length-prefixed JSON messages over TCP. It
+// lets the same sllocal.Service run either embedded (direct binding to a
+// *slremote.Server) or against a real server process, which is how the
+// cmd/sl-remote and cmd/sl-local binaries deploy.
+//
+// The protocol carries the three SL-Local→SL-Remote operations (init,
+// renew, escrow) plus administrative calls (license registration, crash
+// reports, profile updates). Payload confidentiality/authenticity in a
+// real deployment would ride on the RA-derived session key; the simulation
+// transports structured plaintext and enforces trust via the attestation
+// layer's quote verification, which is the part the paper's design
+// depends on.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxMessageSize bounds one frame (defense against corrupt peers).
+const MaxMessageSize = 16 << 20
+
+// Message types.
+const (
+	TypeInit            = "init"
+	TypeRenew           = "renew"
+	TypeEscrow          = "escrow"
+	TypeRegisterLicense = "register_license"
+	TypeReportCrash     = "report_crash"
+	TypeSetProfile      = "set_profile"
+	TypeLicenseInfo     = "license_info"
+	TypeError           = "error"
+	TypeOK              = "ok"
+)
+
+// Envelope frames every message: a type tag plus the JSON payload.
+type Envelope struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Quote mirrors attest.Quote for transport.
+type Quote struct {
+	Source    []byte `json:"source"`
+	Target    []byte `json:"target"`
+	Data      []byte `json:"data"`
+	MAC       []byte `json:"mac"`
+	Platform  string `json:"platform"`
+	Signature []byte `json:"signature"`
+}
+
+// InitRequest is the SL-Local init() handshake.
+type InitRequest struct {
+	SLID  string `json:"slid,omitempty"`
+	Quote Quote  `json:"quote"`
+}
+
+// InitResponse returns the SLID and, after a graceful shutdown, the OBK.
+type InitResponse struct {
+	SLID   string `json:"slid"`
+	OBK    []byte `json:"obk,omitempty"`
+	HasOBK bool   `json:"has_obk"`
+}
+
+// RenewRequest asks for a sub-GCL.
+type RenewRequest struct {
+	SLID    string `json:"slid"`
+	License string `json:"license"`
+}
+
+// RenewResponse carries the grant.
+type RenewResponse struct {
+	Units      int64 `json:"units"`
+	Kind       uint8 `json:"kind"`
+	Counter    int64 `json:"counter"`
+	IntervalNS int64 `json:"interval_ns,omitempty"`
+}
+
+// EscrowRequest stores the lease-tree root key.
+type EscrowRequest struct {
+	SLID string `json:"slid"`
+	Key  []byte `json:"key"`
+}
+
+// RegisterLicenseRequest registers a license (admin).
+type RegisterLicenseRequest struct {
+	ID       string `json:"id"`
+	Kind     uint8  `json:"kind"`
+	TotalGCL int64  `json:"total_gcl"`
+}
+
+// ReportCrashRequest applies the pessimistic crash policy (admin/monitor).
+type ReportCrashRequest struct {
+	SLID string `json:"slid"`
+}
+
+// SetProfileRequest updates a client's Algorithm 1 inputs.
+type SetProfileRequest struct {
+	SLID        string  `json:"slid"`
+	Health      float64 `json:"health"`
+	Reliability float64 `json:"reliability"`
+	Weight      float64 `json:"weight"`
+}
+
+// LicenseInfoRequest fetches license state (admin).
+type LicenseInfoRequest struct {
+	ID string `json:"id"`
+}
+
+// LicenseInfoResponse mirrors slremote.License.
+type LicenseInfoResponse struct {
+	ID        string `json:"id"`
+	Kind      uint8  `json:"kind"`
+	TotalGCL  int64  `json:"total_gcl"`
+	Remaining int64  `json:"remaining"`
+	Revoked   bool   `json:"revoked"`
+	Lost      int64  `json:"lost"`
+}
+
+// ErrorResponse reports a server-side failure.
+type ErrorResponse struct {
+	Message string `json:"message"`
+}
+
+// ErrRemote wraps failures reported by the peer.
+var ErrRemote = errors.New("wire: remote error")
+
+// WriteMessage frames and writes one envelope.
+func WriteMessage(w io.Writer, msgType string, payload any) error {
+	var raw json.RawMessage
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("wire: marshaling payload: %w", err)
+		}
+		raw = b
+	}
+	frame, err := json.Marshal(Envelope{Type: msgType, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("wire: marshaling envelope: %w", err)
+	}
+	if len(frame) > MaxMessageSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing header: %w", err)
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one envelope.
+func ReadMessage(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 || size > MaxMessageSize {
+		return Envelope{}, fmt.Errorf("wire: invalid frame size %d", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return Envelope{}, fmt.Errorf("wire: reading frame: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(frame, &env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decoding envelope: %w", err)
+	}
+	return env, nil
+}
+
+// DecodePayload unmarshals an envelope's payload into out.
+func DecodePayload(env Envelope, out any) error {
+	if len(env.Payload) == 0 {
+		return errors.New("wire: empty payload")
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("wire: decoding %s payload: %w", env.Type, err)
+	}
+	return nil
+}
+
+// RemoteErr extracts the error from an error envelope, or describes the
+// unexpected type.
+func RemoteErr(env Envelope) error {
+	if env.Type == TypeError {
+		var e ErrorResponse
+		if err := DecodePayload(env, &e); err == nil {
+			return fmt.Errorf("%w: %s", ErrRemote, e.Message)
+		}
+	}
+	return fmt.Errorf("%w: unexpected reply type %q", ErrRemote, env.Type)
+}

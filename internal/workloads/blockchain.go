@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// blockchainSpec is the libcatena-style blockchain workload: a distributed
+// ledger storing data, the content hash, and the previous block's hash in
+// each block (paper input: chain length 1000). Key functions: insert() and
+// hash(). The whole workload fits in the EPC (both columns show 4 MB in
+// Table 5), which is why its SecureLease-vs-Glamdring gap is the smallest
+// (3.30%).
+func blockchainSpec() *Spec {
+	return &Spec{
+		Name:         "blockchain",
+		Description:  "A distributed ledger storing data, content hash, and previous block hash",
+		PaperInput:   "Chain length: 1000 (scaled: 1000 × scale)",
+		License:      "lic-blockchain",
+		KeyFunctions: []string{"insert", "hash"},
+		ChecksPerRun: 1000,
+		Run:          runBlockchain,
+	}
+}
+
+type block struct {
+	index    int
+	data     [64]byte
+	prevHash [32]byte
+	hash     [32]byte
+}
+
+func runBlockchain(scale int) (*Profile, error) {
+	scale = clampScale(scale)
+	chainLen := 1000 * scale
+
+	rec := trace.NewRecorder()
+	nodes := append(amNodes("blockchain"), []callgraph.Node{
+		{Name: "blockchain.main", CodeBytes: 800, MemoryBytes: 16 << 10, Module: "init"},
+		// Small workload: even the ledger store fits easily in the EPC,
+		// and it is part of the chain core (the paper's blockchain migrates
+		// essentially whole, 4 MB under both schemes).
+		{Name: "blockchain.ledger_store", CodeBytes: 4_500, MemoryBytes: 2 << 20,
+			Module: "core", TouchesSensitive: true},
+		{Name: "blockchain.insert", CodeBytes: 2_800, MemoryBytes: 512 << 10,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "blockchain.hash", CodeBytes: 2_100, MemoryBytes: 256 << 10,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "blockchain.validate_chain", CodeBytes: 1_900, MemoryBytes: 256 << 10,
+			Module: "core", TouchesSensitive: true},
+		{Name: "blockchain.append_phase", CodeBytes: 1_100, MemoryBytes: 128 << 10,
+			Module: "core", TouchesSensitive: true},
+		{Name: "blockchain.genesis", CodeBytes: 600, MemoryBytes: 64 << 10, Module: "util"},
+	}...)
+	if err := declareAll(rec, nodes); err != nil {
+		return nil, err
+	}
+
+	recordAMCheck(rec, "blockchain", "blockchain.main")
+
+	hashBlock := func(b *block) [32]byte {
+		var buf [8 + 64 + 32]byte
+		binary.LittleEndian.PutUint64(buf[:8], uint64(b.index))
+		copy(buf[8:], b.data[:])
+		copy(buf[8+64:], b.prevHash[:])
+		return sha256.Sum256(buf[:])
+	}
+
+	rec.Enter("blockchain.main", "blockchain.genesis")
+	rec.Work("blockchain.genesis", 10)
+	chain := make([]block, 0, chainLen)
+	genesis := block{index: 0}
+	copy(genesis.data[:], "genesis")
+	genesis.hash = hashBlock(&genesis)
+	chain = append(chain, genesis)
+
+	// insert(): append blocks, each hashing its content + predecessor.
+	for i := 1; i < chainLen; i++ {
+		b := block{index: i, prevHash: chain[i-1].hash}
+		binary.LittleEndian.PutUint64(b.data[:], uint64(i)*0xABCD)
+		copy(b.data[8:], fmt.Sprintf("txn-%d", i))
+		b.hash = hashBlock(&b)
+		chain = append(chain, b)
+	}
+	rec.Enter("blockchain.main", "blockchain.append_phase")
+	rec.EnterN("blockchain.append_phase", "blockchain.insert", int64(chainLen-1))
+	rec.Work("blockchain.append_phase", int64(chainLen))
+	rec.EnterN("blockchain.insert", "blockchain.hash", int64(chainLen-1))
+	rec.EnterN("blockchain.insert", "blockchain.ledger_store", int64(chainLen-1))
+	rec.Work("blockchain.insert", int64(chainLen)*4)
+	rec.Work("blockchain.hash", int64(chainLen)*20)
+	rec.Work("blockchain.ledger_store", int64(chainLen)*2)
+
+	// validate_chain(): full integrity walk.
+	for i := 1; i < len(chain); i++ {
+		if chain[i].prevHash != chain[i-1].hash {
+			return nil, fmt.Errorf("blockchain: broken link at block %d", i)
+		}
+		if hashBlock(&chain[i]) != chain[i].hash {
+			return nil, fmt.Errorf("blockchain: corrupt block %d", i)
+		}
+	}
+	rec.Enter("blockchain.main", "blockchain.validate_chain")
+	rec.EnterN("blockchain.validate_chain", "blockchain.hash", int64(chainLen-1))
+	rec.Work("blockchain.validate_chain", int64(chainLen)*3)
+	rec.Work("blockchain.hash", int64(chainLen)*20)
+	rec.Work("blockchain.main", 100)
+
+	tip := chain[len(chain)-1].hash
+	g, err := rec.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Graph:    g,
+		Trace:    rec.Trace(),
+		Checksum: binary.LittleEndian.Uint64(tip[:8]),
+		Output:   fmt.Sprintf("blockchain: %d blocks, chain valid, tip %x", chainLen, tip[:6]),
+	}, nil
+}

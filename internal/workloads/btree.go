@@ -1,0 +1,207 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// btreeSpec is the mitosis-style B-Tree workload: build a B-Tree and
+// perform lookups (paper input: 3M elements). The key functions are
+// find(), leaf(), and create() — the tree navigation core.
+func btreeSpec() *Spec {
+	return &Spec{
+		Name:         "btree",
+		Description:  "Create a B-Tree and perform lookup operations on it",
+		PaperInput:   "Elements: 3M (scaled: 30K × scale)",
+		License:      "lic-btree",
+		KeyFunctions: []string{"find", "leaf", "create"},
+		ChecksPerRun: 1000,
+		Run:          runBTree,
+	}
+}
+
+// btNode is one node of an order-16 B-Tree.
+type btNode struct {
+	keys     []uint64
+	children []*btNode
+	leaf     bool
+}
+
+const btOrder = 16 // max children
+
+func runBTree(scale int) (*Profile, error) {
+	scale = clampScale(scale)
+	nElems := 30_000 * scale
+
+	rec := trace.NewRecorder()
+	nodes := append(amNodes("btree"), []callgraph.Node{
+		{Name: "btree.main", CodeBytes: 800, MemoryBytes: 16 << 10, Module: "init"},
+		// Bulk element storage: the sensitive data Glamdring taints
+		// (paper: 280 MB under Glamdring).
+		{Name: "btree.load_elements", CodeBytes: 10_000, MemoryBytes: 250 << 20,
+			Module: "data", TouchesSensitive: true},
+		{Name: "btree.buffer_pool", CodeBytes: 8_000, MemoryBytes: 24 << 20,
+			Module: "data", TouchesSensitive: true},
+		// Navigation core (SecureLease's pick; paper: 4 MB, 0 faults).
+		{Name: "btree.create", CodeBytes: 3_000, MemoryBytes: 1 << 20,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "btree.find", CodeBytes: 2_200, MemoryBytes: 512 << 10,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "btree.leaf", CodeBytes: 1_800, MemoryBytes: 512 << 10,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "btree.split_child", CodeBytes: 2_700, MemoryBytes: 1 << 20, Module: "core", TouchesSensitive: true},
+		{Name: "btree.lookup_phase", CodeBytes: 1_300, MemoryBytes: 256 << 10,
+			Module: "core", TouchesSensitive: true},
+		{Name: "btree.stats", CodeBytes: 900, MemoryBytes: 32 << 10, Module: "util"},
+	}...)
+	if err := declareAll(rec, nodes); err != nil {
+		return nil, err
+	}
+
+	recordAMCheck(rec, "btree", "btree.main")
+	rec.Enter("btree.main", "btree.load_elements")
+	rec.Enter("btree.load_elements", "btree.buffer_pool")
+	rec.Work("btree.load_elements", int64(nElems/8))
+	rec.Work("btree.buffer_pool", int64(nElems/32))
+
+	rng := rand.New(rand.NewSource(0xB7EE))
+	elems := make([]uint64, nElems)
+	for i := range elems {
+		elems[i] = rng.Uint64() >> 1
+	}
+
+	// create(): build the tree by repeated insertion.
+	rec.Enter("btree.main", "btree.create")
+	root := &btNode{leaf: true}
+	var splits, createWork int64
+	insert := func(key uint64) {
+		if len(root.keys) == btOrder-1 {
+			old := root
+			root = &btNode{children: []*btNode{old}}
+			splitChild(root, 0)
+			splits++
+		}
+		n := root
+		for !n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+			if len(n.children[i].keys) == btOrder-1 {
+				splitChild(n, i)
+				splits++
+				if key > n.keys[i] {
+					i++
+				}
+			}
+			n = n.children[i]
+			createWork++
+		}
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		createWork++
+	}
+	for _, k := range elems {
+		insert(k)
+	}
+	rec.Work("btree.create", createWork)
+	rec.EnterN("btree.create", "btree.split_child", splits)
+	rec.Work("btree.split_child", splits*btOrder)
+
+	// find(): look up every inserted element plus misses.
+	var found, missed int
+	var findHops, leafChecks int64
+	lookup := func(key uint64) bool {
+		n := root
+		for {
+			i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+			if i < len(n.keys) && n.keys[i] == key {
+				return true
+			}
+			if n.leaf {
+				leafChecks++
+				return false
+			}
+			n = n.children[i]
+			findHops++
+		}
+	}
+	nLookups := nElems
+	for i := 0; i < nLookups; i++ {
+		var key uint64
+		if i%4 == 3 {
+			key = rng.Uint64() | 1<<63 // guaranteed miss (inserts cleared MSB)
+		} else {
+			key = elems[rng.Intn(len(elems))]
+		}
+		if lookup(key) {
+			found++
+		} else {
+			missed++
+		}
+	}
+	rec.Enter("btree.main", "btree.lookup_phase")
+	rec.EnterN("btree.lookup_phase", "btree.find", int64(nLookups))
+	rec.Work("btree.lookup_phase", int64(nLookups/4))
+	rec.EnterN("btree.find", "btree.leaf", leafChecks)
+	rec.Work("btree.find", findHops)
+	rec.Work("btree.leaf", leafChecks)
+
+	rec.Enter("btree.main", "btree.stats")
+	rec.Work("btree.stats", 10)
+	rec.Work("btree.main", 100)
+
+	if missed == 0 || found == 0 {
+		return nil, fmt.Errorf("btree: implausible lookup results (found=%d missed=%d)", found, missed)
+	}
+
+	h := mix64(mix64(7, uint64(found)), uint64(missed))
+	h = mix64(h, uint64(treeDepth(root)))
+
+	g, err := rec.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Graph:    g,
+		Trace:    rec.Trace(),
+		Checksum: h,
+		Output: fmt.Sprintf("btree: %d elements, depth %d, %d hits / %d misses",
+			nElems, treeDepth(root), found, missed),
+	}, nil
+}
+
+// splitChild splits the full i-th child of n (standard B-Tree split).
+func splitChild(n *btNode, i int) {
+	child := n.children[i]
+	mid := len(child.keys) / 2
+	midKey := child.keys[mid]
+	right := &btNode{
+		leaf: child.leaf,
+		keys: append([]uint64(nil), child.keys[mid+1:]...),
+	}
+	if !child.leaf {
+		right.children = append([]*btNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = midKey
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func treeDepth(n *btNode) int {
+	d := 1
+	for !n.leaf {
+		n = n.children[0]
+		d++
+	}
+	return d
+}

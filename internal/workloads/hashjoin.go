@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// hashjoinSpec is the mitosis-style HashJoin workload: probe a hash table,
+// as used for equi-joins in databases (paper input: 1.22 GB data table).
+// The key function is probe(). HashJoin is the paper's worst full-SGX case
+// (>300× slowdown) because the build table thrashes the EPC.
+func hashjoinSpec() *Spec {
+	return &Spec{
+		Name:         "hashjoin",
+		Description:  "Probe a hash table (used to implement equi-join in DBs)",
+		PaperInput:   "Data table: 1.22 GB (scaled: 200K build rows × scale)",
+		License:      "lic-hashjoin",
+		KeyFunctions: []string{"probe"},
+		ChecksPerRun: 1000,
+		Run:          runHashJoin,
+	}
+}
+
+func runHashJoin(scale int) (*Profile, error) {
+	scale = clampScale(scale)
+	nBuild := 200_000 * scale
+	nProbe := 2 * nBuild
+
+	rec := trace.NewRecorder()
+	nodes := append(amNodes("hashjoin"), []callgraph.Node{
+		{Name: "hashjoin.main", CodeBytes: 850, MemoryBytes: 16 << 10, Module: "init"},
+		// The build table is the sensitive bulk (paper: 130 MB Glamdring).
+		{Name: "hashjoin.load_tables", CodeBytes: 9_500, MemoryBytes: 110 << 20,
+			Module: "data", TouchesSensitive: true},
+		{Name: "hashjoin.build", CodeBytes: 4_200, MemoryBytes: 16 << 20,
+			Module: "data", TouchesSensitive: true},
+		// The probe core (SecureLease's pick; 4 MB).
+		{Name: "hashjoin.probe", CodeBytes: 3_100, MemoryBytes: 2 << 20,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "hashjoin.hash_key", CodeBytes: 900, MemoryBytes: 64 << 10, Module: "core", TouchesSensitive: true},
+		{Name: "hashjoin.emit", CodeBytes: 1_200, MemoryBytes: 1 << 20, Module: "core", TouchesSensitive: true},
+		{Name: "hashjoin.probe_phase", CodeBytes: 1_400, MemoryBytes: 512 << 10,
+			Module: "core", TouchesSensitive: true},
+		{Name: "hashjoin.summary", CodeBytes: 700, MemoryBytes: 32 << 10, Module: "util"},
+	}...)
+	if err := declareAll(rec, nodes); err != nil {
+		return nil, err
+	}
+
+	recordAMCheck(rec, "hashjoin", "hashjoin.main")
+	rec.Enter("hashjoin.main", "hashjoin.load_tables")
+	rec.Work("hashjoin.load_tables", int64((nBuild+nProbe)/8))
+
+	rng := rand.New(rand.NewSource(0x4A54))
+	type row struct {
+		key uint64
+		val uint32
+	}
+	build := make([]row, nBuild)
+	for i := range build {
+		build[i] = row{key: uint64(rng.Intn(nBuild * 2)), val: rng.Uint32()}
+	}
+
+	// Build phase: open-addressing table keyed on row.key.
+	rec.Enter("hashjoin.load_tables", "hashjoin.build")
+	size := 1
+	for size < nBuild*2 {
+		size <<= 1
+	}
+	mask := uint64(size - 1)
+	keys := make([]uint64, size)
+	vals := make([]uint32, size)
+	used := make([]bool, size)
+	hash := func(k uint64) uint64 {
+		k *= 0x9e3779b97f4a7c15
+		k ^= k >> 29
+		return k
+	}
+	var buildSteps int64
+	for _, r := range build {
+		i := hash(r.key) & mask
+		for used[i] {
+			if keys[i] == r.key {
+				break
+			}
+			i = (i + 1) & mask
+			buildSteps++
+		}
+		keys[i], vals[i], used[i] = r.key, r.val, true
+		buildSteps++
+	}
+	rec.Work("hashjoin.build", buildSteps/4)
+	rec.EnterN("hashjoin.build", "hashjoin.hash_key", int64(nBuild))
+
+	// Probe phase: the protected core.
+	var matches int
+	var h uint64 = 11
+	var probeSteps, emits int64
+	for p := 0; p < nProbe; p++ {
+		key := uint64(rng.Intn(nBuild * 4))
+		i := hash(key) & mask
+		for used[i] {
+			probeSteps++
+			if keys[i] == key {
+				matches++
+				emits++
+				h = mix64(h, key^uint64(vals[i]))
+				break
+			}
+			i = (i + 1) & mask
+		}
+		probeSteps++
+	}
+	rec.Enter("hashjoin.main", "hashjoin.probe_phase")
+	rec.EnterN("hashjoin.probe_phase", "hashjoin.probe", int64(nProbe))
+	rec.Work("hashjoin.probe_phase", int64(nProbe/4))
+	rec.EnterN("hashjoin.probe", "hashjoin.hash_key", int64(nProbe))
+	rec.EnterN("hashjoin.probe", "hashjoin.emit", emits)
+	rec.Work("hashjoin.probe", probeSteps)
+	rec.Work("hashjoin.hash_key", int64(nBuild+nProbe))
+	rec.Work("hashjoin.emit", emits)
+
+	rec.Enter("hashjoin.main", "hashjoin.summary")
+	rec.Work("hashjoin.summary", 10)
+	rec.Work("hashjoin.main", 100)
+
+	if matches == 0 {
+		return nil, fmt.Errorf("hashjoin: no matches out of %d probes", nProbe)
+	}
+
+	g, err := rec.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Graph:    g,
+		Trace:    rec.Trace(),
+		Checksum: h,
+		Output: fmt.Sprintf("hashjoin: %d matches from %d probes against %d build rows",
+			matches, nProbe, nBuild),
+	}, nil
+}

@@ -1,0 +1,358 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// jsonparserSpec is the FaaS JSON-parsing workload: parse a stream of JSON
+// strings (paper input: 10K documents of ~1 KB each). The key function is
+// parse(). The parser below is a from-scratch recursive-descent JSON
+// parser, so the workload exercises real parsing logic.
+func jsonparserSpec() *Spec {
+	return &Spec{
+		Name:         "jsonparser",
+		Description:  "Parse JSON strings (FaaS)",
+		PaperInput:   "Size: 1 KB, Count: 10K (scaled: 2K docs × scale)",
+		License:      "lic-jsonparser",
+		KeyFunctions: []string{"parse"},
+		FaaS:         true,
+		ChecksPerRun: 10_000,
+		Run:          runJSONParser,
+	}
+}
+
+func runJSONParser(scale int) (*Profile, error) {
+	scale = clampScale(scale)
+	nDocs := 2000 * scale
+
+	rec := trace.NewRecorder()
+	nodes := append(amNodes("jsonparser"), []callgraph.Node{
+		{Name: "jsonparser.main", CodeBytes: 900, MemoryBytes: 16 << 10, Module: "init"},
+		{Name: "jsonparser.ingest", CodeBytes: 4_800, MemoryBytes: 26 << 20,
+			Module: "io", TouchesSensitive: true},
+		// parse() and its helpers are the protected core.
+		{Name: "jsonparser.parse", CodeBytes: 7_200, MemoryBytes: 2 << 20,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "jsonparser.lex", CodeBytes: 3_900, MemoryBytes: 512 << 10, Module: "core", TouchesSensitive: true},
+		{Name: "jsonparser.parse_value", CodeBytes: 4_400, MemoryBytes: 512 << 10, Module: "core", TouchesSensitive: true},
+		{Name: "jsonparser.validate", CodeBytes: 1_800, MemoryBytes: 256 << 10, Module: "core", TouchesSensitive: true},
+		{Name: "jsonparser.parse_stream", CodeBytes: 1_500, MemoryBytes: 512 << 10,
+			Module: "core", TouchesSensitive: true},
+		{Name: "jsonparser.emit", CodeBytes: 900, MemoryBytes: 64 << 10, Module: "util"},
+	}...)
+	if err := declareAll(rec, nodes); err != nil {
+		return nil, err
+	}
+
+	recordAMCheck(rec, "jsonparser", "jsonparser.main")
+
+	rng := rand.New(rand.NewSource(0x150))
+	genDoc := func(i int) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, `{"id":%d,"name":"item-%d","tags":[`, i, i)
+		nTags := 1 + rng.Intn(5)
+		for t := 0; t < nTags; t++ {
+			if t > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `"t%d"`, rng.Intn(100))
+		}
+		fmt.Fprintf(&b, `],"score":%d.%02d,"active":%v,"meta":{"depth":%d,"note":null}}`,
+			rng.Intn(1000), rng.Intn(100), rng.Intn(2) == 0, rng.Intn(9))
+		return b.String()
+	}
+
+	var totalBytes, totalValues int64
+	var h uint64 = 23
+	var parseErrors int
+	for i := 0; i < nDocs; i++ {
+		doc := genDoc(i)
+		totalBytes += int64(len(doc))
+		v, consumed, err := parseJSON(doc)
+		if err != nil {
+			parseErrors++
+			continue
+		}
+		if consumed != len(doc) {
+			return nil, fmt.Errorf("jsonparser: doc %d: trailing garbage after offset %d", i, consumed)
+		}
+		nVals := countValues(v)
+		totalValues += int64(nVals)
+		obj, ok := v.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("jsonparser: doc %d: top level is %T", i, v)
+		}
+		id, ok := obj["id"].(float64)
+		if !ok || int(id) != i {
+			return nil, fmt.Errorf("jsonparser: doc %d: bad id field %v", i, obj["id"])
+		}
+		h = mix64(h, uint64(nVals)<<32|uint64(i))
+	}
+	if parseErrors > 0 {
+		return nil, fmt.Errorf("jsonparser: %d parse errors on valid input", parseErrors)
+	}
+
+	rec.Enter("jsonparser.main", "jsonparser.ingest")
+	rec.Work("jsonparser.ingest", totalBytes/32)
+	rec.Enter("jsonparser.main", "jsonparser.parse_stream")
+	rec.EnterN("jsonparser.parse_stream", "jsonparser.parse", int64(nDocs))
+	rec.Work("jsonparser.parse_stream", int64(nDocs))
+	rec.EnterN("jsonparser.parse", "jsonparser.lex", totalBytes/8)
+	rec.EnterN("jsonparser.parse", "jsonparser.parse_value", totalValues)
+	rec.EnterN("jsonparser.parse", "jsonparser.validate", int64(nDocs))
+	rec.Work("jsonparser.parse", totalBytes/4)
+	rec.Work("jsonparser.lex", totalBytes/8)
+	rec.Work("jsonparser.parse_value", totalValues)
+	rec.Work("jsonparser.validate", int64(nDocs)*2)
+	rec.Enter("jsonparser.main", "jsonparser.emit")
+	rec.Work("jsonparser.emit", int64(nDocs))
+	rec.Work("jsonparser.main", 100)
+
+	g, err := rec.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Graph:    g,
+		Trace:    rec.Trace(),
+		Checksum: mix64(h, uint64(totalValues)),
+		Output: fmt.Sprintf("jsonparser: %d docs, %d bytes, %d values parsed",
+			nDocs, totalBytes, totalValues),
+	}, nil
+}
+
+// parseJSON is a from-scratch recursive-descent JSON parser. It returns
+// the value, the number of bytes consumed, and an error on malformed
+// input. Supported: objects, arrays, strings (with \" \\ \/ \n \t \r \u
+// escapes), numbers, true/false/null.
+func parseJSON(s string) (any, int, error) {
+	p := &jsonParser{s: s}
+	p.skipSpace()
+	v, err := p.value()
+	if err != nil {
+		return nil, p.i, err
+	}
+	p.skipSpace()
+	return v, p.i, nil
+}
+
+type jsonParser struct {
+	s string
+	i int
+}
+
+var errJSON = errors.New("jsonparser: malformed JSON")
+
+func (p *jsonParser) skipSpace() {
+	for p.i < len(p.s) {
+		switch p.s[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jsonParser) value() (any, error) {
+	if p.i >= len(p.s) {
+		return nil, fmt.Errorf("%w: unexpected end", errJSON)
+	}
+	switch c := p.s[p.i]; {
+	case c == '{':
+		return p.object()
+	case c == '[':
+		return p.array()
+	case c == '"':
+		return p.str()
+	case c == 't':
+		return p.literal("true", true)
+	case c == 'f':
+		return p.literal("false", false)
+	case c == 'n':
+		return p.literal("null", nil)
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.number()
+	default:
+		return nil, fmt.Errorf("%w: unexpected %q at %d", errJSON, c, p.i)
+	}
+}
+
+func (p *jsonParser) object() (any, error) {
+	p.i++ // {
+	out := make(map[string]any)
+	p.skipSpace()
+	if p.i < len(p.s) && p.s[p.i] == '}' {
+		p.i++
+		return out, nil
+	}
+	for {
+		p.skipSpace()
+		if p.i >= len(p.s) || p.s[p.i] != '"' {
+			return nil, fmt.Errorf("%w: want object key at %d", errJSON, p.i)
+		}
+		key, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.i >= len(p.s) || p.s[p.i] != ':' {
+			return nil, fmt.Errorf("%w: want ':' at %d", errJSON, p.i)
+		}
+		p.i++
+		p.skipSpace()
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		out[key.(string)] = v
+		p.skipSpace()
+		if p.i >= len(p.s) {
+			return nil, fmt.Errorf("%w: unterminated object", errJSON)
+		}
+		switch p.s[p.i] {
+		case ',':
+			p.i++
+		case '}':
+			p.i++
+			return out, nil
+		default:
+			return nil, fmt.Errorf("%w: want ',' or '}' at %d", errJSON, p.i)
+		}
+	}
+}
+
+func (p *jsonParser) array() (any, error) {
+	p.i++ // [
+	var out []any
+	p.skipSpace()
+	if p.i < len(p.s) && p.s[p.i] == ']' {
+		p.i++
+		return out, nil
+	}
+	for {
+		p.skipSpace()
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.skipSpace()
+		if p.i >= len(p.s) {
+			return nil, fmt.Errorf("%w: unterminated array", errJSON)
+		}
+		switch p.s[p.i] {
+		case ',':
+			p.i++
+		case ']':
+			p.i++
+			return out, nil
+		default:
+			return nil, fmt.Errorf("%w: want ',' or ']' at %d", errJSON, p.i)
+		}
+	}
+}
+
+func (p *jsonParser) str() (any, error) {
+	p.i++ // "
+	var b strings.Builder
+	for p.i < len(p.s) {
+		c := p.s[p.i]
+		switch c {
+		case '"':
+			p.i++
+			return b.String(), nil
+		case '\\':
+			p.i++
+			if p.i >= len(p.s) {
+				return nil, fmt.Errorf("%w: dangling escape", errJSON)
+			}
+			switch p.s[p.i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case '/':
+				b.WriteByte('/')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case 'u':
+				if p.i+4 >= len(p.s) {
+					return nil, fmt.Errorf("%w: short \\u escape", errJSON)
+				}
+				code, err := strconv.ParseUint(p.s[p.i+1:p.i+5], 16, 32)
+				if err != nil {
+					return nil, fmt.Errorf("%w: bad \\u escape", errJSON)
+				}
+				b.WriteRune(rune(code))
+				p.i += 4
+			default:
+				return nil, fmt.Errorf("%w: unknown escape \\%c", errJSON, p.s[p.i])
+			}
+			p.i++
+		default:
+			b.WriteByte(c)
+			p.i++
+		}
+	}
+	return nil, fmt.Errorf("%w: unterminated string", errJSON)
+}
+
+func (p *jsonParser) number() (any, error) {
+	start := p.i
+	if p.i < len(p.s) && p.s[p.i] == '-' {
+		p.i++
+	}
+	for p.i < len(p.s) && (p.s[p.i] >= '0' && p.s[p.i] <= '9' || p.s[p.i] == '.' ||
+		p.s[p.i] == 'e' || p.s[p.i] == 'E' || p.s[p.i] == '+' || p.s[p.i] == '-') {
+		p.i++
+	}
+	f, err := strconv.ParseFloat(p.s[start:p.i], 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad number %q", errJSON, p.s[start:p.i])
+	}
+	return f, nil
+}
+
+func (p *jsonParser) literal(word string, v any) (any, error) {
+	if !strings.HasPrefix(p.s[p.i:], word) {
+		return nil, fmt.Errorf("%w: bad literal at %d", errJSON, p.i)
+	}
+	p.i += len(word)
+	return v, nil
+}
+
+// countValues counts all values in a parsed JSON tree.
+func countValues(v any) int {
+	switch t := v.(type) {
+	case map[string]any:
+		n := 1
+		for _, c := range t {
+			n += countValues(c)
+		}
+		return n
+	case []any:
+		n := 1
+		for _, c := range t {
+			n += countValues(c)
+		}
+		return n
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// keyvalueSpec is the Cloudburst-style FaaS key-value store workload:
+// read and write operations against a store (paper input: 70 MB, 500K
+// elements — the paper's heaviest license-check load at 500K checks in
+// under a minute). The key function is set().
+func keyvalueSpec() *Spec {
+	return &Spec{
+		Name:         "keyvalue",
+		Description:  "Read and write operations on a key-value store (FaaS)",
+		PaperInput:   "70 MB, 500K elements (scaled: 50K ops × scale)",
+		License:      "lic-keyvalue",
+		KeyFunctions: []string{"set"},
+		FaaS:         true,
+		ChecksPerRun: 50_000,
+		Run:          runKeyValue,
+	}
+}
+
+func runKeyValue(scale int) (*Profile, error) {
+	scale = clampScale(scale)
+	nOps := 50_000 * scale
+
+	rec := trace.NewRecorder()
+	nodes := append(amNodes("keyvalue"), []callgraph.Node{
+		{Name: "keyvalue.main", CodeBytes: 950, MemoryBytes: 16 << 10, Module: "init"},
+		// The value heap is the bulk (paper: 162 MB under Glamdring).
+		{Name: "keyvalue.value_heap", CodeBytes: 8_200, MemoryBytes: 140 << 20,
+			Module: "data", TouchesSensitive: true},
+		{Name: "keyvalue.index", CodeBytes: 6_100, MemoryBytes: 18 << 20,
+			Module: "data", TouchesSensitive: true},
+		// The write path is the protected core (4 MB for SecureLease).
+		{Name: "keyvalue.set", CodeBytes: 2_700, MemoryBytes: 2 << 20,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "keyvalue.get", CodeBytes: 1_900, MemoryBytes: 1 << 20, Module: "core", TouchesSensitive: true},
+		{Name: "keyvalue.serialize", CodeBytes: 1_500, MemoryBytes: 512 << 10, Module: "core", TouchesSensitive: true},
+		{Name: "keyvalue.server_loop", CodeBytes: 1_600, MemoryBytes: 512 << 10,
+			Module: "core", TouchesSensitive: true},
+		{Name: "keyvalue.report", CodeBytes: 800, MemoryBytes: 32 << 10, Module: "util"},
+	}...)
+	if err := declareAll(rec, nodes); err != nil {
+		return nil, err
+	}
+
+	recordAMCheck(rec, "keyvalue", "keyvalue.main")
+	rec.Enter("keyvalue.main", "keyvalue.value_heap")
+	rec.Enter("keyvalue.value_heap", "keyvalue.index")
+
+	store := make(map[uint32][]byte)
+	rng := rand.New(rand.NewSource(0x4B56))
+	keySpace := uint32(nOps / 2)
+	var sets, gets, hits, heapBytes int64
+	var h uint64 = 19
+	for i := 0; i < nOps; i++ {
+		k := rng.Uint32() % keySpace
+		if i%3 != 2 { // 2/3 writes: set() is the hot, protected path
+			val := make([]byte, 16+rng.Intn(48))
+			binary.LittleEndian.PutUint32(val, k)
+			binary.LittleEndian.PutUint64(val[4:], uint64(i))
+			store[k] = val
+			sets++
+			heapBytes += int64(len(val))
+		} else {
+			if v, ok := store[k]; ok {
+				hits++
+				h = mix64(h, uint64(binary.LittleEndian.Uint32(v)))
+			}
+			gets++
+		}
+	}
+	rec.Enter("keyvalue.main", "keyvalue.server_loop")
+	rec.EnterN("keyvalue.server_loop", "keyvalue.set", sets)
+	rec.Work("keyvalue.server_loop", (sets+gets)/4)
+	rec.EnterN("keyvalue.set", "keyvalue.serialize", sets)
+	rec.EnterN("keyvalue.set", "keyvalue.value_heap", sets/64+1) // buffered writes
+	rec.EnterN("keyvalue.server_loop", "keyvalue.get", gets)
+	rec.EnterN("keyvalue.get", "keyvalue.index", gets/64+1) // batched index reads
+	rec.Work("keyvalue.set", sets*4)
+	rec.Work("keyvalue.serialize", sets*2)
+	rec.Work("keyvalue.value_heap", heapBytes/32)
+	rec.Work("keyvalue.get", gets*2)
+	rec.Work("keyvalue.index", gets)
+
+	// Verify every stored value round-trips.
+	for k, v := range store {
+		if binary.LittleEndian.Uint32(v) != k {
+			return nil, fmt.Errorf("keyvalue: corrupt value for key %d", k)
+		}
+	}
+	rec.Enter("keyvalue.main", "keyvalue.report")
+	rec.Work("keyvalue.report", 10)
+	rec.Work("keyvalue.main", 100)
+
+	if hits == 0 {
+		return nil, fmt.Errorf("keyvalue: zero read hits out of %d reads", gets)
+	}
+
+	g, err := rec.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Graph:    g,
+		Trace:    rec.Trace(),
+		Checksum: mix64(h, uint64(len(store))),
+		Output: fmt.Sprintf("keyvalue: %d sets, %d gets (%d hits), %d live keys",
+			sets, gets, hits, len(store)),
+	}, nil
+}

@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// mapreduceSpec is the FaaS MapReduce workload: count word occurrences
+// across a set of files with 5 mappers and 2 reducers (paper input: 19 MB
+// of data). Key functions: tokenize() and word_count(). As a FaaS
+// workload, each map/reduce invocation performs a license check — the
+// paper's high-frequency checking scenario.
+func mapreduceSpec() *Spec {
+	return &Spec{
+		Name:         "mapreduce",
+		Description:  "Count the occurrences of words in a set of files (FaaS)",
+		PaperInput:   "Data: 19 MB, Map: 5, Reduce: 2 (scaled: ~100K words × scale)",
+		License:      "lic-mapreduce",
+		KeyFunctions: []string{"tokenize", "word_count"},
+		FaaS:         true,
+		ChecksPerRun: 10_000, // FaaS: one check per function invocation
+		Run:          runMapReduce,
+	}
+}
+
+const (
+	mrMappers  = 5
+	mrReducers = 2
+)
+
+func runMapReduce(scale int) (*Profile, error) {
+	scale = clampScale(scale)
+	nWords := 100_000 * scale
+
+	rec := trace.NewRecorder()
+	nodes := append(amNodes("mapreduce"), []callgraph.Node{
+		{Name: "mapreduce.main", CodeBytes: 1_000, MemoryBytes: 16 << 10, Module: "init"},
+		{Name: "mapreduce.load_corpus", CodeBytes: 6_500, MemoryBytes: 40 << 20,
+			Module: "data", TouchesSensitive: true},
+		{Name: "mapreduce.tokenize", CodeBytes: 3_800, MemoryBytes: 16 << 20,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "mapreduce.word_count", CodeBytes: 3_200, MemoryBytes: 12 << 20,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "mapreduce.shuffle", CodeBytes: 2_900, MemoryBytes: 8 << 20,
+			Module: "core", TouchesSensitive: true},
+		{Name: "mapreduce.emit_results", CodeBytes: 1_200, MemoryBytes: 1 << 20, Module: "util"},
+	}...)
+	if err := declareAll(rec, nodes); err != nil {
+		return nil, err
+	}
+
+	recordAMCheck(rec, "mapreduce", "mapreduce.main")
+
+	// Build a synthetic corpus with a Zipf-ish word distribution.
+	vocab := make([]string, 500)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%03d", i)
+	}
+	rng := rand.New(rand.NewSource(0x3A9))
+	var corpus strings.Builder
+	corpus.Grow(nWords * 6)
+	for i := 0; i < nWords; i++ {
+		idx := rng.Intn(len(vocab))
+		if rng.Intn(3) > 0 {
+			idx = rng.Intn(30) // head-heavy
+		}
+		corpus.WriteString(vocab[idx])
+		if i%12 == 11 {
+			corpus.WriteByte('\n')
+		} else {
+			corpus.WriteByte(' ')
+		}
+	}
+	text := corpus.String()
+	rec.Enter("mapreduce.main", "mapreduce.load_corpus")
+	rec.Work("mapreduce.load_corpus", int64(len(text)/64))
+
+	// Split into 5 shards and map in parallel (real goroutines, as a FaaS
+	// platform would fan out function invocations).
+	shardSize := (len(text) + mrMappers - 1) / mrMappers
+	partials := make([]map[string]int, mrMappers)
+	var wg sync.WaitGroup
+	for m := 0; m < mrMappers; m++ {
+		lo := m * shardSize
+		hi := lo + shardSize
+		if lo > len(text) {
+			lo = len(text)
+		}
+		if hi > len(text) {
+			hi = len(text)
+		}
+		// Align shard boundaries to whitespace so no word is split.
+		for lo > 0 && lo < len(text) && text[lo-1] != ' ' && text[lo-1] != '\n' {
+			lo++
+		}
+		for hi < len(text) && text[hi-1] != ' ' && text[hi-1] != '\n' {
+			hi++
+		}
+		wg.Add(1)
+		go func(m, lo, hi int) {
+			defer wg.Done()
+			rec.Enter("mapreduce.main", "mapreduce.tokenize")
+			counts := make(map[string]int)
+			fields := strings.Fields(text[lo:hi])
+			for _, w := range fields {
+				counts[w]++
+			}
+			rec.Work("mapreduce.tokenize", int64(len(fields)))
+			partials[m] = counts
+		}(m, lo, hi)
+	}
+	wg.Wait()
+
+	// Shuffle: route words to reducers by hash.
+	rec.Enter("mapreduce.main", "mapreduce.shuffle")
+	buckets := make([]map[string]int, mrReducers)
+	for r := range buckets {
+		buckets[r] = make(map[string]int)
+	}
+	var shuffled int64
+	for _, p := range partials {
+		for w, c := range p {
+			r := int(mix64(0, uint64(len(w))+uint64(w[0])<<8+uint64(w[len(w)-1])<<16) % mrReducers)
+			buckets[r][w] += c
+			shuffled++
+		}
+	}
+	rec.Work("mapreduce.shuffle", shuffled)
+
+	// Reduce in parallel.
+	finals := make([]map[string]int, mrReducers)
+	for r := 0; r < mrReducers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rec.Enter("mapreduce.main", "mapreduce.word_count")
+			out := make(map[string]int, len(buckets[r]))
+			var units int64
+			for w, c := range buckets[r] {
+				out[w] = c
+				units += int64(c)
+			}
+			rec.Work("mapreduce.word_count", units/16+int64(len(out)))
+			finals[r] = out
+		}(r)
+	}
+	wg.Wait()
+
+	merged := make(map[string]int)
+	var total int
+	for _, f := range finals {
+		for w, c := range f {
+			merged[w] += c
+			total += c
+		}
+	}
+	if total != nWords {
+		return nil, fmt.Errorf("mapreduce: counted %d words, want %d", total, nWords)
+	}
+	rec.Enter("mapreduce.main", "mapreduce.emit_results")
+	rec.Work("mapreduce.emit_results", int64(len(merged)))
+	rec.Work("mapreduce.main", 100)
+
+	g, err := rec.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Graph:    g,
+		Trace:    rec.Trace(),
+		Checksum: checksumStrings(merged),
+		Output: fmt.Sprintf("mapreduce: %d words, %d distinct, %d mappers, %d reducers",
+			total, len(merged), mrMappers, mrReducers),
+	}, nil
+}

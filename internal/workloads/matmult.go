@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// matmultSpec is the Clemmys-style FaaS matrix-multiplication workload
+// (paper input: 2000×2000 matrices). The key function is multiply(). The
+// matrices are large enough that Glamdring's taint pulls 320 MB into the
+// enclave while SecureLease keeps the multiply kernel's 81 MB tiled
+// working set.
+func matmultSpec() *Spec {
+	return &Spec{
+		Name:         "matmult",
+		Description:  "Matrix multiplication (FaaS)",
+		PaperInput:   "Dimension: 2000×2000 (scaled: 160×160 × scale^(1/1))",
+		License:      "lic-matmult",
+		KeyFunctions: []string{"multiply"},
+		FaaS:         true,
+		ChecksPerRun: 2000,
+		Run:          runMatMult,
+	}
+}
+
+func runMatMult(scale int) (*Profile, error) {
+	scale = clampScale(scale)
+	dim := 160
+	if scale > 1 {
+		// Grow sub-linearly: work is O(n³).
+		dim = 160 + 40*(scale-1)
+		if dim > 640 {
+			dim = 640
+		}
+	}
+
+	rec := trace.NewRecorder()
+	nodes := append(amNodes("matmult"), []callgraph.Node{
+		{Name: "matmult.main", CodeBytes: 850, MemoryBytes: 16 << 10, Module: "init"},
+		{Name: "matmult.load_matrices", CodeBytes: 5_200, MemoryBytes: 230 << 20,
+			Module: "data", TouchesSensitive: true},
+		{Name: "matmult.transpose", CodeBytes: 2_100, MemoryBytes: 60 << 20,
+			Module: "data", TouchesSensitive: true},
+		// The tiled kernel: the key function. 81 MB working set in the
+		// paper — under the EPC, so SecureLease runs fault-free.
+		{Name: "matmult.multiply", CodeBytes: 4_600, MemoryBytes: 78 << 20,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "matmult.tile_kernel", CodeBytes: 2_800, MemoryBytes: 2 << 20, Module: "core", TouchesSensitive: true},
+		{Name: "matmult.checksum", CodeBytes: 900, MemoryBytes: 64 << 10, Module: "util"},
+	}...)
+	if err := declareAll(rec, nodes); err != nil {
+		return nil, err
+	}
+
+	recordAMCheck(rec, "matmult", "matmult.main")
+
+	rng := rand.New(rand.NewSource(0x3A7))
+	a := make([]float64, dim*dim)
+	b := make([]float64, dim*dim)
+	for i := range a {
+		a[i] = rng.Float64()*2 - 1
+		b[i] = rng.Float64()*2 - 1
+	}
+	rec.Enter("matmult.main", "matmult.load_matrices")
+	rec.Work("matmult.load_matrices", int64(2*dim*dim/16))
+
+	// Transpose B for cache-friendly access.
+	bt := make([]float64, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			bt[j*dim+i] = b[i*dim+j]
+		}
+	}
+	rec.Enter("matmult.load_matrices", "matmult.transpose")
+	rec.Work("matmult.transpose", int64(dim*dim/16))
+
+	// multiply(): tiled multiplication.
+	const tile = 32
+	c := make([]float64, dim*dim)
+	var tiles int64
+	for ii := 0; ii < dim; ii += tile {
+		for jj := 0; jj < dim; jj += tile {
+			tiles++
+			iMax := min(ii+tile, dim)
+			jMax := min(jj+tile, dim)
+			for i := ii; i < iMax; i++ {
+				for j := jj; j < jMax; j++ {
+					var sum float64
+					arow := a[i*dim : i*dim+dim]
+					bcol := bt[j*dim : j*dim+dim]
+					for k := 0; k < dim; k++ {
+						sum += arow[k] * bcol[k]
+					}
+					c[i*dim+j] = sum
+				}
+			}
+		}
+	}
+	rec.Enter("matmult.main", "matmult.multiply")
+	rec.EnterN("matmult.multiply", "matmult.tile_kernel", tiles)
+	rec.Work("matmult.multiply", int64(dim)*int64(dim)*int64(dim)/64)
+	rec.Work("matmult.tile_kernel", tiles*tile*tile/8)
+
+	// Verify a few entries against a direct computation.
+	probeRng := rand.New(rand.NewSource(0xC4EC))
+	for probe := 0; probe < 8; probe++ {
+		i, j := probeRng.Intn(dim), probeRng.Intn(dim)
+		var want float64
+		for k := 0; k < dim; k++ {
+			want += a[i*dim+k] * b[k*dim+j]
+		}
+		if math.Abs(want-c[i*dim+j]) > 1e-9*float64(dim) {
+			return nil, fmt.Errorf("matmult: c[%d,%d] = %v, want %v", i, j, c[i*dim+j], want)
+		}
+	}
+
+	var h uint64 = 29
+	for i := 0; i < dim*dim; i += dim/4 + 1 {
+		h = mix64(h, uint64(int64(c[i]*1e9)))
+	}
+	rec.Enter("matmult.main", "matmult.checksum")
+	rec.Work("matmult.checksum", int64(dim))
+	rec.Work("matmult.main", 100)
+
+	g, err := rec.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Graph:    g,
+		Trace:    rec.Trace(),
+		Checksum: h,
+		Output:   fmt.Sprintf("matmult: %d×%d multiply verified on 8 probes", dim, dim),
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

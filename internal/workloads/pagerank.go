@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// pagerankSpec is the Ligra-style PageRank workload (paper input: 10K
+// nodes, 50M edges — an extremely dense graph, hence the 1.36 GB Glamdring
+// footprint). Key functions: map(), reduce(), set_rank().
+func pagerankSpec() *Spec {
+	return &Spec{
+		Name:         "pagerank",
+		Description:  "Assign ranks to pages based on popularity (search engines)",
+		PaperInput:   "Nodes: 10K, Edges: 50M (scaled: 2K nodes, ~200K edges × scale)",
+		License:      "lic-pagerank",
+		KeyFunctions: []string{"map", "reduce", "set_rank"},
+		ChecksPerRun: 1000,
+		Run:          runPageRank,
+	}
+}
+
+func runPageRank(scale int) (*Profile, error) {
+	scale = clampScale(scale)
+	nNodes := 2000
+	nEdges := 200_000 * scale
+
+	rec := trace.NewRecorder()
+	nodes := append(amNodes("pagerank"), []callgraph.Node{
+		{Name: "pagerank.main", CodeBytes: 950, MemoryBytes: 16 << 10, Module: "init"},
+		// The dense edge list dominates memory (paper: 1.36 GB Glamdring).
+		{Name: "pagerank.load_edges", CodeBytes: 11_000, MemoryBytes: 1200 << 20,
+			Module: "data", TouchesSensitive: true},
+		{Name: "pagerank.degree_index", CodeBytes: 5_500, MemoryBytes: 100 << 20,
+			Module: "data", TouchesSensitive: true},
+		// The rank iteration core (SecureLease: 4 MB).
+		{Name: "pagerank.map", CodeBytes: 2_900, MemoryBytes: 1 << 20,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "pagerank.reduce", CodeBytes: 2_400, MemoryBytes: 1 << 20,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "pagerank.set_rank", CodeBytes: 1_700, MemoryBytes: 512 << 10,
+			Module: "core", KeyFunction: true, TouchesSensitive: true},
+		{Name: "pagerank.converged", CodeBytes: 1_000, MemoryBytes: 64 << 10, Module: "core", TouchesSensitive: true},
+		{Name: "pagerank.top_k", CodeBytes: 1_300, MemoryBytes: 128 << 10, Module: "util"},
+	}...)
+	if err := declareAll(rec, nodes); err != nil {
+		return nil, err
+	}
+
+	recordAMCheck(rec, "pagerank", "pagerank.main")
+
+	rng := rand.New(rand.NewSource(0x9A6E))
+	src := make([]int32, nEdges)
+	dst := make([]int32, nEdges)
+	outDeg := make([]int32, nNodes)
+	for i := 0; i < nEdges; i++ {
+		s := rng.Intn(nNodes)
+		src[i], dst[i] = int32(s), int32(rng.Intn(nNodes))
+		outDeg[s]++
+	}
+	rec.Enter("pagerank.main", "pagerank.load_edges")
+	rec.Enter("pagerank.load_edges", "pagerank.degree_index")
+	rec.Work("pagerank.load_edges", int64(nEdges/8))
+	rec.Work("pagerank.degree_index", int64(nNodes))
+
+	const damping = 0.85
+	rank := make([]float64, nNodes)
+	next := make([]float64, nNodes)
+	for i := range rank {
+		rank[i] = 1.0 / float64(nNodes)
+	}
+
+	iters := 0
+	for ; iters < 50; iters++ {
+		base := (1 - damping) / float64(nNodes)
+		for i := range next {
+			next[i] = base
+		}
+		// map(): scatter contributions along edges.
+		for e := 0; e < nEdges; e++ {
+			s := src[e]
+			if outDeg[s] > 0 {
+				next[dst[e]] += damping * rank[s] / float64(outDeg[s])
+			}
+		}
+		// Dangling mass redistribution (reduce()).
+		var dangling float64
+		for i, d := range outDeg {
+			if d == 0 {
+				dangling += rank[i]
+			}
+		}
+		share := damping * dangling / float64(nNodes)
+		var delta float64
+		for i := range next {
+			next[i] += share
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+
+		rec.Enter("pagerank.main", "pagerank.map")
+		rec.EnterN("pagerank.map", "pagerank.reduce", int64(nNodes))
+		rec.EnterN("pagerank.reduce", "pagerank.set_rank", int64(nNodes))
+		rec.Enter("pagerank.main", "pagerank.converged")
+		rec.Work("pagerank.map", int64(nEdges))
+		rec.Work("pagerank.reduce", int64(nNodes))
+		rec.Work("pagerank.set_rank", int64(nNodes))
+		rec.Work("pagerank.converged", int64(nNodes))
+		if delta < 1e-8 {
+			iters++
+			break
+		}
+	}
+
+	// Ranks must sum to ~1 (a stochastic distribution).
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("pagerank: rank mass = %v, want 1", sum)
+	}
+
+	// Checksum over the top-ranked node and quantized ranks.
+	best := 0
+	var h uint64 = 13
+	for i, r := range rank {
+		if r > rank[best] {
+			best = i
+		}
+		h = mix64(h, uint64(r*1e12))
+	}
+	rec.Enter("pagerank.main", "pagerank.top_k")
+	rec.Work("pagerank.top_k", int64(nNodes))
+	rec.Work("pagerank.main", 100)
+
+	g, err := rec.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Graph:    g,
+		Trace:    rec.Trace(),
+		Checksum: h,
+		Output: fmt.Sprintf("pagerank: %d iterations over %d edges; top node %d (%.5f)",
+			iters, nEdges, best, rank[best]),
+	}, nil
+}

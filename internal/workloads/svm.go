@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// svmSpec is the support-vector-machine workload (paper input: 4000
+// samples, 128 features; application: text categorization). The key
+// function is predict(). The trained model is what the license protects,
+// so most of the pipeline touches sensitive data and both schemes carry
+// moderate footprints (Glamdring 110 MB, SecureLease 85 MB in Table 5).
+func svmSpec() *Spec {
+	return &Spec{
+		Name:         "svm",
+		Description:  "Linear SVM training and inference (text categorization)",
+		PaperInput:   "Samples: 4000, Features: 128 (scaled: 1000 × scale samples)",
+		License:      "lic-svm",
+		KeyFunctions: []string{"predict"},
+		ChecksPerRun: 1000,
+		Run:          runSVM,
+	}
+}
+
+func runSVM(scale int) (*Profile, error) {
+	scale = clampScale(scale)
+	nSamples := 1000 * scale
+	const nFeatures = 128
+
+	rec := trace.NewRecorder()
+	nodes := append(amNodes("svm"), []callgraph.Node{
+		{Name: "svm.main", CodeBytes: 900, MemoryBytes: 16 << 10, Module: "init"},
+		{Name: "svm.load_dataset", CodeBytes: 7_000, MemoryBytes: 90 << 20,
+			Module: "data", TouchesSensitive: true},
+		{Name: "svm.normalize", CodeBytes: 3_500, MemoryBytes: 12 << 20,
+			Module: "data", TouchesSensitive: true},
+		// Training and inference core: the model weights are the IP. The
+		// predict() path is the key function; its cluster carries the
+		// model plus margin buffers (SecureLease: 85 MB in Table 5).
+		{Name: "svm.train_epoch", CodeBytes: 5_200, MemoryBytes: 40 << 20,
+			Module: "model", TouchesSensitive: true},
+		{Name: "svm.predict", CodeBytes: 2_400, MemoryBytes: 30 << 20,
+			Module: "model", KeyFunction: true, TouchesSensitive: true},
+		{Name: "svm.dot_product", CodeBytes: 1_100, MemoryBytes: 8 << 20, Module: "model", TouchesSensitive: true},
+		{Name: "svm.hinge_update", CodeBytes: 1_600, MemoryBytes: 4 << 20, Module: "model", TouchesSensitive: true},
+		{Name: "svm.predict_phase", CodeBytes: 1_200, MemoryBytes: 1 << 20,
+			Module: "model", TouchesSensitive: true},
+		{Name: "svm.metrics", CodeBytes: 1_000, MemoryBytes: 64 << 10, Module: "util"},
+	}...)
+	if err := declareAll(rec, nodes); err != nil {
+		return nil, err
+	}
+
+	recordAMCheck(rec, "svm", "svm.main")
+
+	// Synthetic linearly-separable-with-noise dataset.
+	rng := rand.New(rand.NewSource(0x57A))
+	truth := make([]float64, nFeatures)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	xs := make([][]float64, nSamples)
+	ys := make([]float64, nSamples)
+	for i := range xs {
+		x := make([]float64, nFeatures)
+		var dot float64
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			dot += x[j] * truth[j]
+		}
+		xs[i] = x
+		if dot+0.3*rng.NormFloat64() >= 0 {
+			ys[i] = 1
+		} else {
+			ys[i] = -1
+		}
+	}
+	rec.Enter("svm.main", "svm.load_dataset")
+	rec.Enter("svm.load_dataset", "svm.normalize")
+	rec.Work("svm.load_dataset", int64(nSamples*nFeatures/8))
+	rec.Work("svm.normalize", int64(nSamples*nFeatures/32))
+
+	// Pegasos-style SGD on the hinge loss.
+	w := make([]float64, nFeatures)
+	const lambda = 1e-4
+	const epochs = 5
+	var updates, dots int64
+	step := 0
+	for e := 0; e < epochs; e++ {
+		rec.Enter("svm.main", "svm.train_epoch")
+		for i := 0; i < nSamples; i++ {
+			step++
+			eta := 1 / (lambda * float64(step))
+			idx := rng.Intn(nSamples)
+			var margin float64
+			for j := range w {
+				margin += w[j] * xs[idx][j]
+			}
+			dots++
+			scale := 1 - eta*lambda
+			if ys[idx]*margin < 1 {
+				for j := range w {
+					w[j] = scale*w[j] + eta*ys[idx]*xs[idx][j]
+				}
+				updates++
+			} else {
+				for j := range w {
+					w[j] *= scale
+				}
+			}
+		}
+		rec.Work("svm.train_epoch", int64(nSamples))
+	}
+	rec.EnterN("svm.train_epoch", "svm.dot_product", dots)
+	rec.EnterN("svm.train_epoch", "svm.hinge_update", updates)
+	rec.Work("svm.dot_product", dots*nFeatures/8)
+	rec.Work("svm.hinge_update", updates*nFeatures/8)
+
+	// predict(): score the training set; accuracy must beat chance by a
+	// wide margin on this nearly separable data.
+	correct := 0
+	var h uint64 = 17
+	for i := range xs {
+		var margin float64
+		for j := range w {
+			margin += w[j] * xs[i][j]
+		}
+		pred := -1.0
+		if margin >= 0 {
+			pred = 1
+		}
+		if pred == ys[i] {
+			correct++
+		}
+		h = mix64(h, uint64(int64(margin*1e6)))
+	}
+	rec.Enter("svm.main", "svm.predict_phase")
+	rec.EnterN("svm.predict_phase", "svm.predict", int64(nSamples))
+	rec.Work("svm.predict_phase", int64(nSamples/8))
+	rec.EnterN("svm.predict", "svm.dot_product", int64(nSamples))
+	rec.Work("svm.predict", int64(nSamples*nFeatures/8))
+
+	acc := float64(correct) / float64(nSamples)
+	if acc < 0.8 {
+		return nil, fmt.Errorf("svm: training failed, accuracy %.3f", acc)
+	}
+	rec.Enter("svm.main", "svm.metrics")
+	rec.Work("svm.metrics", int64(nSamples/16))
+	rec.Work("svm.main", 100)
+
+	g, err := rec.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Graph:    g,
+		Trace:    rec.Trace(),
+		Checksum: mix64(h, uint64(correct)),
+		Output:   fmt.Sprintf("svm: %d samples, training accuracy %.3f", nSamples, acc),
+	}, nil
+}

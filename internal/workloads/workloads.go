@@ -1,0 +1,172 @@
+// Package workloads re-implements, in Go, the eleven applications the
+// paper evaluates SecureLease on (Table 4): BFS, B-Tree, HashJoin, an
+// OpenSSL-style encryption pipeline, PageRank, a blockchain, SVM, and four
+// FaaS workloads (MapReduce word count, a key-value store, a JSON parser,
+// and matrix multiplication).
+//
+// Every workload is a real, runnable implementation of its algorithm,
+// instrumented with a trace.Recorder: it declares its functions (with the
+// static code size and runtime memory footprint attributes partitioning
+// consumes), records dynamic call edges, and charges dynamic work units as
+// it computes. One run yields both the call graph and the dynamic profile
+// — exactly the two artifacts the paper's partitioning pipeline needs —
+// plus a checksum over the computed output so tests can verify the
+// algorithms themselves.
+//
+// Inputs are scaled down from the paper's sizes (which reach GBs) by a
+// configurable factor, preserving each workload's structural shape: the
+// module clustering, which modules touch sensitive data (and therefore
+// how big a bite the Glamdring baseline takes), and where the
+// developer-annotated key functions live.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/callgraph"
+	"repro/internal/trace"
+)
+
+// Profile is the result of one instrumented workload run.
+type Profile struct {
+	// Graph is the application call graph with partitioning attributes.
+	Graph *callgraph.Graph
+	// Trace is the dynamic execution profile of the run.
+	Trace *trace.Trace
+	// Checksum witnesses the computed output for correctness tests.
+	Checksum uint64
+	// Output is a one-line human summary of what was computed.
+	Output string
+}
+
+// Spec describes one workload.
+type Spec struct {
+	// Name is the workload's registry key (lowercase).
+	Name string
+	// Description matches Table 4's description column.
+	Description string
+	// PaperInput is the input scale the paper used.
+	PaperInput string
+	// License is the license ID the workload's add-on checks against.
+	License string
+	// KeyFunctions are the developer-annotated key functions migrated by
+	// SecureLease (Table 5's "Functions Migrated" column).
+	KeyFunctions []string
+	// FaaS marks the four FaaS workloads (they issue many license checks).
+	FaaS bool
+	// ChecksPerRun approximates the number of license checks one run
+	// performs at scale 1 (the FaaS workloads run to 10K-500K in the
+	// paper).
+	ChecksPerRun int
+	// Run executes the workload at the given scale (1 = unit-test size;
+	// larger values grow the input roughly linearly).
+	Run func(scale int) (*Profile, error)
+}
+
+// All returns every workload spec in the paper's Table 4/5 order.
+func All() []*Spec {
+	return []*Spec{
+		bfsSpec(),
+		btreeSpec(),
+		hashjoinSpec(),
+		opensslSpec(),
+		pagerankSpec(),
+		blockchainSpec(),
+		svmSpec(),
+		mapreduceSpec(),
+		keyvalueSpec(),
+		jsonparserSpec(),
+		matmultSpec(),
+	}
+}
+
+// Get returns the named workload spec.
+func Get(name string) (*Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names returns all registry keys in order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// clampScale normalizes a scale parameter.
+func clampScale(scale int) int {
+	if scale < 1 {
+		return 1
+	}
+	if scale > 1000 {
+		return 1000
+	}
+	return scale
+}
+
+// declareAll registers a batch of functions with the recorder.
+func declareAll(rec *trace.Recorder, nodes []callgraph.Node) error {
+	for _, n := range nodes {
+		if err := rec.Declare(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// amNodes returns the standard two-function authentication module every
+// workload carries (Table 4's applications each have an AM; its shape is
+// the MySQL-style check of Figure 2).
+func amNodes(prefix string) []callgraph.Node {
+	return []callgraph.Node{
+		{Name: prefix + ".am.authenticate", CodeBytes: 1800, MemoryBytes: 48 << 10,
+			Module: "am", AuthModule: true, TouchesSensitive: true},
+		{Name: prefix + ".am.verify_license", CodeBytes: 1200, MemoryBytes: 32 << 10,
+			Module: "am", AuthModule: true, TouchesSensitive: true},
+	}
+}
+
+// recordAMCheck records the standard license-check call pattern at startup.
+func recordAMCheck(rec *trace.Recorder, prefix, caller string) {
+	rec.Enter(caller, prefix+".am.authenticate")
+	rec.EnterN(prefix+".am.authenticate", prefix+".am.verify_license", 3)
+	rec.Work(prefix+".am.authenticate", 200)
+	rec.Work(prefix+".am.verify_license", 400)
+}
+
+// mix64 folds a value into a running checksum (splitmix64 finalizer).
+func mix64(h, v uint64) uint64 {
+	h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	z := h
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// checksumStrings folds a deterministic hash over sorted strings.
+func checksumStrings(items map[string]int) uint64 {
+	keys := make([]string, 0, len(items))
+	for k := range items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var h uint64 = 1469598103934665603
+	for _, k := range keys {
+		for _, b := range []byte(k) {
+			h = mix64(h, uint64(b))
+		}
+		h = mix64(h, uint64(items[k]))
+	}
+	return h
+}
