@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/obs"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
 	"repro/internal/wire"
@@ -29,11 +30,13 @@ func main() {
 
 func run() error {
 	var (
-		remoteAddr = flag.String("remote", "127.0.0.1:7600", "SL-Remote address")
-		license    = flag.String("license", "demo", "license ID to check against")
-		checks     = flag.Int("checks", 1000, "number of license checks to perform")
-		batch      = flag.Int("batch", 10, "tokens granted per local attestation")
-		name       = flag.String("name", "client", "machine name")
+		remoteAddr  = flag.String("remote", "127.0.0.1:7600", "SL-Remote address")
+		license     = flag.String("license", "demo", "license ID to check against")
+		checks      = flag.Int("checks", 1000, "number of license checks to perform")
+		batch       = flag.Int("batch", 10, "tokens granted per local attestation")
+		name        = flag.String("name", "client", "machine name")
+		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /trace); empty disables")
+		linger      = flag.Duration("linger", 0, "keep running (and serving metrics) this long after the workload finishes")
 	)
 	flag.Parse()
 
@@ -59,6 +62,18 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		reg, tracer := obs.Default(), obs.DefaultTracer()
+		machine.ExposeMetrics(reg)
+		svc.ExposeMetrics(reg)
+		client.ExposeMetrics(reg)
+		ep, err := obs.StartHTTP(*metricsAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		fmt.Printf("sl-local: observability endpoint on http://%s/metrics\n", ep.Addr())
 	}
 	start := time.Now()
 	if err := svc.Init(); err != nil {
@@ -98,5 +113,9 @@ func run() error {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	fmt.Println("sl-local: graceful shutdown complete (lease tree committed, root key escrowed)")
+	if *linger > 0 {
+		fmt.Printf("sl-local: lingering %v for metric scrapes\n", *linger)
+		time.Sleep(*linger)
+	}
 	return nil
 }

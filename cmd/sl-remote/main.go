@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/attest"
 	"repro/internal/lease"
+	"repro/internal/obs"
 	"repro/internal/slremote"
 	"repro/internal/wire"
 )
@@ -39,7 +40,9 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7600", "listen address")
+		addr        = flag.String("addr", "127.0.0.1:7600", "listen address")
+		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /trace); empty disables")
+
 		d        = flag.Float64("d", 4, "Algorithm 1 scale-down factor D (paper: 4)")
 		th       = flag.Float64("th", 0.9, "health threshold T_H (paper: 0.9)")
 		beta     = flag.Float64("beta", 0.01, "initial beta (paper: 0.01)")
@@ -78,6 +81,17 @@ func run() error {
 	srv, err := wire.NewServer(remote, log.Printf)
 	if err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		reg, tracer := obs.Default(), obs.DefaultTracer()
+		remote.ExposeMetrics(reg)
+		srv.ExposeMetrics(reg, tracer)
+		ep, err := obs.StartHTTP(*metricsAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		log.Printf("observability endpoint on http://%s/metrics", ep.Addr())
 	}
 	return srv.ListenAndServe(*addr)
 }

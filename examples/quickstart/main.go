@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lease"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,6 +35,14 @@ func run() error {
 		return err
 	}
 	fmt.Printf("SL-Local initialized as %q\n", sys.Local().SLID())
+
+	// Observe the deployment through the same metrics the daemons export
+	// on -metrics-addr: a registry over the machine, SL-Local, and
+	// SL-Remote, dumped in Prometheus text form at the end.
+	metrics := obs.NewRegistry()
+	sys.Machine().ExposeMetrics(metrics)
+	sys.Local().ExposeMetrics(metrics)
+	sys.Remote().ExposeMetrics(metrics)
 
 	// The vendor registers a 40-execution license for the report add-on.
 	const license = "lic-report-addon"
@@ -77,6 +86,9 @@ func run() error {
 		return err
 	}
 	app.Guard("render_report", license)
+	// Restart built a fresh SL-Local instance; point its metric callbacks
+	// at the registry again (re-registration replaces the old instance's).
+	sys.Local().ExposeMetrics(metrics)
 	fmt.Println("restarted: lease counters restored from the committed tree")
 
 	// Burn through the rest of the license.
@@ -96,5 +108,10 @@ func run() error {
 		return fmt.Errorf("rendered %d, want exactly the licensed 40", rendered)
 	}
 	fmt.Println("exactly the licensed 40 executions were allowed — SecureLease enforced the count across a restart")
+
+	fmt.Println("\nfinal metrics (/metrics exposition):")
+	if err := metrics.WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/attest"
 	"repro/internal/lease"
+	"repro/internal/obs"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
 	"repro/internal/slremote"
@@ -101,6 +102,13 @@ func figure8Point(enclaves int, sameLease bool, batch int, window time.Duration)
 		return Figure8Point{}, err
 	}
 
+	// Measure through the same metrics the live daemons export: the
+	// allocation count is the delta of sllocal_tokens_issued_total over
+	// the window, read via the obs snapshot-diff probe.
+	reg := obs.NewRegistry()
+	svc.ExposeMetrics(reg)
+	probe := NewMetricsProbe(reg)
+
 	apps := make([]*sgx.Enclave, enclaves)
 	for i := range apps {
 		apps[i], err = m.CreateEnclave(fmt.Sprintf("app-%d", i), []byte("fig8-app"), 0)
@@ -109,7 +117,6 @@ func figure8Point(enclaves int, sameLease bool, batch int, window time.Duration)
 		}
 	}
 
-	var allocations atomic.Int64
 	var firstErr atomic.Value
 	deadline := time.Now().Add(window)
 	var wg sync.WaitGroup
@@ -118,12 +125,10 @@ func figure8Point(enclaves int, sameLease bool, batch int, window time.Duration)
 		go func(i int) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				tok, err := svc.RequestToken(apps[i], licenses[i])
-				if err != nil {
+				if _, err := svc.RequestToken(apps[i], licenses[i]); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				allocations.Add(int64(tok.Grants))
 			}
 		}(i)
 	}
@@ -131,7 +136,7 @@ func figure8Point(enclaves int, sameLease bool, batch int, window time.Duration)
 	if err, ok := firstErr.Load().(error); ok && err != nil {
 		return Figure8Point{}, fmt.Errorf("harness: figure8 worker: %w", err)
 	}
-	total := allocations.Load()
+	total := int64(probe.Get("sllocal_tokens_issued_total", map[string]string{"machine": "fig8"}))
 	return Figure8Point{
 		Enclaves:    enclaves,
 		SameLease:   sameLease,

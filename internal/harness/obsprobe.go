@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// MetricsProbe measures metric deltas over an experiment interval: snap a
+// registry before driving traffic, then read per-metric differences
+// afterwards. Drivers assert on the deltas instead of reaching into
+// package internals, which keeps experiments honest against the exact
+// counters the live daemons export.
+type MetricsProbe struct {
+	reg  *obs.Registry
+	base obs.Snapshot
+}
+
+// NewMetricsProbe snapshots the registry as the interval's baseline.
+func NewMetricsProbe(reg *obs.Registry) *MetricsProbe {
+	return &MetricsProbe{reg: reg, base: reg.Snapshot()}
+}
+
+// Delta returns every metric's change since the baseline (zero deltas are
+// dropped). Histograms surface as <name>_count / <name>_sum.
+func (p *MetricsProbe) Delta() obs.Snapshot {
+	return p.reg.Snapshot().Delta(p.base)
+}
+
+// Get returns one metric's change since the baseline; labels may be nil
+// for unlabeled metrics.
+func (p *MetricsProbe) Get(name string, labels map[string]string) float64 {
+	return p.Delta().Get(name, labels)
+}
+
+// Reset moves the baseline to now.
+func (p *MetricsProbe) Reset() {
+	p.base = p.reg.Snapshot()
+}
+
+// Render formats a delta as sorted "name delta" lines for experiment
+// reports.
+func (p *MetricsProbe) Render() string {
+	delta := p.Delta()
+	keys := make([]string, 0, len(delta))
+	for k := range delta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %+g\n", k, delta[k])
+	}
+	return b.String()
+}

@@ -15,6 +15,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrDropped reports a message lost by the link.
@@ -48,6 +50,44 @@ type Link struct {
 
 	sent      int64
 	delivered int64
+
+	metrics *linkMetrics // nil until ExposeMetrics; guarded by mu
+}
+
+// linkMetrics holds the link's active metrics (drops and simulated
+// latency); counters that already exist are exported as scrape-time
+// callbacks instead.
+type linkMetrics struct {
+	drops   *obs.Counter
+	latency *obs.Histogram
+}
+
+// ExposeMetrics registers the link's counters with an obs registry,
+// labeled {link=<name>}.
+//
+// Metric inventory: netsim_sent_total, netsim_delivered_total,
+// netsim_drops_total, netsim_observed_reliability, and the
+// netsim_latency_seconds histogram of simulated one-way latencies.
+func (l *Link) ExposeMetrics(reg *obs.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	lbl := map[string]string{"link": name}
+	reg.CounterFunc("netsim_sent_total", "Messages offered to the link.", lbl,
+		func() float64 { sent, _ := l.Counters(); return float64(sent) })
+	reg.CounterFunc("netsim_delivered_total", "Messages delivered by the link.", lbl,
+		func() float64 { _, delivered := l.Counters(); return float64(delivered) })
+	reg.GaugeFunc("netsim_observed_reliability", "Measured delivery ratio (Algorithm 1's n_i).", lbl,
+		func() float64 { return l.ObservedReliability() })
+	m := &linkMetrics{
+		drops: reg.CounterVec("netsim_drops_total",
+			"Messages lost by the link (drops and partitions).", "link").With(name),
+		latency: reg.HistogramVec("netsim_latency_seconds",
+			"Simulated one-way delivery latency.", nil, "link").With(name),
+	}
+	l.mu.Lock()
+	l.metrics = m
+	l.mu.Unlock()
 }
 
 // NewLink builds a link from the config. Reliability outside [0,1] is
@@ -75,16 +115,25 @@ func (l *Link) Send() (time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.down {
+		if l.metrics != nil {
+			l.metrics.drops.Inc()
+		}
 		return 0, ErrLinkDown
 	}
 	l.sent++
 	if l.rng.Float64() >= l.reliability {
+		if l.metrics != nil {
+			l.metrics.drops.Inc()
+		}
 		return 0, ErrDropped
 	}
 	l.delivered++
 	d := l.latency
 	if l.jitter > 0 {
 		d += time.Duration(l.rng.Int63n(int64(l.jitter) + 1))
+	}
+	if l.metrics != nil {
+		l.metrics.latency.Observe(d.Seconds())
 	}
 	return d, nil
 }

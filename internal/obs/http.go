@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler serving the observability endpoints:
+//
+//	/metrics          Prometheus text exposition (?format=json for JSON)
+//	/healthz          200 "ok" liveness probe
+//	/trace            JSON dump of the tracer's ring buffer (newest last)
+//
+// tr may be nil, in which case /trace serves an empty list.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.Snapshot().WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		events := tr.Events()
+		if events == nil {
+			events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+	return mux
+}
+
+// HTTPServer is a running observability endpoint (see StartHTTP).
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartHTTP listens on addr and serves Handler(reg, tr) in a background
+// goroutine. Use Addr for the bound address (useful with ":0") and Close
+// to shut down.
+func StartHTTP(addr string, reg *Registry, tr *Tracer) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &HTTPServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("renewals_total", "Renewals.").Add(3)
+	tr := NewTracer(16)
+	tr.Start("rpc.renew").End(nil)
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "renewals_total 3") {
+		t.Fatalf("/metrics missing sample:\n%s", body)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+
+	body, ct = get("/metrics?format=json")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("json content type = %q", ct)
+	}
+	var samples []struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(body), &samples); err != nil {
+		t.Fatalf("json decode: %v\n%s", err, body)
+	}
+	if len(samples) != 1 || samples[0].Name != "renewals_total" || samples[0].Value != 3 {
+		t.Fatalf("json samples = %+v", samples)
+	}
+
+	body, _ = get("/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %q", body)
+	}
+
+	body, _ = get("/trace")
+	var events []Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("trace decode: %v\n%s", err, body)
+	}
+	if len(events) != 1 || events[0].Name != "rpc.renew" {
+		t.Fatalf("trace events = %+v", events)
+	}
+}
+
+func TestStartHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("up", "Up.").Set(1)
+	srv, err := StartHTTP("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatalf("StartHTTP: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("metrics = %s", body)
+	}
+	// /trace with a nil tracer serves an empty list, not a panic.
+	resp2, err := http.Get("http://" + srv.Addr() + "/trace")
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	defer resp2.Body.Close()
+	b2, _ := io.ReadAll(resp2.Body)
+	if strings.TrimSpace(string(b2)) != "[]" {
+		t.Fatalf("/trace with nil tracer = %q", b2)
+	}
+}

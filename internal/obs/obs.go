@@ -1,0 +1,403 @@
+// Package obs is the repo's unified observability layer: a stdlib-only
+// metrics registry (counters, gauges, histograms, labeled families), a
+// ring-buffer request tracer, and an embeddable HTTP endpoint serving
+// Prometheus-text and JSON expositions.
+//
+// The paper's entire evaluation is counter-driven — SGX transitions, EPC
+// faults, renewals, attestations (Tables 1/5/6, Figures 8/9) — and this
+// package makes the same quantities visible on *running* daemons instead
+// of only through offline harness drivers. Hot paths record into lock-free
+// atomics; scrape-time work (sorting, formatting) happens only when an
+// exposition is requested.
+//
+// All metric types are nil-receiver safe: un-instrumented components carry
+// nil metric pointers and the record calls are no-ops, so instrumentation
+// is strictly opt-in and costs nothing when off.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric family for exposition.
+type Kind uint8
+
+// Family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored; counters only go up). Safe on a nil
+// receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta. Safe on a nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// funcMetric is a scrape-time metric backed by a callback: existing atomic
+// counters (sgx.Stats, sllocal.Stats, ...) register one instead of double
+// counting on their hot paths.
+type funcMetric struct {
+	fn func() float64
+}
+
+// Histogram observes float values into fixed buckets. Buckets are
+// cumulative at exposition time but stored per-bucket so Observe is one
+// atomic add (plus sum/count).
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	sum    Gauge
+	count  atomic.Int64
+}
+
+// DefLatencyBuckets covers sub-millisecond local operations through the
+// paper's multi-second remote attestations (seconds).
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets covers grant sizes and byte counts (powers of four).
+var DefSizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// family is one named metric with a label schema and one child per label
+// combination ("" key for the unlabeled singleton).
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string
+	buckets    []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]any // *Counter | *Gauge | *Histogram | funcMetric
+	keys     []string       // insertion-ordered child keys
+}
+
+// child returns the metric for the label key, creating it with mk if absent.
+func (f *family) child(key string, mk func() any) any {
+	f.mu.RLock()
+	m, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	m = mk()
+	f.children[key] = m
+	f.keys = append(f.keys, key)
+	return m
+}
+
+// setChild unconditionally installs a metric (func metrics re-register on
+// component re-instrumentation; last registration wins).
+func (f *family) setChild(key string, m any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[key]; !ok {
+		f.keys = append(f.keys, key)
+	}
+	f.children[key] = m
+}
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry. A Registry is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the daemons expose.
+func Default() *Registry { return defaultRegistry }
+
+// familyFor returns the named family, creating it on first use. Kind and
+// label schema are fixed by the first registration; later registrations
+// with a different schema get the existing family (the caller's labels are
+// reconciled by labelKey, which drops unknown names).
+func (r *Registry) familyFor(name, help string, kind Kind, labelNames []string, buckets []float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if ok {
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		return f
+	}
+	f = &family{
+		name:       name,
+		help:       help,
+		kind:       kind,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    buckets,
+		children:   make(map[string]any),
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// labelKey joins label values into the family's child key. Values must be
+// positional, matching the family's label names.
+func labelKey(values []string) string {
+	return strings.Join(values, "\x1f")
+}
+
+// Counter returns the unlabeled counter of the named family.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.familyFor(name, help, KindCounter, nil, nil)
+	return f.child("", func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the unlabeled gauge of the named family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.familyFor(name, help, KindGauge, nil, nil)
+	return f.child("", func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the unlabeled histogram of the named family. A nil
+// buckets slice uses DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.familyFor(name, help, KindHistogram, nil, buckets)
+	return f.child("", func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterFunc registers a scrape-time counter backed by fn, labeled by the
+// given map. Re-registering the same name+labels replaces the callback.
+func (r *Registry) CounterFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.registerFunc(name, help, KindCounter, labels, fn)
+}
+
+// GaugeFunc registers a scrape-time gauge backed by fn, labeled by the
+// given map. Re-registering the same name+labels replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.registerFunc(name, help, KindGauge, labels, fn)
+}
+
+func (r *Registry) registerFunc(name, help string, kind Kind, labels map[string]string, fn func() float64) {
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	values := make([]string, len(names))
+	for i, k := range names {
+		values[i] = labels[k]
+	}
+	f := r.familyFor(name, help, kind, names, nil)
+	f.setChild(labelKey(values), funcMetric{fn: fn})
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.familyFor(name, help, KindCounter, labelNames, nil)}
+}
+
+// With returns the counter for the given label values (positional). Safe
+// on a nil receiver (returns nil, whose methods are no-ops).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelKey(labelValues), func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.familyFor(name, help, KindGauge, labelNames, nil)}
+}
+
+// With returns the gauge for the given label values. Safe on a nil
+// receiver.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelKey(labelValues), func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family. A nil buckets slice
+// uses DefLatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.familyFor(name, help, KindHistogram, labelNames, buckets)}
+}
+
+// With returns the histogram for the given label values. Safe on a nil
+// receiver.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelKey(labelValues), func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// sortedFamilies returns families in registration order (stable output).
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.families[name])
+	}
+	return out
+}
+
+// Key builds the Snapshot key for a metric: `name` when labels is empty,
+// otherwise `name{k="v",...}` with label names sorted.
+func Key(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

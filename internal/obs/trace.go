@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one completed span in the tracer's ring buffer.
+type Event struct {
+	// Span is the per-request span ID (monotonic across the tracer).
+	Span uint64 `json:"span"`
+	// Parent is the enclosing span's ID, 0 for a root span.
+	Parent uint64 `json:"parent,omitempty"`
+	// Name identifies the operation (e.g. "rpc.renew").
+	Name string `json:"name"`
+	// Start is the span's wall-clock start time.
+	Start time.Time `json:"start"`
+	// Duration is how long the span ran.
+	Duration time.Duration `json:"duration_ns"`
+	// Err is the failure message, empty on success.
+	Err string `json:"err,omitempty"`
+	// Attrs carries optional key=value annotations.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records spans into a fixed-size ring buffer: always on, bounded
+// memory, newest events overwrite the oldest. The /trace endpoint dumps
+// the buffer. A nil *Tracer is safe to use everywhere (all ops no-op).
+type Tracer struct {
+	seq atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []Event
+	next int  // ring write cursor
+	full bool // buffer has wrapped
+}
+
+// NewTracer returns a tracer holding the last capacity events (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+var defaultTracer = NewTracer(4096)
+
+// DefaultTracer returns the process-wide tracer the daemons expose.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// Span is one in-flight operation. Create with Tracer.Start, finish with
+// End. A nil *Span is safe (all ops no-op).
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  map[string]string
+}
+
+// Start begins a root span. Safe on a nil receiver (returns nil).
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, id: t.seq.Add(1), name: name, start: time.Now()}
+}
+
+// ID returns the span's request ID (0 on a nil receiver).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Child begins a sub-span sharing this span's tracer. Safe on a nil
+// receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := s.tr.Start(name)
+	child.parent = s.id
+	return child
+}
+
+// Annotate attaches a key=value attribute. Safe on a nil receiver.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+}
+
+// End completes the span, recording it (with err's message, if any) into
+// the tracer's ring. Safe on a nil receiver.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	ev := Event{
+		Span:     s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    s.attrs,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	s.tr.record(ev)
+}
+
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first. Safe on a nil receiver
+// (returns nil).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Event(nil), t.buf[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Len returns how many events are buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer(64)
+	root := tr.Start("rpc.renew")
+	root.Annotate("remote", "127.0.0.1:1")
+	child := root.Child("policy")
+	child.End(nil)
+	root.End(errors.New("boom"))
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	// Child ended first, so it is the older event.
+	if events[0].Name != "policy" || events[1].Name != "rpc.renew" {
+		t.Fatalf("order = %q, %q", events[0].Name, events[1].Name)
+	}
+	if events[0].Parent != events[1].Span {
+		t.Fatalf("child parent = %d, want root span %d", events[0].Parent, events[1].Span)
+	}
+	if events[1].Err != "boom" {
+		t.Fatalf("root err = %q", events[1].Err)
+	}
+	if events[1].Attrs["remote"] != "127.0.0.1:1" {
+		t.Fatalf("attrs = %v", events[1].Attrs)
+	}
+	if events[0].Span == events[1].Span || events[0].Span == 0 {
+		t.Fatalf("span IDs not distinct/nonzero: %d %d", events[0].Span, events[1].Span)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Start(fmt.Sprintf("op-%d", i)).End(nil)
+	}
+	events := tr.Events()
+	if len(events) != 16 {
+		t.Fatalf("len = %d, want ring capacity 16", len(events))
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", tr.Len())
+	}
+	// Oldest-first: the surviving events are ops 24..39.
+	if events[0].Name != "op-24" || events[15].Name != "op-39" {
+		t.Fatalf("window = %q..%q, want op-24..op-39", events[0].Name, events[15].Name)
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.Annotate("k", "v")
+	sp.Child("y").End(nil)
+	sp.End(nil)
+	if tr.Events() != nil || tr.Len() != 0 || sp.ID() != 0 {
+		t.Fatal("nil tracer produced state")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Start("op").End(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 128 {
+		t.Fatalf("Len = %d, want full ring 128", tr.Len())
+	}
+	seen := make(map[uint64]bool)
+	for _, ev := range tr.Events() {
+		if seen[ev.Span] {
+			t.Fatalf("duplicate span id %d", ev.Span)
+		}
+		seen[ev.Span] = true
+	}
+}

@@ -1,0 +1,41 @@
+package sgx
+
+import "repro/internal/obs"
+
+// ExposeMetrics registers this machine's SGX driver counters with an obs
+// registry as scrape-time metrics, labeled by machine name. The hot paths
+// keep writing their existing atomics; the registry reads them only when
+// an exposition is requested, so instrumentation adds no per-event cost.
+//
+// Metric inventory (all labeled {machine=<name>}):
+//
+//	sgx_ecalls_total, sgx_ocalls_total        enclave transitions
+//	sgx_epc_faults_total                      paging faults
+//	sgx_page_allocs_total, sgx_page_evicts_total, sgx_page_loads_total
+//	sgx_local_attests_total, sgx_remote_attests_total
+//	sgx_seal_ops_total
+//	sgx_cycles_total                          virtual clock position
+//	sgx_epc_resident_pages, sgx_epc_capacity_pages
+func (m *Machine) ExposeMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	lbl := map[string]string{"machine": m.name}
+	counter := func(name, help string, fn func() int64) {
+		reg.CounterFunc(name, help, lbl, func() float64 { return float64(fn()) })
+	}
+	counter("sgx_ecalls_total", "Enclave entries (ECALLs).", m.stats.ecalls.Load)
+	counter("sgx_ocalls_total", "Enclave exits (OCALLs).", m.stats.ocalls.Load)
+	counter("sgx_epc_faults_total", "EPC paging faults.", m.stats.epcFaults.Load)
+	counter("sgx_page_allocs_total", "EPC pages allocated.", m.stats.pageAllocs.Load)
+	counter("sgx_page_evicts_total", "EPC pages evicted to untrusted memory.", m.stats.pageEvicts.Load)
+	counter("sgx_page_loads_total", "EPC pages loaded back after eviction.", m.stats.pageLoads.Load)
+	counter("sgx_local_attests_total", "Local attestations performed.", m.stats.localAttests.Load)
+	counter("sgx_remote_attests_total", "Remote attestations performed.", m.stats.remoteAttests.Load)
+	counter("sgx_seal_ops_total", "Seal/unseal operations.", m.stats.sealOps.Load)
+	counter("sgx_cycles_total", "Virtual cycle clock position.", m.clock.Now)
+	reg.GaugeFunc("sgx_epc_resident_pages", "Pages currently resident in the EPC.", lbl,
+		func() float64 { return float64(m.EPCResidentPages()) })
+	reg.GaugeFunc("sgx_epc_capacity_pages", "EPC capacity in pages.", lbl,
+		func() float64 { return float64(m.EPCCapacityPages()) })
+}

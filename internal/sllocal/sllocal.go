@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attest"
@@ -145,7 +146,8 @@ type Service struct {
 	curBlk  *leasetree.Block
 	nonce   uint64
 
-	stats Stats
+	stats   Stats
+	metrics atomic.Pointer[svcMetrics]
 }
 
 type serviceState uint8
@@ -309,6 +311,10 @@ func (s *Service) RequestToken(requester *sgx.Enclave, licenseID string) (lease.
 	if requester == nil {
 		return lease.Token{}, errors.New("sllocal: nil requester")
 	}
+	if m := s.metrics.Load(); m != nil {
+		start := time.Now()
+		defer func() { m.requestLatency.Observe(time.Since(start).Seconds()) }()
+	}
 	s.mu.Lock()
 	switch s.state {
 	case stateNew:
@@ -442,7 +448,11 @@ func (s *Service) renewLocked(licenseID string) (slremote.Grant, error) {
 	// Each renewal re-validates SL-Local with SL-Remote (step ❸ of the
 	// workflow): one remote attestation on this machine's timeline.
 	s.deps.Machine.ChargeRemoteAttestation()
+	start := time.Now()
 	grant, err := s.deps.Remote.RenewLease(s.slid, licenseID)
+	if m := s.metrics.Load(); m != nil {
+		m.renewLatency.Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
 		s.stats.RenewalFailures++
 		return slremote.Grant{}, fmt.Errorf("%w: %v", ErrLeaseDenied, err)

@@ -1,0 +1,64 @@
+package slremote
+
+import "repro/internal/obs"
+
+// serverMetrics holds SL-Remote's active metrics; nil until ExposeMetrics
+// runs. Record sites use obs's nil-safe methods through an atomic pointer,
+// so an un-instrumented server pays nothing.
+type serverMetrics struct {
+	grantUnits       *obs.Histogram
+	escrows          *obs.Counter
+	revocations      *obs.Counter
+	licenseRemaining *obs.GaugeVec
+	licenseLost      *obs.GaugeVec
+	expectedLoss     *obs.GaugeVec
+}
+
+// ExposeMetrics registers SL-Remote's Algorithm 1 bookkeeping with an obs
+// registry. Event counters are exported as scrape-time callbacks over the
+// existing ServerStats; grant sizing and per-license pool state record
+// actively on the renewal path.
+//
+// Metric inventory:
+//
+//	slremote_remote_attestations_total      init() quote verifications
+//	slremote_renewals_total, slremote_renewals_denied_total
+//	slremote_crash_forfeits_total
+//	slremote_escrows_total                  root keys escrowed at shutdown
+//	slremote_revocations_total
+//	slremote_grant_units                    Algorithm 1 grant sizes (histogram)
+//	slremote_license_remaining_units{license=...}
+//	slremote_license_lost_units{license=...}
+//	slremote_expected_loss_units{license=...}  last Eq. 1 evaluation per license
+func (s *Server) ExposeMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	stat := func(name, help string, fn func(ServerStats) int64) {
+		reg.CounterFunc(name, help, nil, func() float64 { return float64(fn(s.Stats())) })
+	}
+	stat("slremote_remote_attestations_total", "Remote attestations verified at init().",
+		func(st ServerStats) int64 { return st.RemoteAttestations })
+	stat("slremote_renewals_total", "Algorithm 1 renewals granted.",
+		func(st ServerStats) int64 { return st.Renewals })
+	stat("slremote_renewals_denied_total", "Renewals refused (revoked/exhausted/zero grant).",
+		func(st ServerStats) int64 { return st.RenewalsDenied })
+	stat("slremote_crash_forfeits_total", "Per-license forfeits applied to crashed clients.",
+		func(st ServerStats) int64 { return st.CrashForfeits })
+
+	m := &serverMetrics{
+		grantUnits: reg.Histogram("slremote_grant_units",
+			"Sub-GCL units granted per renewal (Algorithm 1 output).", obs.DefSizeBuckets),
+		escrows: reg.Counter("slremote_escrows_total",
+			"Root keys escrowed at graceful shutdown."),
+		revocations: reg.Counter("slremote_revocations_total",
+			"Licenses revoked."),
+		licenseRemaining: reg.GaugeVec("slremote_license_remaining_units",
+			"Undistributed GCL units per license.", "license"),
+		licenseLost: reg.GaugeVec("slremote_license_lost_units",
+			"GCL units forfeited by crashed clients per license.", "license"),
+		expectedLoss: reg.GaugeVec("slremote_expected_loss_units",
+			"Last Equation 1 expected-loss evaluation per license.", "license"),
+	}
+	s.metrics.Store(m)
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attest"
@@ -135,7 +136,8 @@ type Server struct {
 	clients  map[string]*clientState
 	nextSLID int
 
-	stats ServerStats
+	stats   ServerStats
+	metrics atomic.Pointer[serverMetrics]
 }
 
 // ServerStats counts server-side events.
@@ -224,6 +226,9 @@ func (s *Server) Revoke(id string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownLicense, id)
 	}
 	lic.Revoked = true
+	if m := s.metrics.Load(); m != nil {
+		m.revocations.Inc()
+	}
 	return nil
 }
 
@@ -285,6 +290,9 @@ func (s *Server) InitClient(slid string, quote attest.Quote, clientMachine *sgx.
 			}
 			if lic, ok := s.licenses[licID]; ok {
 				lic.Lost += held
+				if m := s.metrics.Load(); m != nil {
+					m.licenseLost.With(licID).Set(float64(lic.Lost))
+				}
 			}
 			delete(c.outstanding, licID)
 			s.stats.CrashForfeits++
@@ -329,6 +337,9 @@ func (s *Server) EscrowRootKey(slid string, key seccrypto.Key) error {
 	}
 	c.escrow = key
 	c.hasEscrow = true
+	if m := s.metrics.Load(); m != nil {
+		m.escrows.Inc()
+	}
 	return nil
 }
 
@@ -346,6 +357,9 @@ func (s *Server) ReportCrash(slid string) error {
 	for licID, held := range c.outstanding {
 		if lic, ok := s.licenses[licID]; ok {
 			lic.Lost += held
+			if m := s.metrics.Load(); m != nil {
+				m.licenseLost.With(licID).Set(float64(lic.Lost))
+			}
 		}
 		delete(c.outstanding, licID)
 		s.stats.CrashForfeits++
@@ -414,6 +428,10 @@ func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
 	lic.Remaining -= units
 	c.outstanding[licenseID] += units
 	s.stats.Renewals++
+	if m := s.metrics.Load(); m != nil {
+		m.grantUnits.Observe(float64(units))
+		m.licenseRemaining.With(licenseID).Set(float64(lic.Remaining))
+	}
 
 	return Grant{
 		License: licenseID,
@@ -456,6 +474,9 @@ func (s *Server) computeGrantLocked(c *clientState, lic *License) int64 {
 	}
 	if g < 0 {
 		g = 0
+	}
+	if m := s.metrics.Load(); m != nil {
+		m.expectedLoss.With(lic.ID).Set(expLoss)
 	}
 	return int64(math.Floor(g))
 }

@@ -1,9 +1,11 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attest"
@@ -14,6 +16,15 @@ import (
 	"repro/internal/slremote"
 )
 
+// DefaultTimeout bounds the connect and each request/reply round trip for
+// clients built with Dial. Without it a hung or partitioned server stalls
+// SL-Local forever on a blocking read.
+const DefaultTimeout = 10 * time.Second
+
+// dialRetryBackoff is the pause before the single dial retry on a
+// transient connect failure.
+const dialRetryBackoff = 200 * time.Millisecond
+
 // Client is the TCP binding of SL-Remote: it implements sllocal.RemoteAPI
 // over a connection to a wire.Server, so an sllocal.Service runs against a
 // real license-server daemon unchanged.
@@ -21,17 +32,55 @@ import (
 // Client serializes requests on one connection; it is safe for concurrent
 // use.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+
+	bytesOut    atomic.Int64
+	bytesIn     atomic.Int64
+	dialRetries atomic.Int64
+	metrics     atomic.Pointer[clientMetrics]
 }
 
-// Dial connects to a wire.Server at addr.
+// Dial connects to a wire.Server at addr with DefaultTimeout for the
+// connect and every round trip.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultTimeout)
+}
+
+// DialTimeout connects to a wire.Server at addr. timeout bounds the
+// connect and each subsequent request/reply round trip; zero disables
+// deadlines (blocking semantics). A transient connect failure (timeout,
+// refused, unreachable) is retried once after a short backoff.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	c := &Client{timeout: timeout}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil && transientDialErr(err) {
+		c.dialRetries.Add(1)
+		time.Sleep(dialRetryBackoff)
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	c.conn = conn
+	return c, nil
+}
+
+// transientDialErr reports whether a connect failure is worth one retry:
+// timeouts and kernel-level connection errors (refused, reset, unreachable)
+// are; address resolution failures are not.
+func transientDialErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var se *net.OpError
+	if errors.As(err, &se) {
+		var dns *net.DNSError
+		return !errors.As(se.Err, &dns)
+	}
+	return false
 }
 
 // Close shuts the connection down.
@@ -41,14 +90,32 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// roundTrip sends one request and reads the reply.
+// roundTrip sends one request and reads the reply, bounded by the client's
+// per-roundtrip deadline.
 func (c *Client) roundTrip(msgType string, payload any) (Envelope, error) {
+	start := time.Now()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteMessage(c.conn, msgType, payload); err != nil {
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	env, err := c.roundTripLocked(msgType, payload)
+	c.mu.Unlock()
+	if m := c.metrics.Load(); m != nil {
+		label := rpcLabel(msgType)
+		m.rpcs.With(label).Inc()
+		m.latency.With(label).Observe(time.Since(start).Seconds())
+		if err != nil {
+			m.errors.With(label).Inc()
+		}
+	}
+	return env, err
+}
+
+func (c *Client) roundTripLocked(msgType string, payload any) (Envelope, error) {
+	if err := WriteMessage(countWriter{c.conn, &c.bytesOut}, msgType, payload); err != nil {
 		return Envelope{}, err
 	}
-	return ReadMessage(c.conn)
+	return ReadMessage(countReader{c.conn, &c.bytesIn})
 }
 
 // InitClient implements sllocal.RemoteAPI over the wire. The remote

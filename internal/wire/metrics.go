@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"io"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// clientMetrics holds the client's active metrics; nil until ExposeMetrics
+// runs.
+type clientMetrics struct {
+	rpcs    *obs.CounterVec   // wire_client_rpcs_total{type}
+	errors  *obs.CounterVec   // wire_client_rpc_errors_total{type}
+	latency *obs.HistogramVec // wire_client_rpc_latency_seconds{type}
+}
+
+// ExposeMetrics registers the client's RPC metrics with an obs registry.
+//
+// Metric inventory: wire_client_rpcs_total{type}, wire_client_rpc_errors_total{type},
+// wire_client_rpc_latency_seconds{type} (histogram), wire_client_bytes_sent_total,
+// wire_client_bytes_received_total, wire_client_dial_retries_total.
+func (c *Client) ExposeMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("wire_client_bytes_sent_total", "Frame bytes written to the server.", nil,
+		func() float64 { return float64(c.bytesOut.Load()) })
+	reg.CounterFunc("wire_client_bytes_received_total", "Frame bytes read from the server.", nil,
+		func() float64 { return float64(c.bytesIn.Load()) })
+	reg.CounterFunc("wire_client_dial_retries_total", "Connect attempts retried after a transient failure.", nil,
+		func() float64 { return float64(c.dialRetries.Load()) })
+	c.metrics.Store(&clientMetrics{
+		rpcs:    reg.CounterVec("wire_client_rpcs_total", "RPC round trips, by message type.", "type"),
+		errors:  reg.CounterVec("wire_client_rpc_errors_total", "Failed RPC round trips, by message type.", "type"),
+		latency: reg.HistogramVec("wire_client_rpc_latency_seconds", "RPC round-trip latency, by message type.", nil, "type"),
+	})
+}
+
+// serverMetrics holds the server's active metrics; nil until ExposeMetrics
+// runs. tracer may be nil (spans become no-ops).
+type serverMetrics struct {
+	rpcs    *obs.CounterVec   // wire_server_rpcs_total{type}
+	errors  *obs.CounterVec   // wire_server_rpc_errors_total{type}
+	latency *obs.HistogramVec // wire_server_rpc_latency_seconds{type}
+	conns   *obs.Gauge        // wire_server_open_connections
+	tracer  *obs.Tracer
+}
+
+// ExposeMetrics registers the server's RPC metrics with an obs registry
+// and, when tr is non-nil, records one trace span per handled RPC.
+//
+// Metric inventory: wire_server_rpcs_total{type}, wire_server_rpc_errors_total{type},
+// wire_server_rpc_latency_seconds{type} (histogram), wire_server_open_connections,
+// wire_server_handler_panics_total, wire_server_bytes_received_total,
+// wire_server_bytes_sent_total.
+func (s *Server) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("wire_server_handler_panics_total", "Handler panics recovered per envelope.", nil,
+		func() float64 { return float64(s.panics.Load()) })
+	reg.CounterFunc("wire_server_bytes_received_total", "Frame bytes read from clients.", nil,
+		func() float64 { return float64(s.bytesIn.Load()) })
+	reg.CounterFunc("wire_server_bytes_sent_total", "Frame bytes written to clients.", nil,
+		func() float64 { return float64(s.bytesOut.Load()) })
+	s.metrics.Store(&serverMetrics{
+		rpcs:    reg.CounterVec("wire_server_rpcs_total", "RPCs handled, by message type.", "type"),
+		errors:  reg.CounterVec("wire_server_rpc_errors_total", "RPCs answered with an error envelope, by message type.", "type"),
+		latency: reg.HistogramVec("wire_server_rpc_latency_seconds", "Server-side RPC handling latency, by message type.", nil, "type"),
+		conns:   reg.Gauge("wire_server_open_connections", "Currently open client connections."),
+		tracer:  tr,
+	})
+}
+
+// rpcLabel bounds metric label cardinality against hostile peers: unknown
+// message types collapse into one label value.
+func rpcLabel(msgType string) string {
+	switch msgType {
+	case TypeInit, TypeRenew, TypeEscrow, TypeRegisterLicense,
+		TypeReportCrash, TypeSetProfile, TypeLicenseInfo:
+		return msgType
+	default:
+		return "unknown"
+	}
+}
+
+// countWriter and countReader tally frame bytes into an atomic as they
+// pass through.
+type countWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+type countReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}

@@ -7,9 +7,12 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/attest"
 	"repro/internal/lease"
+	"repro/internal/obs"
 	"repro/internal/seccrypto"
 	"repro/internal/slremote"
 )
@@ -25,6 +28,15 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	panics   atomic.Int64 // recovered handler panics (always counted)
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	metrics  atomic.Pointer[serverMetrics]
+
+	// preDispatch, when set, runs before each dispatch (tests inject
+	// handler panics through it).
+	preDispatch func(Envelope)
 }
 
 // NewServer wraps a license server for network serving. logf may be nil
@@ -95,6 +107,10 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	if m := s.metrics.Load(); m != nil {
+		m.conns.Add(1)
+		defer m.conns.Add(-1)
+	}
 	defer func() {
 		_ = conn.Close()
 		s.mu.Lock()
@@ -102,23 +118,65 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
-		env, err := ReadMessage(conn)
+		env, err := ReadMessage(countReader{conn, &s.bytesIn})
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("wire: connection %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		if err := s.dispatch(conn, env); err != nil {
+		if err := s.handleEnvelope(conn, env); err != nil {
 			s.logf("wire: reply to %s: %v", conn.RemoteAddr(), err)
 			return
 		}
 	}
 }
 
+// handleEnvelope dispatches one request with panic isolation: a handler
+// panic is counted, logged, and answered with an error envelope instead of
+// killing the connection goroutine silently. The returned error is a
+// transport failure (the connection is then dropped).
+func (s *Server) handleEnvelope(conn net.Conn, env Envelope) (err error) {
+	m := s.metrics.Load()
+	var tr *obs.Tracer
+	if m != nil {
+		tr = m.tracer
+	}
+	span := tr.Start("rpc." + rpcLabel(env.Type))
+	span.Annotate("remote", conn.RemoteAddr().String())
+	start := time.Now()
+	done := func(handlerErr error) {
+		if m != nil {
+			label := rpcLabel(env.Type)
+			m.rpcs.With(label).Inc()
+			m.latency.With(label).Observe(time.Since(start).Seconds())
+		}
+		span.End(handlerErr)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.logf("wire: panic handling %q from %s: %v", env.Type, conn.RemoteAddr(), r)
+			done(fmt.Errorf("panic: %v", r))
+			err = WriteMessage(countWriter{conn, &s.bytesOut}, TypeError,
+				ErrorResponse{Message: fmt.Sprintf("internal error handling %q", env.Type)})
+		}
+	}()
+	if s.preDispatch != nil {
+		s.preDispatch(env)
+	}
+	err = s.dispatch(conn, env)
+	done(err)
+	return err
+}
+
 func (s *Server) dispatch(conn net.Conn, env Envelope) error {
+	out := countWriter{conn, &s.bytesOut}
 	fail := func(err error) error {
-		return WriteMessage(conn, TypeError, ErrorResponse{Message: err.Error()})
+		if m := s.metrics.Load(); m != nil {
+			m.errors.With(rpcLabel(env.Type)).Inc()
+		}
+		return WriteMessage(out, TypeError, ErrorResponse{Message: err.Error()})
 	}
 	switch env.Type {
 	case TypeInit:
@@ -138,7 +196,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if res.HasOBK {
 			resp.OBK = res.OBK.Bytes()
 		}
-		return WriteMessage(conn, TypeInit, resp)
+		return WriteMessage(out, TypeInit, resp)
 
 	case TypeRenew:
 		var req RenewRequest
@@ -149,7 +207,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if err != nil {
 			return fail(err)
 		}
-		return WriteMessage(conn, TypeRenew, RenewResponse{
+		return WriteMessage(out, TypeRenew, RenewResponse{
 			Units:      grant.Units,
 			Kind:       uint8(grant.GCL.Kind),
 			Counter:    grant.GCL.Counter,
@@ -168,7 +226,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if err := s.remote.EscrowRootKey(req.SLID, key); err != nil {
 			return fail(err)
 		}
-		return WriteMessage(conn, TypeOK, nil)
+		return WriteMessage(out, TypeOK, nil)
 
 	case TypeRegisterLicense:
 		var req RegisterLicenseRequest
@@ -178,7 +236,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if err := s.remote.RegisterLicense(req.ID, lease.Kind(req.Kind), req.TotalGCL); err != nil {
 			return fail(err)
 		}
-		return WriteMessage(conn, TypeOK, nil)
+		return WriteMessage(out, TypeOK, nil)
 
 	case TypeReportCrash:
 		var req ReportCrashRequest
@@ -188,7 +246,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if err := s.remote.ReportCrash(req.SLID); err != nil {
 			return fail(err)
 		}
-		return WriteMessage(conn, TypeOK, nil)
+		return WriteMessage(out, TypeOK, nil)
 
 	case TypeSetProfile:
 		var req SetProfileRequest
@@ -198,7 +256,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if err := s.remote.SetClientProfile(req.SLID, req.Health, req.Reliability, req.Weight); err != nil {
 			return fail(err)
 		}
-		return WriteMessage(conn, TypeOK, nil)
+		return WriteMessage(out, TypeOK, nil)
 
 	case TypeLicenseInfo:
 		var req LicenseInfoRequest
@@ -209,7 +267,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if err != nil {
 			return fail(err)
 		}
-		return WriteMessage(conn, TypeLicenseInfo, LicenseInfoResponse{
+		return WriteMessage(out, TypeLicenseInfo, LicenseInfoResponse{
 			ID:        lic.ID,
 			Kind:      uint8(lic.Kind),
 			TotalGCL:  lic.TotalGCL,
