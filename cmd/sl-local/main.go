@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/attest"
@@ -87,10 +89,24 @@ func run() error {
 		return err
 	}
 
+	// SIGINT/SIGTERM stop the workload early; the shutdown path below
+	// still runs, so the lease tree is committed and the root key escrowed
+	// — an interrupted client is a graceful shutdown, not a crash.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
 	issued := 0
 	vStart := machine.Clock().Now()
 	rasBefore := machine.Stats().RemoteAttests
+workload:
 	for issued < *checks {
+		select {
+		case sig := <-sigs:
+			fmt.Printf("sl-local: %v after %d checks: shutting down gracefully\n", sig, issued)
+			break workload
+		default:
+		}
 		tok, err := svc.RequestToken(app, *license)
 		if err != nil {
 			return fmt.Errorf("after %d checks: %w", issued, err)
@@ -115,7 +131,11 @@ func run() error {
 	fmt.Println("sl-local: graceful shutdown complete (lease tree committed, root key escrowed)")
 	if *linger > 0 {
 		fmt.Printf("sl-local: lingering %v for metric scrapes\n", *linger)
-		time.Sleep(*linger)
+		select {
+		case <-time.After(*linger):
+		case sig := <-sigs:
+			fmt.Printf("sl-local: %v: linger cut short\n", sig)
+		}
 	}
 	return nil
 }

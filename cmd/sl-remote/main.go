@@ -6,20 +6,40 @@
 // Licenses can be pre-registered at startup with repeated -license flags:
 //
 //	sl-remote -addr :7600 -license demo:count:100000 -license pro:perpetual:1
+//
+// With -state-dir the server becomes durable: every state mutation is
+// write-ahead-logged, snapshots compact the log, and a restart recovers
+// the full license ledger, SLID registry, and (sealed) root-key escrow
+// vault from disk:
+//
+//	sl-remote -addr :7600 -state-dir /var/lib/sl-remote -seal-secret-file /etc/sl-remote/seal \
+//	          -fsync batched -snapshot-every 1024 -license demo:count:100000
+//
+// SIGINT/SIGTERM drain in-flight requests, take a final snapshot, and
+// exit cleanly.
 package main
 
 import (
+	"context"
+	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/attest"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/seccrypto"
 	"repro/internal/slremote"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -49,57 +69,208 @@ func run() error {
 		tau      = flag.Float64("tau", 0.10, "expected-loss bound as fraction of TG (paper: 0.10)")
 		open     = flag.Bool("open-attestation", true, "accept any platform/measurement (demo mode; disable to require explicit enrollment)")
 		licenses licenseFlags
+
+		stateDir       = flag.String("state-dir", "", "directory for the durable state (WAL + snapshots); empty runs in-memory only")
+		fsync          = flag.String("fsync", "batched", "WAL durability: always (fsync per record), batched (group commit), off (no fsync)")
+		snapshotEvery  = flag.Int("snapshot-every", 1024, "take a snapshot and compact the WAL after this many logged records; 0 snapshots only at shutdown")
+		sealSecret     = flag.String("seal-secret", "", "secret sealing escrowed root keys and snapshots on disk (stands in for the SGX sealing key; required with -state-dir)")
+		sealSecretFile = flag.String("seal-secret-file", "", "read the seal secret from this file instead of the command line")
+		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests before force-closing connections")
 	)
-	flag.Var(&licenses, "license", "pre-register license as id:kind:totalGCL (kind: count|time|exec-time|perpetual); repeatable")
+	flag.Var(&licenses, "license", licenseFlagHelp)
 	flag.Parse()
+
+	specs, err := parseLicenses(licenses)
+	if err != nil {
+		return err
+	}
 
 	var service *attest.Service
 	if !*open {
 		service = attest.NewService()
 		log.Printf("attestation service enabled: enroll platforms before clients can init")
 	}
-	remote, err := slremote.NewServer(slremote.Config{
+	cfg := slremote.Config{
 		D:               *d,
 		HealthThreshold: *th,
 		Beta:            *beta,
 		TauFraction:     *tau,
-	}, service)
-	if err != nil {
-		return err
 	}
-	for _, spec := range licenses {
-		id, kind, total, err := parseLicense(spec)
+
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metricsAddr != "" {
+		reg, tracer = obs.Default(), obs.DefaultTracer()
+	}
+
+	// Stand up the server: recovered from -state-dir when given, purely
+	// in-memory otherwise.
+	var remote *slremote.Server
+	var st *store.Store
+	if *stateDir != "" {
+		sealKey, err := loadSealKey(*sealSecret, *sealSecretFile)
 		if err != nil {
 			return err
 		}
-		if err := remote.RegisterLicense(id, kind, total); err != nil {
+		mode, err := store.ParseSyncMode(*fsync)
+		if err != nil {
 			return err
 		}
-		log.Printf("registered license %q (%s, %d GCL units)", id, kind, total)
+		var rec *store.Recovered
+		st, rec, err = store.Open(store.Options{
+			Dir:     *stateDir,
+			Mode:    mode,
+			Metrics: store.ExposeMetrics(reg),
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		remote, err = slremote.RecoverServer(cfg, service, rec, slremote.PersistConfig{
+			Log: st, Snap: st, SealKey: sealKey, SnapshotEvery: *snapshotEvery,
+		})
+		if err != nil {
+			return err
+		}
+		if !rec.Empty() {
+			log.Printf("recovered state from %s (generation %d, %d WAL records replayed, licenses: %s)",
+				*stateDir, rec.Generation, len(rec.Records), strings.Join(remote.LicenseIDs(), ", "))
+		}
+	} else {
+		remote, err = slremote.NewServer(cfg, service)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Register -license flags, skipping IDs already present in recovered
+	// state (re-running the same command line after a restart is the
+	// normal deployment pattern).
+	existing := make(map[string]bool)
+	for _, id := range remote.LicenseIDs() {
+		existing[id] = true
+	}
+	for _, spec := range specs {
+		if existing[spec.id] {
+			log.Printf("license %q already in recovered state; flag ignored", spec.id)
+			continue
+		}
+		if err := remote.RegisterLicense(spec.id, spec.kind, spec.total); err != nil {
+			return err
+		}
+		log.Printf("registered license %q (%s, %d GCL units)", spec.id, spec.kind, spec.total)
 	}
 
 	srv, err := wire.NewServer(remote, log.Printf)
 	if err != nil {
 		return err
 	}
+	var ep *obs.HTTPServer
 	if *metricsAddr != "" {
-		reg, tracer := obs.Default(), obs.DefaultTracer()
 		remote.ExposeMetrics(reg)
 		srv.ExposeMetrics(reg, tracer)
-		ep, err := obs.StartHTTP(*metricsAddr, reg, tracer)
+		ep, err = obs.StartHTTP(*metricsAddr, reg, tracer)
 		if err != nil {
 			return err
 		}
 		defer ep.Close()
 		log.Printf("observability endpoint on http://%s/metrics", ep.Addr())
 	}
-	return srv.ListenAndServe(*addr)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	log.Printf("sl-remote: listening on %s", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		log.Printf("sl-remote: %v: draining (timeout %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("sl-remote: drain incomplete: %v", err)
+	}
+	<-serveErr
+	if st != nil {
+		if err := remote.SnapshotNow(); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("closing state: %w", err)
+		}
+		log.Printf("sl-remote: state snapshotted to %s", *stateDir)
+	}
+	log.Printf("sl-remote: shutdown complete")
+	return nil
+}
+
+// loadSealKey derives the 128-bit seal key from the operator's secret (a
+// stand-in for the SGX sealing key, which would be MRSIGNER-derived inside
+// a real enclave).
+func loadSealKey(secret, file string) (seccrypto.Key, error) {
+	if file != "" {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return seccrypto.Key{}, fmt.Errorf("reading -seal-secret-file: %w", err)
+		}
+		secret = strings.TrimSpace(string(raw))
+	}
+	if secret == "" {
+		return seccrypto.Key{}, errors.New("-state-dir requires -seal-secret or -seal-secret-file (escrowed keys and snapshots are sealed on disk)")
+	}
+	sum := sha256.Sum256([]byte(secret))
+	return seccrypto.KeyFromBytes(sum[:seccrypto.KeySize])
+}
+
+const licenseFlagHelp = `pre-register a license; repeatable. Grammar: id:kind:totalGCL where
+id is a unique name (no colons), kind is one of count, time, exec-time,
+perpetual, and totalGCL is a positive integer budget (for perpetual
+licenses: the number of seats). Duplicate ids are rejected.`
+
+type licenseSpec struct {
+	id    string
+	kind  lease.Kind
+	total int64
+}
+
+// parseLicenses parses all -license flags and rejects duplicate IDs early,
+// before any server state exists.
+func parseLicenses(specs []string) ([]licenseSpec, error) {
+	out := make([]licenseSpec, 0, len(specs))
+	seen := make(map[string]string, len(specs))
+	for _, spec := range specs {
+		id, kind, total, err := parseLicense(spec)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("license %q: duplicate id %q (already defined by -license %s)", spec, id, prev)
+		}
+		seen[id] = spec
+		out = append(out, licenseSpec{id: id, kind: kind, total: total})
+	}
+	return out, nil
 }
 
 func parseLicense(spec string) (string, lease.Kind, int64, error) {
 	parts := strings.Split(spec, ":")
 	if len(parts) != 3 {
 		return "", 0, 0, fmt.Errorf("license %q: want id:kind:totalGCL", spec)
+	}
+	if parts[0] == "" {
+		return "", 0, 0, fmt.Errorf("license %q: empty id", spec)
 	}
 	var kind lease.Kind
 	switch parts[1] {
@@ -112,7 +283,7 @@ func parseLicense(spec string) (string, lease.Kind, int64, error) {
 	case "perpetual":
 		kind = lease.Perpetual
 	default:
-		return "", 0, 0, fmt.Errorf("license %q: unknown kind %q", spec, parts[1])
+		return "", 0, 0, fmt.Errorf("license %q: unknown kind %q (want count, time, exec-time, or perpetual)", spec, parts[1])
 	}
 	total, err := strconv.ParseInt(parts[2], 10, 64)
 	if err != nil || total <= 0 {

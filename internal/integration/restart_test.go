@@ -1,0 +1,285 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/lease"
+	"repro/internal/obs"
+	"repro/internal/seccrypto"
+	"repro/internal/sgx"
+	"repro/internal/sllocal"
+	"repro/internal/slremote"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// durableRemote is one incarnation of a persistent SL-Remote deployment:
+// the store, the recovered server, a wire listener, and the obs registry
+// its store metrics land in.
+type durableRemote struct {
+	st     *store.Store
+	remote *slremote.Server
+	srv    *wire.Server
+	addr   string
+	reg    *obs.Registry
+	done   chan struct{}
+}
+
+func bootDurableRemote(t *testing.T, dir string, sealKey seccrypto.Key, service *attest.Service) *durableRemote {
+	t.Helper()
+	reg := obs.NewRegistry()
+	st, rec, err := store.Open(store.Options{
+		Dir:     dir,
+		Mode:    store.SyncBatched,
+		Metrics: store.ExposeMetrics(reg),
+	})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	remote, err := slremote.RecoverServer(slremote.DefaultConfig(), service, rec, slremote.PersistConfig{
+		Log: st, Snap: st, SealKey: sealKey, SnapshotEvery: 8,
+	})
+	if err != nil {
+		t.Fatalf("RecoverServer: %v", err)
+	}
+	srv, err := wire.NewServer(remote, nil)
+	if err != nil {
+		t.Fatalf("wire.NewServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	d := &durableRemote{st: st, remote: remote, srv: srv, addr: ln.Addr().String(), reg: reg, done: make(chan struct{})}
+	go func() {
+		defer close(d.done)
+		_ = srv.Serve(ln)
+	}()
+	return d
+}
+
+// drain gracefully drains the wire server; the store stays open.
+func (d *durableRemote) drain(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("wire Shutdown: %v", err)
+	}
+	<-d.done
+}
+
+// TestRestartCycleRecoversLedgerAndEscrow is the paper's durability story
+// end to end: a client burns more than half of a count-based license over
+// TCP and escrows its root key at graceful shutdown; the server is then
+// killed without a final snapshot (so recovery must replay the WAL tail)
+// and restarted from the state directory. The restarted server must hold
+// bit-identical state, release the escrowed root key on re-init, and never
+// have written the plaintext root key to disk.
+func TestRestartCycleRecoversLedgerAndEscrow(t *testing.T) {
+	dir := t.TempDir()
+	sealKey, err := seccrypto.NewKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := attest.NewService()
+
+	// --- Incarnation 1: fresh state, real workload over TCP. ---
+	d1 := bootDurableRemote(t, dir, sealKey, service)
+	const pool = 1000
+	if err := d1.remote.RegisterLicense("lic", lease.CountBased, pool); err != nil {
+		t.Fatalf("RegisterLicense: %v", err)
+	}
+	if err := d1.remote.RegisterLicense("doomed", lease.CountBased, 5); err != nil {
+		t.Fatalf("RegisterLicense: %v", err)
+	}
+	if err := d1.remote.Revoke("doomed"); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+
+	m, err := sgx.NewMachine(sgx.MachineConfig{Name: "restart-client", EPCBytes: 8 << 20})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	plat, err := attest.NewPlatform("restart-client", m)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	service.RegisterPlatform(plat)
+	probe, err := m.CreateEnclave("probe", sllocal.EnclaveCodeIdentity, 0)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	service.TrustMeasurement(probe.Measurement())
+	probe.Destroy()
+
+	state := &sllocal.UntrustedState{} // survives the client "restart" below
+	cl1, err := wire.Dial(d1.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	svc1, err := sllocal.New(sllocal.Config{TokenBatch: 10}, sllocal.Deps{
+		Machine: m, Platform: plat, Remote: cl1, State: state,
+	})
+	if err != nil {
+		t.Fatalf("sllocal.New: %v", err)
+	}
+	if err := svc1.Init(); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	slid := svc1.SLID()
+	app, err := m.CreateEnclave("app", []byte("app"), 0)
+	if err != nil {
+		t.Fatalf("app: %v", err)
+	}
+	served := 0
+	for served < pool*6/10 { // burn >50% of the budget
+		tok, err := svc1.RequestToken(app, "lic")
+		if err != nil {
+			t.Fatalf("RequestToken after %d checks: %v", served, err)
+		}
+		for tok.Use() && served < pool*6/10 {
+			served++
+		}
+	}
+	// Graceful client shutdown: lease tree committed, root key escrowed.
+	if err := svc1.Shutdown(); err != nil {
+		t.Fatalf("client Shutdown: %v", err)
+	}
+	if err := cl1.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
+
+	d1.drain(t)
+	// Make sure the kill below leaves a WAL tail to replay: if the
+	// workload's last mutation landed exactly on a compaction boundary,
+	// append profile updates until the current generation's log is
+	// non-empty (one suffices right after a compaction).
+	for i := 0; i < 10; i++ {
+		rec, err := store.Recover(dir)
+		if err != nil {
+			t.Fatalf("peek WAL: %v", err)
+		}
+		if len(rec.Records) > 0 {
+			break
+		}
+		if err := d1.remote.SetClientProfile(slid, 0.99, 0.99, 1); err != nil {
+			t.Fatalf("SetClientProfile: %v", err)
+		}
+	}
+	want := d1.remote.ExportState()
+	if want.Licenses["lic"].Remaining > pool/2 {
+		t.Fatalf("burned only %d of %d units; test wants >50%%", pool-want.Licenses["lic"].Remaining, pool)
+	}
+	rootKey := want.Clients[slid].Escrow
+	if len(rootKey) == 0 {
+		t.Fatal("no root key escrowed at graceful shutdown")
+	}
+	snap1 := d1.reg.Snapshot()
+	for _, name := range []string{"store_wal_appends_total", "store_wal_bytes_total", "store_snapshots_total", "store_snapshot_bytes"} {
+		if v := snap1[obs.Key(name, nil)]; v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	// Kill without a final snapshot: recovery must replay the WAL tail, not
+	// just load the last compaction point.
+	if err := d1.st.Close(); err != nil {
+		t.Fatalf("store Close: %v", err)
+	}
+
+	// The escrowed root key must never hit disk in plaintext.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("state directory is empty")
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(raw, rootKey) {
+			t.Errorf("plaintext root-key bytes on disk in %s", e.Name())
+		}
+	}
+
+	// --- Incarnation 2: recover from the state directory. ---
+	d2 := bootDurableRemote(t, dir, sealKey, service)
+	defer func() {
+		d2.drain(t)
+		_ = d2.st.Close()
+	}()
+
+	got := d2.remote.ExportState()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered state differs from pre-restart state\n got: %+v\nwant: %+v", got, want)
+	}
+	snap2 := d2.reg.Snapshot()
+	if v := snap2[obs.Key("store_replayed_records_total", nil)]; v <= 0 {
+		t.Errorf("store_replayed_records_total = %v, want > 0 (server was killed with a WAL tail)", v)
+	}
+	if v := snap2[obs.Key("store_recovery_seconds", nil)]; v <= 0 {
+		t.Errorf("store_recovery_seconds = %v, want > 0", v)
+	}
+
+	// Re-init the same client (same machine, same untrusted state): the
+	// recovered server must confirm the SLID and release the escrowed key,
+	// and the restored lease tree must keep serving from the same budget.
+	cl2, err := wire.Dial(d2.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl2.Close()
+	svc2, err := sllocal.New(sllocal.Config{TokenBatch: 10}, sllocal.Deps{
+		Machine: m, Platform: plat, Remote: cl2, State: state,
+	})
+	if err != nil {
+		t.Fatalf("sllocal.New: %v", err)
+	}
+	if err := svc2.Init(); err != nil {
+		t.Fatalf("re-Init after restart: %v", err)
+	}
+	if svc2.SLID() != slid {
+		t.Fatalf("SLID changed across restart: %q → %q", slid, svc2.SLID())
+	}
+	if st := d2.remote.ExportState(); st.Clients[slid].HasEscrow {
+		t.Error("escrow not released (single-use) after re-init")
+	}
+	app2, err := m.CreateEnclave("app2", []byte("app"), 0)
+	if err != nil {
+		t.Fatalf("app2: %v", err)
+	}
+	extra := 0
+	for extra < 100 {
+		tok, err := svc2.RequestToken(app2, "lic")
+		if err != nil {
+			t.Fatalf("post-restart RequestToken after %d: %v", extra, err)
+		}
+		for tok.Use() && extra < 100 {
+			extra++
+		}
+	}
+	lic, err := d2.remote.License("lic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lic.Remaining < 0 || lic.Remaining > want.Licenses["lic"].Remaining {
+		t.Errorf("post-restart remaining %d out of range (pre-restart %d)", lic.Remaining, want.Licenses["lic"].Remaining)
+	}
+	if got, err := d2.remote.License("doomed"); err != nil || !got.Revoked {
+		t.Errorf("revocation lost across restart: %+v, %v", got, err)
+	}
+	if err := svc2.Shutdown(); err != nil {
+		t.Fatalf("final client Shutdown: %v", err)
+	}
+}

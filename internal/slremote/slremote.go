@@ -135,6 +135,7 @@ type Server struct {
 	licenses map[string]*License
 	clients  map[string]*clientState
 	nextSLID int
+	persist  *persister // nil: in-memory only (see persist.go)
 
 	stats   ServerStats
 	metrics atomic.Pointer[serverMetrics]
@@ -174,6 +175,17 @@ func (s *Server) RegisterLicense(id string, kind lease.Kind, totalGCL int64) err
 	if _, dup := s.licenses[id]; dup {
 		return fmt.Errorf("slremote: license %q already registered", id)
 	}
+	if err := s.logLocked(event{Op: opRegister, License: id, Kind: uint8(kind), TotalGCL: totalGCL}); err != nil {
+		return err
+	}
+	s.applyRegisterLocked(id, kind, totalGCL)
+	s.maybeSnapshotLocked()
+	return nil
+}
+
+// applyRegisterLocked installs a license; shared by RegisterLicense and WAL
+// replay.
+func (s *Server) applyRegisterLocked(id string, kind lease.Kind, totalGCL int64) {
 	lic := &License{
 		ID:        id,
 		Kind:      kind,
@@ -185,7 +197,6 @@ func (s *Server) RegisterLicense(id string, kind lease.Kind, totalGCL int64) err
 		lic.Interval = 24 * time.Hour
 	}
 	s.licenses[id] = lic
-	return nil
 }
 
 // SetLicenseInterval overrides the discretization step of a time-based or
@@ -200,7 +211,11 @@ func (s *Server) SetLicenseInterval(id string, interval time.Duration) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownLicense, id)
 	}
+	if err := s.logLocked(event{Op: opInterval, License: id, IntervalNS: int64(interval)}); err != nil {
+		return err
+	}
 	lic.Interval = interval
+	s.maybeSnapshotLocked()
 	return nil
 }
 
@@ -225,11 +240,19 @@ func (s *Server) Revoke(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownLicense, id)
 	}
+	if err := s.logLocked(event{Op: opRevoke, License: id}); err != nil {
+		return err
+	}
+	s.applyRevokeLocked(lic)
+	s.maybeSnapshotLocked()
+	return nil
+}
+
+func (s *Server) applyRevokeLocked(lic *License) {
 	lic.Revoked = true
 	if m := s.metrics.Load(); m != nil {
 		m.revocations.Inc()
 	}
-	return nil
 }
 
 // InitResult is what a successfully initialized SL-Local receives.
@@ -257,12 +280,27 @@ func (s *Server) InitClient(slid string, quote attest.Quote, clientMachine *sgx.
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stats.RemoteAttestations++
 
+	next := s.nextSLID
 	if slid == "" {
-		s.nextSLID++
-		slid = "slid-" + strconv.Itoa(s.nextSLID)
+		next++
+		slid = "slid-" + strconv.Itoa(next)
 	}
+	if err := s.logLocked(event{Op: opInit, SLID: slid, NextSLID: next}); err != nil {
+		return InitResult{}, err
+	}
+	res := s.applyInitLocked(slid, next)
+	s.maybeSnapshotLocked()
+	return res, nil
+}
+
+// applyInitLocked is the state-transition half of init(): SLID bookkeeping,
+// the pessimistic crash/forfeit rules of Section 5.7, and single-use escrow
+// release. It is deterministic given the current state, which is what makes
+// WAL replay rebuild an identical server.
+func (s *Server) applyInitLocked(slid string, nextSLID int) InitResult {
+	s.stats.RemoteAttestations++
+	s.nextSLID = nextSLID
 	c, ok := s.clients[slid]
 	if !ok {
 		c = &clientState{
@@ -303,7 +341,7 @@ func (s *Server) InitClient(slid string, quote attest.Quote, clientMachine *sgx.
 		res.HasOBK = true
 		c.hasEscrow = false // single use; a fresh key arrives at next shutdown
 	}
-	return res, nil
+	return res
 }
 
 // SetClientProfile updates SL-Remote's view of a client's health h,
@@ -317,13 +355,22 @@ func (s *Server) SetClientProfile(slid string, health, reliability, weight float
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownClient, slid)
 	}
+	if err := s.logLocked(event{Op: opProfile, SLID: slid, Health: health, Reliability: reliability, Weight: weight}); err != nil {
+		return err
+	}
+	applyProfile(c, health, reliability, weight)
+	s.maybeSnapshotLocked()
+	return nil
+}
+
+// applyProfile clamps and installs Algorithm 1's per-client inputs.
+func applyProfile(c *clientState, health, reliability, weight float64) {
 	c.health = clamp01(health)
 	c.reliability = math.Max(clamp01(reliability), 1e-3)
 	if weight < 0 {
 		weight = 0
 	}
 	c.weight = weight
-	return nil
 }
 
 // EscrowRootKey stores the client's lease-tree root key at graceful
@@ -335,12 +382,29 @@ func (s *Server) EscrowRootKey(slid string, key seccrypto.Key) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownClient, slid)
 	}
+	if s.persist != nil {
+		// The root key is the one secret SL-Remote holds for a client;
+		// it is sealed before the WAL record leaves the (simulated)
+		// enclave, so plaintext key material never reaches disk.
+		sealed, err := seccrypto.ProtectWithKey(key.Bytes(), s.persist.sealKey, nil)
+		if err != nil {
+			return fmt.Errorf("slremote: sealing escrowed key: %w", err)
+		}
+		if err := s.logLocked(event{Op: opEscrow, SLID: slid, SealedKey: sealed}); err != nil {
+			return err
+		}
+	}
+	s.applyEscrowLocked(c, key)
+	s.maybeSnapshotLocked()
+	return nil
+}
+
+func (s *Server) applyEscrowLocked(c *clientState, key seccrypto.Key) {
 	c.escrow = key
 	c.hasEscrow = true
 	if m := s.metrics.Load(); m != nil {
 		m.escrows.Inc()
 	}
-	return nil
 }
 
 // ReportCrash applies the pessimistic crash policy (Section 5.7): every
@@ -354,6 +418,15 @@ func (s *Server) ReportCrash(slid string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownClient, slid)
 	}
+	if err := s.logLocked(event{Op: opCrash, SLID: slid}); err != nil {
+		return err
+	}
+	s.applyCrashLocked(c)
+	s.maybeSnapshotLocked()
+	return nil
+}
+
+func (s *Server) applyCrashLocked(c *clientState) {
 	for licID, held := range c.outstanding {
 		if lic, ok := s.licenses[licID]; ok {
 			lic.Lost += held
@@ -366,7 +439,6 @@ func (s *Server) ReportCrash(slid string) error {
 	}
 	c.crashed = true
 	c.hasEscrow = false
-	return nil
 }
 
 // Grant is a renewal result: the sub-GCL handed to the client.
@@ -425,19 +497,31 @@ func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
 	if units > lic.Remaining {
 		units = lic.Remaining
 	}
-	lic.Remaining -= units
-	c.outstanding[licenseID] += units
-	s.stats.Renewals++
-	if m := s.metrics.Load(); m != nil {
-		m.grantUnits.Observe(float64(units))
-		m.licenseRemaining.With(licenseID).Set(float64(lic.Remaining))
+	// The WAL records the Algorithm 1 *outcome* (the granted units), not
+	// the request, so replay applies the exact historical transfer instead
+	// of re-running the policy against a drifting view.
+	if err := s.logLocked(event{Op: opRenew, SLID: slid, License: licenseID, Units: units}); err != nil {
+		return Grant{}, err
 	}
+	s.applyRenewLocked(c, lic, units)
+	s.maybeSnapshotLocked()
 
 	return Grant{
 		License: licenseID,
 		Units:   units,
 		GCL:     lease.GCL{Kind: lic.Kind, Counter: units, Interval: lic.Interval},
 	}, nil
+}
+
+// applyRenewLocked transfers units from the license pool to the client.
+func (s *Server) applyRenewLocked(c *clientState, lic *License, units int64) {
+	lic.Remaining -= units
+	c.outstanding[lic.ID] += units
+	s.stats.Renewals++
+	if m := s.metrics.Load(); m != nil {
+		m.grantUnits.Observe(float64(units))
+		m.licenseRemaining.With(lic.ID).Set(float64(lic.Remaining))
+	}
 }
 
 // computeGrantLocked is Algorithm 1 (RenewLease) from the paper.
@@ -533,7 +617,11 @@ func (s *Server) ConsumeReport(slid, licenseID string, units int64) error {
 	if units > held {
 		units = held
 	}
+	if err := s.logLocked(event{Op: opConsume, SLID: slid, License: licenseID, Units: units}); err != nil {
+		return err
+	}
 	c.outstanding[licenseID] = held - units
+	s.maybeSnapshotLocked()
 	return nil
 }
 

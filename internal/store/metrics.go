@@ -1,0 +1,84 @@
+package store
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics holds the store's active instruments. All methods are nil-safe:
+// an un-instrumented store carries a nil *Metrics and pays nothing.
+type Metrics struct {
+	walAppends      *obs.Counter
+	walBytes        *obs.Counter
+	fsyncLatency    *obs.Histogram
+	snapshots       *obs.Counter
+	snapshotBytes   *obs.Gauge
+	recoverySeconds *obs.Gauge
+	replayedRecords *obs.Counter
+}
+
+// ExposeMetrics registers the store metric family with an obs registry and
+// returns the handle to pass in Options.Metrics.
+//
+// Metric inventory:
+//
+//	store_wal_appends_total        WAL records appended
+//	store_wal_bytes_total          framed bytes written to the WAL
+//	store_fsync_latency_seconds    fsync latency (histogram)
+//	store_snapshots_total          snapshots taken
+//	store_snapshot_bytes           size of the newest snapshot frame
+//	store_recovery_seconds         duration of the last Open-time recovery
+//	store_replayed_records_total   WAL records replayed during recovery
+func ExposeMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		walAppends: reg.Counter("store_wal_appends_total",
+			"WAL records appended."),
+		walBytes: reg.Counter("store_wal_bytes_total",
+			"Framed bytes written to the WAL."),
+		fsyncLatency: reg.Histogram("store_fsync_latency_seconds",
+			"WAL fsync latency.", nil),
+		snapshots: reg.Counter("store_snapshots_total",
+			"State snapshots taken."),
+		snapshotBytes: reg.Gauge("store_snapshot_bytes",
+			"Size of the newest snapshot frame in bytes."),
+		recoverySeconds: reg.Gauge("store_recovery_seconds",
+			"Duration of the last recovery (snapshot load + WAL replay)."),
+		replayedRecords: reg.Counter("store_replayed_records_total",
+			"WAL records replayed during recovery."),
+	}
+}
+
+func (m *Metrics) observeAppend(frameBytes int) {
+	if m == nil {
+		return
+	}
+	m.walAppends.Inc()
+	m.walBytes.Add(int64(frameBytes))
+}
+
+func (m *Metrics) observeFsync(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.fsyncLatency.Observe(d.Seconds())
+}
+
+func (m *Metrics) observeSnapshot(frameBytes int) {
+	if m == nil {
+		return
+	}
+	m.snapshots.Inc()
+	m.snapshotBytes.Set(float64(frameBytes))
+}
+
+func (m *Metrics) observeRecovery(d time.Duration, records int) {
+	if m == nil {
+		return
+	}
+	m.recoverySeconds.Set(d.Seconds())
+	m.replayedRecords.Add(int64(records))
+}

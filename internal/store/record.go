@@ -1,0 +1,96 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout: a 4-byte big-endian payload length, a 4-byte big-endian
+// CRC32C of the payload, then the payload itself. The CRC is computed with
+// the Castagnoli polynomial (the same framing discipline as etcd's WAL and
+// RocksDB's log), which modern CPUs check in hardware.
+const (
+	frameHeaderSize = 8
+	// MaxRecordSize bounds one WAL record (and one snapshot image). A
+	// length field above this is treated as corruption, not an allocation
+	// request — it is the store's defense against interpreting garbage
+	// bytes as a multi-gigabyte record.
+	MaxRecordSize = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Framing errors. errShortFrame means the buffer ends before the frame
+// does — at the tail of a WAL that is a torn write and is truncated;
+// anywhere else it is corruption. ErrCorruptRecord means the frame is
+// structurally complete but lies (bad CRC or impossible length).
+var (
+	errShortFrame = errors.New("store: short frame")
+	// ErrCorruptRecord reports a record whose CRC or length check failed.
+	ErrCorruptRecord = errors.New("store: corrupt record")
+)
+
+// appendRecord appends the framed encoding of payload to dst.
+func appendRecord(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodeRecord decodes one frame from the front of b, returning the payload
+// and the total bytes consumed. It returns errShortFrame when b holds only
+// a prefix of a frame and ErrCorruptRecord when the frame is complete but
+// fails its length or CRC check. The returned payload aliases b.
+func decodeRecord(b []byte) (payload []byte, consumed int, err error) {
+	if len(b) < frameHeaderSize {
+		return nil, 0, errShortFrame
+	}
+	size := binary.BigEndian.Uint32(b[0:4])
+	if size > MaxRecordSize {
+		return nil, 0, fmt.Errorf("%w: frame length %d exceeds %d", ErrCorruptRecord, size, MaxRecordSize)
+	}
+	total := frameHeaderSize + int(size)
+	if len(b) < total {
+		return nil, 0, errShortFrame
+	}
+	payload = b[frameHeaderSize:total]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.BigEndian.Uint32(b[4:8]); got != want {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorruptRecord, want, got)
+	}
+	return payload, total, nil
+}
+
+// decodeAll decodes every frame in b. A short frame — one whose announced
+// extent runs past the end of the buffer — can only be the unfinished last
+// append of a crashed writer, so decoding stops there and the dangling byte
+// count is returned in truncated. A CRC or length failure on a complete
+// frame is real corruption at any position and yields an error naming the
+// byte offset, so data loss is never silent.
+func decodeAll(b []byte) (records [][]byte, truncated int, err error) {
+	off := 0
+	for off < len(b) {
+		payload, n, derr := decodeRecord(b[off:])
+		if derr == nil {
+			if len(payload) == 0 {
+				// An all-zero header decodes as a zero-length frame with a
+				// zero CRC (CRC32C of "" is 0). Writers never append empty
+				// records, so this is a zero-filled tail — e.g. filesystem
+				// preallocation surviving a crash — and is truncated like
+				// any other torn write.
+				return records, len(b) - off, nil
+			}
+			records = append(records, payload)
+			off += n
+			continue
+		}
+		if errors.Is(derr, errShortFrame) {
+			return records, len(b) - off, nil
+		}
+		return records, 0, fmt.Errorf("store: record %d at byte offset %d: %w", len(records), off, derr)
+	}
+	return records, 0, nil
+}

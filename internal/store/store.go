@@ -1,0 +1,417 @@
+// Package store is SL-Remote's durability subsystem: an append-only
+// write-ahead log plus periodic snapshots, built on stdlib only.
+//
+// SL-Remote is the root of trust of the whole SecureLease scheme — it
+// holds the per-license GCL budgets, the SLID registry, and the escrowed
+// lease-tree root keys that defeat stale-tree replay (Sections 4.4, 5.1,
+// 5.7 of the paper) — so its state must survive a server restart with the
+// same integrity discipline the in-enclave lease tree gets from
+// Protect/Validate. The store provides:
+//
+//   - a WAL of length-prefixed, CRC32C-framed records with three fsync
+//     disciplines (per-append, group-commit batching with a small window,
+//     or none);
+//   - generation-numbered snapshot files holding a full (sealed, by the
+//     caller) state image, after which the previous generation's WAL and
+//     snapshot are compacted away;
+//   - Recover, which replays snapshot + WAL tail, truncates a torn final
+//     record (crash mid-append), and refuses CRC-corrupt interior records
+//     with a diagnostic error instead of silent data loss.
+//
+// The store moves opaque bytes. What those bytes mean — and which of them
+// are sealed with seccrypto before they get here — is the caller's
+// business (internal/slremote seals escrowed root keys and whole snapshot
+// images so plaintext key material never leaves the simulated enclave).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Logger is the write-ahead half of the persistence pair: Append durably
+// logs one state-mutation record before the caller applies it in memory.
+type Logger interface {
+	Append(rec []byte) error
+}
+
+// Snapshotter is the compaction half: Snapshot atomically replaces the
+// log-so-far with one full state image.
+type Snapshotter interface {
+	Snapshot(state []byte) error
+}
+
+// SyncMode selects the WAL's fsync discipline.
+type SyncMode int
+
+const (
+	// SyncBatched groups appends that land within BatchWindow into one
+	// fsync (group commit): every Append still blocks until the fsync
+	// covering it completes, so durability is preserved while the fsync
+	// cost is amortized across concurrent writers.
+	SyncBatched SyncMode = iota
+	// SyncAlways fsyncs on every append.
+	SyncAlways
+	// SyncOff never fsyncs (the OS flushes when it pleases). Crash
+	// durability is whatever the kernel left on disk; recovery still
+	// handles the resulting torn tail.
+	SyncOff
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncBatched:
+		return "batched"
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+}
+
+// ParseSyncMode parses the -fsync flag grammar: "always", "batched", "off".
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "batched":
+		return SyncBatched, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("store: unknown fsync mode %q (want always, batched, or off)", s)
+	}
+}
+
+// DefaultBatchWindow is the group-commit window used when Options leaves
+// BatchWindow zero: long enough to coalesce a burst of renewals, short
+// enough to stay invisible next to the paper's multi-second RA latency.
+const DefaultBatchWindow = 2 * time.Millisecond
+
+// Options configures Open.
+type Options struct {
+	// Dir is the state directory; created (0700) if absent.
+	Dir string
+	// Mode is the fsync discipline (zero value: SyncBatched).
+	Mode SyncMode
+	// BatchWindow is the group-commit window for SyncBatched (zero value:
+	// DefaultBatchWindow).
+	BatchWindow time.Duration
+	// Metrics, when non-nil, receives WAL/snapshot/recovery observations
+	// (see ExposeMetrics). Nil disables instrumentation at zero cost.
+	Metrics *Metrics
+}
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// walBatch is one group commit in flight: appenders whose writes are in
+// the OS buffer park on done until the covering fsync lands.
+type walBatch struct {
+	timer *time.Timer
+	done  chan struct{}
+	err   error
+}
+
+// Store is a durable WAL + snapshot pair rooted at one directory. It is
+// safe for concurrent use. Store implements Logger and Snapshotter.
+type Store struct {
+	mode    SyncMode
+	window  time.Duration
+	dir     string
+	metrics *Metrics
+
+	mu       sync.Mutex
+	f        *os.File // current generation's WAL, opened for append
+	gen      uint64
+	batch    *walBatch // pending group commit, SyncBatched only
+	closed   bool
+	finalErr error // result of Close's final fsync, for late flushers
+}
+
+// Open recovers the directory's persisted state and returns a store ready
+// to append to the current generation's WAL, plus what it recovered: the
+// newest valid snapshot image (nil on first boot) and every WAL record
+// appended after it. A torn final record is physically truncated from the
+// WAL file; interior corruption aborts with an error.
+func Open(opts Options) (*Store, *Recovered, error) {
+	if opts.Dir == "" {
+		return nil, nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o700); err != nil {
+		return nil, nil, fmt.Errorf("store: creating %s: %w", opts.Dir, err)
+	}
+	start := time.Now()
+	rec, err := Recover(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Metrics.observeRecovery(time.Since(start), len(rec.Records))
+
+	s := &Store{
+		mode:    opts.Mode,
+		window:  opts.BatchWindow,
+		dir:     opts.Dir,
+		metrics: opts.Metrics,
+		gen:     rec.Generation,
+	}
+	if s.window <= 0 {
+		s.window = DefaultBatchWindow
+	}
+	walPath := s.walPath(s.gen)
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	if rec.TruncatedBytes > 0 {
+		// Drop the torn tail on disk too, so the next append starts at a
+		// record boundary instead of extending a half-written frame.
+		if err := f.Truncate(rec.walSize - rec.TruncatedBytes); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: seeking WAL end: %w", err)
+	}
+	s.f = f
+	// Earlier generations are garbage once a newer snapshot validated; a
+	// crash between snapshot rename and cleanup can leave them behind.
+	s.removeStaleGenerations(rec.Generation)
+	return s, rec, nil
+}
+
+// Append durably logs one record. With SyncAlways it returns after its own
+// fsync; with SyncBatched it returns once the group commit covering it has
+// synced; with SyncOff it returns after the buffered write.
+func (s *Store) Append(rec []byte) error {
+	if len(rec) == 0 {
+		return errors.New("store: empty record")
+	}
+	if len(rec) > MaxRecordSize {
+		return fmt.Errorf("store: record of %d bytes exceeds %d", len(rec), MaxRecordSize)
+	}
+	frame := appendRecord(nil, rec)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
+	s.metrics.observeAppend(len(frame))
+
+	switch s.mode {
+	case SyncOff:
+		s.mu.Unlock()
+		return nil
+	case SyncAlways:
+		err := s.syncLocked()
+		s.mu.Unlock()
+		return err
+	}
+	// SyncBatched: join (or open) the current group commit and wait for
+	// its fsync outside the lock.
+	b := s.batch
+	if b == nil {
+		b = &walBatch{done: make(chan struct{})}
+		b.timer = time.AfterFunc(s.window, func() { s.flushBatch(b) })
+		s.batch = b
+	}
+	s.mu.Unlock()
+	<-b.done
+	return b.err
+}
+
+// flushBatch completes one group commit: fsync once, release every waiter.
+// If Close won the race, its final fsync already covered every buffered
+// write, so the batch inherits that result instead of syncing a closed
+// file.
+func (s *Store) flushBatch(b *walBatch) {
+	s.mu.Lock()
+	if s.batch == b {
+		s.batch = nil
+	}
+	var err error
+	if s.closed {
+		err = s.finalErr
+	} else {
+		err = s.syncLocked()
+	}
+	s.mu.Unlock()
+	b.err = err
+	close(b.done)
+}
+
+// syncLocked fsyncs the WAL and records the latency.
+func (s *Store) syncLocked() error {
+	start := time.Now()
+	err := s.f.Sync()
+	s.metrics.observeFsync(time.Since(start))
+	if err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	return nil
+}
+
+// Snapshot writes a full state image as generation gen+1 and switches
+// appends to a fresh WAL, then removes the previous generation's files.
+// The image is written to a temporary file, fsynced, and renamed, so a
+// crash at any point leaves either the old generation or the new one fully
+// intact — never a half-written snapshot that recovery could mistake for
+// state.
+func (s *Store) Snapshot(state []byte) error {
+	if len(state) == 0 {
+		return errors.New("store: empty snapshot")
+	}
+	if len(state) > MaxRecordSize {
+		return fmt.Errorf("store: snapshot of %d bytes exceeds %d", len(state), MaxRecordSize)
+	}
+	frame := appendRecord(nil, state)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// Anything already in the WAL buffer must be on disk before the
+	// snapshot that supersedes it claims to cover it.
+	if s.mode != SyncOff {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	next := s.gen + 1
+	snapPath := s.snapPath(next)
+	tmp := snapPath + ".tmp"
+	if err := writeFileSync(tmp, frame); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable: open the new generation's WAL and retire
+	// the old files.
+	f, err := os.OpenFile(s.walPath(next), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("store: opening WAL generation %d: %w", next, err)
+	}
+	old := s.f
+	oldGen := s.gen
+	s.f = f
+	s.gen = next
+	old.Close()
+	os.Remove(s.walPath(oldGen))
+	os.Remove(s.snapPath(oldGen))
+	s.metrics.observeSnapshot(len(frame))
+	return nil
+}
+
+// Generation returns the current snapshot/WAL generation number.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Close flushes any pending group commit and closes the WAL. Appends after
+// Close fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	// Claim the pending batch only if its timer has not fired yet; if it
+	// has, flushBatch owns the batch and will pick up finalErr below.
+	var claimed *walBatch
+	if b := s.batch; b != nil && b.timer.Stop() {
+		claimed = b
+		s.batch = nil
+	}
+	var err error
+	if s.mode != SyncOff {
+		err = s.syncLocked()
+	}
+	s.finalErr = err
+	s.closed = true
+	cerr := s.f.Close()
+	s.mu.Unlock()
+	if claimed != nil {
+		claimed.err = err
+		close(claimed.done)
+	}
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: closing WAL: %w", cerr)
+	}
+	return nil
+}
+
+func (s *Store) walPath(gen uint64) string  { return walPath(s.dir, gen) }
+func (s *Store) snapPath(gen uint64) string { return snapPath(s.dir, gen) }
+
+// removeStaleGenerations deletes WAL and snapshot files older than the
+// live generation (best-effort; leftovers are ignored by recovery anyway).
+func (s *Store) removeStaleGenerations(live uint64) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		gen, kind, ok := parseGenFile(e.Name())
+		if !ok || gen >= live {
+			continue
+		}
+		_ = kind
+		os.Remove(filepath.Join(s.dir, e.Name()))
+	}
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing dir: %w", err)
+	}
+	return nil
+}

@@ -53,7 +53,8 @@ type serverMetrics struct {
 // Metric inventory: wire_server_rpcs_total{type}, wire_server_rpc_errors_total{type},
 // wire_server_rpc_latency_seconds{type} (histogram), wire_server_open_connections,
 // wire_server_handler_panics_total, wire_server_bytes_received_total,
-// wire_server_bytes_sent_total.
+// wire_server_bytes_sent_total, wire_server_shutdown_drained_total,
+// wire_server_shutdown_aborted_total.
 func (s *Server) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 	if reg == nil {
 		return
@@ -64,6 +65,10 @@ func (s *Server) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 		func() float64 { return float64(s.bytesIn.Load()) })
 	reg.CounterFunc("wire_server_bytes_sent_total", "Frame bytes written to clients.", nil,
 		func() float64 { return float64(s.bytesOut.Load()) })
+	reg.CounterFunc("wire_server_shutdown_drained_total", "Connections that shut down after finishing in-flight work.", nil,
+		func() float64 { return float64(s.drained.Load()) })
+	reg.CounterFunc("wire_server_shutdown_aborted_total", "Connections force-closed at the Shutdown deadline.", nil,
+		func() float64 { return float64(s.aborted.Load()) })
 	s.metrics.Store(&serverMetrics{
 		rpcs:    reg.CounterVec("wire_server_rpcs_total", "RPCs handled, by message type.", "type"),
 		errors:  reg.CounterVec("wire_server_rpc_errors_total", "RPCs answered with an error envelope, by message type.", "type"),

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -25,13 +26,16 @@ type Server struct {
 
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	closed   bool
+	draining bool // Shutdown in progress: finish in-flight envelopes, accept no new ones
 	wg       sync.WaitGroup
 
 	panics   atomic.Int64 // recovered handler panics (always counted)
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
+	drained  atomic.Int64 // connections that shut down after finishing in-flight work
+	aborted  atomic.Int64 // connections force-closed at the Shutdown deadline
 	metrics  atomic.Pointer[serverMetrics]
 
 	// preDispatch, when set, runs before each dispatch (tests inject
@@ -48,7 +52,15 @@ func NewServer(remote *slremote.Server, logf func(string, ...any)) (*Server, err
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{remote: remote, logf: logf, conns: make(map[net.Conn]struct{})}, nil
+	return &Server{remote: remote, logf: logf, conns: make(map[net.Conn]*connState)}, nil
+}
+
+// connState tracks what Shutdown needs to know about one connection:
+// whether an envelope is in flight, and whether the connection was already
+// counted toward the drained/aborted totals.
+type connState struct {
+	busy    bool
+	counted bool
 }
 
 // Serve accepts connections until the listener is closed (by Close).
@@ -78,7 +90,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			_ = conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = &connState{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -88,11 +100,14 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes all connections, and waits for handlers.
+// Close stops accepting, closes all connections immediately (in-flight
+// envelopes are cut off), and waits for handlers. Prefer Shutdown for
+// graceful termination.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return
 	}
 	s.closed = true
@@ -104,6 +119,99 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+}
+
+// Shutdown drains the server: it stops accepting, lets every in-flight
+// envelope finish and be answered, then closes the connections. Idle
+// connections close immediately. If ctx expires first, the stragglers are
+// force-closed and ctx's error is returned. Each connection is counted
+// exactly once as drained (finished cleanly) or aborted (cut off at the
+// deadline) — see wire_server_shutdown_{drained,aborted}_total.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+	for conn, cs := range s.conns {
+		if !cs.busy {
+			// Nothing in flight: the blocked ReadMessage fails with
+			// net.ErrClosed and the handler exits cleanly.
+			s.countLocked(cs, false)
+			_ = conn.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force-close the stragglers and return without waiting for their
+		// handlers (net/http.Shutdown semantics): a handler wedged in
+		// application code would otherwise block shutdown forever.
+		s.mu.Lock()
+		for conn, cs := range s.conns {
+			s.countLocked(cs, true)
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// countLocked tallies a connection's shutdown outcome exactly once.
+func (s *Server) countLocked(cs *connState, abortedAtDeadline bool) {
+	if cs.counted {
+		return
+	}
+	cs.counted = true
+	if abortedAtDeadline {
+		s.aborted.Add(1)
+	} else {
+		s.drained.Add(1)
+	}
+}
+
+// beginEnvelope marks a connection busy; it refuses new work once a drain
+// started (the envelope read raced Shutdown's idle sweep).
+func (s *Server) beginEnvelope(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.conns[conn]
+	if !ok || s.draining {
+		return false
+	}
+	cs.busy = true
+	return true
+}
+
+// endEnvelope marks the envelope done and reports whether the connection
+// should now close because a drain is in progress.
+func (s *Server) endEnvelope(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.conns[conn]
+	if !ok {
+		return true
+	}
+	cs.busy = false
+	if s.draining {
+		s.countLocked(cs, false)
+		return true
+	}
+	return false
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -125,8 +233,16 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		if err := s.handleEnvelope(conn, env); err != nil {
+		if !s.beginEnvelope(conn) {
+			return
+		}
+		err = s.handleEnvelope(conn, env)
+		stop := s.endEnvelope(conn)
+		if err != nil {
 			s.logf("wire: reply to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if stop {
 			return
 		}
 	}
