@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, one object per benchmark result line, so CI can archive a
+// machine-readable benchmark artifact (BENCH_obs.json) next to the build:
+//
+//	go test -bench . -benchtime 1x ./... | benchjson -o BENCH_obs.json
+//
+// Everything that is not a benchmark result line (package headers, PASS/ok
+// trailers, log output) passes through to stderr untouched, so the tool is
+// transparent in a pipeline. It never fails on unparseable input — the CI
+// smoke step should only go red when the benchmarks themselves fail to
+// build or run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line, e.g.
+//
+//	BenchmarkAuditAppendSealed-8   1000   104125 ns/op   1824 B/op   21 allocs/op
+type result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra keeps any additional metric pairs (MB/s, custom b.ReportMetric
+	// units) without the tool having to know them.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON array to this file (default stdout)")
+	flag.Parse()
+
+	results := parse(os.Stdin)
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+func parse(f *os.File) []result {
+	results := []result{} // marshal [] rather than null when nothing matched
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		r, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// parseLine decodes one "Benchmark... N metric unit [metric unit]..." line.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Iterations: iters}
+	r.Name = fields[0]
+	// The -N GOMAXPROCS suffix is part of the name; split it out.
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], procs
+		}
+	}
+	// Remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, true
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkAuditAppendSealed-8   1000   104125 ns/op   1824 B/op   21 allocs/op")
+	if !ok {
+		t.Fatal("result line rejected")
+	}
+	if r.Name != "BenchmarkAuditAppendSealed" || r.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 1000 || r.NsPerOp != 104125 || r.BytesPerOp != 1824 || r.AllocsPerOp != 21 {
+		t.Errorf("metrics = %+v", r)
+	}
+
+	// Custom units land in Extra.
+	r, ok = parseLine("BenchmarkThroughput-4 7 12.5 ns/op 99.9 MB/s")
+	if !ok || r.Extra["MB/s"] != 99.9 {
+		t.Errorf("extra metric: ok=%v %+v", ok, r)
+	}
+
+	// Non-result lines pass through.
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro/internal/obs\t0.016s",
+		"BenchmarkBroken notanumber",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed non-result line %q", line)
+		}
+	}
+}

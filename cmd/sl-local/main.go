@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -37,7 +38,8 @@ func run() error {
 		checks      = flag.Int("checks", 1000, "number of license checks to perform")
 		batch       = flag.Int("batch", 10, "tokens granted per local attestation")
 		name        = flag.String("name", "client", "machine name")
-		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /trace); empty disables")
+		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /readyz, /trace); empty disables")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the observability endpoint")
 		linger      = flag.Duration("linger", 0, "keep running (and serving metrics) this long after the workload finishes")
 	)
 	flag.Parse()
@@ -65,12 +67,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// /readyz stays 503 until attestation and Init succeed below.
+	var ready atomic.Bool
 	if *metricsAddr != "" {
 		reg, tracer := obs.Default(), obs.DefaultTracer()
 		machine.ExposeMetrics(reg)
-		svc.ExposeMetrics(reg)
-		client.ExposeMetrics(reg)
-		ep, err := obs.StartHTTP(*metricsAddr, reg, tracer)
+		svc.ExposeMetrics(reg, tracer)
+		client.ExposeMetrics(reg, tracer)
+		ep, err := obs.StartHTTPOpts(*metricsAddr, reg, tracer,
+			obs.HandlerOptions{Ready: ready.Load, PProf: *pprofOn})
 		if err != nil {
 			return err
 		}
@@ -81,6 +86,7 @@ func run() error {
 	if err := svc.Init(); err != nil {
 		return err
 	}
+	ready.Store(true)
 	fmt.Printf("sl-local: initialized as %s in %v (virtual RA latency charged to the machine clock)\n",
 		svc.SLID(), time.Since(start).Round(time.Millisecond))
 

@@ -29,12 +29,15 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/audit"
 	"repro/internal/lease"
 	"repro/internal/obs"
 	"repro/internal/seccrypto"
@@ -61,7 +64,8 @@ func main() {
 func run() error {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7600", "listen address")
-		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /trace); empty disables")
+		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /readyz, /trace, /audit); empty disables")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the observability endpoint")
 
 		d        = flag.Float64("d", 4, "Algorithm 1 scale-down factor D (paper: 4)")
 		th       = flag.Float64("th", 0.9, "health threshold T_H (paper: 0.9)")
@@ -75,6 +79,7 @@ func run() error {
 		snapshotEvery  = flag.Int("snapshot-every", 1024, "take a snapshot and compact the WAL after this many logged records; 0 snapshots only at shutdown")
 		sealSecret     = flag.String("seal-secret", "", "secret sealing escrowed root keys and snapshots on disk (stands in for the SGX sealing key; required with -state-dir)")
 		sealSecretFile = flag.String("seal-secret-file", "", "read the seal secret from this file instead of the command line")
+		auditFile      = flag.String("audit-file", "", "tamper-evident lease audit log path (defaults to <state-dir>/audit.log with -state-dir; requires the seal secret)")
 		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests before force-closing connections")
 	)
 	flag.Var(&licenses, "license", licenseFlagHelp)
@@ -103,15 +108,54 @@ func run() error {
 		reg, tracer = obs.Default(), obs.DefaultTracer()
 	}
 
+	// The seal key protects both the durable state and the audit log.
+	var sealKey seccrypto.Key
+	if *stateDir != "" || *auditFile != "" {
+		sealKey, err = loadSealKey(*sealSecret, *sealSecretFile)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Open the audit log before anything mutates state so the chain covers
+	// every decision of this process's lifetime.
+	auditPath := *auditFile
+	if auditPath == "" && *stateDir != "" {
+		auditPath = filepath.Join(*stateDir, "audit.log")
+	}
+	var auditLog *audit.Log
+	if auditPath != "" {
+		auditLog, err = audit.Open(auditPath, sealKey)
+		if err != nil {
+			return err
+		}
+		defer auditLog.Close()
+		log.Printf("audit log at %s (%d records on chain)", auditPath, auditLog.Len())
+	}
+
+	// The observability endpoint comes up before recovery so /healthz
+	// answers as soon as the process lives while /readyz stays 503 until
+	// the WAL/snapshot replay finishes and the wire listener is bound.
+	var ready atomic.Bool
+	var ep *obs.HTTPServer
+	if *metricsAddr != "" {
+		opts := obs.HandlerOptions{Ready: ready.Load, PProf: *pprofOn}
+		if auditLog != nil {
+			opts.Audit = auditLog.HTTPHandler()
+		}
+		ep, err = obs.StartHTTPOpts(*metricsAddr, reg, tracer, opts)
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		log.Printf("observability endpoint on http://%s/metrics", ep.Addr())
+	}
+
 	// Stand up the server: recovered from -state-dir when given, purely
 	// in-memory otherwise.
 	var remote *slremote.Server
 	var st *store.Store
 	if *stateDir != "" {
-		sealKey, err := loadSealKey(*sealSecret, *sealSecretFile)
-		if err != nil {
-			return err
-		}
 		mode, err := store.ParseSyncMode(*fsync)
 		if err != nil {
 			return err
@@ -161,26 +205,23 @@ func run() error {
 		log.Printf("registered license %q (%s, %d GCL units)", spec.id, spec.kind, spec.total)
 	}
 
+	remote.AttachAudit(auditLog)
+
 	srv, err := wire.NewServer(remote, log.Printf)
 	if err != nil {
 		return err
 	}
-	var ep *obs.HTTPServer
 	if *metricsAddr != "" {
 		remote.ExposeMetrics(reg)
 		srv.ExposeMetrics(reg, tracer)
-		ep, err = obs.StartHTTP(*metricsAddr, reg, tracer)
-		if err != nil {
-			return err
-		}
-		defer ep.Close()
-		log.Printf("observability endpoint on http://%s/metrics", ep.Addr())
+		auditLog.ExposeMetrics(reg)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *addr, err)
 	}
+	ready.Store(true)
 	log.Printf("sl-remote: listening on %s", ln.Addr())
 
 	serveErr := make(chan error, 1)
@@ -228,7 +269,7 @@ func loadSealKey(secret, file string) (seccrypto.Key, error) {
 		secret = strings.TrimSpace(string(raw))
 	}
 	if secret == "" {
-		return seccrypto.Key{}, errors.New("-state-dir requires -seal-secret or -seal-secret-file (escrowed keys and snapshots are sealed on disk)")
+		return seccrypto.Key{}, errors.New("-state-dir and -audit-file require -seal-secret or -seal-secret-file (escrowed keys, snapshots, and the audit chain are sealed on disk)")
 	}
 	sum := sha256.Sum256([]byte(secret))
 	return seccrypto.KeyFromBytes(sum[:seccrypto.KeySize])

@@ -41,7 +41,7 @@ func run() error {
 	// SL-Remote, dumped in Prometheus text form at the end.
 	metrics := obs.NewRegistry()
 	sys.Machine().ExposeMetrics(metrics)
-	sys.Local().ExposeMetrics(metrics)
+	sys.Local().ExposeMetrics(metrics, nil)
 	sys.Remote().ExposeMetrics(metrics)
 
 	// The vendor registers a 40-execution license for the report add-on.
@@ -88,7 +88,7 @@ func run() error {
 	app.Guard("render_report", license)
 	// Restart built a fresh SL-Local instance; point its metric callbacks
 	// at the registry again (re-registration replaces the old instance's).
-	sys.Local().ExposeMetrics(metrics)
+	sys.Local().ExposeMetrics(metrics, nil)
 	fmt.Println("restarted: lease counters restored from the committed tree")
 
 	// Burn through the rest of the license.

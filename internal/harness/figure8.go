@@ -106,7 +106,7 @@ func figure8Point(enclaves int, sameLease bool, batch int, window time.Duration)
 	// allocation count is the delta of sllocal_tokens_issued_total over
 	// the window, read via the obs snapshot-diff probe.
 	reg := obs.NewRegistry()
-	svc.ExposeMetrics(reg)
+	svc.ExposeMetrics(reg, nil)
 	probe := NewMetricsProbe(reg)
 
 	apps := make([]*sgx.Enclave, enclaves)

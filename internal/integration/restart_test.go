@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/audit"
 	"repro/internal/lease"
 	"repro/internal/obs"
 	"repro/internal/seccrypto"
@@ -30,12 +31,17 @@ type durableRemote struct {
 	srv    *wire.Server
 	addr   string
 	reg    *obs.Registry
+	aud    *audit.Log
 	done   chan struct{}
 }
 
 func bootDurableRemote(t *testing.T, dir string, sealKey seccrypto.Key, service *attest.Service) *durableRemote {
 	t.Helper()
 	reg := obs.NewRegistry()
+	aud, err := audit.Open(filepath.Join(dir, "audit.log"), sealKey)
+	if err != nil {
+		t.Fatalf("audit.Open: %v", err)
+	}
 	st, rec, err := store.Open(store.Options{
 		Dir:     dir,
 		Mode:    store.SyncBatched,
@@ -50,6 +56,9 @@ func bootDurableRemote(t *testing.T, dir string, sealKey seccrypto.Key, service 
 	if err != nil {
 		t.Fatalf("RecoverServer: %v", err)
 	}
+	// After recovery, like the daemon does: WAL replay must not re-append
+	// audit records.
+	remote.AttachAudit(aud)
 	srv, err := wire.NewServer(remote, nil)
 	if err != nil {
 		t.Fatalf("wire.NewServer: %v", err)
@@ -58,7 +67,7 @@ func bootDurableRemote(t *testing.T, dir string, sealKey seccrypto.Key, service 
 	if err != nil {
 		t.Fatalf("Listen: %v", err)
 	}
-	d := &durableRemote{st: st, remote: remote, srv: srv, addr: ln.Addr().String(), reg: reg, done: make(chan struct{})}
+	d := &durableRemote{st: st, remote: remote, srv: srv, addr: ln.Addr().String(), reg: reg, aud: aud, done: make(chan struct{})}
 	go func() {
 		defer close(d.done)
 		_ = srv.Serve(ln)
@@ -189,10 +198,23 @@ func TestRestartCycleRecoversLedgerAndEscrow(t *testing.T) {
 			t.Errorf("%s = %v, want > 0", name, v)
 		}
 	}
+	// The audit trail covered the whole first incarnation and verifies
+	// before the kill.
+	if err := d1.aud.Verify(); err != nil {
+		t.Fatalf("audit Verify before restart: %v", err)
+	}
+	auditLen := d1.aud.Len()
+	auditHead := d1.aud.HeadHash()
+	if auditLen == 0 {
+		t.Fatal("no audit records after the first incarnation")
+	}
 	// Kill without a final snapshot: recovery must replay the WAL tail, not
 	// just load the last compaction point.
 	if err := d1.st.Close(); err != nil {
 		t.Fatalf("store Close: %v", err)
+	}
+	if err := d1.aud.Close(); err != nil {
+		t.Fatalf("audit Close: %v", err)
 	}
 
 	// The escrowed root key must never hit disk in plaintext.
@@ -218,7 +240,22 @@ func TestRestartCycleRecoversLedgerAndEscrow(t *testing.T) {
 	defer func() {
 		d2.drain(t)
 		_ = d2.st.Close()
+		_ = d2.aud.Close()
 	}()
+
+	// The audit chain survived the crash-restart: same length, same head,
+	// and the reopened log still verifies end to end.
+	if got := d2.aud.Len(); got != auditLen {
+		t.Errorf("audit chain length after restart = %d, want %d", got, auditLen)
+	}
+	if got := d2.aud.HeadHash(); got != auditHead {
+		t.Errorf("audit head hash changed across restart: %x != %x", got, auditHead)
+	}
+	if err := d2.aud.Verify(); err != nil {
+		t.Errorf("audit Verify after restart: %v", err)
+	}
+	// WAL replay must not have re-emitted audit records for replayed
+	// mutations — the chain only grows with NEW decisions (checked below).
 
 	got := d2.remote.ExportState()
 	if !reflect.DeepEqual(got, want) {
@@ -281,5 +318,23 @@ func TestRestartCycleRecoversLedgerAndEscrow(t *testing.T) {
 	}
 	if err := svc2.Shutdown(); err != nil {
 		t.Fatalf("final client Shutdown: %v", err)
+	}
+
+	// The post-restart workload extended the recovered chain: new init,
+	// renew, and escrow decisions link onto the pre-restart head.
+	if got := d2.aud.Len(); got <= auditLen {
+		t.Errorf("audit chain did not grow after restart: %d <= %d", got, auditLen)
+	}
+	if err := d2.aud.Verify(); err != nil {
+		t.Errorf("audit Verify after post-restart workload: %v", err)
+	}
+	ops := make(map[string]int)
+	for _, rec := range d2.aud.Tail(0) {
+		ops[rec.Op]++
+	}
+	for _, op := range []string{audit.OpInit, audit.OpRenew, audit.OpEscrow} {
+		if ops[op] == 0 {
+			t.Errorf("no %q audit record after the restart cycle (ops: %v)", op, ops)
+		}
 	}
 }

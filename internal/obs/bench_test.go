@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CI benchmark-smoke step runs these with -benchtime 1x to catch
+// regressions that only surface under the bench harness (build breaks,
+// panics in hot paths); the numbers themselves land in BENCH_obs.json.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "Bench.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterVecWith(b *testing.B) {
+	v := NewRegistry().CounterVec("bench_total", "Bench.", "kind")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("read").Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "Bench.", DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "Bench.", DefLatencyBuckets)
+	for i := 0; i < 10_000; i++ {
+		h.Observe(float64(i%100) / 1000)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}
+
+func BenchmarkTracerSpan(b *testing.B) {
+	tr := NewTracer(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start("bench.op").End(nil)
+	}
+}
+
+func BenchmarkTracerLinkedSpan(b *testing.B) {
+	tr := NewTracer(4096)
+	sc := SpanContext{Trace: NewTraceID(), Span: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.StartLinked("bench.op", sc).End(nil)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	reg := NewRegistry()
+	for _, name := range []string{"a_total", "b_total", "c_total"} {
+		reg.CounterVec(name, "Bench.", "kind").With("x").Add(3)
+	}
+	h := reg.Histogram("lat_seconds", "Bench.", DefLatencyBuckets)
+	h.Observe(0.01)
+	b.ReportAllocs()
+	var sb strings.Builder
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		_ = reg.WritePrometheus(&sb)
+	}
+}

@@ -62,6 +62,45 @@ func (f *family) writePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	if f.kind == KindHistogram {
+		return f.writeQuantiles(w, keys, children)
+	}
+	return nil
+}
+
+// quantileGauges are the scrape-time percentile estimates derived from each
+// histogram family's buckets (linear interpolation, see Histogram.Quantile).
+var quantileGauges = []struct {
+	suffix string
+	q      float64
+}{
+	{"p50", 0.50},
+	{"p95", 0.95},
+	{"p99", 0.99},
+}
+
+// writeQuantiles emits one derived gauge family per quantile
+// (<name>_p50/_p95/_p99) for every child of a histogram family.
+func (f *family) writeQuantiles(w io.Writer, keys []string, children []any) error {
+	for _, qg := range quantileGauges {
+		name := f.name + "_" + qg.suffix
+		if _, err := fmt.Fprintf(w, "# HELP %s Scrape-time %s estimate from %s buckets.\n", name, qg.suffix, f.name); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+			return err
+		}
+		for i, key := range keys {
+			h, ok := children[i].(*Histogram)
+			if !ok {
+				continue
+			}
+			labels := promLabels(f.labelNames, key)
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(h.Quantile(qg.q))); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

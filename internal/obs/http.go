@@ -5,17 +5,39 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
+
+// HandlerOptions configures the optional endpoints of Handler beyond the
+// always-present /metrics, /healthz, /readyz, and /trace.
+type HandlerOptions struct {
+	// Ready gates /readyz: nil means "ready as soon as serving", otherwise
+	// /readyz answers 503 until Ready returns true. /healthz stays a pure
+	// liveness probe (200 once the listener is up) either way.
+	Ready func() bool
+	// Audit, when non-nil, is mounted at /audit (the audit.Log handler).
+	Audit http.Handler
+	// PProf mounts net/http/pprof under /debug/pprof/.
+	PProf bool
+}
 
 // Handler returns an http.Handler serving the observability endpoints:
 //
 //	/metrics          Prometheus text exposition (?format=json for JSON)
 //	/healthz          200 "ok" liveness probe
-//	/trace            JSON dump of the tracer's ring buffer (newest last)
+//	/readyz           200 "ready" / 503 "not ready" readiness probe
+//	/trace            JSON dump of the tracer's ring buffer (newest last);
+//	                  ?trace=<hex TraceID> filters to one trace
 //
 // tr may be nil, in which case /trace serves an empty list.
 func Handler(reg *Registry, tr *Tracer) http.Handler {
+	return HandlerOpts(reg, tr, HandlerOptions{})
+}
+
+// HandlerOpts is Handler with optional readiness, audit, and pprof
+// endpoints (see HandlerOptions).
+func HandlerOpts(reg *Registry, tr *Tracer, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
@@ -30,8 +52,26 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Ready != nil && !opts.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
 		events := tr.Events()
+		if want := req.URL.Query().Get("trace"); want != "" {
+			filtered := events[:0:0]
+			for _, ev := range events {
+				if ev.Trace == want {
+					filtered = append(filtered, ev)
+				}
+			}
+			events = filtered
+		}
 		if events == nil {
 			events = []Event{}
 		}
@@ -40,6 +80,16 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(events)
 	})
+	if opts.Audit != nil {
+		mux.Handle("/audit", opts.Audit)
+	}
+	if opts.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -53,11 +103,16 @@ type HTTPServer struct {
 // goroutine. Use Addr for the bound address (useful with ":0") and Close
 // to shut down.
 func StartHTTP(addr string, reg *Registry, tr *Tracer) (*HTTPServer, error) {
+	return StartHTTPOpts(addr, reg, tr, HandlerOptions{})
+}
+
+// StartHTTPOpts is StartHTTP with HandlerOptions.
+func StartHTTPOpts(addr string, reg *Registry, tr *Tracer, opts HandlerOptions) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: HandlerOpts(reg, tr, opts), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &HTTPServer{ln: ln, srv: srv}, nil
 }

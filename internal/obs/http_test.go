@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -69,6 +70,87 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if len(events) != 1 || events[0].Name != "rpc.renew" {
 		t.Fatalf("trace events = %+v", events)
+	}
+}
+
+// TestHandlerOptsEndpoints covers the optional surface: the liveness /
+// readiness split, the trace filter, the audit mount, and pprof.
+func TestHandlerOptsEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(16)
+	alpha := tr.Start("alpha")
+	alphaTrace := alpha.Context().Trace.String()
+	alpha.End(nil)
+	tr.Start("beta").End(nil)
+
+	var ready atomic.Bool
+	srv := httptest.NewServer(HandlerOpts(reg, tr, HandlerOptions{
+		Ready: ready.Load,
+		Audit: http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			io.WriteString(w, "audit-dump")
+		}),
+		PProf: true,
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Liveness is unconditional; readiness flips with the gate.
+	if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || strings.TrimSpace(body) != "not ready" {
+		t.Errorf("/readyz before ready = %d %q", code, body)
+	}
+	ready.Store(true)
+	if code, body := get("/readyz"); code != http.StatusOK || strings.TrimSpace(body) != "ready" {
+		t.Errorf("/readyz after ready = %d %q", code, body)
+	}
+
+	// ?trace= filters the dump to one trace.
+	_, body := get("/trace?trace=" + alphaTrace)
+	var events []Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("trace decode: %v\n%s", err, body)
+	}
+	if len(events) != 1 || events[0].Name != "alpha" {
+		t.Errorf("filtered trace = %+v, want only alpha", events)
+	}
+	if _, body := get("/trace?trace=" + strings.Repeat("f", 32)); strings.TrimSpace(body) != "[]" {
+		t.Errorf("unknown trace filter = %q, want []", body)
+	}
+
+	if code, body := get("/audit"); code != http.StatusOK || body != "audit-dump" {
+		t.Errorf("/audit = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	// Without the options the extra endpoints 404 and /readyz is always 200.
+	bare := httptest.NewServer(Handler(reg, tr))
+	defer bare.Close()
+	for path, want := range map[string]int{
+		"/readyz":              http.StatusOK,
+		"/audit":               http.StatusNotFound,
+		"/debug/pprof/cmdline": http.StatusNotFound,
+	} {
+		resp, err := http.Get(bare.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("bare %s = %d, want %d", path, resp.StatusCode, want)
+		}
 	}
 }
 

@@ -173,6 +173,47 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Value()
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts by
+// linear interpolation inside the covering bucket, the same scheme
+// Prometheus' histogram_quantile uses. Values landing in the +Inf
+// overflow bucket clamp to the highest finite bound, and an empty
+// histogram reports 0. Safe on a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n < rank || n == 0 {
+			cum += n
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no finite upper edge to interpolate
+			// toward, so clamp like histogram_quantile does.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		return lower + (h.bounds[i]-lower)*((rank-cum)/n)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // family is one named metric with a label schema and one child per label
 // combination ("" key for the unlabeled singleton).
 type family struct {

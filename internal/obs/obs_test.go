@@ -118,6 +118,41 @@ func TestVecChildrenAndNilSafety(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "help", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	for _, v := range []float64{0.5, 1.5, 3, 9} {
+		h.Observe(v)
+	}
+	// rank 2 of 4 lands at the top of the (1,2] bucket.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	// rank 3 exhausts the (2,4] bucket.
+	if got := h.Quantile(0.75); got != 4 {
+		t.Errorf("p75 = %v, want 4", got)
+	}
+	// The +Inf observation clamps to the highest finite bound.
+	if got := h.Quantile(0.99); got != 4 {
+		t.Errorf("p99 = %v, want clamp to 4", got)
+	}
+	// Interpolation inside the first bucket (lower edge 0).
+	if got := h.Quantile(0.25); got != 1 {
+		t.Errorf("p25 = %v, want 1", got)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(7) != h.Quantile(1) {
+		t.Error("out-of-range q not clamped")
+	}
+	var nh *Histogram
+	if nh.Quantile(0.9) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+}
+
 func TestPrometheusExpositionGolden(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("renewals_total", "Renewals granted.").Add(7)
@@ -146,6 +181,15 @@ latency_seconds_bucket{le="2"} 2
 latency_seconds_bucket{le="+Inf"} 3
 latency_seconds_sum 10.1
 latency_seconds_count 3
+# HELP latency_seconds_p50 Scrape-time p50 estimate from latency_seconds buckets.
+# TYPE latency_seconds_p50 gauge
+latency_seconds_p50 1.25
+# HELP latency_seconds_p95 Scrape-time p95 estimate from latency_seconds buckets.
+# TYPE latency_seconds_p95 gauge
+latency_seconds_p95 2
+# HELP latency_seconds_p99 Scrape-time p99 estimate from latency_seconds buckets.
+# TYPE latency_seconds_p99 gauge
+latency_seconds_p99 2
 # HELP cycles_total Clock.
 # TYPE cycles_total counter
 cycles_total{machine="m1"} 1234

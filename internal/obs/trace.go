@@ -1,13 +1,63 @@
 package obs
 
 import (
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// TraceID is a 128-bit identifier shared by every span of one logical
+// request, including spans recorded by other processes. It is what lets
+// a renewal be followed across the wire: the client's RPC span and the
+// server's handler span carry the same TraceID even though their span
+// IDs come from independent tracers.
+type TraceID [16]byte
+
+// NewTraceID returns a random, non-zero trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+			id[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return id
+}
+
+// IsZero reports whether the trace ID is the all-zero (absent) value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID parses the 32-hex-digit form produced by String.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return TraceID{}, fmt.Errorf("obs: trace ID %q: want %d hex digits", s, 2*len(id))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("obs: trace ID %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// SpanContext is the portable identity of a span: enough to link a span
+// recorded in another process (or another tracer) back to its parent.
+type SpanContext struct {
+	Trace TraceID
+	Span  uint64
+}
+
 // Event is one completed span in the tracer's ring buffer.
 type Event struct {
+	// Trace is the hex 128-bit trace ID shared across processes.
+	Trace string `json:"trace,omitempty"`
 	// Span is the per-request span ID (monotonic across the tracer).
 	Span uint64 `json:"span"`
 	// Parent is the enclosing span's ID, 0 for a root span.
@@ -53,6 +103,7 @@ func DefaultTracer() *Tracer { return defaultTracer }
 // End. A nil *Span is safe (all ops no-op).
 type Span struct {
 	tr     *Tracer
+	trace  TraceID
 	id     uint64
 	parent uint64
 	name   string
@@ -60,12 +111,35 @@ type Span struct {
 	attrs  map[string]string
 }
 
-// Start begins a root span. Safe on a nil receiver (returns nil).
+// Start begins a root span under a fresh TraceID. Safe on a nil receiver
+// (returns nil).
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{tr: t, id: t.seq.Add(1), name: name, start: time.Now()}
+	return &Span{tr: t, trace: NewTraceID(), id: t.seq.Add(1), name: name, start: time.Now()}
+}
+
+// StartLinked begins a span that continues a trace started elsewhere —
+// typically a remote caller whose SpanContext arrived over the wire. The
+// new span keeps this tracer's local span-ID sequence but adopts the
+// caller's TraceID and records the caller's span as its parent. A zero
+// SpanContext degrades to Start. Safe on a nil receiver.
+func (t *Tracer) StartLinked(name string, sc SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if sc.Trace.IsZero() {
+		return t.Start(name)
+	}
+	return &Span{
+		tr:     t,
+		trace:  sc.Trace,
+		id:     t.seq.Add(1),
+		parent: sc.Span,
+		name:   name,
+		start:  time.Now(),
+	}
 }
 
 // ID returns the span's request ID (0 on a nil receiver).
@@ -76,13 +150,23 @@ func (s *Span) ID() uint64 {
 	return s.id
 }
 
-// Child begins a sub-span sharing this span's tracer. Safe on a nil
-// receiver.
+// Context returns the span's portable identity for propagation to other
+// processes. Zero on a nil receiver.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id}
+}
+
+// Child begins a sub-span sharing this span's tracer and TraceID. Safe on
+// a nil receiver.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	child := s.tr.Start(name)
+	child.trace = s.trace
 	child.parent = s.id
 	return child
 }
@@ -105,6 +189,7 @@ func (s *Span) End(err error) {
 		return
 	}
 	ev := Event{
+		Trace:    s.trace.String(),
 		Span:     s.id,
 		Parent:   s.parent,
 		Name:     s.name,

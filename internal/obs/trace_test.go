@@ -66,6 +66,85 @@ func TestTracerNilSafety(t *testing.T) {
 	}
 }
 
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex digits", s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil {
+		t.Fatalf("ParseTraceID(%q): %v", s, err)
+	}
+	if back != id {
+		t.Fatalf("round trip: %v != %v", back, id)
+	}
+	for _, bad := range []string{"", "abc", s + "00", "zz" + s[2:]} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+// TestStartLinkedJoinsRemoteTrace is the cross-process linkage contract:
+// a span started from a SpanContext that arrived over the wire shares the
+// originating trace ID and records the remote span as its parent, while
+// its own ID still comes from the local tracer's sequence.
+func TestStartLinkedJoinsRemoteTrace(t *testing.T) {
+	client := NewTracer(16)
+	server := NewTracer(16)
+
+	root := client.Start("rpc.renew")
+	sc := root.Context()
+	if sc.Trace.IsZero() || sc.Span == 0 {
+		t.Fatalf("root context = %+v, want non-zero trace and span", sc)
+	}
+
+	handler := server.StartLinked("rpc.renew", sc)
+	inner := handler.Child("slremote.renew")
+	inner.End(nil)
+	handler.End(nil)
+	root.End(nil)
+
+	sEv := server.Events()
+	cEv := client.Events()
+	if len(sEv) != 2 || len(cEv) != 1 {
+		t.Fatalf("events: server %d, client %d", len(sEv), len(cEv))
+	}
+	want := sc.Trace.String()
+	if cEv[0].Trace != want || sEv[0].Trace != want || sEv[1].Trace != want {
+		t.Fatalf("trace IDs diverged: client %q, server %q/%q, want %q",
+			cEv[0].Trace, sEv[0].Trace, sEv[1].Trace, want)
+	}
+	// sEv[0] is the child (ended first), sEv[1] the handler.
+	if sEv[1].Parent != sc.Span {
+		t.Fatalf("handler parent = %d, want the client span %d", sEv[1].Parent, sc.Span)
+	}
+	if sEv[0].Parent != sEv[1].Span {
+		t.Fatalf("child parent = %d, want the handler span %d", sEv[0].Parent, sEv[1].Span)
+	}
+
+	// A zero context degrades to a fresh root trace.
+	fresh := server.StartLinked("rpc.renew", SpanContext{})
+	if got := fresh.Context(); got.Trace.IsZero() || got.Trace == sc.Trace {
+		t.Fatalf("zero-context StartLinked trace = %v", got.Trace)
+	}
+	fresh.End(nil)
+
+	// Nil tracer and nil span stay inert.
+	var nt *Tracer
+	if nt.StartLinked("x", sc) != nil {
+		t.Fatal("nil tracer StartLinked returned a span")
+	}
+	var ns *Span
+	if got := ns.Context(); got != (SpanContext{}) {
+		t.Fatalf("nil span context = %+v", got)
+	}
+}
+
 func TestTracerConcurrent(t *testing.T) {
 	tr := NewTracer(128)
 	var wg sync.WaitGroup

@@ -7,10 +7,11 @@ import (
 
 // svcMetrics holds SL-Local's active metrics. All fields are nil until
 // ExposeMetrics runs; the record sites use obs's nil-safe methods, so an
-// un-instrumented service pays nothing.
+// un-instrumented service pays nothing. tracer may be nil (spans no-op).
 type svcMetrics struct {
 	requestLatency *obs.Histogram
 	renewLatency   *obs.Histogram
+	tracer         *obs.Tracer
 }
 
 // ExposeMetrics registers SL-Local's counters and latency histograms with
@@ -29,7 +30,11 @@ type svcMetrics struct {
 //	sllocal_tree_commits_total, sllocal_tree_restores_total, sllocal_tree_evictions_total
 //	sllocal_request_latency_seconds       RequestToken wall time (histogram)
 //	sllocal_renew_latency_seconds         SL-Remote renewal wall time (histogram)
-func (s *Service) ExposeMetrics(reg *obs.Registry) {
+//
+// When tr is non-nil the service records one span per SL-Remote operation
+// (sllocal.init, sllocal.renew, sllocal.escrow); with a wire.Client remote
+// the RPC span nests under it and carries the TraceID to the server.
+func (s *Service) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 	if reg == nil {
 		return
 	}
@@ -75,7 +80,16 @@ func (s *Service) ExposeMetrics(reg *obs.Registry) {
 			"RequestToken wall time.", nil),
 		renewLatency: reg.Histogram("sllocal_renew_latency_seconds",
 			"SL-Remote renewal round-trip wall time.", nil),
+		tracer: tr,
 	})
+}
+
+// tracerLoad returns the service tracer, nil when un-instrumented.
+func (s *Service) tracerLoad() *obs.Tracer {
+	if m := s.metrics.Load(); m != nil {
+		return m.tracer
+	}
+	return nil
 }
 
 func (s *Service) treeStats() (st leasetree.TreeStats) {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/lease"
 	"repro/internal/leasetree"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/seccrypto"
 	"repro/internal/sgx"
 	"repro/internal/slremote"
@@ -111,6 +112,17 @@ type RemoteAPI interface {
 	RenewLease(slid, licenseID string) (slremote.Grant, error)
 	// EscrowRootKey stores the lease-tree root key at graceful shutdown.
 	EscrowRootKey(slid string, key seccrypto.Key) error
+}
+
+// tracedRemote is the optional extension of RemoteAPI implemented by
+// remotes (the wire package's TCP client) whose RPC spans can nest under
+// a caller span, so a renewal traced here and the handler span on the
+// SL-Remote daemon share one TraceID. Plain RemoteAPI implementations
+// (the embedded *slremote.Server) simply skip the linkage.
+type tracedRemote interface {
+	InitClientSpan(parent *obs.Span, slid string, quote attest.Quote, clientMachine *sgx.Machine) (slremote.InitResult, error)
+	RenewLeaseSpan(parent *obs.Span, slid, licenseID string) (slremote.Grant, error)
+	EscrowRootKeySpan(parent *obs.Span, slid string, key seccrypto.Key) error
 }
 
 // Deps wires a Service to its environment.
@@ -242,7 +254,15 @@ func (s *Service) Init() error {
 		enclave.Destroy()
 		return fmt.Errorf("sllocal: init unreachable: %w", err)
 	}
-	res, err := s.deps.Remote.InitClient(slid, quote, s.deps.Machine)
+	span := s.tracerLoad().Start("sllocal.init")
+	span.Annotate("machine", s.deps.Machine.Name())
+	var res slremote.InitResult
+	if trm, ok := s.deps.Remote.(tracedRemote); ok {
+		res, err = trm.InitClientSpan(span, slid, quote, s.deps.Machine)
+	} else {
+		res, err = s.deps.Remote.InitClient(slid, quote, s.deps.Machine)
+	}
+	span.End(err)
 	if err != nil {
 		enclave.Destroy()
 		return fmt.Errorf("sllocal: init with SL-Remote: %w", err)
@@ -448,8 +468,18 @@ func (s *Service) renewLocked(licenseID string) (slremote.Grant, error) {
 	// Each renewal re-validates SL-Local with SL-Remote (step ❸ of the
 	// workflow): one remote attestation on this machine's timeline.
 	s.deps.Machine.ChargeRemoteAttestation()
+	span := s.tracerLoad().Start("sllocal.renew")
+	span.Annotate("license", licenseID)
+	span.Annotate("slid", s.slid)
 	start := time.Now()
-	grant, err := s.deps.Remote.RenewLease(s.slid, licenseID)
+	var grant slremote.Grant
+	var err error
+	if trm, ok := s.deps.Remote.(tracedRemote); ok {
+		grant, err = trm.RenewLeaseSpan(span, s.slid, licenseID)
+	} else {
+		grant, err = s.deps.Remote.RenewLease(s.slid, licenseID)
+	}
+	span.End(err)
 	if m := s.metrics.Load(); m != nil {
 		m.renewLatency.Observe(time.Since(start).Seconds())
 	}
@@ -510,7 +540,15 @@ func (s *Service) Shutdown() error {
 	if err := s.chargeNetworkLocked(); err != nil {
 		return fmt.Errorf("sllocal: escrow unreachable: %w", err)
 	}
-	if err := s.deps.Remote.EscrowRootKey(s.slid, rootKey); err != nil {
+	span := s.tracerLoad().Start("sllocal.escrow")
+	span.Annotate("slid", s.slid)
+	if trm, ok := s.deps.Remote.(tracedRemote); ok {
+		err = trm.EscrowRootKeySpan(span, s.slid, rootKey)
+	} else {
+		err = s.deps.Remote.EscrowRootKey(s.slid, rootKey)
+	}
+	span.End(err)
+	if err != nil {
 		return fmt.Errorf("sllocal: escrowing root key: %w", err)
 	}
 	if s.deps.State != nil {

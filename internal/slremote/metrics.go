@@ -12,6 +12,10 @@ type serverMetrics struct {
 	licenseRemaining *obs.GaugeVec
 	licenseLost      *obs.GaugeVec
 	expectedLoss     *obs.GaugeVec
+	alg1Alpha        *obs.GaugeVec // slremote_alg1_alpha{client}
+	alg1ScaleDown    *obs.GaugeVec // slremote_alg1_scale_down{client}
+	alg1Health       *obs.GaugeVec // slremote_alg1_health{client}
+	alg1Reliability  *obs.GaugeVec // slremote_alg1_reliability{client}
 }
 
 // ExposeMetrics registers SL-Remote's Algorithm 1 bookkeeping with an obs
@@ -30,6 +34,10 @@ type serverMetrics struct {
 //	slremote_license_remaining_units{license=...}
 //	slremote_license_lost_units{license=...}
 //	slremote_expected_loss_units{license=...}  last Eq. 1 evaluation per license
+//	slremote_alg1_alpha{client=...}            α_i at the client's last renewal
+//	slremote_alg1_scale_down{client=...}       effective G_i/g_i divisor applied
+//	slremote_alg1_health{client=...}           h_i as used by Algorithm 1
+//	slremote_alg1_reliability{client=...}      n_i as used by Algorithm 1
 func (s *Server) ExposeMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -59,6 +67,14 @@ func (s *Server) ExposeMetrics(reg *obs.Registry) {
 			"GCL units forfeited by crashed clients per license.", "license"),
 		expectedLoss: reg.GaugeVec("slremote_expected_loss_units",
 			"Last Equation 1 expected-loss evaluation per license.", "license"),
+		alg1Alpha: reg.GaugeVec("slremote_alg1_alpha",
+			"Concurrency share alpha_i at the client's last renewal.", "client"),
+		alg1ScaleDown: reg.GaugeVec("slremote_alg1_scale_down",
+			"Effective scale-down divisor G_i/g_i applied at the last renewal.", "client"),
+		alg1Health: reg.GaugeVec("slremote_alg1_health",
+			"Node health h_i as used by Algorithm 1.", "client"),
+		alg1Reliability: reg.GaugeVec("slremote_alg1_reliability",
+			"Network reliability n_i as used by Algorithm 1.", "client"),
 	}
 	s.metrics.Store(m)
 }

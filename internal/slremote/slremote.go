@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/audit"
 	"repro/internal/lease"
 	"repro/internal/seccrypto"
 	"repro/internal/sgx"
@@ -136,9 +137,28 @@ type Server struct {
 	clients  map[string]*clientState
 	nextSLID int
 	persist  *persister // nil: in-memory only (see persist.go)
+	audit    *audit.Log // nil: no audit trail (see AttachAudit)
 
 	stats   ServerStats
 	metrics atomic.Pointer[serverMetrics]
+}
+
+// AttachAudit connects the tamper-evident lease-lifecycle audit log: from
+// here on every issue, renewal (with its Algorithm-1 inputs), denial,
+// revocation, escrow, and crash forfeit is appended to it. Call it AFTER
+// RecoverServer — WAL replay re-runs historical mutations through the same
+// apply helpers, and those must not re-append records the audit chain
+// already holds. Appends are best-effort: a failing audit log (counted in
+// audit_append_failures_total) never blocks lease operations.
+func (s *Server) AttachAudit(log *audit.Log) {
+	s.mu.Lock()
+	s.audit = log
+	s.mu.Unlock()
+}
+
+// auditLocked appends one audit record, best-effort (nil-safe).
+func (s *Server) auditLocked(rec audit.Record) {
+	_ = s.audit.Append(rec)
 }
 
 // ServerStats counts server-side events.
@@ -179,6 +199,7 @@ func (s *Server) RegisterLicense(id string, kind lease.Kind, totalGCL int64) err
 		return err
 	}
 	s.applyRegisterLocked(id, kind, totalGCL)
+	s.auditLocked(audit.Record{Op: audit.OpIssue, License: id, Units: totalGCL})
 	s.maybeSnapshotLocked()
 	return nil
 }
@@ -244,6 +265,7 @@ func (s *Server) Revoke(id string) error {
 		return err
 	}
 	s.applyRevokeLocked(lic)
+	s.auditLocked(audit.Record{Op: audit.OpRevoke, License: id})
 	s.maybeSnapshotLocked()
 	return nil
 }
@@ -290,6 +312,7 @@ func (s *Server) InitClient(slid string, quote attest.Quote, clientMachine *sgx.
 		return InitResult{}, err
 	}
 	res := s.applyInitLocked(slid, next)
+	s.auditLocked(audit.Record{Op: audit.OpInit, SLID: slid})
 	s.maybeSnapshotLocked()
 	return res, nil
 }
@@ -334,6 +357,7 @@ func (s *Server) applyInitLocked(slid string, nextSLID int) InitResult {
 			}
 			delete(c.outstanding, licID)
 			s.stats.CrashForfeits++
+			s.auditLocked(audit.Record{Op: audit.OpCrashForfeit, SLID: c.slid, License: licID, Units: held})
 		}
 	}
 	if c.hasEscrow {
@@ -359,6 +383,10 @@ func (s *Server) SetClientProfile(slid string, health, reliability, weight float
 		return err
 	}
 	applyProfile(c, health, reliability, weight)
+	if m := s.metrics.Load(); m != nil {
+		m.alg1Health.With(slid).Set(c.health)
+		m.alg1Reliability.With(slid).Set(c.reliability)
+	}
 	s.maybeSnapshotLocked()
 	return nil
 }
@@ -395,6 +423,7 @@ func (s *Server) EscrowRootKey(slid string, key seccrypto.Key) error {
 		}
 	}
 	s.applyEscrowLocked(c, key)
+	s.auditLocked(audit.Record{Op: audit.OpEscrow, SLID: slid})
 	s.maybeSnapshotLocked()
 	return nil
 }
@@ -436,6 +465,7 @@ func (s *Server) applyCrashLocked(c *clientState) {
 		}
 		delete(c.outstanding, licID)
 		s.stats.CrashForfeits++
+		s.auditLocked(audit.Record{Op: audit.OpCrashForfeit, SLID: c.slid, License: licID, Units: held})
 	}
 	c.crashed = true
 	c.hasEscrow = false
@@ -467,22 +497,27 @@ func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
 	if !ok {
 		return Grant{}, fmt.Errorf("%w: %q", ErrUnknownLicense, licenseID)
 	}
-	if lic.Revoked {
+	deny := func(err error) (Grant, error) {
 		s.stats.RenewalsDenied++
-		return Grant{}, fmt.Errorf("%w: %q", ErrLicenseRevoked, licenseID)
+		s.auditLocked(audit.Record{Op: audit.OpDeny, SLID: slid, License: licenseID, Err: err.Error()})
+		return Grant{}, err
+	}
+	if lic.Revoked {
+		return deny(fmt.Errorf("%w: %q", ErrLicenseRevoked, licenseID))
 	}
 	if lic.Remaining <= 0 {
-		s.stats.RenewalsDenied++
-		return Grant{}, fmt.Errorf("%w: %q", ErrLicenseExhausted, licenseID)
+		return deny(fmt.Errorf("%w: %q", ErrLicenseExhausted, licenseID))
 	}
 
 	var units int64
+	var st alg1State
 	if lic.Kind == lease.Perpetual {
 		// A perpetual license is a seat, not a consumable budget:
 		// activation transfers one whole unit, never a sub-division.
 		units = 1
+		st = alg1State{alpha: 1, gMax: 1, health: c.health, reliability: c.reliability}
 	} else {
-		units = s.computeGrantLocked(c, lic)
+		units, st = s.computeGrantLocked(c, lic)
 		if units <= 0 && lic.Remaining > 0 {
 			// Algorithm 1's scale-downs can floor small pools to zero;
 			// a live license always yields at least one unit so small
@@ -491,8 +526,7 @@ func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
 		}
 	}
 	if units <= 0 {
-		s.stats.RenewalsDenied++
-		return Grant{}, fmt.Errorf("%w: %q (policy granted zero units)", ErrLicenseExhausted, licenseID)
+		return deny(fmt.Errorf("%w: %q (policy granted zero units)", ErrLicenseExhausted, licenseID))
 	}
 	if units > lic.Remaining {
 		units = lic.Remaining
@@ -504,6 +538,31 @@ func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
 		return Grant{}, err
 	}
 	s.applyRenewLocked(c, lic, units)
+
+	// Effective scale-down: the ratio the policy actually applied between
+	// the client's proportional ceiling G_i and the granted g_i. It starts
+	// at the configured D and grows as health/reliability/expected-loss
+	// corrections bite.
+	scale := s.cfg.D
+	if units > 0 && st.gMax > 0 {
+		scale = st.gMax / float64(units)
+	}
+	if m := s.metrics.Load(); m != nil {
+		m.alg1Alpha.With(slid).Set(st.alpha)
+		m.alg1ScaleDown.With(slid).Set(scale)
+		m.alg1Health.With(slid).Set(st.health)
+		m.alg1Reliability.With(slid).Set(st.reliability)
+	}
+	s.auditLocked(audit.Record{
+		Op: audit.OpRenew, SLID: slid, License: licenseID, Units: units,
+		Alg1: &audit.Alg1{
+			Alpha:        st.alpha,
+			ScaleDown:    scale,
+			Health:       st.health,
+			Reliability:  st.reliability,
+			ExpectedLoss: st.expLoss,
+		},
+	})
 	s.maybeSnapshotLocked()
 
 	return Grant{
@@ -524,8 +583,19 @@ func (s *Server) applyRenewLocked(c *clientState, lic *License, units int64) {
 	}
 }
 
+// alg1State captures the Algorithm-1 inputs and intermediates behind one
+// renewal decision, feeding the audit log's renew records and the
+// slremote_alg1_* gauges.
+type alg1State struct {
+	alpha       float64 // α_i, normalized concurrency share
+	gMax        float64 // G_i, the proportional ceiling (line 3)
+	health      float64 // h_i as used
+	reliability float64 // n_i as used
+	expLoss     float64 // Equation 1 after the final scale-down
+}
+
 // computeGrantLocked is Algorithm 1 (RenewLease) from the paper.
-func (s *Server) computeGrantLocked(c *clientState, lic *License) int64 {
+func (s *Server) computeGrantLocked(c *clientState, lic *License) (int64, alg1State) {
 	holders, weightSum := s.holdersLocked(lic.ID, c)
 	concurrency := float64(len(holders))
 	alpha := c.weight / weightSum // α_i with Σα_i = 1
@@ -562,7 +632,13 @@ func (s *Server) computeGrantLocked(c *clientState, lic *License) int64 {
 	if m := s.metrics.Load(); m != nil {
 		m.expectedLoss.With(lic.ID).Set(expLoss)
 	}
-	return int64(math.Floor(g))
+	return int64(math.Floor(g)), alg1State{
+		alpha:       alpha,
+		gMax:        gMax,
+		health:      c.health,
+		reliability: c.reliability,
+		expLoss:     expLoss,
+	}
 }
 
 // holdersLocked returns the clients that currently hold or are requesting

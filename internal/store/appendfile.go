@@ -1,0 +1,122 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// AppendFile is a standalone append-only record file using the store's
+// frame discipline (4-byte length + CRC32C + payload) without the WAL's
+// snapshot/generation machinery. It backs logs that must never be
+// compacted — the audit package's hash chain is the client — where every
+// append is fsynced and recovery applies the same torn-tail rule as the
+// WAL: a short or zero-filled final frame is truncated, interior
+// corruption fails loudly with ErrCorruptRecord.
+type AppendFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenAppendFile opens (creating if absent) the record file at path and
+// returns the intact records already in it, oldest first. A torn final
+// frame is physically truncated away before appending resumes; corruption
+// before the tail is returned as an error and the file is left untouched.
+// The returned payload slices do not alias the file.
+func OpenAppendFile(path string) (*AppendFile, [][]byte, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: creating %s parent: %w", path, err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	records, truncated, err := decodeAll(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	valid := int64(len(buf) - truncated)
+	if truncated > 0 {
+		if err := f.Truncate(valid); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("store: syncing %s after truncate: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("store: seeking %s: %w", path, err)
+	}
+	out := make([][]byte, len(records))
+	for i, r := range records {
+		out[i] = append([]byte(nil), r...)
+	}
+	return &AppendFile{f: f, path: path}, out, nil
+}
+
+// Append frames, writes, and fsyncs one record.
+func (a *AppendFile) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("store: empty record")
+	}
+	if len(payload) > MaxRecordSize {
+		return fmt.Errorf("store: record of %d bytes exceeds %d", len(payload), MaxRecordSize)
+	}
+	frame := appendRecord(nil, payload)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return fmt.Errorf("store: %s: append after close", a.path)
+	}
+	if _, err := a.f.Write(frame); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", a.path, err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", a.path, err)
+	}
+	return nil
+}
+
+// Path returns the file's path.
+func (a *AppendFile) Path() string { return a.path }
+
+// Close closes the file; further Appends fail.
+func (a *AppendFile) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return nil
+	}
+	err := a.f.Close()
+	a.f = nil
+	return err
+}
+
+// ReadAppendFile reads every intact record currently in the file at path
+// (a torn tail is tolerated but not truncated — the file is opened
+// read-only, so a live writer is unaffected). Used by audit.Verify to
+// re-walk a chain that is still being written.
+func ReadAppendFile(path string) ([][]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	records, _, err := decodeAll(buf)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	out := make([][]byte, len(records))
+	for i, r := range records {
+		out[i] = append([]byte(nil), r...)
+	}
+	return out, nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/attest"
 	"repro/internal/lease"
+	"repro/internal/obs"
 	"repro/internal/seccrypto"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
@@ -93,26 +94,46 @@ func (c *Client) Close() error {
 // roundTrip sends one request and reads the reply, bounded by the client's
 // per-roundtrip deadline.
 func (c *Client) roundTrip(msgType string, payload any) (Envelope, error) {
+	return c.roundTripSpan(nil, msgType, payload)
+}
+
+// roundTripSpan is roundTrip under an optional caller span. The RPC gets
+// its own span — a child of parent when given, else a root span from the
+// client tracer — and the span's context is injected into the outgoing
+// envelope so the server's handler span joins the same trace.
+func (c *Client) roundTripSpan(parent *obs.Span, msgType string, payload any) (Envelope, error) {
+	m := c.metrics.Load()
+	label := rpcLabel(msgType)
+	var span *obs.Span
+	if parent != nil {
+		span = parent.Child("rpc." + label)
+	} else if m != nil {
+		span = m.tracer.Start("rpc." + label)
+	}
+	var tc *TraceContext
+	if sc := span.Context(); !sc.Trace.IsZero() {
+		tc = &TraceContext{TraceID: sc.Trace.String(), SpanID: sc.Span}
+	}
 	start := time.Now()
 	c.mu.Lock()
 	if c.timeout > 0 {
 		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
 	}
-	env, err := c.roundTripLocked(msgType, payload)
+	env, err := c.roundTripLocked(msgType, payload, tc)
 	c.mu.Unlock()
-	if m := c.metrics.Load(); m != nil {
-		label := rpcLabel(msgType)
+	if m != nil {
 		m.rpcs.With(label).Inc()
 		m.latency.With(label).Observe(time.Since(start).Seconds())
 		if err != nil {
 			m.errors.With(label).Inc()
 		}
 	}
+	span.End(err)
 	return env, err
 }
 
-func (c *Client) roundTripLocked(msgType string, payload any) (Envelope, error) {
-	if err := WriteMessage(countWriter{c.conn, &c.bytesOut}, msgType, payload); err != nil {
+func (c *Client) roundTripLocked(msgType string, payload any, tc *TraceContext) (Envelope, error) {
+	if err := WriteMessageTrace(countWriter{c.conn, &c.bytesOut}, msgType, payload, tc); err != nil {
 		return Envelope{}, err
 	}
 	return ReadMessage(countReader{c.conn, &c.bytesIn})
@@ -122,10 +143,17 @@ func (c *Client) roundTripLocked(msgType string, payload any) (Envelope, error) 
 // attestation's multi-second latency is charged to the client machine
 // (the server side cannot reach its clock).
 func (c *Client) InitClient(slid string, quote attest.Quote, clientMachine *sgx.Machine) (slremote.InitResult, error) {
+	return c.InitClientSpan(nil, slid, quote, clientMachine)
+}
+
+// InitClientSpan is InitClient with the RPC span linked under parent, so
+// the whole init handshake shares the caller's TraceID (sllocal uses this
+// via its traced-remote binding).
+func (c *Client) InitClientSpan(parent *obs.Span, slid string, quote attest.Quote, clientMachine *sgx.Machine) (slremote.InitResult, error) {
 	if clientMachine != nil {
 		clientMachine.ChargeRemoteAttestation()
 	}
-	env, err := c.roundTrip(TypeInit, InitRequest{SLID: slid, Quote: encodeQuote(quote)})
+	env, err := c.roundTripSpan(parent, TypeInit, InitRequest{SLID: slid, Quote: encodeQuote(quote)})
 	if err != nil {
 		return slremote.InitResult{}, err
 	}
@@ -149,7 +177,12 @@ func (c *Client) InitClient(slid string, quote attest.Quote, clientMachine *sgx.
 
 // RenewLease implements sllocal.RemoteAPI over the wire.
 func (c *Client) RenewLease(slid, licenseID string) (slremote.Grant, error) {
-	env, err := c.roundTrip(TypeRenew, RenewRequest{SLID: slid, License: licenseID})
+	return c.RenewLeaseSpan(nil, slid, licenseID)
+}
+
+// RenewLeaseSpan is RenewLease with the RPC span linked under parent.
+func (c *Client) RenewLeaseSpan(parent *obs.Span, slid, licenseID string) (slremote.Grant, error) {
+	env, err := c.roundTripSpan(parent, TypeRenew, RenewRequest{SLID: slid, License: licenseID})
 	if err != nil {
 		return slremote.Grant{}, err
 	}
@@ -169,7 +202,12 @@ func (c *Client) RenewLease(slid, licenseID string) (slremote.Grant, error) {
 
 // EscrowRootKey implements sllocal.RemoteAPI over the wire.
 func (c *Client) EscrowRootKey(slid string, key seccrypto.Key) error {
-	env, err := c.roundTrip(TypeEscrow, EscrowRequest{SLID: slid, Key: key.Bytes()})
+	return c.EscrowRootKeySpan(nil, slid, key)
+}
+
+// EscrowRootKeySpan is EscrowRootKey with the RPC span linked under parent.
+func (c *Client) EscrowRootKeySpan(parent *obs.Span, slid string, key seccrypto.Key) error {
+	env, err := c.roundTripSpan(parent, TypeEscrow, EscrowRequest{SLID: slid, Key: key.Bytes()})
 	if err != nil {
 		return err
 	}

@@ -8,19 +8,23 @@ import (
 )
 
 // clientMetrics holds the client's active metrics; nil until ExposeMetrics
-// runs.
+// runs. tracer may be nil (spans become no-ops).
 type clientMetrics struct {
 	rpcs    *obs.CounterVec   // wire_client_rpcs_total{type}
 	errors  *obs.CounterVec   // wire_client_rpc_errors_total{type}
 	latency *obs.HistogramVec // wire_client_rpc_latency_seconds{type}
+	tracer  *obs.Tracer
 }
 
-// ExposeMetrics registers the client's RPC metrics with an obs registry.
+// ExposeMetrics registers the client's RPC metrics with an obs registry
+// and, when tr is non-nil, records one trace span per RPC round trip. The
+// span's context rides in the envelope so the server's handler span joins
+// the same trace.
 //
 // Metric inventory: wire_client_rpcs_total{type}, wire_client_rpc_errors_total{type},
 // wire_client_rpc_latency_seconds{type} (histogram), wire_client_bytes_sent_total,
 // wire_client_bytes_received_total, wire_client_dial_retries_total.
-func (c *Client) ExposeMetrics(reg *obs.Registry) {
+func (c *Client) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 	if reg == nil {
 		return
 	}
@@ -34,6 +38,7 @@ func (c *Client) ExposeMetrics(reg *obs.Registry) {
 		rpcs:    reg.CounterVec("wire_client_rpcs_total", "RPC round trips, by message type.", "type"),
 		errors:  reg.CounterVec("wire_client_rpc_errors_total", "Failed RPC round trips, by message type.", "type"),
 		latency: reg.HistogramVec("wire_client_rpc_latency_seconds", "RPC round-trip latency, by message type.", nil, "type"),
+		tracer:  tr,
 	})
 }
 

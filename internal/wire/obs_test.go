@@ -63,7 +63,7 @@ func TestWireMetricsEndToEnd(t *testing.T) {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer client.Close()
-	client.ExposeMetrics(reg)
+	client.ExposeMetrics(reg, nil)
 
 	if err := client.RegisterLicense("lic", uint8(lease.CountBased), 100); err != nil {
 		t.Fatalf("RegisterLicense: %v", err)

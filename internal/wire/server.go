@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -258,10 +259,19 @@ func (s *Server) handleEnvelope(conn net.Conn, env Envelope) (err error) {
 	if m != nil {
 		tr = m.tracer
 	}
-	span := tr.Start("rpc." + rpcLabel(env.Type))
+	span := tr.StartLinked("rpc."+rpcLabel(env.Type), extractSpanContext(env))
 	span.Annotate("remote", conn.RemoteAddr().String())
 	start := time.Now()
+	// done finishes the handler span and records the RPC metrics exactly
+	// once: the normal path and the panic path both call it, and a panic
+	// raised after the normal dispatch already completed (e.g. while
+	// writing the reply) must not end the span twice.
+	finished := false
 	done := func(handlerErr error) {
+		if finished {
+			return
+		}
+		finished = true
 		if m != nil {
 			label := rpcLabel(env.Type)
 			m.rpcs.With(label).Inc()
@@ -281,12 +291,26 @@ func (s *Server) handleEnvelope(conn net.Conn, env Envelope) (err error) {
 	if s.preDispatch != nil {
 		s.preDispatch(env)
 	}
-	err = s.dispatch(conn, env)
+	err = s.dispatch(conn, env, span)
 	done(err)
 	return err
 }
 
-func (s *Server) dispatch(conn net.Conn, env Envelope) error {
+// extractSpanContext recovers the caller's span context from an envelope's
+// trace field. A missing or malformed field yields the zero context (the
+// handler span then starts a fresh trace).
+func extractSpanContext(env Envelope) obs.SpanContext {
+	if env.Trace == nil {
+		return obs.SpanContext{}
+	}
+	id, err := obs.ParseTraceID(env.Trace.TraceID)
+	if err != nil {
+		return obs.SpanContext{}
+	}
+	return obs.SpanContext{Trace: id, Span: env.Trace.SpanID}
+}
+
+func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 	out := countWriter{conn, &s.bytesOut}
 	fail := func(err error) error {
 		if m := s.metrics.Load(); m != nil {
@@ -304,7 +328,10 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if err != nil {
 			return fail(err)
 		}
+		child := span.Child("slremote.init")
+		child.Annotate("slid", req.SLID)
 		res, err := s.remote.InitClient(req.SLID, quote, nil)
+		child.End(err)
 		if err != nil {
 			return fail(err)
 		}
@@ -319,10 +346,16 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if err := DecodePayload(env, &req); err != nil {
 			return fail(err)
 		}
+		child := span.Child("slremote.renew")
+		child.Annotate("slid", req.SLID)
+		child.Annotate("license", req.License)
 		grant, err := s.remote.RenewLease(req.SLID, req.License)
 		if err != nil {
+			child.End(err)
 			return fail(err)
 		}
+		child.Annotate("units", strconv.FormatInt(grant.Units, 10))
+		child.End(nil)
 		return WriteMessage(out, TypeRenew, RenewResponse{
 			Units:      grant.Units,
 			Kind:       uint8(grant.GCL.Kind),
@@ -339,9 +372,13 @@ func (s *Server) dispatch(conn net.Conn, env Envelope) error {
 		if err != nil {
 			return fail(err)
 		}
+		child := span.Child("slremote.escrow")
+		child.Annotate("slid", req.SLID)
 		if err := s.remote.EscrowRootKey(req.SLID, key); err != nil {
+			child.End(err)
 			return fail(err)
 		}
+		child.End(nil)
 		return WriteMessage(out, TypeOK, nil)
 
 	case TypeRegisterLicense:

@@ -37,9 +37,19 @@ const (
 	TypeOK              = "ok"
 )
 
-// Envelope frames every message: a type tag plus the JSON payload.
+// TraceContext carries the caller's obs.SpanContext across the wire so
+// the server's handler span joins the client's trace. TraceID is the
+// 32-hex-digit obs.TraceID; SpanID is the caller's span within it.
+type TraceContext struct {
+	TraceID string `json:"trace_id"`
+	SpanID  uint64 `json:"span_id,omitempty"`
+}
+
+// Envelope frames every message: a type tag, an optional trace context,
+// and the JSON payload.
 type Envelope struct {
 	Type    string          `json:"type"`
+	Trace   *TraceContext   `json:"trace,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
@@ -131,6 +141,12 @@ var ErrRemote = errors.New("wire: remote error")
 
 // WriteMessage frames and writes one envelope.
 func WriteMessage(w io.Writer, msgType string, payload any) error {
+	return WriteMessageTrace(w, msgType, payload, nil)
+}
+
+// WriteMessageTrace is WriteMessage with an optional trace context
+// injected into the envelope (nil tc for untraced messages).
+func WriteMessageTrace(w io.Writer, msgType string, payload any, tc *TraceContext) error {
 	var raw json.RawMessage
 	if payload != nil {
 		b, err := json.Marshal(payload)
@@ -139,7 +155,7 @@ func WriteMessage(w io.Writer, msgType string, payload any) error {
 		}
 		raw = b
 	}
-	frame, err := json.Marshal(Envelope{Type: msgType, Payload: raw})
+	frame, err := json.Marshal(Envelope{Type: msgType, Trace: tc, Payload: raw})
 	if err != nil {
 		return fmt.Errorf("wire: marshaling envelope: %w", err)
 	}
