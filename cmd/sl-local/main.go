@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
@@ -26,8 +27,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "sl-local:", err)
-		os.Exit(1)
+		cli.Fatalf("sl-local: %v", err)
 	}
 }
 

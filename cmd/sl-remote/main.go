@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/attest"
 	"repro/internal/audit"
+	"repro/internal/cli"
 	"repro/internal/lease"
 	"repro/internal/obs"
 	"repro/internal/seccrypto"
@@ -56,8 +57,7 @@ func (l *licenseFlags) Set(v string) error {
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "sl-remote:", err)
-		os.Exit(1)
+		cli.Fatalf("sl-remote: %v", err)
 	}
 }
 
@@ -178,6 +178,7 @@ func run() error {
 		}
 		if !rec.Empty() {
 			log.Printf("recovered state from %s (generation %d, %d WAL records replayed, licenses: %s)",
+				//sllint:ignore secretflow LicenseIDs returns public license identifiers, not the sealed key material the server also holds
 				*stateDir, rec.Generation, len(rec.Records), strings.Join(remote.LicenseIDs(), ", "))
 		}
 	} else {

@@ -10,15 +10,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"os"
 
 	"repro/internal/attack"
+	"repro/internal/cli"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "slattack:", err)
-		os.Exit(1)
+		cli.Fatalf("slattack: %v", err)
 	}
 }
 

@@ -16,13 +16,13 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/harness"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "slbench:", err)
-		os.Exit(1)
+		cli.Fatalf("slbench: %v", err)
 	}
 }
 

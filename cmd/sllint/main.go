@@ -1,0 +1,149 @@
+// Command sllint runs the SecureLease static-analysis suite
+// (internal/lint) over the repository and exits non-zero on findings. It
+// is the machine check behind the conventions the codebase is written in:
+// no key material in logs/metrics/unsealed wire fields (secretflow),
+// *Locked only under mu (lockdisc), WAL-before-apply in SL-Remote
+// (walorder), spans ended on all paths (spanend), and well-formed unique
+// metric names (obsnames).
+//
+//	sllint ./...             # analyze the whole module (CI gate)
+//	sllint internal/wire     # analyze one package directory
+//	sllint -json ./...       # machine-readable diagnostics
+//	sllint -checks lockdisc,walorder ./...
+//
+// Findings can be suppressed with a justified comment on or above the
+// flagged line:
+//
+//	//sllint:ignore secretflow escrow crosses the attested channel sealed by design
+//
+// A suppression without a written reason is itself a finding. Exit codes:
+// 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sllint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		checks  = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list    = fs.Bool("list", false, "list available checks and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sllint [-json] [-checks a,b] [./... | package dirs]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	if *checks != "" {
+		want := make(map[string]bool)
+		for _, c := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(c)] = true
+		}
+		var kept []lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				kept = append(kept, a)
+				delete(want, a.Name())
+			}
+		}
+		for unknown := range want {
+			fmt.Fprintf(stderr, "sllint: unknown check %q\n", unknown)
+			return 2
+		}
+		analyzers = kept
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "sllint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "sllint:", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(stderr, "sllint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			pkg, err := loader.LoadDir(strings.TrimSuffix(pat, "/"))
+			if err != nil {
+				fmt.Fprintln(stderr, "sllint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	runner := &lint.Runner{Analyzers: analyzers, TrimDir: loader.ModuleRoot()}
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		if seen[pkg.Path] {
+			continue
+		}
+		seen[pkg.Path] = true
+		runner.Package(pkg)
+	}
+	diags := runner.Finish()
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "sllint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "sllint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

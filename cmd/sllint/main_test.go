@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+const lockdiscFixture = "../../internal/lint/testdata/src/lockdisc"
+
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"secretflow", "lockdisc", "walorder", "spanend", "obsnames"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{lockdiscFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[lockdisc]") {
+		t.Errorf("text output missing [lockdisc] tag:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s)") {
+		t.Errorf("text output missing findings summary:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", lockdiscFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected findings in the lockdisc fixture")
+	}
+	for _, d := range diags {
+		if d.Check != "lockdisc" {
+			t.Errorf("unexpected check %q in %v", d.Check, d)
+		}
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+	if strings.Contains(out.String(), "finding(s)") {
+		t.Error("JSON mode must not append the text summary line")
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", "-checks", "walorder", lockdiscFixture}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (walorder does not fire outside slremote); stderr: %s", code, errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("clean JSON output must still be a valid array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected empty array, got %v", diags)
+	}
+}
+
+func TestChecksSubset(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-checks", "lockdisc", lockdiscFixture}, &out, &errb); code != 1 {
+		t.Fatalf("-checks lockdisc exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+}
+
+func TestUnknownCheck(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-checks", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown check exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bogus") {
+		t.Errorf("stderr does not name the unknown check:\n%s", errb.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/partition"
 	"repro/internal/sgx"
 	"repro/internal/workloads"
@@ -19,8 +20,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "slpartition:", err)
-		os.Exit(1)
+		cli.Fatalf("slpartition: %v", err)
 	}
 }
 

@@ -1,0 +1,23 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFatalf(t *testing.T) {
+	var buf strings.Builder
+	var code = -1
+	origStderr, origExit := stderr, exit
+	stderr, exit = &buf, func(c int) { code = c }
+	defer func() { stderr, exit = origStderr, origExit }()
+
+	Fatalf("daemon: %v", "bad -license flag")
+
+	if got, want := buf.String(), "daemon: bad -license flag\n"; got != want {
+		t.Errorf("stderr = %q, want %q", got, want)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}

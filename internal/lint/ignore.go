@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// checkSuppression is the pseudo-check under which malformed suppression
+// comments are reported. It cannot itself be suppressed.
+const checkSuppression = "sllint"
+
+// ignorePrefix is the suppression comment marker. The full grammar is
+//
+//	//sllint:ignore <check> <reason...>
+//
+// where <check> names an analyzer and <reason> is a mandatory free-text
+// justification. A suppression covers findings of that check on its own
+// line and on the line directly below it (comment-above style). A
+// suppression with no reason, or naming an unknown check, is itself a
+// finding — ignoring a security invariant requires a written argument.
+const ignorePrefix = "//sllint:ignore"
+
+// suppression is one parsed, well-formed ignore comment.
+type suppression struct {
+	file  string
+	line  int
+	check string
+}
+
+// collectSuppressions scans a package's comments for ignore markers,
+// reporting malformed ones through report.
+func collectSuppressions(pkg *Package, known map[string]bool, report func(pos token.Position, msg string)) []suppression {
+	var supps []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(pos, "suppression names no check: want //sllint:ignore <check> <reason>")
+					continue
+				}
+				check := fields[0]
+				if !known[check] {
+					report(pos, "suppression names unknown check "+quote(check))
+					continue
+				}
+				if len(fields) < 2 {
+					report(pos, "suppression of "+check+" carries no justification: a reason is mandatory")
+					continue
+				}
+				supps = append(supps, suppression{file: pos.Filename, line: pos.Line, check: check})
+			}
+		}
+	}
+	return supps
+}
+
+func quote(s string) string { return `"` + s + `"` }

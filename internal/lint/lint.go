@@ -1,0 +1,334 @@
+// Package lint is a stdlib-only static-analysis framework that enforces
+// SecureLease's security invariants over this repository's own source.
+//
+// The paper's Glamdring baseline partitions applications by static taint
+// analysis from annotated secret data; this package applies the same
+// discipline to the codebase that implements SecureLease. Conventions that
+// previously lived in reviewers' heads are machine-checked:
+//
+//   - secretflow: key material (seccrypto.Key values, root keys, OBKs, seal
+//     secrets) must never reach untrusted sinks — log/fmt output, obs
+//     metric or annotation values, or unsealed wire struct fields;
+//   - lockdisc: *Locked functions run only with the receiver's mu held and
+//     never lock or unlock it themselves;
+//   - walorder: inside SL-Remote, every apply*Locked mutation is dominated
+//     by a checked logLocked call (write-ahead discipline);
+//   - spanend: every Tracer.Start/StartLinked span is ended on all paths;
+//   - obsnames: metric names are well-formed, unique, and histograms carry
+//     a unit suffix.
+//
+// Packages are loaded with go/parser and type-checked with go/types via a
+// module-aware importer (load.go) — no dependencies outside the standard
+// library. Findings can be suppressed with a justified
+// "//sllint:ignore <check> <reason>" comment (ignore.go); a suppression
+// without a reason is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line reporting.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+
+	report func(check string, pos token.Pos, msg string)
+}
+
+// Reportf records a finding for the given check at pos.
+func (p *Pass) Reportf(check string, pos token.Pos, format string, args ...any) {
+	p.report(check, pos, fmt.Sprintf(format, args...))
+}
+
+// Analyzer checks one package at a time.
+type Analyzer interface {
+	// Name is the check identifier used in diagnostics and suppressions.
+	Name() string
+	// Doc is a one-line description of what the check enforces.
+	Doc() string
+	// Run inspects one package and reports findings through the pass.
+	Run(*Pass)
+}
+
+// Finisher is implemented by analyzers that accumulate cross-package state
+// (obsnames' duplicate detection) and report it after the last package.
+type Finisher interface {
+	Finish(report func(check string, pos token.Position, msg string))
+}
+
+// DefaultAnalyzers returns the full SecureLease suite, in stable order.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		NewSecretFlow(),
+		NewLockDisc(),
+		NewWALOrder(),
+		NewSpanEnd(),
+		NewObsNames(),
+	}
+}
+
+// Runner applies an analyzer suite over packages, applies //sllint:ignore
+// suppressions, and produces sorted diagnostics.
+type Runner struct {
+	Analyzers []Analyzer
+	// TrimDir, when set, makes diagnostic file paths relative to it
+	// (normally the module root).
+	TrimDir string
+
+	diags []Diagnostic
+	supps []suppression
+}
+
+// Package runs every analyzer over one loaded package and collects that
+// package's suppression comments.
+func (r *Runner) Package(pkg *Package) {
+	pass := &Pass{
+		Fset:  pkg.Fset,
+		Path:  pkg.Path,
+		Pkg:   pkg.Types,
+		Files: pkg.Files,
+		Info:  pkg.Info,
+	}
+	pass.report = func(check string, pos token.Pos, msg string) {
+		r.add(check, pkg.Fset.Position(pos), msg)
+	}
+	r.supps = append(r.supps, collectSuppressions(pkg, r.knownChecks(), func(pos token.Position, msg string) {
+		r.add(checkSuppression, pos, msg)
+	})...)
+	for _, a := range r.Analyzers {
+		a.Run(pass)
+	}
+}
+
+// Finish runs cross-package finishers, filters suppressed findings, and
+// returns the remaining diagnostics sorted by position.
+func (r *Runner) Finish() []Diagnostic {
+	for _, a := range r.Analyzers {
+		if f, ok := a.(Finisher); ok {
+			f.Finish(func(check string, pos token.Position, msg string) {
+				r.add(check, pos, msg)
+			})
+		}
+	}
+	kept := r.diags[:0]
+	for _, d := range r.diags {
+		if !r.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return kept
+}
+
+func (r *Runner) add(check string, pos token.Position, msg string) {
+	file := pos.Filename
+	if r.TrimDir != "" {
+		if rel, err := filepath.Rel(r.TrimDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	r.diags = append(r.diags, Diagnostic{
+		Check:   check,
+		File:    file,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: msg,
+	})
+}
+
+func (r *Runner) knownChecks() map[string]bool {
+	known := make(map[string]bool, len(r.Analyzers))
+	for _, a := range r.Analyzers {
+		known[a.Name()] = true
+	}
+	return known
+}
+
+func (r *Runner) suppressed(d Diagnostic) bool {
+	if d.Check == checkSuppression {
+		return false // the suppression machinery cannot silence itself
+	}
+	for _, s := range r.supps {
+		if s.check != d.Check {
+			continue
+		}
+		if !sameFile(s.file, d.File, r.TrimDir) {
+			continue
+		}
+		// A suppression covers its own line and the line below it
+		// (comment-above style).
+		if d.Line == s.line || d.Line == s.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+func sameFile(abs, diagFile, trim string) bool {
+	if abs == diagFile {
+		return true
+	}
+	if trim == "" {
+		return false
+	}
+	rel, err := filepath.Rel(trim, abs)
+	return err == nil && rel == diagFile
+}
+
+// ---- shared AST/type helpers used by several analyzers ----
+
+// calleeFunc resolves the called function or method of a call expression,
+// or nil when the callee is not a named function (builtin, func value).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathHasSuffix reports whether obj's defining package path matches the
+// given path suffix (e.g. "internal/obs" matches "repro/internal/obs").
+func pkgPathHasSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix) || strings.HasSuffix(path, suffix)
+}
+
+// deref unwraps pointer types.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedType returns the named type of t (through pointers), or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := deref(t).(*types.Named)
+	return n
+}
+
+// recvNamed returns the receiver's named type of a method, or nil for
+// plain functions.
+func recvNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedType(sig.Recv().Type())
+}
+
+// isMethodOn reports whether fn is a method named name on the named type
+// typeName defined in a package whose path ends in pkgSuffix.
+func isMethodOn(fn *types.Func, pkgSuffix, typeName string, names ...string) bool {
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Name() != typeName {
+		return false
+	}
+	if !pkgPathHasSuffix(named.Obj().Pkg(), pkgSuffix) {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// chainString renders a selector chain like "s.tree" or "c.mu"; it returns
+// "" for expressions that are not pure ident/selector chains.
+func chainString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := chainString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	default:
+		return ""
+	}
+}
+
+// funcLitRanges collects the position ranges of every function literal
+// under root, so analyzers can treat closure bodies as separate lexical
+// scopes (a closure runs at an unknown time: lock regions and span
+// lifetimes must not flow into it).
+func funcLitRanges(root ast.Node) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ranges = append(ranges, [2]token.Pos{lit.Pos(), lit.End()})
+		}
+		return true
+	})
+	return ranges
+}
+
+// scopeAt returns the innermost function-literal range containing pos, or
+// (-1) when pos belongs to the outer function body.
+func scopeAt(ranges [][2]token.Pos, pos token.Pos) int {
+	best := -1
+	for i, r := range ranges {
+		if r[0] <= pos && pos < r[1] {
+			// Innermost literal: the narrowest containing range.
+			if best == -1 || (ranges[best][0] <= r[0] && r[1] <= ranges[best][1]) {
+				best = i
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockDisc enforces the repo-wide *Locked naming convention: a function
+// whose name ends in "Locked" runs with its receiver's mu held. Two rules
+// follow:
+//
+//  1. a *Locked function must not itself lock or unlock the receiver's mu
+//     (it would self-deadlock or release a lock it does not own);
+//  2. a call to x.fooLocked() is legal only from another *Locked function,
+//     or lexically between x.mu.Lock() (or RLock) and the next non-deferred
+//     x.mu.Unlock() in the same lexical scope. Closure bodies are separate
+//     scopes: a lock held when a closure is created is not known to be held
+//     when it runs.
+//
+// The check is lexical, not path-sensitive — exactly the discipline the
+// code is written in (Lock; defer Unlock; ...Locked calls...).
+type lockDisc struct{}
+
+// NewLockDisc returns the lockdisc analyzer.
+func NewLockDisc() Analyzer { return &lockDisc{} }
+
+func (*lockDisc) Name() string { return "lockdisc" }
+func (*lockDisc) Doc() string {
+	return "*Locked functions are called only with the receiver's mu held, and never lock/unlock it themselves"
+}
+
+// lockEvent is one mu operation or *Locked call, in lexical order.
+type lockEvent struct {
+	pos   token.Pos
+	scope int    // funcLit index, -1 for the function body
+	chain string // "s.mu" for lock ops, "s" for calls
+	kind  lockEventKind
+	name  string // callee name for calls, mu method name for lock ops
+}
+
+type lockEventKind uint8
+
+const (
+	evLock        lockEventKind = iota // Lock / RLock / TryLock
+	evUnlock                           // non-deferred Unlock / RUnlock
+	evDeferUnlock                      // deferred Unlock (region stays open)
+	evUnlockAbort                      // Unlock in an aborting branch (outer region stays open)
+	evLockedCall                       // call to a *Locked function
+)
+
+func (a *lockDisc) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkFunc(pass, fd)
+		}
+	}
+}
+
+func (a *lockDisc) checkFunc(pass *Pass, fd *ast.FuncDecl) {
+	lits := funcLitRanges(fd.Body)
+	events := collectLockEvents(pass, fd, lits)
+	inLocked := strings.HasSuffix(fd.Name.Name, "Locked")
+	recvName := receiverName(fd)
+
+	// Rule 1: a *Locked method must not operate on its receiver's mu,
+	// anywhere in its body (including deferred closures).
+	if inLocked && recvName != "" {
+		own := recvName + ".mu"
+		for _, ev := range events {
+			if ev.chain == own && ev.kind != evLockedCall {
+				pass.Reportf(a.Name(), ev.pos,
+					"%s must run with %s held and must not call %s.%s itself",
+					fd.Name.Name, own, own, ev.name)
+			}
+		}
+	}
+
+	// Rule 2: *Locked calls need the matching mu held in their scope.
+	type heldKey struct {
+		scope int
+		chain string
+	}
+	held := make(map[heldKey]bool)
+	key := func(scope int, chain string) heldKey {
+		return heldKey{scope, chain}
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held[key(ev.scope, ev.chain)] = true
+		case evUnlock:
+			held[key(ev.scope, ev.chain)] = false
+		case evDeferUnlock, evUnlockAbort:
+			// A deferred Unlock runs at function exit, and an Unlock in an
+			// early-exit branch balances that branch's own return: either
+			// way the region stays open for the code that follows.
+		case evLockedCall:
+			if inLocked && ev.scope == -1 {
+				continue // Locked calling Locked in its own body is the norm
+			}
+			if ev.chain == "" {
+				// Package-level fooLocked() or a computed receiver: only a
+				// *Locked context can justify it.
+				if !inLocked || ev.scope != -1 {
+					pass.Reportf(a.Name(), ev.pos,
+						"%s called without a visible lock for it", ev.name)
+				}
+				continue
+			}
+			if !held[key(ev.scope, ev.chain+".mu")] {
+				pass.Reportf(a.Name(), ev.pos,
+					"%s.%s called without %s.mu held (no preceding %s.mu.Lock in this scope)",
+					ev.chain, ev.name, ev.chain, ev.chain)
+			}
+		}
+	}
+}
+
+// collectLockEvents gathers mu operations and *Locked calls under fd in
+// lexical order, tagged with the innermost closure scope containing them.
+func collectLockEvents(pass *Pass, fd *ast.FuncDecl, lits [][2]token.Pos) []lockEvent {
+	var events []lockEvent
+	deferred := make(map[*ast.CallExpr]bool)
+	aborting := abortingUnlockPositions(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			// Plain fooLocked() calls.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && strings.HasSuffix(id.Name, "Locked") {
+				events = append(events, lockEvent{
+					pos: call.Pos(), scope: scopeAt(lits, call.Pos()),
+					kind: evLockedCall, name: id.Name,
+				})
+			}
+			return true
+		}
+		name := sel.Sel.Name
+		switch name {
+		case "Lock", "RLock", "TryLock", "Unlock", "RUnlock":
+			chain := chainString(sel.X)
+			if chain == "" || !strings.HasSuffix(chain, ".mu") {
+				return true
+			}
+			kind := evLock
+			if name == "Unlock" || name == "RUnlock" {
+				kind = evUnlock
+				switch {
+				case deferred[call]:
+					kind = evDeferUnlock
+				case aborting[call.Pos()]:
+					kind = evUnlockAbort
+				}
+			}
+			events = append(events, lockEvent{
+				pos: call.Pos(), scope: scopeAt(lits, call.Pos()),
+				chain: chain, kind: kind, name: name,
+			})
+		default:
+			if strings.HasSuffix(name, "Locked") {
+				events = append(events, lockEvent{
+					pos: call.Pos(), scope: scopeAt(lits, call.Pos()),
+					chain: chainString(sel.X), kind: evLockedCall, name: name,
+				})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// abortingUnlockPositions finds Unlock/RUnlock calls that sit in a nested
+// statement list which leaves the function afterwards — the early-exit
+// idiom `if s.closed { s.mu.Unlock(); return }`. Such an unlock balances
+// its own branch's exit; it does not close the lock region for the code
+// after the branch. Unlocks at the top level of a function (or closure)
+// body are never treated this way: there the unlock genuinely ends the
+// region, return or not.
+func abortingUnlockPositions(body *ast.BlockStmt) map[token.Pos]bool {
+	marked := make(map[token.Pos]bool)
+	var walkList func(stmts []ast.Stmt, funcBody bool)
+	walkList = func(stmts []ast.Stmt, funcBody bool) {
+		// abortAt[i]: a top-level return or panic appears at index >= i.
+		abortAt := make([]bool, len(stmts))
+		abort := false
+		for i := len(stmts) - 1; i >= 0; i-- {
+			if stmtAborts(stmts[i]) {
+				abort = true
+			}
+			abortAt[i] = abort
+		}
+		for i, stmt := range stmts {
+			if !funcBody && abortAt[i] {
+				if call := unlockExprStmt(stmt); call != nil {
+					marked[call.Pos()] = true
+				}
+			}
+			switch s := stmt.(type) {
+			case *ast.IfStmt:
+				walkList(s.Body.List, false)
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					walkList(e.List, false)
+				case *ast.IfStmt:
+					walkList([]ast.Stmt{e}, false)
+				}
+			case *ast.BlockStmt:
+				walkList(s.List, false)
+			case *ast.ForStmt:
+				walkList(s.Body.List, false)
+			case *ast.RangeStmt:
+				walkList(s.Body.List, false)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkList(cc.Body, false)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkList(cc.Body, false)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						walkList(cc.Body, false)
+					}
+				}
+			}
+		}
+	}
+	walkList(body.List, true)
+	// Closure bodies are their own functions: their top-level lists get
+	// funcBody=true. walkList never descends into expressions, so FuncLits
+	// are only ever reached here.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			walkList(fl.Body.List, true)
+		}
+		return true
+	})
+	return marked
+}
+
+// stmtAborts reports whether stmt unconditionally leaves the function.
+func stmtAborts(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unlockExprStmt returns the Unlock/RUnlock call when stmt is exactly
+// `x.mu.Unlock()` as a standalone statement.
+func unlockExprStmt(stmt ast.Stmt) *ast.CallExpr {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return nil
+	}
+	return call
+}
+
+// receiverName returns the name of fd's receiver variable, or "".
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}

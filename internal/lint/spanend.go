@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// spanEnd verifies that every span created with obs Tracer.Start or
+// Tracer.StartLinked is ended on all paths — an unended span never reaches
+// the trace ring buffer, so the operation silently disappears from /trace.
+//
+// The check is lexical:
+//
+//   - the Start result must be bound to a variable (a dropped result can
+//     never be ended);
+//   - `defer span.End(err)` anywhere in the function settles it;
+//   - an End referenced from a closure settles it (the closure owns the
+//     span's lifetime — wire.Server's idempotent `done` pattern);
+//   - otherwise every return statement lexically after the Start must be
+//     preceded by an End call: an early `return` between Start and End
+//     leaks the span.
+type spanEnd struct{}
+
+// NewSpanEnd returns the spanend analyzer.
+func NewSpanEnd() Analyzer { return &spanEnd{} }
+
+func (*spanEnd) Name() string { return "spanend" }
+func (*spanEnd) Doc() string {
+	return "every Tracer.Start/StartLinked span must be ended on all paths (typically via defer)"
+}
+
+func (a *spanEnd) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkFunc(pass, fd)
+		}
+	}
+}
+
+// isTracerStart reports whether call is obs Tracer.Start or StartLinked.
+func isTracerStart(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	return isMethodOn(fn, "internal/obs", "Tracer", "Start", "StartLinked")
+}
+
+func (a *spanEnd) checkFunc(pass *Pass, fd *ast.FuncDecl) {
+	lits := funcLitRanges(fd.Body)
+
+	// Bind Start calls to variables; flag dropped results.
+	type binding struct {
+		objKey   any // types.Object of the bound variable
+		startPos token.Pos
+		scope    int
+	}
+	var bindings []binding
+	parentOf := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parentOf[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isTracerStart(pass, call) {
+			return true
+		}
+		parent := parentOf[call]
+		switch p := parent.(type) {
+		case *ast.AssignStmt:
+			// span := tr.Start(...) — possibly one of several RHS values.
+			for i, rhs := range p.Rhs {
+				if rhs != call && ast.Unparen(rhs) != call {
+					continue
+				}
+				idx := i
+				if len(p.Lhs) != len(p.Rhs) {
+					idx = 0
+				}
+				if id, ok := ast.Unparen(p.Lhs[idx]).(*ast.Ident); ok && id.Name != "_" {
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj != nil {
+						bindings = append(bindings, binding{
+							objKey: obj, startPos: call.Pos(), scope: scopeAt(lits, call.Pos()),
+						})
+						return true
+					}
+				}
+				pass.Reportf(a.Name(), call.Pos(),
+					"span from Tracer.%s is not bound to a variable: it can never be ended", startName(pass, call))
+			}
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if v != call && ast.Unparen(v) != call {
+					continue
+				}
+				if i < len(p.Names) {
+					if obj := pass.Info.Defs[p.Names[i]]; obj != nil {
+						bindings = append(bindings, binding{
+							objKey: obj, startPos: call.Pos(), scope: scopeAt(lits, call.Pos()),
+						})
+						return true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// Chained call: tr.Start("x").End(nil) is fine, anything else
+			// leaks the span.
+			if p.Sel.Name != "End" {
+				pass.Reportf(a.Name(), call.Pos(),
+					"span from Tracer.%s escapes without a binding: bind it and End it on all paths", startName(pass, call))
+			}
+		case *ast.ReturnStmt:
+			// `return t.Start(name)` hands the span to the caller, who now
+			// owns ending it (obs's own Start wrappers do this).
+		default:
+			pass.Reportf(a.Name(), call.Pos(),
+				"span from Tracer.%s is dropped: bind the result and End it on all paths", startName(pass, call))
+		}
+		return true
+	})
+
+	if len(bindings) == 0 {
+		return
+	}
+
+	// For each bound span, gather End calls and defer/closure settlement.
+	for _, b := range bindings {
+		settled := false
+		var endPositions []token.Pos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if settled {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+					if usesObj(pass, sel.X, b.objKey) {
+						settled = true
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+					if usesObj(pass, sel.X, b.objKey) {
+						if scopeAt(lits, n.Pos()) != b.scope {
+							// End lives in a closure: the closure owns the
+							// span's lifetime (wire.Server's done pattern).
+							settled = true
+							return false
+						}
+						endPositions = append(endPositions, n.Pos())
+					}
+				}
+			case *ast.ReturnStmt:
+				// Returning the span hands End ownership to the caller
+				// (Span.Child builds a sub-span and returns it).
+				if scopeAt(lits, n.Pos()) == b.scope {
+					for _, res := range n.Results {
+						if usesObj(pass, res, b.objKey) {
+							settled = true
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+		if settled {
+			continue
+		}
+		if len(endPositions) == 0 {
+			pass.Reportf(a.Name(), b.startPos,
+				"span started here is never ended: End it on all paths (typically `defer span.End(err)`)")
+			continue
+		}
+		// Every return after the Start (in the same scope) must be
+		// preceded by an End.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || ret.Pos() <= b.startPos || scopeAt(lits, ret.Pos()) != b.scope {
+				return true
+			}
+			for _, ep := range endPositions {
+				if ep > b.startPos && ep < ret.Pos() {
+					return true
+				}
+			}
+			pass.Reportf(a.Name(), ret.Pos(),
+				"return leaks the span started at %s: no End call on this path",
+				pass.Fset.Position(b.startPos))
+			return true
+		})
+	}
+}
+
+func startName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		return fn.Name()
+	}
+	return "Start"
+}
+
+// usesObj reports whether expr is an identifier resolving to obj.
+func usesObj(pass *Pass, expr ast.Expr, obj any) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if u := pass.Info.Uses[id]; u != nil && u == obj {
+		return true
+	}
+	if d := pass.Info.Defs[id]; d != nil && d == obj {
+		return true
+	}
+	return false
+}

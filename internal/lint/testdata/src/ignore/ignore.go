@@ -1,0 +1,35 @@
+// Package ignore exercises the suppression machinery against the lockdisc
+// analyzer: a justified suppression silences its line and the line below;
+// a reasonless or unknown-check suppression is itself a finding (asserted
+// programmatically in lint_test.go — the sllint pseudo-check reports at
+// the comment's own line, where a want marker cannot sit).
+package ignore
+
+import "sync"
+
+// Box is the minimal mu-guarded struct.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *Box) incLocked() { b.n++ }
+
+// Justified is silenced by a suppression carrying a written reason.
+func (b *Box) Justified() {
+	//sllint:ignore lockdisc the box is unpublished in this fixture; nothing can race
+	b.incLocked()
+}
+
+// Unjustified carries a reasonless suppression: the suppression is the
+// finding, and the lockdisc diagnostic below it survives.
+func (b *Box) Unjustified() {
+	//sllint:ignore lockdisc
+	b.incLocked() // want `b.incLocked called without b.mu held`
+}
+
+// UnknownCheck names a check that does not exist.
+func (b *Box) UnknownCheck() {
+	//sllint:ignore nosuchcheck this check name is wrong
+	b.incLocked() // want `b.incLocked called without b.mu held`
+}

@@ -1,0 +1,67 @@
+// Package lockdisc is a golden fixture for the lockdisc analyzer.
+package lockdisc
+
+import "sync"
+
+// Counter is the standard mu-guarded struct the convention is written for.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) bumpLocked() { c.n++ }
+
+// Add is clean: the exported method takes the lock before the Locked call.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+// AddEarlyExit is clean: the Unlock inside the aborting branch balances
+// that branch's own return and does not close the outer region.
+func (c *Counter) AddEarlyExit(skip bool) {
+	c.mu.Lock()
+	if skip {
+		c.mu.Unlock()
+		return
+	}
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+// chainLocked calling bumpLocked from a *Locked body is the norm.
+func (c *Counter) chainLocked() {
+	c.bumpLocked()
+}
+
+// AddUnsafe calls the Locked helper with no lock anywhere in sight.
+func (c *Counter) AddUnsafe() {
+	c.bumpLocked() // want `c.bumpLocked called without c.mu held`
+}
+
+// AddAfterUnlock calls the helper after the region genuinely closed.
+func (c *Counter) AddAfterUnlock() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	c.bumpLocked() // want `c.bumpLocked called without c.mu held`
+}
+
+// Spawn holds the lock at spawn time, but the goroutine body is a separate
+// scope: the lock is not known to be held when it runs.
+func (c *Counter) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.bumpLocked() // want `c.bumpLocked called without c.mu held`
+	}()
+}
+
+// selfLockLocked violates rule 1 twice: a *Locked method owns neither the
+// Lock nor the Unlock of its receiver's mu.
+func (c *Counter) selfLockLocked() {
+	c.mu.Lock() // want `selfLockLocked must run with c.mu held and must not call c.mu.Lock itself`
+	c.n++
+	c.mu.Unlock() // want `selfLockLocked must run with c.mu held and must not call c.mu.Unlock itself`
+}

@@ -1,0 +1,78 @@
+// Package secretflow is a golden fixture for the secretflow analyzer:
+// every `// want` comment marks an expected diagnostic, everything else is
+// a near-miss that must stay clean.
+package secretflow
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"repro/internal/obs"
+	"repro/internal/seccrypto"
+	"repro/internal/wire"
+)
+
+// LeakLog prints raw key bytes: the canonical hit.
+func LeakLog(key seccrypto.Key) {
+	log.Printf("loaded key %x", key.Bytes()) // want `secret value reaches untrusted sink log.Printf`
+}
+
+// LeakErrorf renders a named root key through a %x verb.
+func LeakErrorf(rootKey []byte) error {
+	return fmt.Errorf("root key %x unusable", rootKey) // want `secret value rendered by %x verb in fmt.Errorf`
+}
+
+// WrapClean wraps an error derived from a key operation: errors are
+// untaintable, so %w (and even %v on the error) stays clean.
+func WrapClean(key seccrypto.Key) error {
+	_, err := seccrypto.ProtectWithKey(nil, key, rand.Reader)
+	if err != nil {
+		return fmt.Errorf("sealing: %w", err)
+	}
+	return nil
+}
+
+// LengthClean logs a derived number: len() launders by type.
+func LengthClean(key seccrypto.Key) {
+	log.Printf("key length %d", len(key.Bytes()))
+}
+
+// SealedBeforeLog seals first: authenticated sealing sanitizes, so the
+// ciphertext may be logged and shipped.
+func SealedBeforeLog(key seccrypto.Key, payload []byte) error {
+	sealed, err := seccrypto.ProtectWithKey(payload, key, rand.Reader)
+	if err != nil {
+		return err
+	}
+	log.Printf("sealed blob %x", sealed)
+	return nil
+}
+
+// LeakAnnotate exports key bytes on the unauthenticated /trace endpoint.
+func LeakAnnotate(span *obs.Span, key seccrypto.Key) {
+	span.Annotate("key", string(key.Bytes())) // want `secret value reaches obs.Annotate`
+}
+
+// LeakWireField stores raw key bytes in an unsealed wire struct.
+func LeakWireField(slid string, key seccrypto.Key) wire.EscrowRequest {
+	return wire.EscrowRequest{SLID: slid, Key: key.Bytes()} // want `secret value stored in unsealed wire field EscrowRequest.Key`
+}
+
+// SealedWireField ships the sealed form: clean.
+func SealedWireField(slid string, key seccrypto.Key, payload []byte) (wire.EscrowRequest, error) {
+	sealed, err := seccrypto.ProtectWithKey(payload, key, rand.Reader)
+	if err != nil {
+		return wire.EscrowRequest{}, err
+	}
+	return wire.EscrowRequest{SLID: slid, Key: sealed}, nil
+}
+
+// ValidateReintroduces marks recovered plaintext as secret again.
+func ValidateReintroduces(sealed []byte, key seccrypto.Key) {
+	plain, err := seccrypto.Validate(sealed, key)
+	if err != nil {
+		return
+	}
+	log.Printf("recovered %s", plain) // want `secret value reaches untrusted sink log.Printf`
+}

@@ -1,0 +1,65 @@
+// Package spanend is a golden fixture for the spanend analyzer.
+package spanend
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+// Good ends via defer: the canonical shape.
+func Good(tr *obs.Tracer) {
+	span := tr.Start("good")
+	defer span.End(nil)
+}
+
+// Instant chains End directly: fine.
+func Instant(tr *obs.Tracer) {
+	tr.Start("instant").End(nil)
+}
+
+// Linked covers StartLinked the same way.
+func Linked(tr *obs.Tracer, sc obs.SpanContext) {
+	span := tr.StartLinked("linked", sc)
+	defer span.End(nil)
+}
+
+// Factory hands the bound span to the caller: End ownership transfers.
+func Factory(tr *obs.Tracer) *obs.Span {
+	span := tr.Start("factory")
+	span.Annotate("k", "v")
+	return span
+}
+
+// Direct returns the span without ever binding it: also a transfer.
+func Direct(tr *obs.Tracer) *obs.Span {
+	return tr.Start("direct")
+}
+
+// ClosureOwned hands the span's lifetime to a closure (the wire.Server
+// `done` pattern): settled.
+func ClosureOwned(tr *obs.Tracer) func() {
+	span := tr.Start("closure")
+	return func() { span.End(nil) }
+}
+
+// Dropped never binds the result, so nothing can ever end it.
+func Dropped(tr *obs.Tracer) {
+	tr.Start("dropped") // want `span from Tracer.Start is dropped`
+}
+
+// NeverEnded binds the span but no path ends it.
+func NeverEnded(tr *obs.Tracer) {
+	span := tr.Start("leak") // want `span started here is never ended`
+	span.Annotate("k", "v")
+}
+
+// EarlyReturn ends the happy path but leaks on the error path.
+func EarlyReturn(tr *obs.Tracer, fail bool) error {
+	span := tr.Start("early")
+	if fail {
+		return errors.New("fail") // want `return leaks the span`
+	}
+	span.End(nil)
+	return nil
+}

@@ -1,0 +1,55 @@
+// Package slremote (under the walorder fixture directory) exercises the
+// write-ahead discipline: the analyzer only fires in a package with this
+// name, mirroring the real SL-Remote.
+package slremote
+
+type event struct{ Op string }
+
+// Server is a miniature of the real thing: a WAL append (logLocked) must
+// dominate every apply*Locked mutation.
+type Server struct {
+	state map[string]int
+	err   error
+}
+
+func (s *Server) logLocked(ev event) error { return s.err }
+
+func (s *Server) applyGrantLocked(ev event) { s.state[ev.Op]++ }
+
+// Grant is the discipline done right: checked if-init log, then apply.
+func (s *Server) Grant(ev event) error {
+	if err := s.logLocked(ev); err != nil {
+		return err
+	}
+	s.applyGrantLocked(ev)
+	return nil
+}
+
+// GrantTwoStep uses the assign-then-check form, equally fine.
+func (s *Server) GrantTwoStep(ev event) error {
+	err := s.logLocked(ev)
+	if err != nil {
+		return err
+	}
+	s.applyGrantLocked(ev)
+	return nil
+}
+
+// GrantUnlogged mutates without any WAL append.
+func (s *Server) GrantUnlogged(ev event) {
+	s.applyGrantLocked(ev) // want `applyGrantLocked applied without a preceding logLocked`
+}
+
+// GrantUnchecked appends but drops the error: a failed append must abort.
+func (s *Server) GrantUnchecked(ev event) {
+	_ = s.logLocked(ev)
+	s.applyGrantLocked(ev) // want `applyGrantLocked applied after an unchecked logLocked`
+}
+
+// applyReplayLocked is the replay fold: it re-applies records already
+// durable in the WAL and is exempt by name.
+func (s *Server) applyReplayLocked(evs []event) {
+	for _, ev := range evs {
+		s.applyGrantLocked(ev)
+	}
+}

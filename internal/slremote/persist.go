@@ -307,6 +307,7 @@ func RecoverServer(cfg Config, service *attest.Service, rec *store.Recovered, pc
 			if err := json.Unmarshal(plain, &img); err != nil {
 				return nil, fmt.Errorf("slremote: decoding snapshot: %w", err)
 			}
+			//sllint:ignore lockdisc the server is unpublished during recovery; no goroutine can hold or want s.mu yet
 			if err := s.restoreImageLocked(img); err != nil {
 				return nil, err
 			}
@@ -316,7 +317,8 @@ func RecoverServer(cfg Config, service *attest.Service, rec *store.Recovered, pc
 			if err := json.Unmarshal(raw, &ev); err != nil {
 				return nil, fmt.Errorf("slremote: decoding WAL record %d: %w", i, err)
 			}
-			if err := s.applyEventLocked(ev); err != nil {
+			//sllint:ignore lockdisc the server is unpublished during recovery; no goroutine can hold or want s.mu yet
+			if err := s.applyEventLocked(ev); err != nil { //sllint:ignore walorder replay folds records already durable in the WAL; logging them again would double-append
 				return nil, fmt.Errorf("slremote: replaying WAL record %d (%s): %w", i, ev.Op, err)
 			}
 		}

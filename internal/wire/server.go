@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"strconv"
 	"sync"
@@ -337,6 +336,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		}
 		resp := InitResponse{SLID: res.SLID, HasOBK: res.HasOBK}
 		if res.HasOBK {
+			//sllint:ignore secretflow the OBK returns over the channel that models the paper's attested encrypted link (Section 5.6)
 			resp.OBK = res.OBK.Bytes()
 		}
 		return WriteMessage(out, TypeInit, resp)
@@ -472,6 +472,6 @@ func (s *Server) ListenAndServe(addr string) error {
 	if err != nil {
 		return fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
-	log.Printf("sl-remote: listening on %s", ln.Addr())
+	s.logf("sl-remote: listening on %s", ln.Addr())
 	return s.Serve(ln)
 }
