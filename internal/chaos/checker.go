@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/slremote"
+)
+
+// CheckConservation asserts the global license-unit conservation law over
+// an exported server state: for every license,
+//
+//	TotalGCL == Remaining + Σ_clients outstanding + Consumed + Lost
+//
+// Every legal transition preserves it — registration seeds Remaining with
+// the whole budget, a renewal moves units from Remaining to one client's
+// outstanding balance, a consume report moves them from outstanding to
+// Consumed, and a crash (or an escrow-less return, Section 5.7) moves them
+// from outstanding to Lost. Units may never be created, duplicated by
+// replay, or silently dropped — which is exactly what a torn WAL write, a
+// duplicated wire frame, or a botched recovery would do.
+func CheckConservation(st slremote.State) error {
+	outstanding := make(map[string]int64, len(st.Licenses))
+	for _, c := range st.Clients {
+		for licID, held := range c.Outstanding {
+			if held < 0 {
+				return fmt.Errorf("chaos: client %s holds negative balance %d of license %s", c.SLID, held, licID)
+			}
+			outstanding[licID] += held
+		}
+	}
+	ids := make([]string, 0, len(st.Licenses))
+	for id := range st.Licenses {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		lic := st.Licenses[id]
+		sum := lic.Remaining + outstanding[id] + lic.Consumed + lic.Lost
+		if sum != lic.TotalGCL {
+			return fmt.Errorf("chaos: license %s violates conservation: total %d != remaining %d + outstanding %d + consumed %d + lost %d (= %d)",
+				id, lic.TotalGCL, lic.Remaining, outstanding[id], lic.Consumed, lic.Lost, sum)
+		}
+		if lic.Remaining < 0 {
+			return fmt.Errorf("chaos: license %s has negative remaining %d", id, lic.Remaining)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Connection fault kinds. All match Write calls on wrapped connections:
+// the wire protocol writes a length header and a frame per envelope, so a
+// faulted write lands either between envelopes or mid-envelope — both are
+// failure modes a real network serves up.
+const (
+	// Drop swallows one write: the caller sees success, the peer sees
+	// silence and times out.
+	Drop = "drop"
+	// Delay sleeps briefly before a write goes through.
+	Delay = "delay"
+	// Dup writes the bytes twice and then severs the connection: the peer
+	// decodes the first copy and must not decode the retransmitted bytes
+	// into a phantom message. Severing keeps the fault self-contained —
+	// a desynced but open stream would let the server answer a misparsed
+	// later request at an uncontrolled moment, destroying the determinism
+	// of the shared write counter.
+	Dup = "dup"
+	// Cut writes a strict prefix and closes the connection: the
+	// mid-envelope connection cut.
+	Cut = "cut"
+	// Reset closes the connection instead of writing.
+	Reset = "reset"
+)
+
+// ErrConnFault reports a write the injector failed on purpose.
+var ErrConnFault = errors.New("chaos: injected connection fault")
+
+// delayDuration is the pause injected by Delay faults — long enough to
+// reorder against other goroutines' work, short enough to stay far from
+// any test deadline.
+const delayDuration = 5 * time.Millisecond
+
+// ConnFault is one armed connection fault.
+type ConnFault struct {
+	// Kind is Drop, Delay, Dup, Cut, or Reset.
+	Kind string
+	// After skips this many writes before firing (0 fires on the next
+	// write through any wrapped connection).
+	After int
+}
+
+// NetDirector arms and fires connection faults for every connection
+// wrapped with it, sharing one write counter so a seed maps to one global
+// fault position. An optional netsim.Link contributes stochastic drops on
+// top of the armed (deterministic) faults.
+type NetDirector struct {
+	mu     sync.Mutex
+	writes int64
+	conns  int64
+	armed  []*armedConn
+	link   *netsim.Link
+	trace  []Event
+}
+
+type armedConn struct {
+	fault     ConnFault
+	remaining int
+}
+
+// NewNetDirector returns a director with no faults armed.
+func NewNetDirector() *NetDirector { return &NetDirector{} }
+
+// Arm schedules one fault on the next matching write.
+func (d *NetDirector) Arm(f ConnFault) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.armed = append(d.armed, &armedConn{fault: f, remaining: f.After})
+}
+
+// AttachLink adds a netsim reliability model: every write first asks the
+// link whether it survives, and a netsim drop behaves like a Drop fault
+// (recorded in the trace as "link-drop"). The link's seeded RNG keeps the
+// composition deterministic.
+func (d *NetDirector) AttachLink(l *netsim.Link) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.link = l
+}
+
+// Writes returns the shared write counter.
+func (d *NetDirector) Writes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// Trace returns the faults fired so far, in order.
+func (d *NetDirector) Trace() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Event(nil), d.trace...)
+}
+
+// decide counts one write on conn and picks its fate: "" passes through.
+func (d *NetDirector) decide(conn string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writes++
+	for i, a := range d.armed {
+		if a.remaining > 0 {
+			a.remaining--
+			continue
+		}
+		d.armed = append(d.armed[:i], d.armed[i+1:]...)
+		d.trace = append(d.trace, Event{Domain: "net", Op: d.writes, Kind: a.fault.Kind, Detail: conn})
+		return a.fault.Kind
+	}
+	if d.link != nil {
+		if _, err := d.link.Send(); err != nil {
+			d.trace = append(d.trace, Event{Domain: "net", Op: d.writes, Kind: "link-drop", Detail: conn})
+			return Drop
+		}
+	}
+	return ""
+}
+
+// nextConn labels a wrapped connection by accept/wrap order — stable
+// across runs, unlike ephemeral port numbers.
+func (d *NetDirector) nextConn() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.conns++
+	return fmt.Sprintf("conn-%d", d.conns)
+}
+
+// Listener wraps a net.Listener so every accepted connection routes its
+// writes through the director. Wrap the SL-Remote side: responses (and
+// their absence) are what exercise the client's retry and redial paths.
+type Listener struct {
+	net.Listener
+	dir *NetDirector
+}
+
+// WrapListener attaches a director to a listener.
+func WrapListener(l net.Listener, d *NetDirector) *Listener {
+	return &Listener{Listener: l, dir: d}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.dir), nil
+}
+
+// Conn is a net.Conn whose writes can be dropped, delayed, duplicated,
+// truncated, or reset by the director. Reads pass through untouched — a
+// fault on the peer's writes is a fault on this side's reads already.
+type Conn struct {
+	net.Conn
+	dir  *NetDirector
+	name string
+}
+
+// WrapConn attaches a director to one connection.
+func WrapConn(c net.Conn, d *NetDirector) *Conn {
+	return &Conn{Conn: c, dir: d, name: d.nextConn()}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	switch c.dir.decide(c.name) {
+	case Drop:
+		// Swallowed whole: report success, deliver nothing.
+		return len(p), nil
+	case Delay:
+		time.Sleep(delayDuration)
+	case Dup:
+		n, err := c.Conn.Write(p)
+		if err != nil {
+			return n, err
+		}
+		_, _ = c.Conn.Write(p)
+		_ = c.Conn.Close()
+		return n, nil
+	case Cut:
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("%w: connection cut mid-write", ErrConnFault)
+	case Reset:
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection reset", ErrConnFault)
+	}
+	return c.Conn.Write(p)
+}

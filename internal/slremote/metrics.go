@@ -11,6 +11,7 @@ type serverMetrics struct {
 	revocations      *obs.Counter
 	licenseRemaining *obs.GaugeVec
 	licenseLost      *obs.GaugeVec
+	licenseConsumed  *obs.GaugeVec
 	expectedLoss     *obs.GaugeVec
 	alg1Alpha        *obs.GaugeVec // slremote_alg1_alpha{client}
 	alg1ScaleDown    *obs.GaugeVec // slremote_alg1_scale_down{client}
@@ -33,6 +34,7 @@ type serverMetrics struct {
 //	slremote_grant_units                    Algorithm 1 grant sizes (histogram)
 //	slremote_license_remaining_units{license=...}
 //	slremote_license_lost_units{license=...}
+//	slremote_license_consumed_units{license=...}
 //	slremote_expected_loss_units{license=...}  last Eq. 1 evaluation per license
 //	slremote_alg1_alpha{client=...}            α_i at the client's last renewal
 //	slremote_alg1_scale_down{client=...}       effective G_i/g_i divisor applied
@@ -65,6 +67,8 @@ func (s *Server) ExposeMetrics(reg *obs.Registry) {
 			"Undistributed GCL units per license.", "license"),
 		licenseLost: reg.GaugeVec("slremote_license_lost_units",
 			"GCL units forfeited by crashed clients per license.", "license"),
+		licenseConsumed: reg.GaugeVec("slremote_license_consumed_units",
+			"GCL units clients reported as spent per license.", "license"),
 		expectedLoss: reg.GaugeVec("slremote_expected_loss_units",
 			"Last Equation 1 expected-loss evaluation per license.", "license"),
 		alg1Alpha: reg.GaugeVec("slremote_alg1_alpha",

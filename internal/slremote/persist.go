@@ -189,6 +189,7 @@ type licenseImage struct {
 	Tau        float64 `json:"tau"`
 	Revoked    bool    `json:"revoked"`
 	Lost       int64   `json:"lost"`
+	Consumed   int64   `json:"consumed,omitempty"`
 }
 
 type clientImage struct {
@@ -217,6 +218,7 @@ func (s *Server) imageLocked() snapshotImage {
 			Tau:        lic.Tau,
 			Revoked:    lic.Revoked,
 			Lost:       lic.Lost,
+			Consumed:   lic.Consumed,
 		}
 	}
 	for slid, c := range s.clients {
@@ -253,6 +255,7 @@ func (s *Server) restoreImageLocked(img snapshotImage) error {
 			Tau:       li.Tau,
 			Revoked:   li.Revoked,
 			Lost:      li.Lost,
+			Consumed:  li.Consumed,
 		}
 	}
 	for slid, ci := range img.Clients {
@@ -402,7 +405,7 @@ func (s *Server) applyEventLocked(ev event) error {
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrUnknownClient, ev.SLID)
 		}
-		c.outstanding[ev.License] -= ev.Units
+		s.applyConsumeLocked(c, ev.License, ev.Units)
 	default:
 		return fmt.Errorf("unknown WAL op %q", ev.Op)
 	}

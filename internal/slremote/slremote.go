@@ -112,6 +112,10 @@ type License struct {
 	Revoked bool
 	// Lost counts GCL units forfeited by crashed clients.
 	Lost int64
+	// Consumed counts GCL units clients reported as spent (ConsumeReport).
+	// Together the counters satisfy the conservation law the chaos harness
+	// checks: TotalGCL == Remaining + Σ outstanding + Consumed + Lost.
+	Consumed int64
 }
 
 // clientState is SL-Remote's view of one SL-Local instance.
@@ -697,9 +701,23 @@ func (s *Server) ConsumeReport(slid, licenseID string, units int64) error {
 	if err := s.logLocked(event{Op: opConsume, SLID: slid, License: licenseID, Units: units}); err != nil {
 		return err
 	}
-	c.outstanding[licenseID] = held - units
+	s.applyConsumeLocked(c, licenseID, units)
 	s.maybeSnapshotLocked()
 	return nil
+}
+
+// applyConsumeLocked moves units from the client's outstanding balance to
+// the license's consumed ledger; shared by ConsumeReport and WAL replay.
+// Without the Consumed counter the units would simply vanish, and no
+// global invariant over the license pool could ever balance.
+func (s *Server) applyConsumeLocked(c *clientState, licenseID string, units int64) {
+	c.outstanding[licenseID] -= units
+	if lic, ok := s.licenses[licenseID]; ok {
+		lic.Consumed += units
+		if m := s.metrics.Load(); m != nil {
+			m.licenseConsumed.With(licenseID).Set(float64(lic.Consumed))
+		}
+	}
 }
 
 // Outstanding returns the units of the license currently held by a client.

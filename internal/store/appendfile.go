@@ -15,9 +15,11 @@ import (
 // WAL: a short or zero-filled final frame is truncated, interior
 // corruption fails loudly with ErrCorruptRecord.
 type AppendFile struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	mu     sync.Mutex
+	f      File
+	path   string
+	size   int64 // bytes known durable: every frame written and fsynced
+	wedged error // sticky failure after an unrecoverable rollback
 }
 
 // OpenAppendFile opens (creating if absent) the record file at path and
@@ -26,10 +28,15 @@ type AppendFile struct {
 // before the tail is returned as an error and the file is left untouched.
 // The returned payload slices do not alias the file.
 func OpenAppendFile(path string) (*AppendFile, [][]byte, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	return OpenAppendFileFS(OSFS(), path)
+}
+
+// OpenAppendFileFS is OpenAppendFile through an explicit filesystem (see FS).
+func OpenAppendFileFS(fsys FS, path string) (*AppendFile, [][]byte, error) {
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: creating %s parent: %w", path, err)
 	}
-	buf, err := os.ReadFile(path)
+	buf, err := fsys.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("store: reading %s: %w", path, err)
 	}
@@ -37,7 +44,7 @@ func OpenAppendFile(path string) (*AppendFile, [][]byte, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %s: %w", path, err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: opening %s: %w", path, err)
 	}
@@ -60,10 +67,14 @@ func OpenAppendFile(path string) (*AppendFile, [][]byte, error) {
 	for i, r := range records {
 		out[i] = append([]byte(nil), r...)
 	}
-	return &AppendFile{f: f, path: path}, out, nil
+	return &AppendFile{f: f, path: path, size: valid}, out, nil
 }
 
-// Append frames, writes, and fsyncs one record.
+// Append frames, writes, and fsyncs one record. A failed write or fsync is
+// rolled back to the last durable frame: clients of AppendFile (the audit
+// chain) treat appends as best-effort and keep going, so a partial frame
+// left in place would corrupt the interior of the file for every append
+// after it.
 func (a *AppendFile) Append(payload []byte) error {
 	if len(payload) == 0 {
 		return fmt.Errorf("store: empty record")
@@ -77,13 +88,32 @@ func (a *AppendFile) Append(payload []byte) error {
 	if a.f == nil {
 		return fmt.Errorf("store: %s: append after close", a.path)
 	}
+	if a.wedged != nil {
+		return a.wedged
+	}
 	if _, err := a.f.Write(frame); err != nil {
+		a.rollbackLocked(err)
 		return fmt.Errorf("store: appending to %s: %w", a.path, err)
 	}
 	if err := a.f.Sync(); err != nil {
+		a.rollbackLocked(err)
 		return fmt.Errorf("store: syncing %s: %w", a.path, err)
 	}
+	a.size += int64(len(frame))
 	return nil
+}
+
+// rollbackLocked cuts the file back to the last durable frame and
+// repositions the offset; if that fails the file wedges rather than risk
+// interleaving new frames after a partial one.
+func (a *AppendFile) rollbackLocked(cause error) {
+	if err := a.f.Truncate(a.size); err != nil {
+		a.wedged = fmt.Errorf("store: %s: rollback after %v failed: %w", a.path, cause, err)
+		return
+	}
+	if _, err := a.f.Seek(a.size, 0); err != nil {
+		a.wedged = fmt.Errorf("store: %s: rollback after %v failed: %w", a.path, cause, err)
+	}
 }
 
 // Path returns the file's path.
@@ -106,7 +136,12 @@ func (a *AppendFile) Close() error {
 // read-only, so a live writer is unaffected). Used by audit.Verify to
 // re-walk a chain that is still being written.
 func ReadAppendFile(path string) ([][]byte, error) {
-	buf, err := os.ReadFile(path)
+	return ReadAppendFileFS(OSFS(), path)
+}
+
+// ReadAppendFileFS is ReadAppendFile through an explicit filesystem (see FS).
+func ReadAppendFileFS(fsys FS, path string) ([][]byte, error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading %s: %w", path, err)
 	}

@@ -71,7 +71,14 @@ func (r *Recovered) Empty() bool {
 // is never silent. An absent or empty directory recovers to the empty
 // state.
 func Recover(dir string) (*Recovered, error) {
-	entries, err := os.ReadDir(dir)
+	return RecoverFS(OSFS(), dir)
+}
+
+// RecoverFS is Recover reading through an explicit filesystem, so a
+// fault-injection harness can recover from the same (possibly torn) files
+// it crashed.
+func RecoverFS(fsys FS, dir string) (*Recovered, error) {
+	entries, err := fsys.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return &Recovered{}, nil
 	}
@@ -93,7 +100,7 @@ func Recover(dir string) (*Recovered, error) {
 	rec := &Recovered{}
 	if haveSnap {
 		rec.Generation = gen
-		raw, err := os.ReadFile(snapPath(dir, gen))
+		raw, err := fsys.ReadFile(snapPath(dir, gen))
 		if err != nil {
 			return nil, fmt.Errorf("store: reading snapshot %d: %w", gen, err)
 		}
@@ -107,7 +114,7 @@ func Recover(dir string) (*Recovered, error) {
 		rec.Snapshot = append([]byte(nil), img...)
 	}
 
-	wal, err := os.ReadFile(walPath(dir, rec.Generation))
+	wal, err := fsys.ReadFile(walPath(dir, rec.Generation))
 	if os.IsNotExist(err) {
 		return rec, nil
 	}

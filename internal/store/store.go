@@ -106,6 +106,9 @@ type Options struct {
 	// Metrics, when non-nil, receives WAL/snapshot/recovery observations
 	// (see ExposeMetrics). Nil disables instrumentation at zero cost.
 	Metrics *Metrics
+	// FS substitutes a filesystem implementation (nil: the real one).
+	// Fault-injection harnesses use this; production code leaves it nil.
+	FS FS
 }
 
 // ErrClosed reports use of a closed store.
@@ -126,12 +129,16 @@ type Store struct {
 	window  time.Duration
 	dir     string
 	metrics *Metrics
+	fsys    FS
 
 	mu       sync.Mutex
-	f        *os.File // current generation's WAL, opened for append
+	f        File // current generation's WAL, opened for append
 	gen      uint64
+	size     int64     // bytes written to the current WAL (valid frames only)
+	synced   int64     // bytes known durable (≤ size)
 	batch    *walBatch // pending group commit, SyncBatched only
 	closed   bool
+	wedged   error // sticky failure after an unrecoverable rollback
 	finalErr error // result of Close's final fsync, for late flushers
 }
 
@@ -144,11 +151,15 @@ func Open(opts Options) (*Store, *Recovered, error) {
 	if opts.Dir == "" {
 		return nil, nil, errors.New("store: empty directory")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o700); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	if err := fsys.MkdirAll(opts.Dir, 0o700); err != nil {
 		return nil, nil, fmt.Errorf("store: creating %s: %w", opts.Dir, err)
 	}
 	start := time.Now()
-	rec, err := Recover(opts.Dir)
+	rec, err := RecoverFS(fsys, opts.Dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -159,29 +170,33 @@ func Open(opts Options) (*Store, *Recovered, error) {
 		window:  opts.BatchWindow,
 		dir:     opts.Dir,
 		metrics: opts.Metrics,
+		fsys:    fsys,
 		gen:     rec.Generation,
 	}
 	if s.window <= 0 {
 		s.window = DefaultBatchWindow
 	}
 	walPath := s.walPath(s.gen)
-	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o600)
+	f, err := fsys.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o600)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: opening WAL: %w", err)
 	}
+	valid := rec.walSize - rec.TruncatedBytes
 	if rec.TruncatedBytes > 0 {
 		// Drop the torn tail on disk too, so the next append starts at a
 		// record boundary instead of extending a half-written frame.
-		if err := f.Truncate(rec.walSize - rec.TruncatedBytes); err != nil {
+		if err := f.Truncate(valid); err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("store: truncating torn tail: %w", err)
 		}
 	}
-	if _, err := f.Seek(0, 2); err != nil {
+	if _, err := f.Seek(valid, 0); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("store: seeking WAL end: %w", err)
 	}
 	s.f = f
+	s.size = valid
+	s.synced = valid
 	// Earlier generations are garbage once a newer snapshot validated; a
 	// crash between snapshot rename and cleanup can leave them behind.
 	s.removeStaleGenerations(rec.Generation)
@@ -205,18 +220,37 @@ func (s *Store) Append(rec []byte) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
+	if s.wedged != nil {
+		err := s.wedged
+		s.mu.Unlock()
+		return err
+	}
 	if _, err := s.f.Write(frame); err != nil {
+		// A short or failed write may have left a partial frame on disk.
+		// Cut the file back to the last full frame so the record boundary
+		// discipline survives and later appends stay decodable.
+		s.truncateToLocked(s.size, err)
 		s.mu.Unlock()
 		return fmt.Errorf("store: WAL append: %w", err)
 	}
+	s.size += int64(len(frame))
 	s.metrics.observeAppend(len(frame))
 
 	switch s.mode {
 	case SyncOff:
+		// Nothing stronger to roll back to: treat the buffered write as
+		// the durability floor, like the mode's contract says.
+		s.synced = s.size
 		s.mu.Unlock()
 		return nil
 	case SyncAlways:
 		err := s.syncLocked()
+		if err != nil {
+			// The frame is written but not durable, and the caller will
+			// abort its mutation — drop the frame so a recovery never
+			// replays an event that was never applied.
+			s.truncateToLocked(s.synced, err)
+		}
 		s.mu.Unlock()
 		return err
 	}
@@ -247,13 +281,20 @@ func (s *Store) flushBatch(b *walBatch) {
 		err = s.finalErr
 	} else {
 		err = s.syncLocked()
+		if err != nil {
+			// Every unsynced byte belongs to this batch, and every waiter
+			// on it receives the error — so dropping those bytes keeps the
+			// file consistent with what the callers were told.
+			s.truncateToLocked(s.synced, err)
+		}
 	}
 	s.mu.Unlock()
 	b.err = err
 	close(b.done)
 }
 
-// syncLocked fsyncs the WAL and records the latency.
+// syncLocked fsyncs the WAL and records the latency. On success everything
+// written so far is durable.
 func (s *Store) syncLocked() error {
 	start := time.Now()
 	err := s.f.Sync()
@@ -261,7 +302,29 @@ func (s *Store) syncLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: fsync: %w", err)
 	}
+	s.synced = s.size
 	return nil
+}
+
+// truncateToLocked cuts the WAL back to off after a failed write or fsync,
+// repositioning the file offset (Truncate alone leaves it past the cut, and
+// a later write would punch a zero-filled hole that recovery reads as a
+// silently-truncating tail). If the cut itself fails the store wedges:
+// every later Append reports the combined error instead of risking an
+// interior-corrupt log.
+func (s *Store) truncateToLocked(off int64, cause error) {
+	if err := s.f.Truncate(off); err != nil {
+		s.wedged = fmt.Errorf("store: WAL rollback after %v failed: %w", cause, err)
+		return
+	}
+	if _, err := s.f.Seek(off, 0); err != nil {
+		s.wedged = fmt.Errorf("store: WAL rollback after %v failed: %w", cause, err)
+		return
+	}
+	s.size = off
+	if s.synced > off {
+		s.synced = off
+	}
 }
 
 // Snapshot writes a full state image as generation gen+1 and switches
@@ -284,8 +347,13 @@ func (s *Store) Snapshot(state []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.wedged != nil {
+		return s.wedged
+	}
 	// Anything already in the WAL buffer must be on disk before the
-	// snapshot that supersedes it claims to cover it.
+	// snapshot that supersedes it claims to cover it. On failure the
+	// unsynced bytes are a pending batch's, and its flush will report the
+	// error (and roll back) to the appenders that own them.
 	if s.mode != SyncOff {
 		if err := s.syncLocked(); err != nil {
 			return err
@@ -294,30 +362,49 @@ func (s *Store) Snapshot(state []byte) error {
 	next := s.gen + 1
 	snapPath := s.snapPath(next)
 	tmp := snapPath + ".tmp"
-	if err := writeFileSync(tmp, frame); err != nil {
+	if err := writeFileSync(s.fsys, tmp, frame); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, snapPath); err != nil {
+	if err := s.fsys.Rename(tmp, snapPath); err != nil {
 		return fmt.Errorf("store: publishing snapshot: %w", err)
 	}
-	if err := syncDir(s.dir); err != nil {
-		return err
+	// Past the rename, a failure must retract the published file before
+	// returning: recovery prefers the newest generation, so a snap-(gen+1)
+	// left behind while appends continue into wal-gen would shadow every
+	// later append at the next recovery.
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		s.retractSnapshotLocked(snapPath, err)
+		return fmt.Errorf("store: syncing dir: %w", err)
 	}
 	// The snapshot is durable: open the new generation's WAL and retire
 	// the old files.
-	f, err := os.OpenFile(s.walPath(next), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o600)
+	f, err := s.fsys.OpenFile(s.walPath(next), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o600)
 	if err != nil {
+		s.retractSnapshotLocked(snapPath, err)
 		return fmt.Errorf("store: opening WAL generation %d: %w", next, err)
 	}
 	old := s.f
 	oldGen := s.gen
 	s.f = f
 	s.gen = next
+	s.size = 0
+	s.synced = 0
 	old.Close()
-	os.Remove(s.walPath(oldGen))
-	os.Remove(s.snapPath(oldGen))
+	s.fsys.Remove(s.walPath(oldGen))
+	s.fsys.Remove(s.snapPath(oldGen))
 	s.metrics.observeSnapshot(len(frame))
 	return nil
+}
+
+// retractSnapshotLocked removes a published next-generation snapshot after
+// a later step of the generation switch failed, so the store's view (still
+// on the old generation) and the disk agree. If the removal itself fails
+// the store wedges: continuing to append into a generation shadowed by a
+// newer on-disk snapshot would lose those appends at the next recovery.
+func (s *Store) retractSnapshotLocked(snapPath string, cause error) {
+	if err := s.fsys.Remove(snapPath); err != nil {
+		s.wedged = fmt.Errorf("store: retracting snapshot after %v failed: %w", cause, err)
+	}
 }
 
 // Generation returns the current snapshot/WAL generation number.
@@ -345,6 +432,12 @@ func (s *Store) Close() error {
 	var err error
 	if s.mode != SyncOff {
 		err = s.syncLocked()
+		if err != nil {
+			// Best effort: drop unsynced bytes so the file on disk matches
+			// what callers were promised. The owning batch (claimed below,
+			// or flushing concurrently) receives the sync error either way.
+			s.truncateToLocked(s.synced, err)
+		}
 	}
 	s.finalErr = err
 	s.closed = true
@@ -369,7 +462,7 @@ func (s *Store) snapPath(gen uint64) string { return snapPath(s.dir, gen) }
 // removeStaleGenerations deletes WAL and snapshot files older than the
 // live generation (best-effort; leftovers are ignored by recovery anyway).
 func (s *Store) removeStaleGenerations(live uint64) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
 		return
 	}
@@ -379,13 +472,13 @@ func (s *Store) removeStaleGenerations(live uint64) {
 			continue
 		}
 		_ = kind
-		os.Remove(filepath.Join(s.dir, e.Name()))
+		s.fsys.Remove(filepath.Join(s.dir, e.Name()))
 	}
 }
 
 // writeFileSync writes data to path and fsyncs it before returning.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+func writeFileSync(fsys FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
 	if err != nil {
 		return fmt.Errorf("store: creating %s: %w", path, err)
 	}
@@ -399,19 +492,6 @@ func writeFileSync(path string, data []byte) error {
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: closing %s: %w", path, err)
-	}
-	return nil
-}
-
-// syncDir fsyncs a directory so a just-renamed file survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: opening dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("store: syncing dir: %w", err)
 	}
 	return nil
 }

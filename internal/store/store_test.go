@@ -455,6 +455,25 @@ func BenchmarkRecover(b *testing.B) {
 	}
 }
 
+// BenchmarkAppend measures the WAL append hot path — the cost every
+// SL-Remote mutation pays — without fsync so the framing and FS
+// indirection dominate rather than the disk.
+func BenchmarkAppend(b *testing.B) {
+	s, _, err := Open(Options{Dir: b.TempDir(), Mode: SyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	payload := bytes.Repeat([]byte("x"), 120)
+	b.SetBytes(int64(frameHeaderSize + len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestRecoverTenThousandUnderASecond pins the acceptance criterion as a
 // test (generously: the benchmark shows recovery is ~3 orders of magnitude
 // faster than the bound).

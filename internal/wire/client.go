@@ -256,6 +256,19 @@ func (c *Client) SetProfile(slid string, health, reliability, weight float64) er
 	return nil
 }
 
+// ConsumeReport reports spent units so the server's outstanding view (and
+// the conservation ledger behind it) tracks reality.
+func (c *Client) ConsumeReport(slid, licenseID string, units int64) error {
+	env, err := c.roundTrip(TypeConsume, ConsumeRequest{SLID: slid, License: licenseID, Units: units})
+	if err != nil {
+		return err
+	}
+	if env.Type != TypeOK {
+		return RemoteErr(env)
+	}
+	return nil
+}
+
 // LicenseInfo fetches license state (admin).
 func (c *Client) LicenseInfo(id string) (LicenseInfoResponse, error) {
 	env, err := c.roundTrip(TypeLicenseInfo, LicenseInfoRequest{ID: id})

@@ -88,7 +88,7 @@ func (s *Server) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 func rpcLabel(msgType string) string {
 	switch msgType {
 	case TypeInit, TypeRenew, TypeEscrow, TypeRegisterLicense,
-		TypeReportCrash, TypeSetProfile, TypeLicenseInfo:
+		TypeReportCrash, TypeSetProfile, TypeLicenseInfo, TypeConsume:
 		return msgType
 	default:
 		return "unknown"

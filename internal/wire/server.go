@@ -411,6 +411,16 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		}
 		return WriteMessage(out, TypeOK, nil)
 
+	case TypeConsume:
+		var req ConsumeRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		if err := s.remote.ConsumeReport(req.SLID, req.License, req.Units); err != nil {
+			return fail(err)
+		}
+		return WriteMessage(out, TypeOK, nil)
+
 	case TypeLicenseInfo:
 		var req LicenseInfoRequest
 		if err := DecodePayload(env, &req); err != nil {
@@ -427,6 +437,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 			Remaining: lic.Remaining,
 			Revoked:   lic.Revoked,
 			Lost:      lic.Lost,
+			Consumed:  lic.Consumed,
 		})
 
 	default:

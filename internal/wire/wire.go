@@ -33,6 +33,7 @@ const (
 	TypeReportCrash     = "report_crash"
 	TypeSetProfile      = "set_profile"
 	TypeLicenseInfo     = "license_info"
+	TypeConsume         = "consume"
 	TypeError           = "error"
 	TypeOK              = "ok"
 )
@@ -116,6 +117,15 @@ type SetProfileRequest struct {
 	Weight      float64 `json:"weight"`
 }
 
+// ConsumeRequest reports units a client spent from its sub-GCL, moving
+// them from the server's outstanding view to the license's consumed
+// ledger.
+type ConsumeRequest struct {
+	SLID    string `json:"slid"`
+	License string `json:"license"`
+	Units   int64  `json:"units"`
+}
+
 // LicenseInfoRequest fetches license state (admin).
 type LicenseInfoRequest struct {
 	ID string `json:"id"`
@@ -129,6 +139,7 @@ type LicenseInfoResponse struct {
 	Remaining int64  `json:"remaining"`
 	Revoked   bool   `json:"revoked"`
 	Lost      int64  `json:"lost"`
+	Consumed  int64  `json:"consumed,omitempty"`
 }
 
 // ErrorResponse reports a server-side failure.
