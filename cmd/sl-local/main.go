@@ -4,15 +4,22 @@
 // tree restore), and then drives a demo workload of license checks so the
 // end-to-end flow can be observed against a live server.
 //
-//	sl-remote -addr :7600 -license demo:count:100000 &
-//	sl-local  -remote 127.0.0.1:7600 -license demo -checks 1000 -batch 10
+// The wire channel is attested by default: both daemons derive their
+// channel credentials from a shared provisioning secret, so they must be
+// started with the same -ratls-secret (or -ratls-secret-file). Pass
+// -insecure on both to run the demo over explicit plaintext instead.
+//
+//	sl-remote -addr :7600 -ratls-secret swarm -license demo:count:100000 &
+//	sl-local  -remote 127.0.0.1:7600 -ratls-secret swarm -license demo -checks 1000 -batch 10
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -20,10 +27,42 @@ import (
 	"repro/internal/attest"
 	"repro/internal/cli"
 	"repro/internal/obs"
+	"repro/internal/ratls"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
+	"repro/internal/slremote"
 	"repro/internal/wire"
 )
+
+// channelConfig builds the daemon's wire-channel config: RA-TLS by
+// default (presenting the SL-Local code identity, pinning SL-Remote's),
+// plaintext only behind the explicit -insecure flag.
+func channelConfig(insecure bool, secret, secretFile, name string, m *sgx.Machine) (*ratls.Config, error) {
+	if insecure {
+		return ratls.Insecure(), nil
+	}
+	raw, err := loadChannelSecret(secret, secretFile)
+	if err != nil {
+		return nil, err
+	}
+	return ratls.NewProvisioned(name, m, raw, sllocal.EnclaveCodeIdentity, slremote.EnclaveCodeIdentity)
+}
+
+// loadChannelSecret resolves the -ratls-secret[-file] flags; the attested
+// default refuses to start without one.
+func loadChannelSecret(secret, file string) ([]byte, error) {
+	if file != "" {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("reading -ratls-secret-file: %w", err)
+		}
+		secret = strings.TrimSpace(string(raw))
+	}
+	if secret == "" {
+		return nil, errors.New("the wire channel is attested by default: provide -ratls-secret or -ratls-secret-file (shared with the peer daemon), or opt out explicitly with -insecure")
+	}
+	return []byte(secret), nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -41,6 +80,10 @@ func run() error {
 		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /readyz, /trace); empty disables")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the observability endpoint")
 		linger      = flag.Duration("linger", 0, "keep running (and serving metrics) this long after the workload finishes")
+
+		insecure        = flag.Bool("insecure", false, "speak explicit plaintext on the wire channel instead of the attested (RA-TLS) default; both daemons must agree")
+		ratlsSecret     = flag.String("ratls-secret", "", "shared provisioning secret for the attested channel (both daemons must use the same secret)")
+		ratlsSecretFile = flag.String("ratls-secret-file", "", "read the channel provisioning secret from this file instead of the command line")
 	)
 	flag.Parse()
 
@@ -52,7 +95,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	client, err := wire.Dial(*remoteAddr)
+	rc, err := channelConfig(*insecure, *ratlsSecret, *ratlsSecretFile, *name, machine)
+	if err != nil {
+		return err
+	}
+	client, err := wire.Dial(*remoteAddr, rc)
 	if err != nil {
 		return err
 	}
@@ -74,6 +121,7 @@ func run() error {
 		machine.ExposeMetrics(reg)
 		svc.ExposeMetrics(reg, tracer)
 		client.ExposeMetrics(reg, tracer)
+		rc.ExposeMetrics(reg, tracer)
 		ep, err := obs.StartHTTPOpts(*metricsAddr, reg, tracer,
 			obs.HandlerOptions{Ready: ready.Load, PProf: *pprofOn})
 		if err != nil {

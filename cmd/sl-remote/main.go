@@ -3,9 +3,14 @@
 // initialization (remote attestation + SLID assignment), lease renewal
 // (Algorithm 1), and root-key escrow.
 //
+// The wire channel is attested by default: clients connect over RA-TLS,
+// with both daemons deriving channel credentials from a shared
+// provisioning secret (-ratls-secret or -ratls-secret-file, same value
+// on every daemon). Pass -insecure to serve explicit plaintext instead.
+//
 // Licenses can be pre-registered at startup with repeated -license flags:
 //
-//	sl-remote -addr :7600 -license demo:count:100000 -license pro:perpetual:1
+//	sl-remote -addr :7600 -ratls-secret swarm -license demo:count:100000 -license pro:perpetual:1
 //
 // With -state-dir the server becomes durable: every state mutation is
 // write-ahead-logged, snapshots compact the log, and a restart recovers
@@ -41,7 +46,10 @@ import (
 	"repro/internal/cli"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/ratls"
 	"repro/internal/seccrypto"
+	"repro/internal/sgx"
+	"repro/internal/sllocal"
 	"repro/internal/slremote"
 	"repro/internal/store"
 	"repro/internal/wire"
@@ -81,6 +89,11 @@ func run() error {
 		sealSecretFile = flag.String("seal-secret-file", "", "read the seal secret from this file instead of the command line")
 		auditFile      = flag.String("audit-file", "", "tamper-evident lease audit log path (defaults to <state-dir>/audit.log with -state-dir; requires the seal secret)")
 		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests before force-closing connections")
+
+		insecure        = flag.Bool("insecure", false, "speak explicit plaintext on the wire channel instead of the attested (RA-TLS) default; both daemons must agree")
+		ratlsSecret     = flag.String("ratls-secret", "", "shared provisioning secret for the attested channel (both daemons must use the same secret)")
+		ratlsSecretFile = flag.String("ratls-secret-file", "", "read the channel provisioning secret from this file instead of the command line")
+		ticketRotate    = flag.Duration("ratls-ticket-rotate", 0, "rotate the session-ticket secret at this interval, forcing resumed clients back through a full quote-verified handshake; 0 never rotates")
 	)
 	flag.Var(&licenses, "license", licenseFlagHelp)
 	flag.Parse()
@@ -208,7 +221,11 @@ func run() error {
 
 	remote.AttachAudit(auditLog)
 
-	srv, err := wire.NewServer(remote, log.Printf)
+	rc, err := channelConfig(*insecure, *ratlsSecret, *ratlsSecretFile)
+	if err != nil {
+		return err
+	}
+	srv, err := wire.NewServer(remote, log.Printf, rc)
 	if err != nil {
 		return err
 	}
@@ -216,6 +233,31 @@ func run() error {
 		remote.ExposeMetrics(reg)
 		srv.ExposeMetrics(reg, tracer)
 		auditLog.ExposeMetrics(reg)
+		rc.ExposeMetrics(reg, tracer)
+	}
+	if *ticketRotate > 0 && !rc.IsInsecure() {
+		rotateDone := make(chan struct{})
+		defer close(rotateDone)
+		go func() {
+			tick := time.NewTicker(*ticketRotate)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := rc.RotateTicketSecret(); err != nil {
+						log.Printf("ticket rotation: %v", err)
+					}
+				case <-rotateDone:
+					return
+				}
+			}
+		}()
+		log.Printf("rotating session-ticket secret every %v", *ticketRotate)
+	}
+	if rc.IsInsecure() {
+		log.Printf("wire channel: explicit plaintext (-insecure)")
+	} else {
+		log.Printf("wire channel: attested (RA-TLS), presenting %s", slremote.EnclaveCodeIdentity)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -256,6 +298,40 @@ func run() error {
 	}
 	log.Printf("sl-remote: shutdown complete")
 	return nil
+}
+
+// channelConfig builds the server's wire-channel config: RA-TLS by
+// default (presenting the SL-Remote code identity on a dedicated channel
+// machine, pinning SL-Local's), plaintext only behind -insecure.
+func channelConfig(insecure bool, secret, secretFile string) (*ratls.Config, error) {
+	if insecure {
+		return ratls.Insecure(), nil
+	}
+	raw, err := loadChannelSecret(secret, secretFile)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sgx.NewMachine(sgx.MachineConfig{Name: "sl-remote"})
+	if err != nil {
+		return nil, err
+	}
+	return ratls.NewProvisioned("sl-remote", m, raw, slremote.EnclaveCodeIdentity, sllocal.EnclaveCodeIdentity)
+}
+
+// loadChannelSecret resolves the -ratls-secret[-file] flags; the attested
+// default refuses to start without one.
+func loadChannelSecret(secret, file string) ([]byte, error) {
+	if file != "" {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("reading -ratls-secret-file: %w", err)
+		}
+		secret = strings.TrimSpace(string(raw))
+	}
+	if secret == "" {
+		return nil, errors.New("the wire channel is attested by default: provide -ratls-secret or -ratls-secret-file (shared with every sl-local), or opt out explicitly with -insecure")
+	}
+	return []byte(secret), nil
 }
 
 // loadSealKey derives the 128-bit seal key from the operator's secret (a

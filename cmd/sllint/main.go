@@ -14,7 +14,7 @@
 // Findings can be suppressed with a justified comment on or above the
 // flagged line:
 //
-//	//sllint:ignore secretflow escrow crosses the attested channel sealed by design
+//	//sllint:ignore lockdisc the tree is unpublished while Restore runs; nothing can race
 //
 // A suppression without a written reason is itself a finding. Exit codes:
 // 0 clean, 1 findings, 2 usage or load failure.

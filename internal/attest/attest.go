@@ -24,6 +24,7 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -69,6 +70,63 @@ type Quote struct {
 	Signature [sha256.Size]byte
 }
 
+// quoteJSON is the transport encoding of a Quote: base64 fields with
+// strict sizes, shared by the wire envelope and the ratls certificate
+// extension so the two cannot drift.
+type quoteJSON struct {
+	Source    []byte `json:"source"`
+	Target    []byte `json:"target"`
+	Data      []byte `json:"data"`
+	MAC       []byte `json:"mac"`
+	Platform  string `json:"platform"`
+	Signature []byte `json:"signature"`
+}
+
+// MarshalJSON encodes the quote with base64 fields (encoding/json's
+// default []byte handling), avoiding the integer-array form fixed-size
+// arrays would otherwise produce.
+func (q Quote) MarshalJSON() ([]byte, error) {
+	return json.Marshal(quoteJSON{
+		Source:    q.Report.Source[:],
+		Target:    q.Report.Target[:],
+		Data:      q.Report.Data[:],
+		MAC:       q.Report.MAC[:],
+		Platform:  q.Platform,
+		Signature: q.Signature[:],
+	})
+}
+
+// ErrMalformedQuote reports a quote encoding whose fields have the wrong
+// sizes — a tampered or truncated transport frame, rejected before any
+// cryptographic verification runs.
+var ErrMalformedQuote = errors.New("attest: malformed quote encoding")
+
+// UnmarshalJSON decodes a quote, rejecting any field whose decoded size
+// does not match the fixed report layout.
+func (q *Quote) UnmarshalJSON(b []byte) error {
+	var enc quoteJSON
+	if err := json.Unmarshal(b, &enc); err != nil {
+		return fmt.Errorf("%w: %v", ErrMalformedQuote, err)
+	}
+	var out Quote
+	if len(enc.Source) != len(out.Report.Source) ||
+		len(enc.Target) != len(out.Report.Target) ||
+		len(enc.Data) != len(out.Report.Data) ||
+		len(enc.MAC) != len(out.Report.MAC) ||
+		len(enc.Signature) != len(out.Signature) {
+		return fmt.Errorf("%w: field sizes %d/%d/%d/%d/%d", ErrMalformedQuote,
+			len(enc.Source), len(enc.Target), len(enc.Data), len(enc.MAC), len(enc.Signature))
+	}
+	copy(out.Report.Source[:], enc.Source)
+	copy(out.Report.Target[:], enc.Target)
+	copy(out.Report.Data[:], enc.Data)
+	copy(out.Report.MAC[:], enc.MAC)
+	copy(out.Signature[:], enc.Signature)
+	out.Platform = enc.Platform
+	*q = out
+	return nil
+}
+
 // Platform wraps one machine with the secrets needed to mint reports and
 // quotes. Create one Platform per sgx.Machine.
 type Platform struct {
@@ -93,6 +151,34 @@ func NewPlatform(name string, m *sgx.Machine) (*Platform, error) {
 		return nil, fmt.Errorf("attest: quote key: %w", err)
 	}
 	return &Platform{machine: m, name: name, localKey: localKey, quoteKey: quoteKey}, nil
+}
+
+// NewProvisionedPlatform equips a machine for attestation with keys
+// derived deterministically from a shared provisioning secret. It stands
+// in for Intel key provisioning: a verification service holding the same
+// secret (via Service.EnableProvisioning) can verify this platform's
+// quotes without an in-process RegisterPlatform call, which is what lets
+// two daemon processes attest each other.
+func NewProvisionedPlatform(name string, m *sgx.Machine, secret []byte) (*Platform, error) {
+	if m == nil {
+		return nil, errors.New("attest: nil machine")
+	}
+	if len(secret) == 0 {
+		return nil, errors.New("attest: empty provisioning secret")
+	}
+	return &Platform{
+		machine:  m,
+		name:     name,
+		localKey: deriveKey(secret, "local|"+name),
+		quoteKey: deriveKey(secret, "quote|"+name),
+	}, nil
+}
+
+// deriveKey derives a labeled 32-byte key from the provisioning secret.
+func deriveKey(secret []byte, label string) []byte {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(label))
+	return mac.Sum(nil)
 }
 
 // Name returns the platform's registered name.
@@ -210,6 +296,7 @@ type Service struct {
 	mu        sync.RWMutex
 	platforms map[string][]byte // name → quoting key
 	trusted   map[sgx.Measurement]struct{}
+	provision []byte // non-nil: derive unknown platforms' quote keys
 }
 
 // NewService returns an empty verification service.
@@ -227,6 +314,16 @@ func (s *Service) RegisterPlatform(p *Platform) {
 	key := make([]byte, len(p.quoteKey))
 	copy(key, p.quoteKey)
 	s.platforms[p.name] = key
+}
+
+// EnableProvisioning gives the service the shared provisioning secret:
+// quotes from platforms it has never seen verify against keys derived
+// from the secret (mirroring NewProvisionedPlatform), so daemons in
+// separate processes need only agree on the secret, not exchange keys.
+func (s *Service) EnableProvisioning(secret []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.provision = append([]byte(nil), secret...)
 }
 
 // TrustMeasurement adds an enclave measurement to the trust set.
@@ -251,6 +348,9 @@ func (s *Service) RevokeMeasurement(m sgx.Measurement) {
 func (s *Service) VerifyQuote(q Quote, chargeTo *sgx.Machine) error {
 	s.mu.RLock()
 	key, ok := s.platforms[q.Platform]
+	if !ok && s.provision != nil {
+		key, ok = deriveKey(s.provision, "quote|"+q.Platform), true
+	}
 	_, trusted := s.trusted[q.Report.Source]
 	s.mu.RUnlock()
 

@@ -1,6 +1,8 @@
 package attest
 
 import (
+	"encoding/base64"
+	"encoding/json"
 	"errors"
 	"testing"
 	"time"
@@ -208,6 +210,128 @@ func TestQuoteForgeryFails(t *testing.T) {
 	forged.Platform = "attacker"
 	if err := svc.VerifyQuote(forged, nil); !errors.Is(err, ErrBadQuote) {
 		t.Fatalf("forged platform attribution accepted: %v", err)
+	}
+}
+
+func TestQuoteJSONRoundTrip(t *testing.T) {
+	p := newPlatform(t, "client")
+	e := mkEnclave(t, p, "sl-local", "sl-local-code")
+	q, err := p.CreateQuote(e, []byte("pubkey-hash"))
+	if err != nil {
+		t.Fatalf("CreateQuote: %v", err)
+	}
+	b, err := json.Marshal(q)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Quote
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got != q {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, q)
+	}
+	// The decoded quote must still verify.
+	svc := NewService()
+	svc.RegisterPlatform(p)
+	svc.TrustMeasurement(e.Measurement())
+	if err := svc.VerifyQuote(got, nil); err != nil {
+		t.Fatalf("round-tripped quote rejected: %v", err)
+	}
+}
+
+func TestQuoteJSONRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"wrong field type", `{"source":123}`},
+		{"bad base64", `{"source":"@@@"}`},
+		{"short source", `{"source":"AAAA","target":"` + b64zeros(32) + `","data":"` + b64zeros(64) + `","mac":"` + b64zeros(32) + `","platform":"p","signature":"` + b64zeros(32) + `"}`},
+		{"long data", `{"source":"` + b64zeros(32) + `","target":"` + b64zeros(32) + `","data":"` + b64zeros(96) + `","mac":"` + b64zeros(32) + `","platform":"p","signature":"` + b64zeros(32) + `"}`},
+		{"missing fields", `{"platform":"p"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var q Quote
+			if err := json.Unmarshal([]byte(tc.in), &q); !errors.Is(err, ErrMalformedQuote) {
+				t.Fatalf("got %v, want ErrMalformedQuote", err)
+			}
+		})
+	}
+}
+
+func b64zeros(n int) string {
+	return base64.StdEncoding.EncodeToString(make([]byte, n))
+}
+
+func TestProvisionedPlatformCrossProcess(t *testing.T) {
+	secret := []byte("shared-provisioning-secret")
+	m, err := sgx.NewMachine(sgx.MachineConfig{Name: "daemon", EPCBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	p, err := NewProvisionedPlatform("daemon-host", m, secret)
+	if err != nil {
+		t.Fatalf("NewProvisionedPlatform: %v", err)
+	}
+	e := mkEnclave(t, p, "sl-local", "sl-local-code")
+	q, err := p.CreateQuote(e, nil)
+	if err != nil {
+		t.Fatalf("CreateQuote: %v", err)
+	}
+
+	// The verifier never saw the platform object — it only shares the
+	// provisioning secret, as a separate daemon process would.
+	svc := NewService()
+	svc.EnableProvisioning(secret)
+	svc.TrustMeasurement(sgx.MeasurementOf([]byte("sl-local-code")))
+	if err := svc.VerifyQuote(q, nil); err != nil {
+		t.Fatalf("provisioned quote rejected: %v", err)
+	}
+
+	// A service with a different secret derives the wrong key.
+	other := NewService()
+	other.EnableProvisioning([]byte("different-secret"))
+	other.TrustMeasurement(e.Measurement())
+	if err := other.VerifyQuote(q, nil); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("wrong-secret verification: got %v, want ErrBadQuote", err)
+	}
+
+	// Without provisioning the platform is simply unknown.
+	plain := NewService()
+	plain.TrustMeasurement(e.Measurement())
+	if err := plain.VerifyQuote(q, nil); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("unprovisioned verification: got %v, want ErrUnknownPlatform", err)
+	}
+}
+
+func TestProvisionedPlatformDeterministic(t *testing.T) {
+	secret := []byte("s")
+	m1, _ := sgx.NewMachine(sgx.MachineConfig{Name: "m1", EPCBytes: 1 << 20})
+	m2, _ := sgx.NewMachine(sgx.MachineConfig{Name: "m2", EPCBytes: 1 << 20})
+	p1, err := NewProvisionedPlatform("host", m1, secret)
+	if err != nil {
+		t.Fatalf("NewProvisionedPlatform: %v", err)
+	}
+	p2, err := NewProvisionedPlatform("host", m2, secret)
+	if err != nil {
+		t.Fatalf("NewProvisionedPlatform: %v", err)
+	}
+	// Same name + secret → same quoting identity across "processes".
+	e1 := mkEnclave(t, p1, "e", "code")
+	q1, err := p1.CreateQuote(e1, nil)
+	if err != nil {
+		t.Fatalf("CreateQuote: %v", err)
+	}
+	svc := NewService()
+	svc.RegisterPlatform(p2)
+	svc.TrustMeasurement(e1.Measurement())
+	if err := svc.VerifyQuote(q1, nil); err != nil {
+		t.Fatalf("cross-instance provisioned quote rejected: %v", err)
+	}
+	if _, err := NewProvisionedPlatform("host", m1, nil); err == nil {
+		t.Fatal("empty secret accepted")
 	}
 }
 

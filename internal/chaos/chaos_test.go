@@ -295,6 +295,50 @@ func TestConnDropSwallowsAndDupDoubles(t *testing.T) {
 	}
 }
 
+func TestConnCorruptFlipsByteAndSevers(t *testing.T) {
+	d := NewNetDirector()
+	w, peer := connPair(t, d)
+	d.Arm(ConnFault{Kind: Corrupt})
+
+	msg := []byte("0123456789abcdef")
+	if n, err := w.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("corrupt write: n=%d err=%v, want full fake success", n, err)
+	}
+	buf := make([]byte, len(msg)+8)
+	total := 0
+	for {
+		k, err := peer.Read(buf[total:])
+		total += k
+		if err != nil {
+			break
+		}
+	}
+	if total != len(msg) {
+		t.Fatalf("peer saw %d bytes, want %d", total, len(msg))
+	}
+	if bytes.Equal(buf[:total], msg) {
+		t.Fatal("corrupt fault delivered the bytes unmodified")
+	}
+	diff := 0
+	for i := range msg {
+		if buf[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt fault changed %d bytes, want exactly 1", diff)
+	}
+	// The connection is severed after the corrupted write, as with Dup:
+	// a desynced-but-open stream would break write-counter determinism.
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("connection still open after corrupt fault")
+	}
+	tr := d.Trace()
+	if len(tr) != 1 || tr[0].Kind != Corrupt {
+		t.Fatalf("trace = %v, want [corrupt]", tr)
+	}
+}
+
 func TestScheduleDeterministicAndStructured(t *testing.T) {
 	a := NewSchedule(42, 4, 220)
 	b := NewSchedule(42, 4, 220)

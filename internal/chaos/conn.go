@@ -32,6 +32,11 @@ const (
 	Cut = "cut"
 	// Reset closes the connection instead of writing.
 	Reset = "reset"
+	// Corrupt flips one byte mid-write and then severs the connection:
+	// over a plaintext stream the peer decodes garbage, over TLS the
+	// record MAC fails and the session dies with an authentication
+	// error. Severing keeps the fault self-contained, as with Dup.
+	Corrupt = "corrupt"
 )
 
 // ErrConnFault reports a write the injector failed on purpose.
@@ -44,7 +49,7 @@ const delayDuration = 5 * time.Millisecond
 
 // ConnFault is one armed connection fault.
 type ConnFault struct {
-	// Kind is Drop, Delay, Dup, Cut, or Reset.
+	// Kind is Drop, Delay, Dup, Cut, Reset, or Corrupt.
 	Kind string
 	// After skips this many writes before firing (0 fires on the next
 	// write through any wrapped connection).
@@ -192,6 +197,15 @@ func (c *Conn) Write(p []byte) (int, error) {
 	case Reset:
 		_ = c.Conn.Close()
 		return 0, fmt.Errorf("%w: connection reset", ErrConnFault)
+	case Corrupt:
+		bad := append([]byte(nil), p...)
+		bad[len(bad)/2] ^= 0xFF
+		n, err := c.Conn.Write(bad)
+		_ = c.Conn.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, nil
 	}
 	return c.Conn.Write(p)
 }

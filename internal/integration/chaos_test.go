@@ -15,6 +15,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/chaos"
 	"repro/internal/lease"
+	"repro/internal/ratls"
 	"repro/internal/seccrypto"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
@@ -41,13 +42,14 @@ const (
 // daemon's retry posture, minus retries, which the deterministic schedule
 // cannot afford (an op either lands or is charged as a denial).
 type chaosDialer struct {
-	h *swarmHarness
-	c *wire.Client
+	h  *swarmHarness
+	rc *ratls.Config
+	c  *wire.Client
 }
 
 func (d *chaosDialer) client() (*wire.Client, error) {
 	if d.c == nil {
-		c, err := wire.DialTimeout(d.h.addr, swarmRPCWait)
+		c, err := wire.DialTimeout(d.h.addr, swarmRPCWait, d.rc)
 		if err != nil {
 			return nil, err
 		}
@@ -163,6 +165,11 @@ type swarmHarness struct {
 	sealKey  seccrypto.Key
 	service  *attest.Service
 
+	// srvRC is the server's channel config. It survives restarts on
+	// purpose: the session-ticket keys live in it, so clients resume
+	// their attested sessions against the recovered incarnation.
+	srvRC *ratls.Config
+
 	aud    *audit.Log
 	st     *store.Store
 	remote *slremote.Server
@@ -204,7 +211,7 @@ func (h *swarmHarness) boot() {
 		h.fatalf("RecoverServer: %v", err)
 	}
 	remote.AttachAudit(aud)
-	srv, err := wire.NewServer(remote, nil)
+	srv, err := wire.NewServer(remote, nil, h.srvRC)
 	if err != nil {
 		h.fatalf("wire.NewServer: %v", err)
 	}
@@ -372,9 +379,52 @@ func (h *swarmHarness) runStep(i int, st chaos.Step) {
 	}
 }
 
+// swarmChanCode is the channel enclave's code identity, shared by every
+// swarm endpoint; one trusted measurement covers them all.
+var swarmChanCode = []byte("swarm-chan")
+
+// channelOn mints an attested channel config for an existing platform: a
+// channel enclave on m whose measurement the harness service trusts. The
+// handshake deadline matches the RPC deadline so a dropped TLS flight
+// costs one bounded wait, not DefaultHandshakeTimeout.
+func (h *swarmHarness) channelOn(m *sgx.Machine, plat *attest.Platform, name string) *ratls.Config {
+	h.t.Helper()
+	e, err := m.CreateEnclave(name+"-chan", swarmChanCode, 0)
+	if err != nil {
+		h.fatalf("channel enclave %s: %v", name, err)
+	}
+	h.service.TrustMeasurement(e.Measurement())
+	cfg, err := ratls.New(ratls.Options{
+		Platform: plat, Enclave: e, Verifier: h.service,
+		HandshakeTimeout: swarmRPCWait,
+	})
+	if err != nil {
+		h.fatalf("ratls.New(%s): %v", name, err)
+	}
+	return cfg
+}
+
+// newChannel is channelOn plus a fresh machine and registered platform,
+// for endpoints (server, admin) that have no swarm machine of their own.
+func (h *swarmHarness) newChannel(name string) *ratls.Config {
+	h.t.Helper()
+	m, err := sgx.NewMachine(sgx.MachineConfig{Name: name, EPCBytes: 1 << 20})
+	if err != nil {
+		h.fatalf("NewMachine %s: %v", name, err)
+	}
+	plat, err := attest.NewPlatform(name, m)
+	if err != nil {
+		h.fatalf("NewPlatform %s: %v", name, err)
+	}
+	h.service.RegisterPlatform(plat)
+	return h.channelOn(m, plat, name)
+}
+
 // runSwarm executes one full seeded swarm and returns the combined fault
-// trace (filesystem events, then network events).
-func runSwarm(t *testing.T, seed int64) []chaos.Event {
+// trace (filesystem events, then network events). With attested set, every
+// connection is an ratls channel: handshakes run through the same chaos
+// director, so armed faults land mid-TLS-record and mid-handshake.
+func runSwarm(t *testing.T, seed int64, attested bool) []chaos.Event {
 	t.Helper()
 	h := &swarmHarness{
 		t:        t,
@@ -389,6 +439,11 @@ func runSwarm(t *testing.T, seed int64) []chaos.Event {
 	if h.sealKey, err = seccrypto.NewKey(nil); err != nil {
 		t.Fatal(err)
 	}
+	if attested {
+		h.srvRC = h.newChannel("swarm-server")
+	} else {
+		h.srvRC = ratls.Insecure()
+	}
 	h.boot()
 	if err := h.remote.RegisterLicense("lic-a", lease.CountBased, 6000); err != nil {
 		h.fatalf("RegisterLicense: %v", err)
@@ -396,7 +451,10 @@ func runSwarm(t *testing.T, seed int64) []chaos.Event {
 	if err := h.remote.RegisterLicense("lic-b", lease.CountBased, 3000); err != nil {
 		h.fatalf("RegisterLicense: %v", err)
 	}
-	h.admin = &chaosDialer{h: h}
+	h.admin = &chaosDialer{h: h, rc: ratls.Insecure()}
+	if attested {
+		h.admin.rc = h.newChannel("swarm-admin")
+	}
 
 	for i := 0; i < swarmClients; i++ {
 		m, err := sgx.NewMachine(sgx.MachineConfig{Name: fmt.Sprintf("swarm-%d", i), EPCBytes: 8 << 20})
@@ -418,11 +476,44 @@ func runSwarm(t *testing.T, seed int64) []chaos.Event {
 		if err != nil {
 			h.fatalf("app %d: %v", i, err)
 		}
+		cliRC := ratls.Insecure()
+		if attested {
+			cliRC = h.channelOn(m, plat, fmt.Sprintf("swarm-%d", i))
+		}
 		h.clients = append(h.clients, &swarmClient{
 			idx: i, m: m, plat: plat, app: app,
 			state: &sllocal.UntrustedState{},
-			conn:  &chaosDialer{h: h},
+			conn:  &chaosDialer{h: h, rc: cliRC},
 		})
+	}
+
+	if attested {
+		// Mid-handshake fault: the server's first TLS flight to client 0
+		// dies on an armed reset. The dial layer must count the failure
+		// and absorb it with its one bounded-backoff retry — init still
+		// succeeds.
+		h.net.Arm(chaos.ConnFault{Kind: chaos.Reset})
+		if err := h.ensureClient(h.clients[0]); err != nil {
+			h.fatalf("init through a mid-handshake reset was not retried: %v", err)
+		}
+		if st := h.clients[0].conn.rc.Stats(); st.HandshakeFailures == 0 || st.ColdHandshakes == 0 {
+			h.fatalf("mid-handshake reset not reflected in channel stats: %+v", st)
+		}
+		// Mid-record fault: one TLS record to the admin is corrupted, so
+		// its MAC fails. The error must surface as a transport failure
+		// (poisoning only that connection), never a panic or a decoded
+		// phantom reply.
+		if err := h.admin.SetProfile(h.clients[0].slid, 0.9, 0.9, 1.0); err != nil {
+			h.fatalf("admin warm-up SetProfile: %v", err)
+		}
+		h.net.Arm(chaos.ConnFault{Kind: chaos.Corrupt})
+		err := h.admin.SetProfile(h.clients[0].slid, 0.9, 0.9, 1.0)
+		if err == nil {
+			h.fatalf("corrupted TLS record decoded as a valid reply")
+		}
+		if errors.Is(err, wire.ErrRemote) {
+			h.fatalf("corrupted TLS record surfaced as a server denial: %v", err)
+		}
 	}
 
 	sched := chaos.NewSchedule(seed, swarmClients, swarmSteps)
@@ -455,6 +546,25 @@ func runSwarm(t *testing.T, seed int64) []chaos.Event {
 	if h.aud.Len() == 0 {
 		h.fatalf("empty audit chain after %d steps", len(sched.Steps))
 	}
+	if attested {
+		st := h.srvRC.Stats()
+		if st.ColdHandshakes == 0 || st.QuoteVerifications == 0 {
+			h.fatalf("attested swarm performed no quote-verified handshakes: %+v", st)
+		}
+		// The structural server restart resets every connection, and the
+		// ticket keys survive in srvRC — so at least one reconnect must
+		// have resumed, and resumption must have skipped re-attestation.
+		if st.ResumedHandshakes == 0 {
+			h.fatalf("no resumed handshake across reconnects: %+v", st)
+		}
+		if st.QuoteVerifications >= st.ColdHandshakes+st.ResumedHandshakes {
+			h.fatalf("resumed handshakes did not skip quote verification: %+v", st)
+		}
+		if st.HandshakeFailures == 0 {
+			h.fatalf("chaos faults produced no counted handshake failure: %+v", st)
+		}
+		t.Logf("attested channel: %+v", st)
+	}
 	t.Logf("chaos swarm seed %d: %d steps, %d denials, %d client crashes, %d fault events",
 		seed, len(sched.Steps), h.denials, h.crashes, len(trace))
 
@@ -474,9 +584,23 @@ func TestChaosSwarm(t *testing.T) {
 		t.Skip("chaos swarm takes seconds of injected stalls")
 	}
 	seed := *chaosSeed
-	tr1 := runSwarm(t, seed)
-	tr2 := runSwarm(t, seed)
+	tr1 := runSwarm(t, seed, false)
+	tr2 := runSwarm(t, seed, false)
 	if !reflect.DeepEqual(tr1, tr2) {
 		t.Fatalf("seed %d is not reproducible: fault traces differ\nrun 1: %v\nrun 2: %v", seed, tr1, tr2)
 	}
+}
+
+// TestChaosSwarmAttested runs the same seeded swarm with every connection
+// upgraded to the attested ratls channel. The chaos faults now land on TLS
+// records and handshake flights instead of plaintext envelopes; the run
+// must still conserve license units and keep the audit chain intact, with
+// handshake failures counted and absorbed by the dial retry — never a
+// panic. Trace identity is not asserted: TLS adds timing-dependent writes
+// (session tickets, alerts) that shift fault positions between runs.
+func TestChaosSwarmAttested(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos swarm takes seconds of injected stalls")
+	}
+	runSwarm(t, *chaosSeed, true)
 }

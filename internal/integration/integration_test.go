@@ -17,6 +17,7 @@ import (
 	"repro/internal/lease"
 	"repro/internal/netsim"
 	"repro/internal/partition"
+	"repro/internal/ratls"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
 	"repro/internal/slremote"
@@ -182,7 +183,7 @@ func TestServerLossMidSession(t *testing.T) {
 	if err := remote.RegisterLicense("lic", lease.CountBased, 100_000); err != nil {
 		t.Fatalf("RegisterLicense: %v", err)
 	}
-	srv, err := wire.NewServer(remote, nil)
+	srv, err := wire.NewServer(remote, nil, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("wire.NewServer: %v", err)
 	}
@@ -212,7 +213,7 @@ func TestServerLossMidSession(t *testing.T) {
 	service.TrustMeasurement(probe.Measurement())
 	probe.Destroy()
 
-	client, err := wire.Dial(ln.Addr().String())
+	client, err := wire.Dial(ln.Addr().String(), ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -354,7 +355,7 @@ func TestTwoClientsShareLicenseOverTCP(t *testing.T) {
 	if err := remote.RegisterLicense("lic", lease.CountBased, pool); err != nil {
 		t.Fatalf("RegisterLicense: %v", err)
 	}
-	srv, err := wire.NewServer(remote, nil)
+	srv, err := wire.NewServer(remote, nil, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("wire.NewServer: %v", err)
 	}
@@ -392,7 +393,7 @@ func TestTwoClientsShareLicenseOverTCP(t *testing.T) {
 		}
 		service.TrustMeasurement(probe.Measurement())
 		probe.Destroy()
-		cl, err := wire.Dial(ln.Addr().String())
+		cl, err := wire.Dial(ln.Addr().String(), ratls.Insecure())
 		if err != nil {
 			t.Fatalf("Dial: %v", err)
 		}

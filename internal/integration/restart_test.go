@@ -14,6 +14,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/ratls"
 	"repro/internal/seccrypto"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
@@ -59,7 +60,7 @@ func bootDurableRemote(t *testing.T, dir string, sealKey seccrypto.Key, service 
 	// After recovery, like the daemon does: WAL replay must not re-append
 	// audit records.
 	remote.AttachAudit(aud)
-	srv, err := wire.NewServer(remote, nil)
+	srv, err := wire.NewServer(remote, nil, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("wire.NewServer: %v", err)
 	}
@@ -131,7 +132,7 @@ func TestRestartCycleRecoversLedgerAndEscrow(t *testing.T) {
 	probe.Destroy()
 
 	state := &sllocal.UntrustedState{} // survives the client "restart" below
-	cl1, err := wire.Dial(d1.addr)
+	cl1, err := wire.Dial(d1.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -272,7 +273,7 @@ func TestRestartCycleRecoversLedgerAndEscrow(t *testing.T) {
 	// Re-init the same client (same machine, same untrusted state): the
 	// recovered server must confirm the SLID and release the escrowed key,
 	// and the restored lease tree must keep serving from the same budget.
-	cl2, err := wire.Dial(d2.addr)
+	cl2, err := wire.Dial(d2.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}

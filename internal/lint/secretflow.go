@@ -21,8 +21,10 @@ import (
 //   - fields of wire structs (the envelope is untrusted transport; secrets
 //     must be sealed with seccrypto before crossing it).
 //
-// Sealing (seccrypto.Protect/ProtectWithKey) and hashing sanitize; values
-// of untaintable shape (numbers, bools, errors) never carry taint, which
+// Sealing (seccrypto.Protect/ProtectWithKey), hashing, and channel
+// sealing (ratls.SealForChannel, which only releases key bytes onto an
+// attested connection) sanitize; values of untaintable shape (numbers,
+// bools, errors) never carry taint, which
 // keeps len(key.Bytes()) or an error derived from a key operation clean.
 // The audited process-exit helper internal/cli.Fatalf is whitelisted: it
 // is the single reviewed path for flag-validation fatals.
@@ -270,13 +272,19 @@ func (st *taintState) callTainted(call *ast.CallExpr) bool {
 
 // isSanitizer reports whether fn launders secret inputs: authenticated
 // sealing and cryptographic hashing produce values safe for untrusted
-// sinks.
+// sinks. ratls.SealForChannel qualifies because it refuses at runtime to
+// release key bytes onto anything but an attested (or explicitly
+// insecure) connection — the TLS record layer then seals them in
+// transit, so its result is the channel-sealed form of the key.
 func isSanitizer(fn *types.Func) bool {
 	if pkgPathHasSuffix(fn.Pkg(), "internal/seccrypto") {
 		switch fn.Name() {
 		case "Protect", "ProtectWithKey", "SHA256Sum64", "Murmur64":
 			return true
 		}
+	}
+	if pkgPathHasSuffix(fn.Pkg(), "internal/ratls") && fn.Name() == "SealForChannel" {
+		return true
 	}
 	if fn.Pkg() != nil && fn.Pkg().Path() == "crypto/sha256" {
 		return true

@@ -7,8 +7,10 @@ import (
 	"crypto/rand"
 	"fmt"
 	"log"
+	"net"
 
 	"repro/internal/obs"
+	"repro/internal/ratls"
 	"repro/internal/seccrypto"
 	"repro/internal/wire"
 )
@@ -75,4 +77,36 @@ func ValidateReintroduces(sealed []byte, key seccrypto.Key) {
 		return
 	}
 	log.Printf("recovered %s", plain) // want `secret value reaches untrusted sink log.Printf`
+}
+
+// ChannelSealedWireField releases the key through ratls.SealForChannel:
+// the call gates on the connection being an attested (or explicitly
+// insecure) channel, so its result is channel-sealed and may cross the
+// wire struct. Clean.
+func ChannelSealedWireField(slid string, key seccrypto.Key, conn net.Conn) (wire.EscrowRequest, error) {
+	sealed, err := ratls.SealForChannel(key, conn)
+	if err != nil {
+		return wire.EscrowRequest{}, err
+	}
+	return wire.EscrowRequest{SLID: slid, Key: sealed}, nil
+}
+
+// PlaintextConnStillTaints is the near-miss twin: writing the raw key
+// bytes to a net.Conn directly — no channel gate — remains a leak.
+func PlaintextConnStillTaints(slid string, key seccrypto.Key, conn net.Conn) error {
+	raw := key.Bytes()
+	log.Printf("escrowing %x", raw) // want `secret value reaches untrusted sink log.Printf`
+	_, err := conn.Write(raw)
+	return err
+}
+
+// ChannelSealStillGuardsItsInput sanitizes only the RESULT: the key
+// passed in stays tainted, so rendering it afterwards is still a leak.
+func ChannelSealStillGuardsItsInput(key seccrypto.Key, conn net.Conn) {
+	sealed, err := ratls.SealForChannel(key, conn)
+	if err != nil {
+		return
+	}
+	log.Printf("sealed for channel: %d bytes", len(sealed))
+	log.Printf("key was %x", key.Bytes()) // want `secret value reaches untrusted sink log.Printf`
 }

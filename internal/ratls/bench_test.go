@@ -1,0 +1,169 @@
+package ratls
+
+import (
+	"crypto/tls"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/sgx"
+)
+
+// benchEndpoint builds an endpoint for benchmarks (no *testing.T).
+func benchEndpoint(b *testing.B, name, code string, svc *attest.Service) *endpoint {
+	b.Helper()
+	m, err := sgx.NewMachine(sgx.MachineConfig{Name: name, EPCBytes: 1 << 20})
+	if err != nil {
+		b.Fatalf("NewMachine: %v", err)
+	}
+	p, err := attest.NewPlatform(name, m)
+	if err != nil {
+		b.Fatalf("NewPlatform: %v", err)
+	}
+	e, err := m.CreateEnclave(name, []byte(code), 0)
+	if err != nil {
+		b.Fatalf("CreateEnclave: %v", err)
+	}
+	svc.RegisterPlatform(p)
+	svc.TrustMeasurement(e.Measurement())
+	cfg, err := New(Options{Platform: p, Enclave: e, Verifier: svc})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	return &endpoint{cfg: cfg, platform: p, enclave: e, verifier: svc}
+}
+
+// benchServer accepts connections, wraps them with cfg, and echoes until
+// EOF. Returned closer stops it.
+func benchServer(b *testing.B, cfg *Config) (addr string, stop func()) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				sc, err := cfg.Server(conn)
+				if err != nil {
+					return
+				}
+				defer sc.Close()
+				_, _ = io.Copy(sc, sc)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { _ = ln.Close() }
+}
+
+// roundTrip writes one byte and reads one back, which also drains any
+// pending session tickets into the client cache.
+func roundTrip(b *testing.B, conn net.Conn, buf []byte) {
+	b.Helper()
+	if _, err := conn.Write(buf); err != nil {
+		b.Fatalf("write: %v", err)
+	}
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		b.Fatalf("read: %v", err)
+	}
+}
+
+// BenchmarkHandshake measures a full cold handshake: key exchange plus
+// quote extraction, binding check, and verification on both sides. The
+// client session cache is reset every iteration so no resumption occurs.
+func BenchmarkHandshake(b *testing.B) {
+	svc := attest.NewService()
+	cli := benchEndpoint(b, "bench-cli", "cli-code", svc)
+	srv := benchEndpoint(b, "bench-srv", "srv-code", svc)
+	addr, stop := benchServer(b, srv.cfg)
+	defer stop()
+
+	buf := make([]byte, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cli.cfg.client.ClientSessionCache = tls.NewLRUClientSessionCache(64)
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatalf("dial: %v", err)
+		}
+		conn, err := cli.cfg.Client(raw)
+		if err != nil {
+			b.Fatalf("handshake: %v", err)
+		}
+		if conn.(*Conn).Resumed() {
+			b.Fatal("cold handshake resumed")
+		}
+		roundTrip(b, conn, buf)
+		_ = conn.Close()
+	}
+}
+
+// BenchmarkResumedHandshake measures a resumed handshake: same wire
+// flights minus certificates and quote verification.
+func BenchmarkResumedHandshake(b *testing.B) {
+	svc := attest.NewService()
+	cli := benchEndpoint(b, "bench-cli", "cli-code", svc)
+	srv := benchEndpoint(b, "bench-srv", "srv-code", svc)
+	addr, stop := benchServer(b, srv.cfg)
+	defer stop()
+
+	buf := make([]byte, 1)
+	prime := func() net.Conn {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatalf("dial: %v", err)
+		}
+		conn, err := cli.cfg.Client(raw)
+		if err != nil {
+			b.Fatalf("handshake: %v", err)
+		}
+		roundTrip(b, conn, buf)
+		return conn
+	}
+	_ = prime().Close() // seed the session cache
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn := prime()
+		if !conn.(*Conn).Resumed() {
+			b.Fatal("handshake did not resume")
+		}
+		_ = conn.Close()
+	}
+}
+
+// BenchmarkRatlsRoundTrip measures one application round trip over an
+// established attested connection: the steady-state cost the channel
+// adds to every RPC.
+func BenchmarkRatlsRoundTrip(b *testing.B) {
+	svc := attest.NewService()
+	cli := benchEndpoint(b, "bench-cli", "cli-code", svc)
+	srv := benchEndpoint(b, "bench-srv", "srv-code", svc)
+	addr, stop := benchServer(b, srv.cfg)
+	defer stop()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	conn, err := cli.cfg.Client(raw)
+	if err != nil {
+		b.Fatalf("handshake: %v", err)
+	}
+	defer conn.Close()
+
+	buf := make([]byte, 256)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip(b, conn, buf)
+	}
+}

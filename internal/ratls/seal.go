@@ -1,0 +1,26 @@
+package ratls
+
+import (
+	"net"
+
+	"repro/internal/seccrypto"
+)
+
+// SealForChannel releases a key's raw bytes for transmission over conn —
+// but only when conn is an attested ratls.Conn (the TLS record layer
+// encrypts everything written) or an explicit InsecureConn (the operator
+// opted out with -insecure). Any other connection type, in particular a
+// plain net.Conn, is refused.
+//
+// This is the single audited choke point between in-enclave key material
+// and the network: the secretflow analyzer treats its result as
+// sanitized, which is sound exactly because this function checks the
+// channel type at runtime before exposing the bytes.
+func SealForChannel(key seccrypto.Key, conn net.Conn) ([]byte, error) {
+	switch conn.(type) {
+	case *Conn, *InsecureConn:
+		return key.Bytes(), nil
+	default:
+		return nil, ErrUnsealedChannel
+	}
+}

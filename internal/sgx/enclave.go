@@ -1,6 +1,7 @@
 package sgx
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,6 +16,13 @@ type EnclaveID uint32
 // Measurement is the enclave's identity (MRENCLAVE analogue): a digest of
 // the code loaded into it. Attestation protocols compare measurements.
 type Measurement [32]byte
+
+// MeasurementOf computes the measurement an enclave built from
+// codeIdentity would carry, without creating one. Verifiers use it to
+// populate trust lists for enclaves running in other processes.
+func MeasurementOf(codeIdentity []byte) Measurement {
+	return sha256.Sum256(codeIdentity)
+}
 
 // ErrEnclaveDestroyed reports an operation on a torn-down enclave.
 var ErrEnclaveDestroyed = errors.New("sgx: enclave destroyed")

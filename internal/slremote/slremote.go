@@ -32,6 +32,11 @@ import (
 	"repro/internal/sgx"
 )
 
+// EnclaveCodeIdentity is the byte identity of the SL-Remote server
+// enclave code; its sgx.MeasurementOf is what SL-Local daemons pin when
+// they attest the server end of the wire channel.
+var EnclaveCodeIdentity = []byte("securelease/sl-remote/v1")
+
 // Errors returned by SL-Remote operations.
 var (
 	// ErrUnknownLicense reports an unregistered license ID.

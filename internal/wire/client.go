@@ -11,6 +11,7 @@ import (
 	"repro/internal/attest"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/ratls"
 	"repro/internal/seccrypto"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
@@ -26,6 +27,11 @@ const DefaultTimeout = 10 * time.Second
 // transient connect failure.
 const dialRetryBackoff = 200 * time.Millisecond
 
+// ErrNilChannelConfig reports a Dial or NewServer call without a channel
+// config: the caller must choose attested (ratls.New) or explicitly
+// plaintext (ratls.Insecure()), never get plaintext by accident.
+var ErrNilChannelConfig = errors.New("wire: nil channel config (use ratls.Insecure() for explicit plaintext)")
+
 // Client is the TCP binding of SL-Remote: it implements sllocal.RemoteAPI
 // over a connection to a wire.Server, so an sllocal.Service runs against a
 // real license-server daemon unchanged.
@@ -35,6 +41,7 @@ const dialRetryBackoff = 200 * time.Millisecond
 type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
+	rc      *ratls.Config
 	timeout time.Duration
 
 	bytesOut    atomic.Int64
@@ -44,22 +51,28 @@ type Client struct {
 }
 
 // Dial connects to a wire.Server at addr with DefaultTimeout for the
-// connect and every round trip.
-func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, DefaultTimeout)
+// connect and every round trip. rc selects the channel: an attested
+// ratls config for production, ratls.Insecure() for plaintext paths.
+func Dial(addr string, rc *ratls.Config) (*Client, error) {
+	return DialTimeout(addr, DefaultTimeout, rc)
 }
 
-// DialTimeout connects to a wire.Server at addr. timeout bounds the
-// connect and each subsequent request/reply round trip; zero disables
+// DialTimeout connects to a wire.Server at addr and runs the channel
+// handshake rc prescribes. timeout bounds the connect (TCP plus
+// handshake) and each subsequent request/reply round trip; zero disables
 // deadlines (blocking semantics). A transient connect failure (timeout,
-// refused, unreachable) is retried once after a short backoff.
-func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	c := &Client{timeout: timeout}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+// refused, unreachable, or a failed channel handshake) is retried once
+// after a short backoff.
+func DialTimeout(addr string, timeout time.Duration, rc *ratls.Config) (*Client, error) {
+	if rc == nil {
+		return nil, ErrNilChannelConfig
+	}
+	c := &Client{timeout: timeout, rc: rc}
+	conn, err := c.connect(addr)
 	if err != nil && transientDialErr(err) {
 		c.dialRetries.Add(1)
 		time.Sleep(dialRetryBackoff)
-		conn, err = net.DialTimeout("tcp", addr, timeout)
+		conn, err = c.connect(addr)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
@@ -68,10 +81,24 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	return c, nil
 }
 
+// connect performs one TCP connect plus channel handshake. On handshake
+// failure ratls has already closed the raw connection.
+func (c *Client) connect(addr string) (net.Conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	return c.rc.Client(raw)
+}
+
 // transientDialErr reports whether a connect failure is worth one retry:
-// timeouts and kernel-level connection errors (refused, reset, unreachable)
-// are; address resolution failures are not.
+// timeouts, kernel-level connection errors (refused, reset, unreachable),
+// and channel handshake failures (the peer may have been mid-restart or
+// mid-rotation) are; address resolution failures are not.
 func transientDialErr(err error) bool {
+	if errors.Is(err, ratls.ErrHandshake) {
+		return true
+	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		return true
@@ -153,7 +180,7 @@ func (c *Client) InitClientSpan(parent *obs.Span, slid string, quote attest.Quot
 	if clientMachine != nil {
 		clientMachine.ChargeRemoteAttestation()
 	}
-	env, err := c.roundTripSpan(parent, TypeInit, InitRequest{SLID: slid, Quote: encodeQuote(quote)})
+	env, err := c.roundTripSpan(parent, TypeInit, InitRequest{SLID: slid, Quote: quote})
 	if err != nil {
 		return slremote.InitResult{}, err
 	}
@@ -207,8 +234,13 @@ func (c *Client) EscrowRootKey(slid string, key seccrypto.Key) error {
 
 // EscrowRootKeySpan is EscrowRootKey with the RPC span linked under parent.
 func (c *Client) EscrowRootKeySpan(parent *obs.Span, slid string, key seccrypto.Key) error {
-	//sllint:ignore secretflow the wire channel stands in for the paper's attested encrypted channel (Section 4.2); the server seals the key at rest
-	env, err := c.roundTripSpan(parent, TypeEscrow, EscrowRequest{SLID: slid, Key: key.Bytes()})
+	// SealForChannel releases the key only into an attested (or explicitly
+	// insecure) connection; a plain net.Conn is refused at runtime.
+	sealed, err := ratls.SealForChannel(key, c.conn)
+	if err != nil {
+		return err
+	}
+	env, err := c.roundTripSpan(parent, TypeEscrow, EscrowRequest{SLID: slid, Key: sealed})
 	if err != nil {
 		return err
 	}

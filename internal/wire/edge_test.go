@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/lease"
+	"repro/internal/ratls"
 	"repro/internal/slremote"
 )
 
@@ -46,7 +47,7 @@ func TestServerCloseIdempotentAndServeAfterClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(remote, nil)
+	srv, err := NewServer(remote, nil, ratls.Insecure())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestServerCloseIdempotentAndServeAfterClose(t *testing.T) {
 func TestConcurrentClientsOneServer(t *testing.T) {
 	d := startDeployment(t)
 	if err := func() error {
-		c, err := Dial(d.addr)
+		c, err := Dial(d.addr, ratls.Insecure())
 		if err != nil {
 			return err
 		}
@@ -82,7 +83,7 @@ func TestConcurrentClientsOneServer(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c, err := Dial(d.addr)
+			c, err := Dial(d.addr, ratls.Insecure())
 			if err != nil {
 				errs[w] = err
 				return
@@ -106,7 +107,7 @@ func TestConcurrentClientsOneServer(t *testing.T) {
 
 func TestClientSurvivesSharedUseAcrossGoroutines(t *testing.T) {
 	d := startDeployment(t)
-	c, err := Dial(d.addr)
+	c, err := Dial(d.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/attest"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/ratls"
 	"repro/internal/slremote"
 )
 
@@ -23,7 +24,7 @@ func startInstrumentedDeployment(t *testing.T, reg *obs.Registry, tr *obs.Tracer
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
 	}
-	srv, err := NewServer(remote, t.Logf)
+	srv, err := NewServer(remote, t.Logf, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("wire.NewServer: %v", err)
 	}
@@ -58,7 +59,7 @@ func TestWireMetricsEndToEnd(t *testing.T) {
 	tr := obs.NewTracer(64)
 	d := startInstrumentedDeployment(t, reg, tr, nil)
 
-	client, err := Dial(d.addr)
+	client, err := Dial(d.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -125,7 +126,7 @@ func TestServerRecoversHandlerPanic(t *testing.T) {
 		}
 	})
 
-	client, err := Dial(d.addr)
+	client, err := Dial(d.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -173,7 +174,7 @@ func TestRoundTripDeadline(t *testing.T) {
 		}
 	}()
 
-	client, err := DialTimeout(ln.Addr().String(), 150*time.Millisecond)
+	client, err := DialTimeout(ln.Addr().String(), 150*time.Millisecond, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("DialTimeout: %v", err)
 	}
@@ -204,7 +205,7 @@ func TestDialRetriesTransientFailure(t *testing.T) {
 	ln.Close()
 
 	start := time.Now()
-	_, err = DialTimeout(addr, 500*time.Millisecond)
+	_, err = DialTimeout(addr, 500*time.Millisecond, ratls.Insecure())
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("dial to closed port succeeded")

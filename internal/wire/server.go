@@ -11,9 +11,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/attest"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/ratls"
 	"repro/internal/seccrypto"
 	"repro/internal/slremote"
 )
@@ -23,6 +23,7 @@ import (
 type Server struct {
 	remote *slremote.Server
 	logf   func(format string, args ...any)
+	rc     *ratls.Config
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -44,15 +45,20 @@ type Server struct {
 }
 
 // NewServer wraps a license server for network serving. logf may be nil
-// (silent).
-func NewServer(remote *slremote.Server, logf func(string, ...any)) (*Server, error) {
+// (silent). rc selects the channel every accepted connection must speak:
+// an attested ratls config for production, ratls.Insecure() for
+// plaintext paths.
+func NewServer(remote *slremote.Server, logf func(string, ...any), rc *ratls.Config) (*Server, error) {
 	if remote == nil {
 		return nil, errors.New("wire: nil SL-Remote")
+	}
+	if rc == nil {
+		return nil, ErrNilChannelConfig
 	}
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{remote: remote, logf: logf, conns: make(map[net.Conn]*connState)}, nil
+	return &Server{remote: remote, logf: logf, rc: rc, conns: make(map[net.Conn]*connState)}, nil
 }
 
 // connState tracks what Shutdown needs to know about one connection:
@@ -214,6 +220,11 @@ func (s *Server) endEnvelope(conn net.Conn) bool {
 	return false
 }
 
+// handle speaks the channel handshake and then the envelope protocol on
+// one connection. The raw conn stays the key for the shutdown
+// bookkeeping (Shutdown and Close close raw conns, which unblocks any
+// read or handshake on the wrapped one); all I/O goes through the
+// channel conn wc.
 func (s *Server) handle(conn net.Conn) {
 	if m := s.metrics.Load(); m != nil {
 		m.conns.Add(1)
@@ -225,8 +236,16 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	wc, err := s.rc.Server(conn)
+	if err != nil {
+		// Handshake failures are counted on the ratls config
+		// (ratls_handshake_failures_total); the client retries with its
+		// bounded dial backoff.
+		s.logf("wire: handshake with %s: %v", conn.RemoteAddr(), err)
+		return
+	}
 	for {
-		env, err := ReadMessage(countReader{conn, &s.bytesIn})
+		env, err := ReadMessage(countReader{wc, &s.bytesIn})
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("wire: connection %s: %v", conn.RemoteAddr(), err)
@@ -236,7 +255,7 @@ func (s *Server) handle(conn net.Conn) {
 		if !s.beginEnvelope(conn) {
 			return
 		}
-		err = s.handleEnvelope(conn, env)
+		err = s.handleEnvelope(wc, env)
 		stop := s.endEnvelope(conn)
 		if err != nil {
 			s.logf("wire: reply to %s: %v", conn.RemoteAddr(), err)
@@ -323,21 +342,23 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err := DecodePayload(env, &req); err != nil {
 			return fail(err)
 		}
-		quote, err := decodeQuote(req.Quote)
-		if err != nil {
-			return fail(err)
-		}
 		child := span.Child("slremote.init")
 		child.Annotate("slid", req.SLID)
-		res, err := s.remote.InitClient(req.SLID, quote, nil)
+		res, err := s.remote.InitClient(req.SLID, req.Quote, nil)
 		child.End(err)
 		if err != nil {
 			return fail(err)
 		}
 		resp := InitResponse{SLID: res.SLID, HasOBK: res.HasOBK}
 		if res.HasOBK {
-			//sllint:ignore secretflow the OBK returns over the channel that models the paper's attested encrypted link (Section 5.6)
-			resp.OBK = res.OBK.Bytes()
+			// The OBK leaves the server only through the attested (or
+			// explicitly insecure) channel; SealForChannel enforces that
+			// at runtime.
+			sealed, err := ratls.SealForChannel(res.OBK, conn)
+			if err != nil {
+				return fail(err)
+			}
+			resp.OBK = sealed
 		}
 		return WriteMessage(out, TypeInit, resp)
 
@@ -443,37 +464,6 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 	default:
 		return fail(fmt.Errorf("unknown message type %q", env.Type))
 	}
-}
-
-// encodeQuote converts an attest.Quote for transport.
-func encodeQuote(q attest.Quote) Quote {
-	return Quote{
-		Source:    append([]byte(nil), q.Report.Source[:]...),
-		Target:    append([]byte(nil), q.Report.Target[:]...),
-		Data:      append([]byte(nil), q.Report.Data[:]...),
-		MAC:       append([]byte(nil), q.Report.MAC[:]...),
-		Platform:  q.Platform,
-		Signature: append([]byte(nil), q.Signature[:]...),
-	}
-}
-
-// decodeQuote converts a transported quote back.
-func decodeQuote(q Quote) (attest.Quote, error) {
-	var out attest.Quote
-	if len(q.Source) != len(out.Report.Source) ||
-		len(q.Target) != len(out.Report.Target) ||
-		len(q.Data) != len(out.Report.Data) ||
-		len(q.MAC) != len(out.Report.MAC) ||
-		len(q.Signature) != len(out.Signature) {
-		return attest.Quote{}, errors.New("wire: malformed quote field sizes")
-	}
-	copy(out.Report.Source[:], q.Source)
-	copy(out.Report.Target[:], q.Target)
-	copy(out.Report.Data[:], q.Data)
-	copy(out.Report.MAC[:], q.MAC)
-	copy(out.Signature[:], q.Signature)
-	out.Platform = q.Platform
-	return out, nil
 }
 
 // ListenAndServe is a convenience for the daemon binary: listen on addr

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/ratls"
 )
 
 func TestShutdownDrainsIdleConnections(t *testing.T) {
@@ -18,7 +19,7 @@ func TestShutdownDrainsIdleConnections(t *testing.T) {
 	// Two idle clients: connected, no envelope in flight. Each registers a
 	// license so the connection is proven live before the drain starts.
 	for i := 0; i < 2; i++ {
-		c, err := Dial(d.addr)
+		c, err := Dial(d.addr, ratls.Insecure())
 		if err != nil {
 			t.Fatalf("Dial: %v", err)
 		}
@@ -56,7 +57,7 @@ func TestShutdownWaitsForInFlightEnvelope(t *testing.T) {
 		<-release
 	})
 
-	c, err := Dial(d.addr)
+	c, err := Dial(d.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -105,7 +106,7 @@ func TestShutdownDeadlineAbortsStuckConnection(t *testing.T) {
 		<-release
 	})
 
-	c, err := Dial(d.addr)
+	c, err := Dial(d.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -128,7 +129,7 @@ func TestShutdownRefusesNewConnections(t *testing.T) {
 	d := startInstrumentedDeployment(t, obs.NewRegistry(), nil, nil)
 	// One round trip first, so the serve loop is provably running before
 	// the drain starts.
-	c, err := Dial(d.addr)
+	c, err := Dial(d.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/attest"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/ratls"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
 )
@@ -51,7 +52,7 @@ func TestDistributedTraceAcrossTCP(t *testing.T) {
 	d.service.TrustMeasurement(probe.Measurement())
 	probe.Destroy()
 
-	client, err := Dial(d.addr)
+	client, err := Dial(d.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -183,7 +184,7 @@ func TestPanicEndsHandlerSpan(t *testing.T) {
 		}
 	})
 
-	client, err := Dial(d.addr)
+	client, err := Dial(d.addr, ratls.Insecure())
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}

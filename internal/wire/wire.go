@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/attest"
 )
 
 // MaxMessageSize bounds one frame (defense against corrupt peers).
@@ -54,20 +56,12 @@ type Envelope struct {
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
-// Quote mirrors attest.Quote for transport.
-type Quote struct {
-	Source    []byte `json:"source"`
-	Target    []byte `json:"target"`
-	Data      []byte `json:"data"`
-	MAC       []byte `json:"mac"`
-	Platform  string `json:"platform"`
-	Signature []byte `json:"signature"`
-}
-
-// InitRequest is the SL-Local init() handshake.
+// InitRequest is the SL-Local init() handshake. The quote travels as
+// attest.Quote directly — its JSON codec enforces field sizes — so the
+// wire and attestation layers cannot drift apart.
 type InitRequest struct {
-	SLID  string `json:"slid,omitempty"`
-	Quote Quote  `json:"quote"`
+	SLID  string       `json:"slid,omitempty"`
+	Quote attest.Quote `json:"quote"`
 }
 
 // InitResponse returns the SLID and, after a graceful shutdown, the OBK.
