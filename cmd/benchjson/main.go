@@ -9,6 +9,13 @@
 // transparent in a pipeline. It never fails on unparseable input — the CI
 // smoke step should only go red when the benchmarks themselves fail to
 // build or run.
+//
+// With -baseline the tool additionally gates the run against a committed
+// baseline (a previous -o output): any benchmark whose ns/op grew more
+// than -tolerance (default 0.10, i.e. >10% throughput loss) beyond its
+// baseline value exits non-zero, naming each regressed benchmark:
+//
+//	go test -bench . -benchtime 100x ./... | benchjson -o BENCH.json -baseline ci/BENCH_baseline.json
 package main
 
 import (
@@ -38,6 +45,8 @@ type result struct {
 
 func main() {
 	out := flag.String("o", "", "write the JSON array to this file (default stdout)")
+	baseline := flag.String("baseline", "", "gate against this baseline JSON (a previous -o output); exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op growth over -baseline before the gate fails")
 	flag.Parse()
 
 	results := parse(os.Stdin)
@@ -50,13 +59,65 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		_, _ = os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		if err := compareBaseline(results, *baseline, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// compareBaseline fails when any benchmark present in both the baseline
+// and this run regressed more than tolerance in ns/op. Benchmarks that
+// only exist on one side are reported but never fail the gate — CI may
+// shard or add benchmarks without invalidating the committed baseline.
+func compareBaseline(results []result, path string, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	current := make(map[string]result, len(results))
+	for _, r := range results {
+		current[r.Name] = r
+	}
+	var regressions []string
+	checked := 0
+	for _, b := range base {
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		c, ok := current[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s missing from this run (not gated)\n", b.Name)
+			continue
+		}
+		if c.NsPerOp <= 0 {
+			continue
+		}
+		checked++
+		if c.NsPerOp > b.NsPerOp*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+				b.Name, c.NsPerOp, b.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, tolerance*100))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("performance regression vs %s:\n  %s", path, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within +%.0f%% of %s\n", checked, tolerance*100, path)
+	return nil
 }
 
 func parse(f *os.File) []result {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkAuditAppendSealed-8   1000   104125 ns/op   1824 B/op   21 allocs/op")
@@ -31,5 +37,68 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("parsed non-result line %q", line)
 		}
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	writeBaseline := func(results []result) string {
+		raw, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := writeBaseline([]result{
+		{Name: "BenchmarkRenew", Iterations: 100, NsPerOp: 1000},
+		{Name: "BenchmarkHandshake", Iterations: 100, NsPerOp: 50000},
+	})
+
+	// Within tolerance: 8% slower passes a 10% gate.
+	ok := []result{
+		{Name: "BenchmarkRenew", Iterations: 100, NsPerOp: 1080},
+		{Name: "BenchmarkHandshake", Iterations: 100, NsPerOp: 40000},
+	}
+	if err := compareBaseline(ok, base, 0.10); err != nil {
+		t.Fatalf("8%% regression failed a 10%% gate: %v", err)
+	}
+
+	// Beyond tolerance: 25% slower fails and names the benchmark.
+	bad := []result{
+		{Name: "BenchmarkRenew", Iterations: 100, NsPerOp: 1250},
+		{Name: "BenchmarkHandshake", Iterations: 100, NsPerOp: 50000},
+	}
+	err := compareBaseline(bad, base, 0.10)
+	if err == nil {
+		t.Fatal("25% regression passed a 10% gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkRenew") {
+		t.Fatalf("regression error does not name the benchmark: %v", err)
+	}
+
+	// A benchmark missing from the run is reported but never fails the
+	// gate, and extra benchmarks in the run are ignored.
+	partial := []result{
+		{Name: "BenchmarkRenew", Iterations: 100, NsPerOp: 990},
+		{Name: "BenchmarkNew", Iterations: 100, NsPerOp: 1},
+	}
+	if err := compareBaseline(partial, base, 0.10); err != nil {
+		t.Fatalf("missing baseline benchmark failed the gate: %v", err)
+	}
+
+	// Unreadable or malformed baselines are hard errors: a silently
+	// skipped gate would read as a pass.
+	if err := compareBaseline(ok, filepath.Join(t.TempDir(), "nope.json"), 0.10); err == nil {
+		t.Fatal("missing baseline file passed")
+	}
+	garbled := filepath.Join(t.TempDir(), "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBaseline(ok, garbled, 0.10); err == nil {
+		t.Fatal("garbled baseline passed")
 	}
 }

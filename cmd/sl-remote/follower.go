@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/audit"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/ratls"
+	"repro/internal/seccrypto"
+	"repro/internal/sgx"
+	"repro/internal/slremote"
+	"repro/internal/store"
+)
+
+// leaderProbeInterval paces the follower's liveness probes against its
+// leader. Probes are plain TCP connects: finding out whether the process
+// is alive needs no attestation.
+const leaderProbeInterval = time.Second
+
+type followerParams struct {
+	leaderAddr    string
+	listenAddr    string
+	stateDir      string
+	auditFile     string
+	metricsAddr   string
+	shard         int
+	dir           *cluster.Directory
+	promoteAfter  time.Duration
+	sealKey       seccrypto.Key
+	cfg           slremote.Config
+	service       *attest.Service
+	insecure      bool
+	secret        string
+	secretFile    string
+	syncMode      store.SyncMode
+	snapshotEvery int
+	drainTimeout  time.Duration
+}
+
+// runFollower is the daemon's standby mode: tail the leader's WAL over
+// the attested channel, keep a warm replica, and — once the leader stays
+// unreachable for promoteAfter — finish replaying whatever was shipped
+// and take over the shard on this daemon's own listen address.
+func runFollower(p followerParams) error {
+	rc, err := followerChannelConfig(p.insecure, p.secret, p.secretFile)
+	if err != nil {
+		return err
+	}
+
+	var reg *obs.Registry
+	var metrics *cluster.Metrics
+	var promoted atomic.Bool
+	if p.metricsAddr != "" {
+		reg = obs.Default()
+		metrics = cluster.NewMetrics(reg)
+		ep, err := obs.StartHTTPOpts(p.metricsAddr, reg, obs.DefaultTracer(), obs.HandlerOptions{
+			// A follower is "ready" only once it serves the shard itself.
+			Ready: promoted.Load,
+		})
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		log.Printf("observability endpoint on http://%s/metrics (readyz turns 200 on promotion)", ep.Addr())
+	}
+
+	// The shard's audit chain: the promoted leader appends to the same
+	// file the dead leader used, keeping one verifiable chain across
+	// incarnations when both ran on this host.
+	auditPath := p.auditFile
+	if auditPath == "" {
+		auditPath = filepath.Join(p.stateDir, "audit.log")
+	}
+	auditLog, err := audit.Open(auditPath, p.sealKey)
+	if err != nil {
+		return err
+	}
+	defer auditLog.Close()
+
+	f, err := cluster.StartFollower(cluster.FollowerOptions{
+		Shard:      p.shard,
+		LeaderAddr: p.leaderAddr,
+		SealKey:    p.sealKey,
+		Config:     p.cfg,
+		Service:    p.service,
+		Channel:    rc,
+		Metrics:    metrics,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("sl-remote: follower of %s (shard %d): tailing WAL, promoting after %v of leader silence",
+		p.leaderAddr, p.shard, p.promoteAfter)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	probe := time.NewTicker(leaderProbeInterval)
+	defer probe.Stop()
+	var silentSince time.Time
+	for {
+		select {
+		case sig := <-sigs:
+			log.Printf("sl-remote: follower: %v: exiting (%d records replicated; leader keeps serving)", sig, f.Applied())
+			return f.Close()
+		case <-probe.C:
+		}
+		conn, err := net.DialTimeout("tcp", p.leaderAddr, leaderProbeInterval)
+		if err == nil {
+			conn.Close()
+			silentSince = time.Time{}
+			continue
+		}
+		if silentSince.IsZero() {
+			silentSince = time.Now()
+			log.Printf("sl-remote: follower: leader %s unreachable: %v", p.leaderAddr, err)
+		}
+		if time.Since(silentSince) < p.promoteAfter {
+			continue
+		}
+		log.Printf("sl-remote: follower: leader silent for %v: promoting", time.Since(silentSince).Round(time.Second))
+		break
+	}
+
+	// Drain pulls until the leader's durable tip — or, with the leader
+	// dead, until the connection fails, leaving exactly the prefix the
+	// leader managed to ship, which is a legal conserving state.
+	if err := f.Drain(); err != nil {
+		return fmt.Errorf("draining replication stream: %w", err)
+	}
+	serverRC, err := channelConfig(p.insecure, p.secret, p.secretFile, true)
+	if err != nil {
+		return err
+	}
+	node, err := f.Promote(cluster.NodeOptions{
+		Shard:         p.shard,
+		Dir:           p.stateDir,
+		SealKey:       p.sealKey,
+		Config:        p.cfg,
+		Service:       p.service,
+		Channel:       serverRC,
+		Directory:     p.dir,
+		Audit:         auditLog,
+		SyncMode:      p.syncMode,
+		SnapshotEvery: p.snapshotEvery,
+		ListenAddr:    p.listenAddr,
+		AdvertiseAddr: p.listenAddr,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return fmt.Errorf("promoting follower: %w", err)
+	}
+	promoted.Store(true)
+	if reg != nil {
+		node.Remote().ExposeMetrics(reg)
+	}
+	_, epoch := p.dir.Leader(p.shard)
+	log.Printf("sl-remote: promoted: serving shard %d on %s at epoch %d (%d replicated records)",
+		//sllint:ignore secretflow the logged values are the shard index, listen address, epoch, and record count — the node merely holds the seal key internally, none of it is printed
+		p.shard, node.Addr(), epoch, f.Applied())
+
+	sig := <-sigs
+	log.Printf("sl-remote: %v: draining (timeout %v)", sig, p.drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), p.drainTimeout)
+	defer cancel()
+	if err := node.Shutdown(ctx); err != nil {
+		return err
+	}
+	log.Printf("sl-remote: state snapshotted to %s; shutdown complete", p.stateDir)
+	return nil
+}
+
+// followerChannelConfig builds the replication client's channel: the
+// follower presents the SL-Remote code identity (it is one) and pins the
+// leader's.
+func followerChannelConfig(insecure bool, secret, secretFile string) (*ratls.Config, error) {
+	if insecure {
+		return ratls.Insecure(), nil
+	}
+	raw, err := loadChannelSecret(secret, secretFile)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sgx.NewMachine(sgx.MachineConfig{Name: "sl-remote-follower"})
+	if err != nil {
+		return nil, err
+	}
+	return ratls.NewProvisioned("sl-remote-follower", m, raw, slremote.EnclaveCodeIdentity, slremote.EnclaveCodeIdentity)
+}

@@ -22,6 +22,32 @@
 //
 // SIGINT/SIGTERM drain in-flight requests, take a final snapshot, and
 // exit cleanly.
+//
+// # Sharded clusters
+//
+// A fleet of sl-remote daemons can split the license hash space. Every
+// daemon gets the same -shards count and -peer list (leader addresses in
+// shard order) plus its own -shard-index; requests for licenses owned by
+// another shard are answered with a not_leader redirect that sl-local
+// clients follow transparently:
+//
+//	sl-remote -addr :7600 -shards 2 -shard-index 0 -peer host-a:7600 -peer host-b:7600 ...
+//	sl-remote -addr :7600 -shards 2 -shard-index 1 -peer host-a:7600 -peer host-b:7600 ...
+//
+// With -state-dir, a sharded daemon also serves its WAL as a replication
+// stream, so a standby started with -follow tails it and keeps a warm
+// copy of the shard's state:
+//
+//	sl-remote -addr :7601 -follow host-a:7600 -shards 2 -shard-index 0 \
+//	          -peer host-a:7600 -peer host-b:7600 -state-dir /var/lib/sl-remote ...
+//
+// The follower probes its leader; once the leader stays unreachable for
+// -promote-after, the follower finishes replaying whatever WAL was
+// shipped, promotes itself onto -state-dir, and starts serving the
+// shard's hash range in a new epoch. (The routing directory is
+// per-process in this reproduction — production would share it through a
+// coordination service — so peers learn of the promotion by restarting
+// with an updated -peer list.)
 package main
 
 import (
@@ -44,6 +70,7 @@ import (
 	"repro/internal/attest"
 	"repro/internal/audit"
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/lease"
 	"repro/internal/obs"
 	"repro/internal/ratls"
@@ -55,10 +82,10 @@ import (
 	"repro/internal/wire"
 )
 
-type licenseFlags []string
+type stringFlags []string
 
-func (l *licenseFlags) String() string { return strings.Join(*l, ",") }
-func (l *licenseFlags) Set(v string) error {
+func (l *stringFlags) String() string { return strings.Join(*l, ",") }
+func (l *stringFlags) Set(v string) error {
 	*l = append(*l, v)
 	return nil
 }
@@ -80,7 +107,13 @@ func run() error {
 		beta     = flag.Float64("beta", 0.01, "initial beta (paper: 0.01)")
 		tau      = flag.Float64("tau", 0.10, "expected-loss bound as fraction of TG (paper: 0.10)")
 		open     = flag.Bool("open-attestation", true, "accept any platform/measurement (demo mode; disable to require explicit enrollment)")
-		licenses licenseFlags
+		licenses stringFlags
+
+		shards       = flag.Int("shards", 1, "total shard count of the cluster this server belongs to (1: unsharded)")
+		shardIndex   = flag.Int("shard-index", 0, "this server's shard index in [0, shards)")
+		peers        stringFlags
+		follow       = flag.String("follow", "", "follower mode: tail this shard leader's WAL over the wire and promote to serving leader if it dies (requires -state-dir)")
+		promoteAfter = flag.Duration("promote-after", 5*time.Second, "follower mode: promote once the leader has been unreachable this long")
 
 		stateDir       = flag.String("state-dir", "", "directory for the durable state (WAL + snapshots); empty runs in-memory only")
 		fsync          = flag.String("fsync", "batched", "WAL durability: always (fsync per record), batched (group commit), off (no fsync)")
@@ -96,11 +129,38 @@ func run() error {
 		ticketRotate    = flag.Duration("ratls-ticket-rotate", 0, "rotate the session-ticket secret at this interval, forcing resumed clients back through a full quote-verified handshake; 0 never rotates")
 	)
 	flag.Var(&licenses, "license", licenseFlagHelp)
+	flag.Var(&peers, "peer", "shard leader address, repeated once per shard in shard order; required when -shards > 1")
 	flag.Parse()
 
 	specs, err := parseLicenses(licenses)
 	if err != nil {
 		return err
+	}
+
+	// Sharded deployments build a static routing directory from the -peer
+	// list; the wire layer's shard gate consults it on every
+	// license-scoped request.
+	sharded := *shards > 1 || len(peers) > 0 || *follow != ""
+	var clusterDir *cluster.Directory
+	if sharded {
+		if *shardIndex < 0 || *shardIndex >= *shards {
+			return fmt.Errorf("-shard-index %d out of range [0, %d)", *shardIndex, *shards)
+		}
+		if len(peers) == 0 && *follow != "" {
+			// A lone leader/standby pair: the leader is the whole peer list.
+			peers = stringFlags{*follow}
+		}
+		if len(peers) != *shards {
+			return fmt.Errorf("-shards %d needs exactly %d -peer flags (leader addresses in shard order), got %d", *shards, *shards, len(peers))
+		}
+		ring, err := cluster.NewRing(*shards, 0)
+		if err != nil {
+			return err
+		}
+		clusterDir = cluster.NewDirectory(ring)
+		for i, p := range peers {
+			clusterDir.SetLeader(i, p)
+		}
 	}
 
 	var service *attest.Service
@@ -113,6 +173,42 @@ func run() error {
 		HealthThreshold: *th,
 		Beta:            *beta,
 		TauFraction:     *tau,
+	}
+
+	if *follow != "" {
+		if *stateDir == "" {
+			return errors.New("-follow requires -state-dir: the promoted leader's durable state lives there")
+		}
+		if len(specs) > 0 {
+			log.Printf("ignoring %d -license flags: follower state replicates from the leader", len(specs))
+		}
+		sealKey, err := loadSealKey(*sealSecret, *sealSecretFile)
+		if err != nil {
+			return err
+		}
+		mode, err := store.ParseSyncMode(*fsync)
+		if err != nil {
+			return err
+		}
+		return runFollower(followerParams{
+			leaderAddr:    *follow,
+			listenAddr:    *addr,
+			stateDir:      *stateDir,
+			auditFile:     *auditFile,
+			metricsAddr:   *metricsAddr,
+			shard:         *shardIndex,
+			dir:           clusterDir,
+			promoteAfter:  *promoteAfter,
+			sealKey:       sealKey,
+			cfg:           cfg,
+			service:       service,
+			insecure:      *insecure,
+			secret:        *ratlsSecret,
+			secretFile:    *ratlsSecretFile,
+			syncMode:      mode,
+			snapshotEvery: *snapshotEvery,
+			drainTimeout:  *drainTimeout,
+		})
 	}
 
 	var reg *obs.Registry
@@ -221,13 +317,22 @@ func run() error {
 
 	remote.AttachAudit(auditLog)
 
-	rc, err := channelConfig(*insecure, *ratlsSecret, *ratlsSecretFile)
+	rc, err := channelConfig(*insecure, *ratlsSecret, *ratlsSecretFile, sharded)
 	if err != nil {
 		return err
 	}
 	srv, err := wire.NewServer(remote, log.Printf, rc)
 	if err != nil {
 		return err
+	}
+	if clusterDir != nil {
+		self := peers[*shardIndex]
+		srv.SetShardGate(clusterDir.Gate(*shardIndex, self))
+		log.Printf("shard %d of %d (as %s): requests for other shards' licenses get not_leader redirects", *shardIndex, *shards, self)
+		if st != nil {
+			srv.SetReplSource(st)
+			log.Printf("replication source enabled: followers may tail this shard's WAL")
+		}
 	}
 	if *metricsAddr != "" {
 		remote.ExposeMetrics(reg)
@@ -302,8 +407,10 @@ func run() error {
 
 // channelConfig builds the server's wire-channel config: RA-TLS by
 // default (presenting the SL-Remote code identity on a dedicated channel
-// machine, pinning SL-Local's), plaintext only behind -insecure.
-func channelConfig(insecure bool, secret, secretFile string) (*ratls.Config, error) {
+// machine, pinning SL-Local's), plaintext only behind -insecure. Sharded
+// servers additionally trust the SL-Remote code identity itself, since
+// peer shards and followers connect over the same channel.
+func channelConfig(insecure bool, secret, secretFile string, sharded bool) (*ratls.Config, error) {
 	if insecure {
 		return ratls.Insecure(), nil
 	}
@@ -315,7 +422,11 @@ func channelConfig(insecure bool, secret, secretFile string) (*ratls.Config, err
 	if err != nil {
 		return nil, err
 	}
-	return ratls.NewProvisioned("sl-remote", m, raw, slremote.EnclaveCodeIdentity, sllocal.EnclaveCodeIdentity)
+	trusted := [][]byte{sllocal.EnclaveCodeIdentity}
+	if sharded {
+		trusted = append(trusted, slremote.EnclaveCodeIdentity)
+	}
+	return ratls.NewProvisioned("sl-remote", m, raw, slremote.EnclaveCodeIdentity, trusted...)
 }
 
 // loadChannelSecret resolves the -ratls-secret[-file] flags; the attested

@@ -402,3 +402,75 @@ func TestCheckConservation(t *testing.T) {
 		t.Fatal("unit leak passed the conservation check")
 	}
 }
+
+func TestCheckConservationAllTwoServerSplit(t *testing.T) {
+	// A healthy two-shard split: each license lives on exactly one server
+	// and its units add up to the declared budget.
+	shardA := slremote.State{
+		Licenses: map[string]slremote.License{
+			"lic-a": {ID: "lic-a", TotalGCL: 100, Remaining: 70, Consumed: 10},
+		},
+		Clients: map[string]slremote.ClientState{
+			"slid-1": {SLID: "slid-1", Outstanding: map[string]int64{"lic-a": 20}},
+		},
+	}
+	shardB := slremote.State{
+		Licenses: map[string]slremote.License{
+			"lic-b": {ID: "lic-b", TotalGCL: 50, Remaining: 30, Lost: 5},
+		},
+		Clients: map[string]slremote.ClientState{
+			"slid-2": {SLID: "slid-2", Outstanding: map[string]int64{"lic-b": 15}},
+		},
+	}
+	declared := map[string]int64{"lic-a": 100, "lic-b": 50}
+	if err := CheckConservationAll(declared, shardA, shardB); err != nil {
+		t.Fatalf("balanced split rejected: %v", err)
+	}
+	// Per-shard and cluster-wide checks share the checker: one shard alone
+	// passes against its own slice of the declarations.
+	if err := CheckConservationAll(map[string]int64{"lic-a": 100}, shardA); err != nil {
+		t.Fatalf("single-shard call rejected: %v", err)
+	}
+
+	// Double ownership after a botched failover: the same license served
+	// by both shards doubles every unit.
+	both := shardB
+	both.Licenses = map[string]slremote.License{
+		"lic-b": both.Licenses["lic-b"],
+		"lic-a": {ID: "lic-a", TotalGCL: 100, Remaining: 100},
+	}
+	if err := CheckConservationAll(declared, shardA, both); err == nil {
+		t.Fatal("double-owned license passed the cluster-wide check")
+	}
+
+	// A shard that lost its license wholesale: declared units destroyed.
+	if err := CheckConservationAll(declared, shardA); err == nil {
+		t.Fatal("missing license passed the cluster-wide check")
+	}
+
+	// A diverged budget: the server is internally balanced around a
+	// smaller TotalGCL than was declared — only the cluster-wide sum
+	// catches it.
+	short := shardB
+	short.Licenses = map[string]slremote.License{
+		"lic-b": {ID: "lic-b", TotalGCL: 40, Remaining: 20, Lost: 5},
+	}
+	if err := CheckConservationAll(declared, shardA, short); err == nil {
+		t.Fatal("shrunken budget passed the cluster-wide check")
+	}
+
+	// A license no one declared: units created from nothing.
+	if err := CheckConservationAll(map[string]int64{"lic-a": 100}, shardA, shardB); err == nil {
+		t.Fatal("undeclared license passed the cluster-wide check")
+	}
+
+	// A server whose own ledger is broken fails before any cluster math.
+	broken := slremote.State{
+		Licenses: map[string]slremote.License{
+			"lic-a": {ID: "lic-a", TotalGCL: 100, Remaining: 99},
+		},
+	}
+	if err := CheckConservationAll(map[string]int64{"lic-a": 100}, broken); err == nil {
+		t.Fatal("imbalanced server passed the per-server check")
+	}
+}

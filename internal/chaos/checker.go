@@ -47,3 +47,64 @@ func CheckConservation(st slremote.State) error {
 	}
 	return nil
 }
+
+// CheckConservationAll asserts the conservation law across a sharded
+// cluster: every server's own ledger must balance (CheckConservation), and
+// on top of that each declared license must live on exactly one server,
+// with its cluster-wide unit sum matching the declared budget. The extra
+// checks catch exactly the failures sharding introduces — a license served
+// by two shards at once after a botched failover (every unit silently
+// doubled), a shard that lost a license wholesale, or a follower promoted
+// from a diverged WAL whose budget no longer matches what was registered.
+//
+// declared maps license ID to the TotalGCL registered for it cluster-wide;
+// states are the exported states of every live server (shard leaders). A
+// single-entry call degenerates to CheckConservation plus the declared-
+// budget check, so per-shard and cluster-wide verification share one
+// checker.
+func CheckConservationAll(declared map[string]int64, states ...slremote.State) error {
+	owners := make(map[string][]int)
+	sums := make(map[string]int64)
+	for i, st := range states {
+		if err := CheckConservation(st); err != nil {
+			return fmt.Errorf("server %d: %w", i, err)
+		}
+		outstanding := make(map[string]int64)
+		for _, c := range st.Clients {
+			for licID, held := range c.Outstanding {
+				outstanding[licID] += held
+			}
+		}
+		for id, lic := range st.Licenses {
+			owners[id] = append(owners[id], i)
+			sums[id] += lic.Remaining + outstanding[id] + lic.Consumed + lic.Lost
+		}
+	}
+	ids := make([]string, 0, len(declared))
+	for id := range declared {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		switch servers := owners[id]; {
+		case len(servers) == 0:
+			return fmt.Errorf("chaos: declared license %s is on no server: %d units destroyed", id, declared[id])
+		case len(servers) > 1:
+			return fmt.Errorf("chaos: license %s is owned by servers %v at once: units doubled across shards", id, servers)
+		}
+		if sums[id] != declared[id] {
+			return fmt.Errorf("chaos: license %s violates cluster-wide conservation: declared %d, servers account for %d", id, declared[id], sums[id])
+		}
+	}
+	undeclared := make([]string, 0)
+	for id := range owners {
+		if _, ok := declared[id]; !ok {
+			undeclared = append(undeclared, id)
+		}
+	}
+	if len(undeclared) > 0 {
+		sort.Strings(undeclared)
+		return fmt.Errorf("chaos: servers hold licenses never declared: %v (units created from nothing)", undeclared)
+	}
+	return nil
+}

@@ -191,6 +191,17 @@ func (c *FS) ReadFile(name string) ([]byte, error) {
 	return c.under.ReadFile(name)
 }
 
+func (c *FS) ReadFileFrom(name string, off int64) ([]byte, error) {
+	kind, err := c.next(fsOpOther, name)
+	if err != nil {
+		return nil, err
+	}
+	if kind == CrashStop {
+		return nil, ErrCrashed
+	}
+	return c.under.ReadFileFrom(name, off)
+}
+
 func (c *FS) ReadDir(name string) ([]fs.DirEntry, error) {
 	kind, err := c.next(fsOpOther, name)
 	if err != nil {

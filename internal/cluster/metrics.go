@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the cluster_* metric family: shard ownership and epochs,
+// replication progress and lag, and failover counts. A nil *Metrics (no
+// registry wired) makes every recording method a no-op, so the cluster
+// code never branches on observability being enabled.
+type Metrics struct {
+	epoch     *obs.GaugeVec   // cluster_shard_epoch{shard}
+	licenses  *obs.GaugeVec   // cluster_shard_licenses{shard}
+	failovers *obs.Counter    // cluster_failovers_total
+	pulls     *obs.Counter    // cluster_repl_pulls_total
+	applied   *obs.CounterVec // cluster_repl_applied_records_total{shard}
+	lag       *obs.GaugeVec   // cluster_repl_lag_bytes{shard}
+}
+
+// NewMetrics registers the cluster metric family with reg (nil reg
+// returns nil, which is safe to record against).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		epoch:     reg.GaugeVec("cluster_shard_epoch", "Directory epoch of each shard's current leadership.", "shard"),
+		licenses:  reg.GaugeVec("cluster_shard_licenses", "Licenses owned by each shard's leader.", "shard"),
+		failovers: reg.Counter("cluster_failovers_total", "Follower promotions after a leader death."),
+		pulls:     reg.Counter("cluster_repl_pulls_total", "Replication pull round trips across all followers."),
+		applied:   reg.CounterVec("cluster_repl_applied_records_total", "WAL records folded into each shard's follower.", "shard"),
+		lag:       reg.GaugeVec("cluster_repl_lag_bytes", "Bytes between each shard's follower position and its leader's durable WAL tip.", "shard"),
+	}
+}
+
+func shardLabel(shard int) string { return strconv.Itoa(shard) }
+
+func (m *Metrics) setEpoch(shard int, epoch uint64) {
+	if m != nil {
+		m.epoch.With(shardLabel(shard)).Set(float64(epoch))
+	}
+}
+
+func (m *Metrics) setLicenses(shard, n int) {
+	if m != nil {
+		m.licenses.With(shardLabel(shard)).Set(float64(n))
+	}
+}
+
+func (m *Metrics) failover() {
+	if m != nil {
+		m.failovers.Inc()
+	}
+}
+
+func (m *Metrics) pull() {
+	if m != nil {
+		m.pulls.Inc()
+	}
+}
+
+func (m *Metrics) appliedRecords(shard, n int) {
+	if m != nil && n > 0 {
+		m.applied.With(shardLabel(shard)).Add(int64(n))
+	}
+}
+
+func (m *Metrics) setLag(shard int, bytes int64) {
+	if m != nil {
+		m.lag.With(shardLabel(shard)).Set(float64(bytes))
+	}
+}

@@ -1,0 +1,108 @@
+// Package cluster shards SL-Remote license state across several server
+// instances and keeps each shard warm-replicated for failover.
+//
+// Placement is a consistent-hash ring over license IDs: every license
+// lives on exactly one shard, so the single-server conservation law
+// (TotalGCL == Remaining + Σoutstanding + Consumed + Lost) keeps holding
+// per shard, and cluster-wide conservation reduces to "each license on
+// exactly one shard, summing to its declared budget" — which
+// chaos.CheckConservationAll asserts.
+//
+// Each shard is one durable slremote.Server (the leader) plus one
+// slremote.Replica (the follower) that tails the leader's WAL over the
+// wire protocol's repl_pull stream. Failover drains the follower to the
+// leader's durable tip, kills the leader, and promotes the follower onto
+// its own fresh store under a bumped directory epoch; requests routed by
+// stale servers come back as not_leader redirects that wire.Client
+// follows transparently.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the number of ring points per shard. More points
+// smooth the hash distribution; 256 keeps every shard's share within
+// roughly ±15% of the mean for realistic license counts.
+const DefaultVnodes = 256
+
+// Ring is a consistent-hash ring mapping license IDs to shard indices.
+// It is immutable after construction: shard count is fixed for a cluster's
+// lifetime (failover replaces a shard's server, never the shard map), so
+// lookups need no locking.
+type Ring struct {
+	shards int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring of `shards` shards with `vnodes` points each
+// (DefaultVnodes when vnodes <= 0).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		shards: shards,
+		points: make([]ringPoint, 0, shards*vnodes),
+	}
+	for shard := 0; shard < shards; shard++ {
+		for v := 0; v < vnodes; v++ {
+			h := hash64(fmt.Sprintf("shard-%d-vnode-%d", shard, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: shard})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties break on shard index so the ring is deterministic even if
+		// two vnode labels ever collide.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard maps a license ID to its owning shard: the first ring point at or
+// after the ID's hash, wrapping at the top of the hash space.
+func (r *Ring) Shard(licenseID string) int {
+	h := hash64(licenseID)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a alone leaves keys that share
+// a long prefix (sequential license IDs like lic-0000041) in one narrow
+// region of the hash space — a one-byte change only perturbs the value by
+// under 2^48 — which collapses whole ID ranges onto one shard. The
+// finalizer's shift-xor-multiply cascade spreads every input bit across
+// all 64 output bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

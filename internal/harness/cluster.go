@@ -1,0 +1,337 @@
+package harness
+
+import (
+	"container/heap"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/cluster"
+	"repro/internal/lease"
+	"repro/internal/obs"
+	"repro/internal/seccrypto"
+	"repro/internal/store"
+)
+
+// ClusterBenchOptions sizes the sharded-cluster experiment.
+type ClusterBenchOptions struct {
+	// Clients is the number of simulated SL-Local clients (default
+	// 1,000,000). Clients are event-loop simulated — one virtual-time
+	// heap, not a goroutine each — which is what makes a million of them
+	// tractable on one machine.
+	Clients int
+	// Shards is the number of hash ranges / leader servers (default 4).
+	Shards int
+	// ClientsPerLicense groups clients into license-sharing parties
+	// (default 20): Algorithm 1's multi-party scenario, scaled out.
+	ClientsPerLicense int
+	// RenewalsPerClient is how many renewal events each client fires
+	// (default 2).
+	RenewalsPerClient int
+	// Kills is how many leader kill+failover events are injected at
+	// evenly spaced points of the run (0: none). Each kill drains the
+	// shard's follower, kills the leader, and promotes the follower; the
+	// run continues against the new leader.
+	Kills int
+	// Seed drives every random choice (event jitter, consume decisions),
+	// making runs reproducible.
+	Seed int64
+	// Dir is the state root (default: a fresh temp dir, removed after).
+	Dir string
+	// Registry receives cluster_* metrics (nil: none).
+	Registry *obs.Registry
+}
+
+// ShardBenchStats is one shard's share of the run.
+type ShardBenchStats struct {
+	Shard       int
+	Licenses    int
+	Clients     int
+	Renewals    int64
+	Denials     int64
+	RenewPerSec float64
+	P50Micros   float64
+	P99Micros   float64
+	Failovers   int
+}
+
+// ClusterBenchResult summarizes the cluster experiment.
+type ClusterBenchResult struct {
+	Clients   int
+	Shards    int
+	Licenses  int
+	Renewals  int64
+	Denials   int64
+	Consumes  int64
+	Kills     int
+	SetupTime time.Duration
+	RunTime   time.Duration
+	PerShard  []ShardBenchStats
+	// AuditVerified is set when kills were injected: every shard's audit
+	// chain re-verified across leader incarnations.
+	AuditVerified bool
+}
+
+// clusterEvent is one pending renewal in virtual time. Ordering ties
+// break on the client index so the event sequence is a pure function of
+// the options.
+type clusterEvent struct {
+	vt     int64
+	client int32
+}
+
+type eventHeap []clusterEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].vt != h[j].vt {
+		return h[i].vt < h[j].vt
+	}
+	return h[i].client < h[j].client
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(clusterEvent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// ClusterBench drives a sharded SL-Remote cluster with an event-loop
+// client simulation: every client is a heap entry firing renewal (and
+// consume) events against its license's owning shard leader, while each
+// shard's follower tails the leader's WAL over the wire in the
+// background. With Kills > 0 leaders are killed and failed over mid-run.
+// The run fails unless, at the end, lease-unit conservation holds on
+// every shard and cluster-wide, and (when kills happened) every audit
+// chain verifies.
+func ClusterBench(opts ClusterBenchOptions) (*ClusterBenchResult, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 1_000_000
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	if opts.ClientsPerLicense <= 0 {
+		opts.ClientsPerLicense = 20
+	}
+	if opts.RenewalsPerClient <= 0 {
+		opts.RenewalsPerClient = 2
+	}
+	dir := opts.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "slcluster-bench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("cluster-bench-%d", opts.Seed)))
+	sealKey, err := seccrypto.KeyFromBytes(sum[:seccrypto.KeySize])
+	if err != nil {
+		return nil, err
+	}
+
+	setupStart := time.Now()
+	c, err := cluster.New(cluster.Options{
+		Shards:  opts.Shards,
+		Dir:     dir,
+		SealKey: sealKey,
+		// SyncOff is the bench's durability floor: TailSince still serves
+		// only store-acknowledged bytes, so replication semantics are the
+		// production ones; only fsync latency is elided.
+		SyncMode:     store.SyncOff,
+		PullInterval: 20 * time.Millisecond,
+		Audit:        opts.Kills > 0,
+		Registry:     opts.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	// One license per ClientsPerLicense-sized party; budget sized so two
+	// renewals per client mostly succeed (denials are legal and counted).
+	nLicenses := opts.Clients / opts.ClientsPerLicense
+	if nLicenses < opts.Shards {
+		nLicenses = opts.Shards
+	}
+	licenses := make([]string, nLicenses)
+	licShard := make([]int32, nLicenses)
+	for l := range licenses {
+		licenses[l] = fmt.Sprintf("lic-%07d", l)
+		licShard[l] = int32(c.Route(licenses[l]))
+		total := int64(opts.ClientsPerLicense) * 500
+		if err := c.RegisterLicense(licenses[l], lease.CountBased, total); err != nil {
+			return nil, err
+		}
+	}
+
+	type simClient struct {
+		slid    string
+		license int32
+		left    int8
+	}
+	clients := make([]simClient, opts.Clients)
+	for i := range clients {
+		l := int32(i % nLicenses)
+		remote := c.Leader(int(licShard[l])).Remote()
+		init, err := remote.InitClient("", attest.Quote{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("harness: init client %d: %w", i, err)
+		}
+		clients[i] = simClient{slid: init.SLID, license: l, left: int8(opts.RenewalsPerClient)}
+	}
+	setupTime := time.Since(setupStart)
+
+	res := &ClusterBenchResult{
+		Clients:   opts.Clients,
+		Shards:    opts.Shards,
+		Licenses:  nLicenses,
+		Kills:     opts.Kills,
+		SetupTime: setupTime,
+		PerShard:  make([]ShardBenchStats, opts.Shards),
+	}
+	for s := range res.PerShard {
+		res.PerShard[s].Shard = s
+	}
+	for _, ls := range licShard {
+		res.PerShard[ls].Licenses++
+	}
+	for _, cl := range clients {
+		res.PerShard[licShard[cl.license]].Clients++
+	}
+
+	// Seed the virtual-time heap: every client's first renewal lands at a
+	// jittered offset, so shards interleave instead of marching in phase.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	const interval = 1 << 20 // virtual ticks between one client's renewals
+	h := make(eventHeap, opts.Clients)
+	for i := range clients {
+		h[i] = clusterEvent{vt: rng.Int63n(interval), client: int32(i)}
+	}
+	heap.Init(&h)
+
+	totalEvents := int64(opts.Clients) * int64(opts.RenewalsPerClient)
+	killEvery := int64(0)
+	if opts.Kills > 0 {
+		killEvery = totalEvents / int64(opts.Kills+1)
+	}
+	nextKill := killEvery
+	killShard := 0
+
+	latencies := make([][]float64, opts.Shards)
+	runStart := time.Now()
+	var processed int64
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(clusterEvent)
+		cl := &clients[ev.client]
+		shard := int(licShard[cl.license])
+		remote := c.Leader(shard).Remote()
+
+		start := time.Now()
+		grant, err := remote.RenewLease(cl.slid, licenses[cl.license])
+		latencies[shard] = append(latencies[shard], float64(time.Since(start).Microseconds()))
+		res.PerShard[shard].Renewals++
+		res.Renewals++
+		if err != nil {
+			res.PerShard[shard].Denials++
+			res.Denials++
+		} else if grant.Units > 1 && rng.Intn(2) == 0 {
+			// Half the time the client reports half its grant spent,
+			// exercising the consumed side of the ledger.
+			if err := remote.ConsumeReport(cl.slid, licenses[cl.license], grant.Units/2); err != nil {
+				return nil, fmt.Errorf("harness: consume: %w", err)
+			}
+			res.Consumes++
+		}
+		cl.left--
+		if cl.left > 0 {
+			heap.Push(&h, clusterEvent{vt: ev.vt + interval, client: ev.client})
+		}
+
+		processed++
+		if killEvery > 0 && processed >= nextKill && opts.Kills > 0 && res.killsDone() < opts.Kills {
+			shard := killShard % opts.Shards
+			killShard++
+			nextKill += killEvery
+			if err := c.FailOver(shard); err != nil {
+				return nil, fmt.Errorf("harness: failover shard %d: %w", shard, err)
+			}
+			res.PerShard[shard].Failovers++
+		}
+	}
+	res.RunTime = time.Since(runStart)
+
+	for s := range res.PerShard {
+		st := &res.PerShard[s]
+		if res.RunTime > 0 {
+			st.RenewPerSec = float64(st.Renewals) / res.RunTime.Seconds()
+		}
+		st.P50Micros = percentile(latencies[s], 0.50)
+		st.P99Micros = percentile(latencies[s], 0.99)
+	}
+
+	// The whole point: a million clients, shard kills and all, and not
+	// one lease unit created or destroyed — per shard and cluster-wide.
+	if err := c.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("harness: cluster bench broke conservation: %w", err)
+	}
+	if opts.Kills > 0 {
+		if err := c.VerifyAudit(); err != nil {
+			return nil, fmt.Errorf("harness: cluster bench broke the audit chain: %w", err)
+		}
+		res.AuditVerified = true
+	}
+	return res, nil
+}
+
+func (r *ClusterBenchResult) killsDone() int {
+	n := 0
+	for _, s := range r.PerShard {
+		n += s.Failovers
+	}
+	return n
+}
+
+// percentile returns the p-th percentile of samples (sorted in place).
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	i := int(p * float64(len(samples)-1))
+	return samples[i]
+}
+
+// Render prints the per-shard table and run summary.
+func (r *ClusterBenchResult) Render() string {
+	header := []string{"Shard", "Licenses", "Clients", "Renewals", "Renew/s", "p50 µs", "p99 µs", "Denials", "Failovers"}
+	rows := make([][]string, 0, len(r.PerShard))
+	for _, s := range r.PerShard {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s.Shard),
+			fmtCount(int64(s.Licenses)),
+			fmtCount(int64(s.Clients)),
+			fmtCount(s.Renewals),
+			fmtCount(int64(s.RenewPerSec)),
+			fmt.Sprintf("%.0f", s.P50Micros),
+			fmt.Sprintf("%.0f", s.P99Micros),
+			fmtCount(s.Denials),
+			fmt.Sprintf("%d", s.Failovers),
+		})
+	}
+	title := fmt.Sprintf("Cluster: %s clients over %d shards (%s licenses, %d kills)",
+		fmtCount(int64(r.Clients)), r.Shards, fmtCount(int64(r.Licenses)), r.Kills)
+	out := renderTable(title, header, rows)
+	out += fmt.Sprintf("\nSetup %v, run %v: %s renewals (%s denied), %s consume reports.\n",
+		r.SetupTime.Round(time.Millisecond), r.RunTime.Round(time.Millisecond),
+		fmtCount(r.Renewals), fmtCount(r.Denials), fmtCount(r.Consumes))
+	out += "Conservation verified per shard and cluster-wide"
+	if r.AuditVerified {
+		out += "; audit chains verified across failovers"
+	}
+	out += ".\n"
+	return out
+}

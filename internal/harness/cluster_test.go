@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClusterBenchSmall(t *testing.T) {
+	res, err := ClusterBench(ClusterBenchOptions{
+		Clients:           2000,
+		Shards:            2,
+		ClientsPerLicense: 20,
+		RenewalsPerClient: 2,
+		Kills:             1,
+		Seed:              7,
+		Dir:               t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("ClusterBench: %v", err)
+	}
+	if res.Renewals != 4000 {
+		t.Fatalf("Renewals = %d, want 4000 (2000 clients × 2)", res.Renewals)
+	}
+	var perShard int64
+	var failovers int
+	for _, s := range res.PerShard {
+		perShard += s.Renewals
+		failovers += s.Failovers
+		if s.Renewals > 0 && s.P99Micros <= 0 {
+			t.Fatalf("shard %d served %d renewals with p99 %v", s.Shard, s.Renewals, s.P99Micros)
+		}
+	}
+	if perShard != res.Renewals {
+		t.Fatalf("per-shard renewals %d != total %d", perShard, res.Renewals)
+	}
+	if failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", failovers)
+	}
+	if !res.AuditVerified {
+		t.Fatal("audit chains not verified despite kills")
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestClusterBenchDeterministicCounts(t *testing.T) {
+	run := func() *ClusterBenchResult {
+		res, err := ClusterBench(ClusterBenchOptions{
+			Clients:           500,
+			Shards:            2,
+			ClientsPerLicense: 10,
+			RenewalsPerClient: 2,
+			Seed:              21,
+			Dir:               t.TempDir(),
+		})
+		if err != nil {
+			t.Fatalf("ClusterBench: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	// Latency and duration vary; the simulated behavior must not.
+	if a.Renewals != b.Renewals || a.Denials != b.Denials || a.Consumes != b.Consumes {
+		t.Fatalf("same seed, different behavior: %+v vs %+v", a, b)
+	}
+	for s := range a.PerShard {
+		if a.PerShard[s].Renewals != b.PerShard[s].Renewals || a.PerShard[s].Denials != b.PerShard[s].Denials {
+			t.Fatalf("shard %d diverged across same-seed runs: %+v vs %+v", s, a.PerShard[s], b.PerShard[s])
+		}
+	}
+}
+
+func TestFleetSeededDeterminism(t *testing.T) {
+	clients := []FleetClient{
+		{Name: "stable", Health: 0.99, Reliability: 0.95, Weight: 1},
+		{Name: "flaky-net", Health: 0.95, Reliability: 0.6, Weight: 1},
+		{Name: "crashy", Health: 0.5, Reliability: 0.9, Weight: 1},
+	}
+	run := func(seed int64) *FleetResult {
+		res, err := Fleet(clients, 5, 50_000, seed)
+		if err != nil {
+			t.Fatalf("Fleet: %v", err)
+		}
+		return res
+	}
+	a, b := run(11), run(11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different FleetResult:\n %+v\n %+v", a, b)
+	}
+}

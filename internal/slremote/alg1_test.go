@@ -100,10 +100,13 @@ func TestAlg1AlphaNormalization(t *testing.T) {
 	}
 	// Hand B and C outstanding balances directly: holdersLocked counts any
 	// client with units out, and the formula under test reads only the
-	// holder set, the weights, and TG.
+	// holder set, the weights, and TG. The holder index mirrors every
+	// outstanding mutation, so it is maintained by hand here too.
 	s.mu.Lock()
 	s.clients[b].outstanding["lic"] = 100
+	s.setHolderLocked("lic", s.clients[b])
 	s.clients[c].outstanding["lic"] = 50
+	s.setHolderLocked("lic", s.clients[c])
 	units, st := s.computeGrantLocked(s.clients[a], s.licenses["lic"])
 	s.mu.Unlock()
 
@@ -135,6 +138,7 @@ func TestAlg1ExpectedLossScaleDown(t *testing.T) {
 	}
 	s.mu.Lock()
 	s.clients[b].outstanding["lic"] = 400
+	s.setHolderLocked("lic", s.clients[b])
 	units, st := s.computeGrantLocked(s.clients[a], s.licenses["lic"])
 	s.mu.Unlock()
 

@@ -270,6 +270,9 @@ func (s *Server) restoreImageLocked(img snapshotImage) error {
 		}
 		for k, v := range ci.Outstanding {
 			c.outstanding[k] = v
+			if v > 0 {
+				s.setHolderLocked(k, c)
+			}
 		}
 		if ci.HasEscrow {
 			key, err := seccrypto.KeyFromBytes(ci.Escrow)

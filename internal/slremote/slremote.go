@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -144,6 +145,12 @@ type Server struct {
 	mu       sync.Mutex
 	licenses map[string]*License
 	clients  map[string]*clientState
+	// holders indexes, per license ID, the clients with a positive
+	// outstanding balance — Algorithm 1's concurrency set. Renewals walk
+	// this index instead of every registered client, which is what keeps a
+	// renewal O(holders of one license) when a shard serves hundreds of
+	// thousands of clients.
+	holders  map[string]map[string]*clientState
 	nextSLID int
 	persist  *persister // nil: in-memory only (see persist.go)
 	audit    *audit.Log // nil: no audit trail (see AttachAudit)
@@ -190,6 +197,7 @@ func NewServer(cfg Config, service *attest.Service) (*Server, error) {
 		service:  service,
 		licenses: make(map[string]*License),
 		clients:  make(map[string]*clientState),
+		holders:  make(map[string]map[string]*clientState),
 	}, nil
 }
 
@@ -365,6 +373,7 @@ func (s *Server) applyInitLocked(slid string, nextSLID int) InitResult {
 				}
 			}
 			delete(c.outstanding, licID)
+			s.clearHolderLocked(licID, c)
 			s.stats.CrashForfeits++
 			s.auditLocked(audit.Record{Op: audit.OpCrashForfeit, SLID: c.slid, License: licID, Units: held})
 		}
@@ -473,6 +482,7 @@ func (s *Server) applyCrashLocked(c *clientState) {
 			}
 		}
 		delete(c.outstanding, licID)
+		s.clearHolderLocked(licID, c)
 		s.stats.CrashForfeits++
 		s.auditLocked(audit.Record{Op: audit.OpCrashForfeit, SLID: c.slid, License: licID, Units: held})
 	}
@@ -586,6 +596,9 @@ func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
 func (s *Server) applyRenewLocked(c *clientState, lic *License, units int64) {
 	lic.Remaining -= units
 	c.outstanding[lic.ID] += units
+	if c.outstanding[lic.ID] > 0 {
+		s.setHolderLocked(lic.ID, c)
+	}
 	s.stats.Renewals++
 	if m := s.metrics.Load(); m != nil {
 		m.grantUnits.Observe(float64(units))
@@ -653,22 +666,51 @@ func (s *Server) computeGrantLocked(c *clientState, lic *License) (int64, alg1St
 
 // holdersLocked returns the clients that currently hold or are requesting
 // the license (always including the requester) and their total weight.
+// Holders come back in sorted-SLID order so the floating-point sums built
+// over them (weight normalization, Equation 1) are reproducible — seeded
+// harness runs depend on that, and map order would break it.
 func (s *Server) holdersLocked(licenseID string, requester *clientState) ([]*clientState, float64) {
-	holders := []*clientState{requester}
-	weightSum := requester.weight
-	for _, other := range s.clients {
+	idx := s.holders[licenseID]
+	slids := make([]string, 0, len(idx))
+	for slid, other := range idx {
 		if other == requester || other.crashed {
 			continue
 		}
-		if other.outstanding[licenseID] > 0 {
-			holders = append(holders, other)
-			weightSum += other.weight
-		}
+		slids = append(slids, slid)
+	}
+	sort.Strings(slids)
+	holders := make([]*clientState, 0, len(slids)+1)
+	holders = append(holders, requester)
+	weightSum := requester.weight
+	for _, slid := range slids {
+		other := idx[slid]
+		holders = append(holders, other)
+		weightSum += other.weight
 	}
 	if weightSum <= 0 {
 		weightSum = 1
 	}
 	return holders, weightSum
+}
+
+// setHolderLocked and clearHolderLocked maintain the per-license holder
+// index; every mutation of a client's outstanding balance goes through one
+// of them.
+func (s *Server) setHolderLocked(licenseID string, c *clientState) {
+	idx := s.holders[licenseID]
+	if idx == nil {
+		idx = make(map[string]*clientState)
+		s.holders[licenseID] = idx
+	}
+	idx[c.slid] = c
+}
+
+func (s *Server) clearHolderLocked(licenseID string, c *clientState) {
+	idx := s.holders[licenseID]
+	delete(idx, c.slid)
+	if len(idx) == 0 {
+		delete(s.holders, licenseID)
+	}
 }
 
 // expectedLossLocked computes Equation 1: ExpLoss(L) = Σ g_i (1 − h_i),
@@ -717,6 +759,9 @@ func (s *Server) ConsumeReport(slid, licenseID string, units int64) error {
 // global invariant over the license pool could ever balance.
 func (s *Server) applyConsumeLocked(c *clientState, licenseID string, units int64) {
 	c.outstanding[licenseID] -= units
+	if c.outstanding[licenseID] <= 0 {
+		s.clearHolderLocked(licenseID, c)
+	}
 	if lic, ok := s.licenses[licenseID]; ok {
 		lic.Consumed += units
 		if m := s.metrics.Load(); m != nil {

@@ -20,6 +20,12 @@ type FS interface {
 	// ReadFile reads a whole file like os.ReadFile. Absent files must
 	// return an error satisfying os.IsNotExist.
 	ReadFile(name string) ([]byte, error)
+	// ReadFileFrom reads a file's contents starting at byte offset off.
+	// Reading at or past the end returns an empty slice and no error; an
+	// absent file returns an error satisfying os.IsNotExist. The WAL
+	// tail-follower uses this so each replication pull reads only the
+	// suffix it has not shipped yet instead of rereading the whole log.
+	ReadFileFrom(name string, off int64) ([]byte, error)
 	// ReadDir lists a directory like os.ReadDir. An absent directory must
 	// return an error satisfying os.IsNotExist.
 	ReadDir(name string) ([]fs.DirEntry, error)
@@ -62,7 +68,20 @@ func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
 	return f, nil
 }
 
-func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadFileFrom(name string, off int64) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(f)
+}
+
 func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
 func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error                   { return os.Remove(name) }

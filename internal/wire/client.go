@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -23,9 +24,63 @@ import (
 // SL-Local forever on a blocking read.
 const DefaultTimeout = 10 * time.Second
 
-// dialRetryBackoff is the pause before the single dial retry on a
-// transient connect failure.
-const dialRetryBackoff = 200 * time.Millisecond
+// maxRedirectHops bounds how many not-leader redirects one logical RPC
+// follows before giving up — enough to chase a failover that completes
+// mid-request, small enough that a routing loop (two stale servers
+// pointing at each other) fails fast instead of ping-ponging.
+const maxRedirectHops = 3
+
+// RetryPolicy shapes the dial retry schedule: seeded exponential backoff
+// with full jitter. During a failover storm every disconnected client
+// redials at once; the jitter spreads the reconnect herd, and the seed
+// keeps harness runs reproducible.
+type RetryPolicy struct {
+	// Attempts is the total number of connect attempts (minimum 1).
+	Attempts int
+	// Base is the backoff ceiling before the first retry; each further
+	// retry doubles it, capped at Max.
+	Base time.Duration
+	// Max caps the per-retry backoff ceiling.
+	Max time.Duration
+	// Seed seeds the jitter stream. Two clients with the same policy but
+	// different seeds sleep differently — that is the point.
+	Seed int64
+}
+
+// DefaultRetryPolicy is the production dial schedule: four attempts with
+// backoff ceilings of 100ms, 200ms, 400ms.
+func DefaultRetryPolicy(seed int64) RetryPolicy {
+	return RetryPolicy{Attempts: 4, Base: 100 * time.Millisecond, Max: 2 * time.Second, Seed: seed}
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// backoff returns the pause before retry number retry (1-based): a
+// uniformly random duration in [0, min(Max, Base·2^(retry-1))] — the
+// "full jitter" schedule, which decorrelates a reconnect herd better than
+// jittering around the midpoint.
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	ceiling := p.Base
+	if ceiling <= 0 {
+		ceiling = 100 * time.Millisecond
+	}
+	for i := 1; i < retry; i++ {
+		ceiling *= 2
+		if p.Max > 0 && ceiling >= p.Max {
+			ceiling = p.Max
+			break
+		}
+	}
+	if p.Max > 0 && ceiling > p.Max {
+		ceiling = p.Max
+	}
+	return time.Duration(rng.Int63n(int64(ceiling) + 1))
+}
 
 // ErrNilChannelConfig reports a Dial or NewServer call without a channel
 // config: the caller must choose attested (ratls.New) or explicitly
@@ -41,12 +96,16 @@ var ErrNilChannelConfig = errors.New("wire: nil channel config (use ratls.Insecu
 type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
+	addr    string // address of the server conn speaks to (moves on redirect)
 	rc      *ratls.Config
 	timeout time.Duration
+	policy  RetryPolicy
+	rng     *rand.Rand // jitter stream; guarded by mu after construction
 
 	bytesOut    atomic.Int64
 	bytesIn     atomic.Int64
 	dialRetries atomic.Int64
+	redirects   atomic.Int64
 	metrics     atomic.Pointer[clientMetrics]
 }
 
@@ -60,25 +119,55 @@ func Dial(addr string, rc *ratls.Config) (*Client, error) {
 // DialTimeout connects to a wire.Server at addr and runs the channel
 // handshake rc prescribes. timeout bounds the connect (TCP plus
 // handshake) and each subsequent request/reply round trip; zero disables
-// deadlines (blocking semantics). A transient connect failure (timeout,
-// refused, unreachable, or a failed channel handshake) is retried once
-// after a short backoff.
+// deadlines (blocking semantics). Transient connect failures (timeout,
+// refused, unreachable, or a failed channel handshake) are retried on
+// DefaultRetryPolicy's jittered exponential backoff, seeded from the
+// clock.
 func DialTimeout(addr string, timeout time.Duration, rc *ratls.Config) (*Client, error) {
+	return DialPolicy(addr, timeout, rc, DefaultRetryPolicy(time.Now().UnixNano()))
+}
+
+// DialPolicy is DialTimeout with an explicit retry schedule; harnesses use
+// a seeded policy so reconnect storms replay identically.
+func DialPolicy(addr string, timeout time.Duration, rc *ratls.Config, policy RetryPolicy) (*Client, error) {
 	if rc == nil {
 		return nil, ErrNilChannelConfig
 	}
-	c := &Client{timeout: timeout, rc: rc}
-	conn, err := c.connect(addr)
-	if err != nil && transientDialErr(err) {
-		c.dialRetries.Add(1)
-		time.Sleep(dialRetryBackoff)
-		conn, err = c.connect(addr)
+	c := &Client{
+		timeout: timeout,
+		rc:      rc,
+		policy:  policy,
+		rng:     rand.New(rand.NewSource(policy.Seed)),
 	}
+	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
 	c.conn = conn
+	c.addr = addr
 	return c, nil
+}
+
+// dial runs the policy's connect-attempt loop: every transient failure
+// costs one jittered backoff and one tick of wire_client_dial_retries_total;
+// a non-transient failure (e.g. address resolution) aborts immediately.
+func (c *Client) dial(addr string) (net.Conn, error) {
+	var err error
+	for attempt := 1; attempt <= c.policy.attempts(); attempt++ {
+		if attempt > 1 {
+			c.dialRetries.Add(1)
+			time.Sleep(c.policy.backoff(attempt-1, c.rng))
+		}
+		var conn net.Conn
+		conn, err = c.connect(addr)
+		if err == nil {
+			return conn, nil
+		}
+		if !transientDialErr(err) {
+			return nil, err
+		}
+	}
+	return nil, err
 }
 
 // connect performs one TCP connect plus channel handshake. On handshake
@@ -159,6 +248,52 @@ func (c *Client) roundTripSpan(parent *obs.Span, msgType string, payload any) (E
 	return env, err
 }
 
+// roundTripRoute is roundTripSpan for license-scoped requests against a
+// sharded cluster: a TypeNotLeader reply re-dials the connection to the
+// named leader and retries, so SL-Local re-routes transparently across
+// failovers. Hops are bounded; a loop of stale servers or a leaderless
+// shard surfaces as ErrNotLeader.
+func (c *Client) roundTripRoute(parent *obs.Span, msgType string, payload any) (Envelope, error) {
+	for hop := 0; ; hop++ {
+		env, err := c.roundTripSpan(parent, msgType, payload)
+		if err != nil || env.Type != TypeNotLeader {
+			return env, err
+		}
+		var nl NotLeaderResponse
+		if err := DecodePayload(env, &nl); err != nil {
+			return Envelope{}, err
+		}
+		if hop >= maxRedirectHops || nl.Leader == "" {
+			return Envelope{}, fmt.Errorf("%w: license %q (leader %q, epoch %d, %d hops)",
+				ErrNotLeader, nl.License, nl.Leader, nl.Epoch, hop+1)
+		}
+		if err := c.redirect(nl.Leader); err != nil {
+			return Envelope{}, err
+		}
+	}
+}
+
+// redirect moves the client's connection to addr (with the dial policy's
+// backoff), closing the old connection once the new one is up. A no-op
+// when another RPC already moved there.
+func (c *Client) redirect(addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if addr == c.addr {
+		return nil
+	}
+	conn, err := c.dial(addr)
+	if err != nil {
+		return fmt.Errorf("wire: redirecting to %s: %w", addr, err)
+	}
+	old := c.conn
+	c.conn = conn
+	c.addr = addr
+	_ = old.Close()
+	c.redirects.Add(1)
+	return nil
+}
+
 func (c *Client) roundTripLocked(msgType string, payload any, tc *TraceContext) (Envelope, error) {
 	if err := WriteMessageTrace(countWriter{c.conn, &c.bytesOut}, msgType, payload, tc); err != nil {
 		return Envelope{}, err
@@ -209,7 +344,7 @@ func (c *Client) RenewLease(slid, licenseID string) (slremote.Grant, error) {
 
 // RenewLeaseSpan is RenewLease with the RPC span linked under parent.
 func (c *Client) RenewLeaseSpan(parent *obs.Span, slid, licenseID string) (slremote.Grant, error) {
-	env, err := c.roundTripSpan(parent, TypeRenew, RenewRequest{SLID: slid, License: licenseID})
+	env, err := c.roundTripRoute(parent, TypeRenew, RenewRequest{SLID: slid, License: licenseID})
 	if err != nil {
 		return slremote.Grant{}, err
 	}
@@ -250,9 +385,11 @@ func (c *Client) EscrowRootKeySpan(parent *obs.Span, slid string, key seccrypto.
 	return nil
 }
 
-// RegisterLicense registers a license on the remote server (admin).
+// RegisterLicense registers a license on the remote server (admin). In a
+// sharded cluster the request follows redirects to the license's owning
+// shard.
 func (c *Client) RegisterLicense(id string, kind uint8, totalGCL int64) error {
-	env, err := c.roundTrip(TypeRegisterLicense, RegisterLicenseRequest{ID: id, Kind: kind, TotalGCL: totalGCL})
+	env, err := c.roundTripRoute(nil, TypeRegisterLicense, RegisterLicenseRequest{ID: id, Kind: kind, TotalGCL: totalGCL})
 	if err != nil {
 		return err
 	}
@@ -291,7 +428,7 @@ func (c *Client) SetProfile(slid string, health, reliability, weight float64) er
 // ConsumeReport reports spent units so the server's outstanding view (and
 // the conservation ledger behind it) tracks reality.
 func (c *Client) ConsumeReport(slid, licenseID string, units int64) error {
-	env, err := c.roundTrip(TypeConsume, ConsumeRequest{SLID: slid, License: licenseID, Units: units})
+	env, err := c.roundTripRoute(nil, TypeConsume, ConsumeRequest{SLID: slid, License: licenseID, Units: units})
 	if err != nil {
 		return err
 	}
@@ -301,9 +438,9 @@ func (c *Client) ConsumeReport(slid, licenseID string, units int64) error {
 	return nil
 }
 
-// LicenseInfo fetches license state (admin).
+// LicenseInfo fetches license state (admin), following shard redirects.
 func (c *Client) LicenseInfo(id string) (LicenseInfoResponse, error) {
-	env, err := c.roundTrip(TypeLicenseInfo, LicenseInfoRequest{ID: id})
+	env, err := c.roundTripRoute(nil, TypeLicenseInfo, LicenseInfoRequest{ID: id})
 	if err != nil {
 		return LicenseInfoResponse{}, err
 	}
@@ -313,6 +450,24 @@ func (c *Client) LicenseInfo(id string) (LicenseInfoResponse, error) {
 	var resp LicenseInfoResponse
 	if err := DecodePayload(env, &resp); err != nil {
 		return LicenseInfoResponse{}, err
+	}
+	return resp, nil
+}
+
+// ReplPull fetches one replication batch: the server's durable WAL
+// records after position (gen, offset). Followers call it in a loop,
+// advancing their position by the returned NextOffset.
+func (c *Client) ReplPull(gen uint64, offset int64, maxBytes int) (ReplBatchResponse, error) {
+	env, err := c.roundTrip(TypeReplPull, ReplPullRequest{Gen: gen, Offset: offset, MaxBytes: maxBytes})
+	if err != nil {
+		return ReplBatchResponse{}, err
+	}
+	if env.Type != TypeReplBatch {
+		return ReplBatchResponse{}, RemoteErr(env)
+	}
+	var resp ReplBatchResponse
+	if err := DecodePayload(env, &resp); err != nil {
+		return ReplBatchResponse{}, err
 	}
 	return resp, nil
 }

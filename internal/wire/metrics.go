@@ -34,6 +34,8 @@ func (c *Client) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 		func() float64 { return float64(c.bytesIn.Load()) })
 	reg.CounterFunc("wire_client_dial_retries_total", "Connect attempts retried after a transient failure.", nil,
 		func() float64 { return float64(c.dialRetries.Load()) })
+	reg.CounterFunc("wire_client_redirects_total", "Connections re-dialed after a not-leader redirect.", nil,
+		func() float64 { return float64(c.redirects.Load()) })
 	c.metrics.Store(&clientMetrics{
 		rpcs:    reg.CounterVec("wire_client_rpcs_total", "RPC round trips, by message type.", "type"),
 		errors:  reg.CounterVec("wire_client_rpc_errors_total", "Failed RPC round trips, by message type.", "type"),
@@ -88,7 +90,8 @@ func (s *Server) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 func rpcLabel(msgType string) string {
 	switch msgType {
 	case TypeInit, TypeRenew, TypeEscrow, TypeRegisterLicense,
-		TypeReportCrash, TypeSetProfile, TypeLicenseInfo, TypeConsume:
+		TypeReportCrash, TypeSetProfile, TypeLicenseInfo, TypeConsume,
+		TypeReplPull:
 		return msgType
 	default:
 		return "unknown"

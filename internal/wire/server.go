@@ -16,6 +16,7 @@ import (
 	"repro/internal/ratls"
 	"repro/internal/seccrypto"
 	"repro/internal/slremote"
+	"repro/internal/store"
 )
 
 // Server exposes an slremote.Server over TCP. Each connection is handled
@@ -42,6 +43,58 @@ type Server struct {
 	// preDispatch, when set, runs before each dispatch (tests inject
 	// handler panics through it).
 	preDispatch func(Envelope)
+
+	// gate, when set, is consulted before every license-scoped request;
+	// requests for hash ranges this server does not own are answered with
+	// TypeNotLeader instead of being served. Guarded by mu.
+	gate ShardGate
+	// replSource, when set, serves TypeReplPull from the server's WAL.
+	// Guarded by mu.
+	replSource ReplSource
+}
+
+// ShardGate decides license ownership for a sharded deployment: it returns
+// the shard's current leader address and directory epoch, and whether THIS
+// server is that leader (owned). A nil gate means the server owns
+// everything (the single-instance deployment).
+type ShardGate func(licenseID string) (leader string, epoch uint64, owned bool)
+
+// ReplSource is the WAL tail a server exposes to its follower; a
+// *store.Store satisfies it.
+type ReplSource interface {
+	TailSince(gen uint64, offset int64, maxBytes int) (store.TailBatch, error)
+}
+
+// DefaultReplBatchBytes caps one replication batch's raw record bytes when
+// the puller does not say: comfortably under MaxMessageSize even after
+// JSON/base64 expansion.
+const DefaultReplBatchBytes = 4 << 20
+
+// SetShardGate installs the cluster router's ownership check. Pass nil to
+// own every license again (e.g. after the last shard merges).
+func (s *Server) SetShardGate(g ShardGate) {
+	s.mu.Lock()
+	s.gate = g
+	s.mu.Unlock()
+}
+
+// SetReplSource exposes the server's WAL to follower pulls.
+func (s *Server) SetReplSource(src ReplSource) {
+	s.mu.Lock()
+	s.replSource = src
+	s.mu.Unlock()
+}
+
+func (s *Server) shardGate() ShardGate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gate
+}
+
+func (s *Server) replSrc() ReplSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replSource
 }
 
 // NewServer wraps a license server for network serving. logf may be nil
@@ -336,6 +389,21 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		}
 		return WriteMessage(out, TypeError, ErrorResponse{Message: err.Error()})
 	}
+	// redirect answers a license-scoped request with the owning shard's
+	// leader when this server's gate disowns the license. A not-leader
+	// reply is routing, not failure: it is not counted as an RPC error.
+	redirect := func(license string) (bool, error) {
+		g := s.shardGate()
+		if g == nil {
+			return false, nil
+		}
+		leader, epoch, owned := g(license)
+		if owned {
+			return false, nil
+		}
+		span.Annotate("redirect", leader)
+		return true, WriteMessage(out, TypeNotLeader, NotLeaderResponse{License: license, Leader: leader, Epoch: epoch})
+	}
 	switch env.Type {
 	case TypeInit:
 		var req InitRequest
@@ -366,6 +434,9 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		var req RenewRequest
 		if err := DecodePayload(env, &req); err != nil {
 			return fail(err)
+		}
+		if hit, werr := redirect(req.License); hit {
+			return werr
 		}
 		child := span.Child("slremote.renew")
 		child.Annotate("slid", req.SLID)
@@ -407,6 +478,9 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err := DecodePayload(env, &req); err != nil {
 			return fail(err)
 		}
+		if hit, werr := redirect(req.ID); hit {
+			return werr
+		}
 		if err := s.remote.RegisterLicense(req.ID, lease.Kind(req.Kind), req.TotalGCL); err != nil {
 			return fail(err)
 		}
@@ -437,6 +511,9 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err := DecodePayload(env, &req); err != nil {
 			return fail(err)
 		}
+		if hit, werr := redirect(req.License); hit {
+			return werr
+		}
 		if err := s.remote.ConsumeReport(req.SLID, req.License, req.Units); err != nil {
 			return fail(err)
 		}
@@ -446,6 +523,9 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		var req LicenseInfoRequest
 		if err := DecodePayload(env, &req); err != nil {
 			return fail(err)
+		}
+		if hit, werr := redirect(req.ID); hit {
+			return werr
 		}
 		lic, err := s.remote.License(req.ID)
 		if err != nil {
@@ -459,6 +539,35 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 			Revoked:   lic.Revoked,
 			Lost:      lic.Lost,
 			Consumed:  lic.Consumed,
+		})
+
+	case TypeReplPull:
+		src := s.replSrc()
+		if src == nil {
+			return fail(errors.New("replication not enabled on this server"))
+		}
+		var req ReplPullRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		maxBytes := req.MaxBytes
+		if maxBytes <= 0 || maxBytes > DefaultReplBatchBytes {
+			maxBytes = DefaultReplBatchBytes
+		}
+		child := span.Child("store.tail")
+		b, err := src.TailSince(req.Gen, req.Offset, maxBytes)
+		child.Annotate("records", strconv.Itoa(len(b.Records)))
+		child.End(err)
+		if err != nil {
+			return fail(err)
+		}
+		return WriteMessage(out, TypeReplBatch, ReplBatchResponse{
+			Gen:        b.Gen,
+			Rebase:     b.Rebase,
+			Snapshot:   b.Snapshot,
+			Records:    b.Records,
+			NextOffset: b.NextOffset,
+			Tip:        b.Tip,
 		})
 
 	default:

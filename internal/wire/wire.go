@@ -38,6 +38,15 @@ const (
 	TypeConsume         = "consume"
 	TypeError           = "error"
 	TypeOK              = "ok"
+	// TypeNotLeader answers a license-scoped request sent to a server that
+	// does not own the license's hash range: the payload names the shard's
+	// current leader so the client re-routes transparently.
+	TypeNotLeader = "not_leader"
+	// TypeReplPull / TypeReplBatch are the WAL replication stream: a
+	// follower pulls the leader's durable records after its last applied
+	// position.
+	TypeReplPull  = "repl_pull"
+	TypeReplBatch = "repl_batch"
 )
 
 // TraceContext carries the caller's obs.SpanContext across the wire so
@@ -136,6 +145,37 @@ type LicenseInfoResponse struct {
 	Consumed  int64  `json:"consumed,omitempty"`
 }
 
+// NotLeaderResponse redirects a license-scoped request to the shard's
+// current leader. Epoch is the cluster directory epoch the answer is valid
+// for; a client seeing epochs regress is talking to a stale server.
+type NotLeaderResponse struct {
+	License string `json:"license"`
+	Leader  string `json:"leader,omitempty"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// ReplPullRequest asks for the WAL records after position (gen, offset).
+// MaxBytes caps one batch's raw record bytes (0: server default); the
+// server may return less but always makes progress when records exist.
+type ReplPullRequest struct {
+	Gen      uint64 `json:"gen"`
+	Offset   int64  `json:"offset"`
+	MaxBytes int    `json:"max_bytes,omitempty"`
+}
+
+// ReplBatchResponse mirrors store.TailBatch across the wire. Snapshot and
+// the escrow-bearing records inside Records are sealed by the leader
+// before they ever reach its WAL, so the stream carries no plaintext key
+// material regardless of the channel.
+type ReplBatchResponse struct {
+	Gen        uint64   `json:"gen"`
+	Rebase     bool     `json:"rebase,omitempty"`
+	Snapshot   []byte   `json:"snapshot,omitempty"`
+	Records    [][]byte `json:"records,omitempty"`
+	NextOffset int64    `json:"next_offset"`
+	Tip        int64    `json:"tip"`
+}
+
 // ErrorResponse reports a server-side failure.
 type ErrorResponse struct {
 	Message string `json:"message"`
@@ -143,6 +183,12 @@ type ErrorResponse struct {
 
 // ErrRemote wraps failures reported by the peer.
 var ErrRemote = errors.New("wire: remote error")
+
+// ErrNotLeader reports a license-scoped request that could not reach the
+// owning shard leader: every redirect hop still answered not-leader (a
+// routing loop between stale servers), or the reply named no leader at
+// all (the shard is mid-failover).
+var ErrNotLeader = errors.New("wire: not the shard leader")
 
 // WriteMessage frames and writes one envelope.
 func WriteMessage(w io.Writer, msgType string, payload any) error {
