@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/attest"
 	"repro/internal/cli"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/ratls"
 	"repro/internal/sgx"
 	"repro/internal/sllocal"
@@ -77,8 +79,9 @@ func run() error {
 		checks      = flag.Int("checks", 1000, "number of license checks to perform")
 		batch       = flag.Int("batch", 10, "tokens granted per local attestation")
 		name        = flag.String("name", "client", "machine name")
-		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /readyz, /trace); empty disables")
+		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /readyz, /trace, /events); empty disables")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the observability endpoint")
+		traceBuffer = flag.Int("trace-buffer", 4096, "span ring-buffer capacity; /trace marks the dump truncated once the ring wraps")
 		linger      = flag.Duration("linger", 0, "keep running (and serving metrics) this long after the workload finishes")
 
 		insecure        = flag.Bool("insecure", false, "speak explicit plaintext on the wire channel instead of the attested (RA-TLS) default; both daemons must agree")
@@ -114,16 +117,30 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The flight recorder is always on (SIGQUIT dumps it to stderr); the
+	// metric registry and span ring feed the HTTP endpoint when enabled.
+	rec := flight.NewRecorder(flight.DefaultCapacity)
+	rc.SetFlightRecorder(rec)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			rec.DumpText(os.Stderr)
+		}
+	}()
 	// /readyz stays 503 until attestation and Init succeed below.
 	var ready atomic.Bool
 	if *metricsAddr != "" {
-		reg, tracer := obs.Default(), obs.DefaultTracer()
+		reg, tracer := obs.Default(), obs.NewTracer(*traceBuffer)
 		machine.ExposeMetrics(reg)
 		svc.ExposeMetrics(reg, tracer)
 		client.ExposeMetrics(reg, tracer)
 		rc.ExposeMetrics(reg, tracer)
+		tracer.ExposeMetrics(reg)
+		rec.ExposeMetrics(reg)
 		ep, err := obs.StartHTTPOpts(*metricsAddr, reg, tracer,
-			obs.HandlerOptions{Ready: ready.Load, PProf: *pprofOn})
+			obs.HandlerOptions{Ready: ready.Load, PProf: *pprofOn, Events: rec.HTTPHandler()})
 		if err != nil {
 			return err
 		}
@@ -179,6 +196,9 @@ workload:
 		vElapsed.Round(time.Millisecond),
 		float64(vElapsed.Microseconds()-loopRAs*3_500_000)/float64(issued))
 
+	rec.Emit("sllocal.shutdown",
+		flight.KV{K: "slid", V: svc.SLID()},
+		flight.KV{K: "checks", V: strconv.Itoa(issued)})
 	if err := svc.Shutdown(); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

@@ -34,6 +34,7 @@ type followerParams struct {
 	stateDir      string
 	auditFile     string
 	metricsAddr   string
+	traceBuffer   int
 	shard         int
 	dir           *cluster.Directory
 	promoteAfter  time.Duration
@@ -58,15 +59,25 @@ func runFollower(p followerParams) error {
 		return err
 	}
 
-	var reg *obs.Registry
-	var metrics *cluster.Metrics
+	// The follower's observability bundle survives promotion: the same
+	// registry, span ring, and flight recorder keep counting once this
+	// process serves the shard, so the failover timeline (probe timeout
+	// → drain → promote → epoch bump) lives in one black box.
+	nodeObs := cluster.NewNodeObs("sl-remote-follower", p.traceBuffer)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			nodeObs.Flight.DumpText(os.Stderr)
+		}
+	}()
 	var promoted atomic.Bool
 	if p.metricsAddr != "" {
-		reg = obs.Default()
-		metrics = cluster.NewMetrics(reg)
-		ep, err := obs.StartHTTPOpts(p.metricsAddr, reg, obs.DefaultTracer(), obs.HandlerOptions{
+		ep, err := obs.StartHTTPOpts(p.metricsAddr, nodeObs.Registry, nodeObs.Tracer, obs.HandlerOptions{
 			// A follower is "ready" only once it serves the shard itself.
-			Ready: promoted.Load,
+			Ready:  promoted.Load,
+			Events: nodeObs.Flight.HTTPHandler(),
 		})
 		if err != nil {
 			return err
@@ -95,7 +106,7 @@ func runFollower(p followerParams) error {
 		Config:     p.cfg,
 		Service:    p.service,
 		Channel:    rc,
-		Metrics:    metrics,
+		Obs:        nodeObs,
 	})
 	if err != nil {
 		return err
@@ -131,6 +142,7 @@ func runFollower(p followerParams) error {
 			continue
 		}
 		log.Printf("sl-remote: follower: leader silent for %v: promoting", time.Since(silentSince).Round(time.Second))
+		cluster.EmitProbeTimeout(nodeObs.Flight, p.shard, p.leaderAddr, time.Since(silentSince))
 		break
 	}
 
@@ -163,9 +175,6 @@ func runFollower(p followerParams) error {
 		return fmt.Errorf("promoting follower: %w", err)
 	}
 	promoted.Store(true)
-	if reg != nil {
-		node.Remote().ExposeMetrics(reg)
-	}
 	_, epoch := p.dir.Leader(p.shard)
 	log.Printf("sl-remote: promoted: serving shard %d on %s at epoch %d (%d replicated records)",
 		//sllint:ignore secretflow the logged values are the shard index, listen address, epoch, and record count — the node merely holds the seal key internally, none of it is printed
@@ -177,6 +186,9 @@ func runFollower(p followerParams) error {
 	defer cancel()
 	if err := node.Shutdown(ctx); err != nil {
 		return err
+	}
+	if err := nodeObs.Flight.Persist(filepath.Join(p.stateDir, "flight.log")); err != nil {
+		log.Printf("sl-remote: persisting flight recorder: %v", err)
 	}
 	log.Printf("sl-remote: state snapshotted to %s; shutdown complete", p.stateDir)
 	return nil

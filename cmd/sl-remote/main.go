@@ -73,6 +73,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/ratls"
 	"repro/internal/seccrypto"
 	"repro/internal/sgx"
@@ -99,8 +100,9 @@ func main() {
 func run() error {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7600", "listen address")
-		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /readyz, /trace, /audit); empty disables")
+		metricsAddr = flag.String("metrics-addr", "", "observability endpoint address (/metrics, /healthz, /readyz, /trace, /events, /audit); empty disables")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the observability endpoint")
+		traceBuffer = flag.Int("trace-buffer", 4096, "span ring-buffer capacity; /trace marks the dump truncated once the ring wraps")
 
 		d        = flag.Float64("d", 4, "Algorithm 1 scale-down factor D (paper: 4)")
 		th       = flag.Float64("th", 0.9, "health threshold T_H (paper: 0.9)")
@@ -196,6 +198,7 @@ func run() error {
 			stateDir:      *stateDir,
 			auditFile:     *auditFile,
 			metricsAddr:   *metricsAddr,
+			traceBuffer:   *traceBuffer,
 			shard:         *shardIndex,
 			dir:           clusterDir,
 			promoteAfter:  *promoteAfter,
@@ -211,11 +214,23 @@ func run() error {
 		})
 	}
 
-	var reg *obs.Registry
-	var tracer *obs.Tracer
-	if *metricsAddr != "" {
-		reg, tracer = obs.Default(), obs.DefaultTracer()
-	}
+	// Instrumentation is always on: the registry and span ring feed the
+	// HTTP endpoint when -metrics-addr is set, and the wire obs_pull RPC
+	// (fleet scraping over the attested channel) regardless. The flight
+	// recorder is the always-on black box: SIGQUIT dumps it to stderr,
+	// and a graceful shutdown persists it next to the WAL.
+	reg, tracer := obs.Default(), obs.NewTracer(*traceBuffer)
+	rec := flight.NewRecorder(flight.DefaultCapacity)
+	tracer.ExposeMetrics(reg)
+	rec.ExposeMetrics(reg)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			rec.DumpText(os.Stderr)
+		}
+	}()
 
 	// The seal key protects both the durable state and the audit log.
 	var sealKey seccrypto.Key
@@ -248,7 +263,7 @@ func run() error {
 	var ready atomic.Bool
 	var ep *obs.HTTPServer
 	if *metricsAddr != "" {
-		opts := obs.HandlerOptions{Ready: ready.Load, PProf: *pprofOn}
+		opts := obs.HandlerOptions{Ready: ready.Load, PProf: *pprofOn, Events: rec.HTTPHandler()}
 		if auditLog != nil {
 			opts.Audit = auditLog.HTTPHandler()
 		}
@@ -334,12 +349,18 @@ func run() error {
 			log.Printf("replication source enabled: followers may tail this shard's WAL")
 		}
 	}
-	if *metricsAddr != "" {
-		remote.ExposeMetrics(reg)
-		srv.ExposeMetrics(reg, tracer)
-		auditLog.ExposeMetrics(reg)
-		rc.ExposeMetrics(reg, tracer)
-	}
+	remote.ExposeMetrics(reg)
+	srv.ExposeMetrics(reg, tracer)
+	auditLog.ExposeMetrics(reg)
+	rc.ExposeMetrics(reg, tracer)
+	remote.SetFlightRecorder(rec)
+	srv.SetFlightRecorder(rec)
+	rc.SetFlightRecorder(rec)
+	// The wire listener answers obs_pull scrapes with the same exposition
+	// the HTTP endpoint serves, so a fleet aggregator can pull metrics,
+	// traces, and flight events over the attested channel alone.
+	nodeObs := &cluster.NodeObs{Name: "sl-remote", Registry: reg, Tracer: tracer, Flight: rec}
+	srv.SetObsSource(nodeObs.PullSource())
 	if *ticketRotate > 0 && !rc.IsInsecure() {
 		rotateDone := make(chan struct{})
 		defer close(rotateDone)
@@ -384,6 +405,7 @@ func run() error {
 		return err
 	case sig := <-sigs:
 		log.Printf("sl-remote: %v: draining (timeout %v)", sig, *drainTimeout)
+		rec.Emit("slremote.shutdown", flight.KV{K: "signal", V: sig.String()})
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -400,6 +422,13 @@ func run() error {
 			return fmt.Errorf("closing state: %w", err)
 		}
 		log.Printf("sl-remote: state snapshotted to %s", *stateDir)
+	}
+	if *stateDir != "" {
+		// The black box lands next to the WAL: a post-mortem can replay
+		// the process's last DefaultCapacity events with flight.ReadDump.
+		if err := rec.Persist(filepath.Join(*stateDir, "flight.log")); err != nil {
+			log.Printf("sl-remote: persisting flight recorder: %v", err)
+		}
 	}
 	log.Printf("sl-remote: shutdown complete")
 	return nil

@@ -37,6 +37,7 @@ func run() error {
 		clients  = flag.Int("clients", 1_000_000, "cluster experiment: simulated clients")
 		shards   = flag.Int("shards", 4, "cluster experiment: shard count")
 		kills    = flag.Int("kills", 0, "cluster experiment: leader kills injected mid-run (chaos-swarm variant)")
+		obsDump  = flag.String("obs-dump", "", "cluster experiment: observe every node, render the merged failover timeline, and write the fleet artifacts (metrics.prom, metrics.json, flight.json) into this directory")
 	)
 	flag.Parse()
 
@@ -184,6 +185,8 @@ func run() error {
 				Shards:  *shards,
 				Kills:   *kills,
 				Seed:    *seed,
+				Observe: *obsDump != "",
+				ObsDump: *obsDump,
 			})
 			if err != nil {
 				return err

@@ -49,6 +49,16 @@ type Options struct {
 	Audit bool
 	// Registry receives the cluster_* metrics (nil: none).
 	Registry *obs.Registry
+	// Observe gives every node (leader incarnations and followers) its
+	// own NodeObs bundle — a private registry, tracer, and flight
+	// recorder served on a loopback HTTP endpoint — so a fleet
+	// aggregator can scrape the cluster like a real multi-process
+	// deployment. Dead nodes keep their (closed) endpoints listed in
+	// ObsTargets: the aggregator's scrape errors and staleness metrics
+	// are part of the failover story, not noise.
+	Observe bool
+	// TraceBuffer sizes each observed node's span ring (0: obs default).
+	TraceBuffer int
 	// Logf receives server logs (nil: silent).
 	Logf func(string, ...any)
 }
@@ -57,10 +67,11 @@ type Options struct {
 // follower, the shard-lifetime audit chain, and an incarnation counter
 // naming each new leader's state directory.
 type shardState struct {
-	leader      *Node
-	follower    *Follower
-	audit       *audit.Log
-	incarnation int
+	leader       *Node
+	follower     *Follower
+	audit        *audit.Log
+	incarnation  int
+	fIncarnation int // follower bundle naming counter
 }
 
 // Cluster is a sharded, WAL-replicated SL-Remote deployment: N leader
@@ -76,6 +87,9 @@ type Cluster struct {
 	shards   []*shardState
 	declared map[string]int64
 	licCount []int // declared licenses per shard
+
+	obsMu   sync.Mutex
+	targets []*NodeObs // every bundle ever created, dead nodes included
 }
 
 // New stands the cluster up: a leader per shard (registered in the
@@ -125,13 +139,43 @@ func New(opts Options) (*Cluster, error) {
 		s.leader = node
 		epoch := c.dir.SetLeader(shard, node.Addr())
 		c.metrics.setEpoch(shard, epoch)
-		s.follower, err = c.startFollower(shard, node.Addr())
+		s.follower, err = c.startFollower(s, shard, node.Addr())
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 	}
 	return c, nil
+}
+
+// newNodeObs mints and serves an observability bundle named name, or
+// returns nil when Observe is off. Every bundle is remembered for
+// ObsTargets — including ones whose node later dies.
+func (c *Cluster) newNodeObs(name string) (*NodeObs, error) {
+	if !c.opts.Observe {
+		return nil, nil
+	}
+	o := NewNodeObs(name, c.opts.TraceBuffer)
+	if err := o.Serve(); err != nil {
+		return nil, fmt.Errorf("cluster: obs endpoint for %s: %w", name, err)
+	}
+	c.obsMu.Lock()
+	c.targets = append(c.targets, o)
+	c.obsMu.Unlock()
+	return o, nil
+}
+
+// ObsTargets returns every observability bundle the cluster has created,
+// in creation order: leader incarnations as shard<i>-n<k>, followers as
+// shard<i>-f<k>. Dead nodes stay listed with closed endpoints — a fleet
+// aggregator scraping the list sees their staleness climb, which is the
+// observable shape of a failover.
+func (c *Cluster) ObsTargets() []*NodeObs {
+	c.obsMu.Lock()
+	defer c.obsMu.Unlock()
+	out := make([]*NodeObs, len(c.targets))
+	copy(out, c.targets)
+	return out
 }
 
 // startLeader starts shard's next leader incarnation in a fresh state
@@ -146,6 +190,10 @@ func (c *Cluster) startLeader(s *shardState, shard int) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	o, err := c.newNodeObs(fmt.Sprintf("shard%d-n%d", shard, s.incarnation-1))
+	if err != nil {
+		return nil, err
+	}
 	return StartNode(NodeOptions{
 		Shard:         shard,
 		Dir:           dir,
@@ -157,15 +205,21 @@ func (c *Cluster) startLeader(s *shardState, shard int) (*Node, error) {
 		Audit:         s.audit,
 		SyncMode:      c.opts.SyncMode,
 		SnapshotEvery: c.opts.SnapshotEvery,
+		Obs:           o,
 		Logf:          c.opts.Logf,
 	})
 }
 
-func (c *Cluster) startFollower(shard int, leaderAddr string) (*Follower, error) {
+func (c *Cluster) startFollower(s *shardState, shard int, leaderAddr string) (*Follower, error) {
 	ch, err := c.opts.NewChannel(fmt.Sprintf("shard-%d-follower", shard))
 	if err != nil {
 		return nil, err
 	}
+	o, err := c.newNodeObs(fmt.Sprintf("shard%d-f%d", shard, s.fIncarnation))
+	if err != nil {
+		return nil, err
+	}
+	s.fIncarnation++
 	return StartFollower(FollowerOptions{
 		Shard:        shard,
 		LeaderAddr:   leaderAddr,
@@ -175,6 +229,7 @@ func (c *Cluster) startFollower(shard int, leaderAddr string) (*Follower, error)
 		Channel:      ch,
 		PullInterval: c.opts.PullInterval,
 		Metrics:      c.metrics,
+		Obs:          o,
 	})
 }
 
@@ -248,6 +303,10 @@ func (c *Cluster) FailOver(shard int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.shards[shard]
+	// The failover timeline opens with the detection event; in-process
+	// the "probe" is the harness deciding the leader is dead, so the
+	// silence duration is zero.
+	EmitProbeTimeout(s.follower.Obs().flightRec(), shard, s.leader.Addr(), 0)
 	if err := s.follower.Drain(); err != nil {
 		return err
 	}
@@ -278,7 +337,7 @@ func (c *Cluster) FailOver(shard int) error {
 		return fmt.Errorf("cluster: shard %d promote: %w", shard, err)
 	}
 	s.leader = node
-	s.follower, err = c.startFollower(shard, node.Addr())
+	s.follower, err = c.startFollower(s, shard, node.Addr())
 	if err != nil {
 		return fmt.Errorf("cluster: shard %d new follower: %w", shard, err)
 	}

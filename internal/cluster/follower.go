@@ -3,10 +3,12 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/obs/flight"
 	"repro/internal/ratls"
 	"repro/internal/seccrypto"
 	"repro/internal/slremote"
@@ -38,6 +40,12 @@ type FollowerOptions struct {
 	PullInterval time.Duration
 	// Metrics records replication progress (nil: none).
 	Metrics *Metrics
+	// Obs is the follower's own observability bundle (nil: unobserved).
+	// Replication progress is mirrored into its registry alongside the
+	// cluster-wide Metrics, and failover flight events land in its
+	// recorder. On Promote the bundle follows the process: the new
+	// leader's counters continue where the follower's left off.
+	Obs *NodeObs
 }
 
 // Follower tails a shard leader's WAL over the wire and folds every
@@ -46,6 +54,7 @@ type FollowerOptions struct {
 type Follower struct {
 	opts   FollowerOptions
 	client *wire.Client
+	obsm   *Metrics // per-node mirror of replication metrics (nil: none)
 
 	mu      sync.Mutex
 	replica *slremote.Replica
@@ -76,6 +85,10 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 		replica: replica,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	if opts.Obs != nil {
+		f.obsm = NewMetrics(opts.Obs.Registry)
+		client.ExposeMetrics(opts.Obs.Registry, opts.Obs.Tracer)
 	}
 	go f.loop()
 	return f, nil
@@ -113,6 +126,7 @@ func (f *Follower) pullOnce() (caught bool, err error) {
 		return false, err
 	}
 	f.opts.Metrics.pull()
+	f.obsm.pull()
 	batch := store.TailBatch{
 		Gen:        resp.Gen,
 		Rebase:     resp.Rebase,
@@ -123,11 +137,13 @@ func (f *Follower) pullOnce() (caught bool, err error) {
 	}
 	n, err := f.replica.ApplyBatch(batch)
 	f.opts.Metrics.appliedRecords(f.opts.Shard, n)
+	f.obsm.appliedRecords(f.opts.Shard, n)
 	if err != nil {
 		return false, fmt.Errorf("cluster: shard %d follower apply: %w", f.opts.Shard, err)
 	}
 	f.gen, f.off = resp.Gen, resp.NextOffset
 	f.opts.Metrics.setLag(f.opts.Shard, resp.Tip-resp.NextOffset)
+	f.obsm.setLag(f.opts.Shard, resp.Tip-resp.NextOffset)
 	return batch.Caught(), nil
 }
 
@@ -137,6 +153,9 @@ func (f *Follower) pullOnce() (caught bool, err error) {
 // managed to ship, which is still a legal (conservation-preserving) state.
 func (f *Follower) Drain() error {
 	f.stopLoop()
+	f.opts.Obs.flightRec().Emit("failover.drain",
+		flight.KV{K: "shard", V: shardLabel(f.opts.Shard)},
+		flight.KV{K: "leader", V: f.opts.LeaderAddr})
 	for {
 		caught, err := f.pullOnce()
 		if err != nil {
@@ -173,6 +192,9 @@ func (f *Follower) stopLoop() {
 // Applied reports the records folded since the last rebase.
 func (f *Follower) Applied() int64 { return f.replica.Applied() }
 
+// Obs is the follower's observability bundle (nil when unobserved).
+func (f *Follower) Obs() *NodeObs { return f.opts.Obs }
+
 // State deep-copies the follower's current state.
 func (f *Follower) State() slremote.State {
 	f.mu.Lock()
@@ -190,7 +212,15 @@ func (f *Follower) Promote(opts NodeOptions) (*Node, error) {
 	_ = f.client.Close()
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	st, rec, err := store.Open(store.Options{Dir: opts.Dir, Mode: opts.SyncMode})
+	if opts.Obs == nil {
+		// The bundle follows the process: a promoted follower keeps its
+		// registry, tracer, and flight recorder, so counters and the
+		// event timeline stay continuous across the role change.
+		opts.Obs = f.opts.Obs
+	}
+	st, rec, err := store.Open(store.Options{
+		Dir: opts.Dir, Mode: opts.SyncMode, Metrics: opts.Obs.StoreMetrics(),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %d promote store: %w", opts.Shard, err)
 	}
@@ -210,8 +240,17 @@ func (f *Follower) Promote(opts NodeOptions) (*Node, error) {
 		st.Close()
 		return nil, err
 	}
+	opts.Obs.flightRec().Emit("failover.promote",
+		flight.KV{K: "shard", V: shardLabel(opts.Shard)},
+		flight.KV{K: "addr", V: n.addr},
+		flight.KV{K: "applied", V: strconv.FormatInt(f.replica.Applied(), 10)})
 	epoch := opts.Directory.SetLeader(opts.Shard, n.addr)
 	f.opts.Metrics.setEpoch(opts.Shard, epoch)
 	f.opts.Metrics.failover()
+	f.obsm.setEpoch(opts.Shard, epoch)
+	f.obsm.failover()
+	opts.Obs.flightRec().Emit("cluster.epoch_bump",
+		flight.KV{K: "shard", V: shardLabel(opts.Shard)},
+		flight.KV{K: "epoch", V: strconv.FormatUint(epoch, 10)})
 	return n, nil
 }

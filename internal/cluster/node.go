@@ -44,6 +44,12 @@ type NodeOptions struct {
 	// SnapshotEvery compacts the WAL after this many records (0: only on
 	// demand).
 	SnapshotEvery int
+	// Obs is the node's observability bundle (nil: unobserved). When set,
+	// every subsystem the node touches — server, wire, channel, store,
+	// audit — registers its metrics with the bundle's registry, traces
+	// into its tracer, and emits flight events into its recorder, and the
+	// wire server answers obs_pull scrapes from it.
+	Obs *NodeObs
 	// ListenAddr is the node's wire listen address (default 127.0.0.1:0,
 	// an ephemeral loopback port — right for in-process clusters; the
 	// sl-remote daemon passes its -addr).
@@ -67,6 +73,7 @@ type Node struct {
 	store  *store.Store
 	remote *slremote.Server
 	wsrv   *wire.Server
+	obs    *NodeObs
 	done   chan struct{}
 	killed bool
 }
@@ -75,7 +82,9 @@ type Node struct {
 // a loopback listener, and registers it as its shard's leader in the
 // directory.
 func StartNode(opts NodeOptions) (*Node, error) {
-	st, rec, err := store.Open(store.Options{Dir: opts.Dir, Mode: opts.SyncMode})
+	st, rec, err := store.Open(store.Options{
+		Dir: opts.Dir, Mode: opts.SyncMode, Metrics: opts.Obs.StoreMetrics(),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %d store: %w", opts.Shard, err)
 	}
@@ -103,6 +112,20 @@ func serveNode(opts NodeOptions, st *store.Store, remote *slremote.Server) (*Nod
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %d wire server: %w", opts.Shard, err)
 	}
+	if o := opts.Obs; o != nil {
+		remote.ExposeMetrics(o.Registry)
+		remote.SetFlightRecorder(o.Flight)
+		wsrv.ExposeMetrics(o.Registry, o.Tracer)
+		wsrv.SetFlightRecorder(o.Flight)
+		wsrv.SetObsSource(o.PullSource())
+		if opts.Channel != nil {
+			opts.Channel.ExposeMetrics(o.Registry, o.Tracer)
+			opts.Channel.SetFlightRecorder(o.Flight)
+		}
+		if opts.Audit != nil {
+			opts.Audit.ExposeMetrics(o.Registry)
+		}
+	}
 	listenAddr := opts.ListenAddr
 	if listenAddr == "" {
 		listenAddr = "127.0.0.1:0"
@@ -122,6 +145,7 @@ func serveNode(opts NodeOptions, st *store.Store, remote *slremote.Server) (*Nod
 		store:  st,
 		remote: remote,
 		wsrv:   wsrv,
+		obs:    opts.Obs,
 		done:   make(chan struct{}),
 	}
 	wsrv.SetShardGate(opts.Directory.Gate(opts.Shard, n.addr))
@@ -146,6 +170,9 @@ func (n *Node) Remote() *slremote.Server { return n.remote }
 // Store is the node's WAL store — the replication source followers tail.
 func (n *Node) Store() *store.Store { return n.store }
 
+// Obs is the node's observability bundle (nil when unobserved).
+func (n *Node) Obs() *NodeObs { return n.obs }
+
 // Kill simulates the leader dying: the listener and every connection drop
 // and the store is abandoned without a snapshot or a clean close. The
 // state directory survives (a real crash leaves the files), but the
@@ -157,6 +184,9 @@ func (n *Node) Kill() {
 	n.killed = true
 	n.wsrv.Close()
 	<-n.done
+	// A SIGKILLed process takes its exposition endpoint with it; the
+	// fleet aggregator sees scrape errors and rising staleness.
+	n.obs.Close()
 }
 
 // Shutdown drains in-flight requests, snapshots, and closes the store —
@@ -170,6 +200,7 @@ func (n *Node) Shutdown(ctx context.Context) error {
 		n.wsrv.Close()
 	}
 	<-n.done
+	n.obs.Close()
 	if err := n.remote.SnapshotNow(); err != nil {
 		return fmt.Errorf("cluster: shard %d final snapshot: %w", n.shard, err)
 	}

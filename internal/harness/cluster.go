@@ -3,16 +3,22 @@ package harness
 import (
 	"container/heap"
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/attest"
 	"repro/internal/cluster"
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/obs/fleet"
+	"repro/internal/obs/flight"
 	"repro/internal/seccrypto"
 	"repro/internal/store"
 )
@@ -44,6 +50,16 @@ type ClusterBenchOptions struct {
 	Dir string
 	// Registry receives cluster_* metrics (nil: none).
 	Registry *obs.Registry
+	// Observe gives every node its own observability bundle and, at the
+	// end of the run, scrapes the whole fleet through an obs/fleet
+	// aggregator: the result carries the merged failover timeline and
+	// the run fails if the fleet view disagrees with the ground truth.
+	Observe bool
+	// ObsDump, with Observe, writes the aggregator's output into this
+	// directory: metrics.prom (merged Prometheus text), metrics.json
+	// (full-fidelity export), and flight.json (the merged event
+	// timeline).
+	ObsDump string
 }
 
 // ShardBenchStats is one shard's share of the run.
@@ -74,6 +90,13 @@ type ClusterBenchResult struct {
 	// AuditVerified is set when kills were injected: every shard's audit
 	// chain re-verified across leader incarnations.
 	AuditVerified bool
+	// Timeline is the fleet-merged failover flight events (probe
+	// timeouts, drains, promotions, epoch bumps), time-ordered across
+	// nodes. Populated only with Observe.
+	Timeline []flight.Event
+	// FleetNodes is the per-node scrape health at end of run (Observe
+	// only): dead leaders show up as down, which is the expected shape.
+	FleetNodes []fleet.NodeStatus
 }
 
 // clusterEvent is one pending renewal in virtual time. Ordering ties
@@ -145,6 +168,7 @@ func ClusterBench(opts ClusterBenchOptions) (*ClusterBenchResult, error) {
 		PullInterval: 20 * time.Millisecond,
 		Audit:        opts.Kills > 0,
 		Registry:     opts.Registry,
+		Observe:      opts.Observe,
 	})
 	if err != nil {
 		return nil, err
@@ -284,7 +308,101 @@ func ClusterBench(opts ClusterBenchOptions) (*ClusterBenchResult, error) {
 		}
 		res.AuditVerified = true
 	}
+	if opts.Observe {
+		if err := observeFleet(c, res, opts.ObsDump); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// observeFleet stands a fleet aggregator over every node the run ever
+// created (dead leaders included — their scrapes fail, which is the
+// point), cross-checks the merged view against the run's ground truth,
+// extracts the failover timeline, and optionally dumps the artifacts.
+func observeFleet(c *cluster.Cluster, res *ClusterBenchResult, dumpDir string) error {
+	bundles := c.ObsTargets()
+	targets := make([]fleet.Target, 0, len(bundles))
+	for _, o := range bundles {
+		targets = append(targets, fleet.Target{Name: o.Name, URL: o.URL()})
+	}
+	agg := fleet.New(fleet.Options{Targets: targets})
+	// Dead nodes refuse the scrape; the error is part of the story, not a
+	// failure of the run.
+	_ = agg.ScrapeOnce()
+	res.FleetNodes = agg.Nodes()
+
+	// The merged fleet view must agree with the run's own ledger: the
+	// summed slremote renewal counters across every node account for at
+	// least the renewals the bench issued (promoted followers inherit
+	// their counters, dead leaders take theirs to the grave — so the sum
+	// can undershoot only by what died with killed leaders).
+	merged := agg.Merged()
+	var granted, denied float64
+	for _, ef := range merged {
+		switch ef.Name {
+		case "slremote_renewals_total":
+			for _, ch := range ef.Children {
+				granted += ch.Value
+			}
+		case "slremote_renewals_denied_total":
+			for _, ch := range ef.Children {
+				denied += ch.Value
+			}
+		}
+	}
+	if res.Kills == 0 {
+		if int64(granted) != res.Renewals-res.Denials || int64(denied) != res.Denials {
+			return fmt.Errorf("harness: fleet view disagrees: merged grants %d / denials %d, bench saw %d / %d",
+				int64(granted), int64(denied), res.Renewals-res.Denials, res.Denials)
+		}
+	}
+
+	res.Timeline = failoverTimeline(agg.Events())
+
+	if dumpDir != "" {
+		if err := os.MkdirAll(dumpDir, 0o755); err != nil {
+			return fmt.Errorf("harness: obs dump dir: %w", err)
+		}
+		if err := dumpFile(filepath.Join(dumpDir, "metrics.prom"), agg.WritePrometheus); err != nil {
+			return err
+		}
+		if err := dumpFile(filepath.Join(dumpDir, "metrics.json"), agg.WriteExport); err != nil {
+			return err
+		}
+		if err := dumpFile(filepath.Join(dumpDir, "flight.json"), func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(agg.Events())
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failoverTimeline filters a merged flight stream down to the events
+// that narrate leadership changes.
+func failoverTimeline(events []flight.Event) []flight.Event {
+	var out []flight.Event
+	for _, ev := range events {
+		if strings.HasPrefix(ev.Kind, "failover.") || ev.Kind == "cluster.epoch_bump" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func dumpFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("harness: obs dump: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("harness: obs dump %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func (r *ClusterBenchResult) killsDone() int {
@@ -333,5 +451,21 @@ func (r *ClusterBenchResult) Render() string {
 		out += "; audit chains verified across failovers"
 	}
 	out += ".\n"
+	if len(r.Timeline) > 0 {
+		out += "\nFailover timeline (flight recorder, merged across nodes):\n"
+		for _, ev := range r.Timeline {
+			out += "  " + ev.String() + "\n"
+		}
+	}
+	if len(r.FleetNodes) > 0 {
+		down := 0
+		for _, n := range r.FleetNodes {
+			if !n.Up {
+				down++
+			}
+		}
+		out += fmt.Sprintf("Fleet scrape: %d nodes observed, %d down (dead leader incarnations stay listed).\n",
+			len(r.FleetNodes), down)
+	}
 	return out
 }

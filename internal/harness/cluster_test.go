@@ -1,11 +1,15 @@
 package harness
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
 func TestClusterBenchSmall(t *testing.T) {
+	obsDump := t.TempDir()
 	res, err := ClusterBench(ClusterBenchOptions{
 		Clients:           2000,
 		Shards:            2,
@@ -14,6 +18,8 @@ func TestClusterBenchSmall(t *testing.T) {
 		Kills:             1,
 		Seed:              7,
 		Dir:               t.TempDir(),
+		Observe:           true,
+		ObsDump:           obsDump,
 	})
 	if err != nil {
 		t.Fatalf("ClusterBench: %v", err)
@@ -39,8 +45,44 @@ func TestClusterBenchSmall(t *testing.T) {
 	if !res.AuditVerified {
 		t.Fatal("audit chains not verified despite kills")
 	}
-	if res.Render() == "" {
+
+	// The kill must be visible through the fleet aggregator: a failover
+	// timeline ending in an epoch bump, one node down, and the artifact
+	// files written.
+	if len(res.Timeline) == 0 {
+		t.Fatal("Observe run produced no failover timeline despite a kill")
+	}
+	kinds := map[string]bool{}
+	for _, ev := range res.Timeline {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []string{"failover.probe_timeout", "failover.promote", "cluster.epoch_bump"} {
+		if !kinds[k] {
+			t.Fatalf("timeline missing %s: %+v", k, res.Timeline)
+		}
+	}
+	var down int
+	for _, n := range res.FleetNodes {
+		if !n.Up {
+			down++
+		}
+	}
+	if len(res.FleetNodes) == 0 || down != 1 {
+		t.Fatalf("fleet nodes = %d with %d down, want the killed leader down", len(res.FleetNodes), down)
+	}
+	for _, name := range []string{"metrics.prom", "metrics.json", "flight.json"} {
+		b, err := os.ReadFile(filepath.Join(obsDump, name))
+		if err != nil || len(b) == 0 {
+			t.Fatalf("obs dump artifact %s: err=%v len=%d", name, err, len(b))
+		}
+	}
+
+	render := res.Render()
+	if render == "" {
 		t.Fatal("empty render")
+	}
+	if !strings.Contains(render, "Failover timeline") {
+		t.Fatalf("render does not surface the failover timeline:\n%s", render)
 	}
 }
 

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"regexp"
@@ -23,9 +24,20 @@ import (
 //     parameter (`counter := func(name, ...) { reg.CounterFunc(name, ...) }`)
 //     are followed: the literals at the wrapper's call sites are checked
 //     instead.
+//
+// It applies the same discipline to the flight recorder's event
+// vocabulary: every kind passed to flight.Recorder.Emit must be a string
+// literal matching ^[a-z][a-z0-9_.]*$ (dotted subsystem.event form), and
+// each kind may have exactly one emission site in the repo — a kind
+// emitted from two places can no longer be read as "this code path ran".
+// Shared emissions go through a named helper holding the single literal
+// (see cluster.EmitProbeTimeout). Flight kinds and metric names are
+// separate namespaces: a kind may coincide with a metric name.
 type obsNames struct {
-	first map[string]token.Position // metric name -> first registration site
-	dups  []dupSite
+	first      map[string]token.Position // metric name -> first registration site
+	firstEmit  map[string]token.Position // flight kind -> first emission site
+	dups       []dupSite
+	flightDups []dupSite
 }
 
 type dupSite struct {
@@ -37,15 +49,22 @@ type dupSite struct {
 // NewObsNames returns the obsnames analyzer. It accumulates cross-package
 // state: duplicates are reported in Finish, after the last package.
 func NewObsNames() Analyzer {
-	return &obsNames{first: make(map[string]token.Position)}
+	return &obsNames{
+		first:     make(map[string]token.Position),
+		firstEmit: make(map[string]token.Position),
+	}
 }
 
 func (*obsNames) Name() string { return "obsnames" }
 func (*obsNames) Doc() string {
-	return "metric names are lower_snake, unique across the repo, and histograms carry a unit suffix"
+	return "metric names are lower_snake and unique, histograms carry a unit suffix, and flight-event kinds are dotted literals with one emission site each"
 }
 
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// flightKindRE constrains flight-event kinds: lower-case dotted
+// subsystem.event identifiers.
+var flightKindRE = regexp.MustCompile(`^[a-z][a-z0-9_.]*$`)
 
 // histogramUnitSuffixes are the unit suffixes a histogram name may end in.
 var histogramUnitSuffixes = []string{"_seconds", "_bytes", "_units"}
@@ -84,6 +103,10 @@ func (a *obsNames) Run(pass *Pass) {
 			if fn == nil {
 				return true
 			}
+			if isMethodOn(fn, "internal/obs/flight", "Recorder", "Emit") {
+				a.checkFlightKind(pass, call.Args[0])
+				return true
+			}
 			_, ok = registryMethods[fn.Name()]
 			if !ok || !isMethodOn(fn, "internal/obs", "Registry", fn.Name()) {
 				return true
@@ -99,33 +122,59 @@ func (a *obsNames) Run(pass *Pass) {
 	}
 }
 
+// constString resolves arg to a compile-time string: a literal or a
+// string-typed constant (both are statically auditable).
+func constString(pass *Pass, arg ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[ast.Unparen(arg)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
 // checkName validates one metric-name argument to a registration (direct
 // or through a wrapper closure) named method.
 func (a *obsNames) checkName(pass *Pass, arg ast.Expr, method string, isHist bool) {
-	lit, ok := ast.Unparen(arg).(*ast.BasicLit)
-	if !ok || lit.Kind != token.STRING {
+	name, ok := constString(pass, arg)
+	if !ok {
 		pass.Reportf(a.Name(), arg.Pos(),
 			"metric name passed to Registry.%s is not a string literal: names must be statically auditable", method)
 		return
 	}
-	name, err := strconv.Unquote(lit.Value)
-	if err != nil {
-		return
-	}
 	if !metricNameRE.MatchString(name) {
-		pass.Reportf(a.Name(), lit.Pos(),
+		pass.Reportf(a.Name(), arg.Pos(),
 			"metric name %q does not match %s", name, metricNameRE)
 	}
 	if isHist && !hasUnitSuffix(name) {
-		pass.Reportf(a.Name(), lit.Pos(),
+		pass.Reportf(a.Name(), arg.Pos(),
 			"histogram %q lacks a unit suffix (want one of %s)", name,
 			strings.Join(histogramUnitSuffixes, ", "))
 	}
-	pos := pass.Fset.Position(lit.Pos())
+	pos := pass.Fset.Position(arg.Pos())
 	if first, seen := a.first[name]; seen {
 		a.dups = append(a.dups, dupSite{name: name, pos: pos, first: first})
 	} else {
 		a.first[name] = pos
+	}
+}
+
+// checkFlightKind validates one kind argument to flight.Recorder.Emit.
+func (a *obsNames) checkFlightKind(pass *Pass, arg ast.Expr) {
+	kind, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(a.Name(), arg.Pos(),
+			"flight-event kind passed to Recorder.Emit is not a string literal: the event vocabulary must be statically auditable")
+		return
+	}
+	if !flightKindRE.MatchString(kind) {
+		pass.Reportf(a.Name(), arg.Pos(),
+			"flight-event kind %q does not match %s", kind, flightKindRE)
+	}
+	pos := pass.Fset.Position(arg.Pos())
+	if first, seen := a.firstEmit[kind]; seen {
+		a.flightDups = append(a.flightDups, dupSite{name: kind, pos: pos, first: first})
+	} else {
+		a.firstEmit[kind] = pos
 	}
 }
 
@@ -207,6 +256,11 @@ func (a *obsNames) Finish(report func(check string, pos token.Position, msg stri
 		report(a.Name(), d.pos,
 			"metric "+strconv.Quote(d.name)+" already registered at "+d.first.String()+
 				": duplicate registration literals make families collide")
+	}
+	for _, d := range a.flightDups {
+		report(a.Name(), d.pos,
+			"flight-event kind "+strconv.Quote(d.name)+" already emitted at "+d.first.String()+
+				": each kind gets one emission site — share it through a named helper")
 	}
 }
 

@@ -1,7 +1,10 @@
 // Package obsnames is a golden fixture for the obsnames analyzer.
 package obsnames
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
 
 // Register exercises the naming rules at direct registration sites.
 func Register(reg *obs.Registry) {
@@ -31,4 +34,18 @@ func RegisterWrapped(reg *obs.Registry) {
 	}
 	counter("wrapped_total", "A forwarded literal.")
 	counter("WrappedBad", "Checked where the literal lives.") // want `metric name "WrappedBad" does not match`
+}
+
+// EmitEvents exercises the flight-event vocabulary rules.
+func EmitEvents(rec *flight.Recorder, kind string) {
+	rec.Emit("subsys.good_event", flight.KV{K: "k", V: "v"})
+	rec.Emit("BadKind")    // want `flight-event kind "BadKind" does not match`
+	rec.Emit(kind)         // want `flight-event kind passed to Recorder.Emit is not a string literal`
+	rec.Emit("good_total") // a flight kind may coincide with a metric name: separate namespaces
+}
+
+// EmitDup re-emits a kind already emitted above: the vocabulary demands a
+// single emission site per kind.
+func EmitDup(rec *flight.Recorder) {
+	rec.Emit("subsys.good_event") // want `flight-event kind "subsys.good_event" already emitted`
 }

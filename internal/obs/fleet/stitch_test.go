@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// syntheticTrace builds the per-node dumps of one redirect-shaped trace:
+// a client root span with two RPC children; each RPC parents a handler
+// span on a different server node. Span IDs deliberately collide across
+// nodes (every tracer numbers from 1) to exercise (node, span) keying.
+func syntheticTrace(base time.Time) map[string]obs.TraceDump {
+	const trace = "00000000000000000000000000000abc"
+	ev := func(span, parent uint64, name string, start time.Time, d time.Duration) obs.Event {
+		return obs.Event{Trace: trace, Span: span, Parent: parent, Name: name, Start: start, Duration: d}
+	}
+	return map[string]obs.TraceDump{
+		"client": {Events: []obs.Event{
+			ev(1, 0, "client.renew", base, 10*time.Millisecond),
+			ev(2, 1, "rpc.renew", base.Add(time.Millisecond), 3*time.Millisecond),
+			ev(3, 1, "rpc.renew", base.Add(5*time.Millisecond), 4*time.Millisecond),
+		}},
+		"shard0": {Events: []obs.Event{
+			// Handler for the first hop: parent is client span 2. This
+			// node's own span 1 belongs to an unrelated trace and must be
+			// filtered out.
+			ev(1, 2, "rpc.renew", base.Add(2*time.Millisecond), time.Millisecond),
+			{Trace: "ffffffffffffffffffffffffffffffff", Span: 9, Name: "other.trace", Start: base},
+		}},
+		"shard1": {Events: []obs.Event{
+			ev(1, 3, "rpc.renew", base.Add(6*time.Millisecond), 2*time.Millisecond),
+		}},
+	}
+}
+
+func TestStitchCrossNodeTree(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	const trace = "00000000000000000000000000000abc"
+	tr := Stitch(trace, syntheticTrace(base))
+
+	if tr.Spans != 5 {
+		t.Fatalf("stitched %d spans, want 5 (other-trace span must be filtered)", tr.Spans)
+	}
+	if len(tr.Nodes) != 3 {
+		t.Fatalf("nodes = %v, want 3", tr.Nodes)
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "client.renew" {
+		t.Fatalf("roots = %+v, want the client span", tr.Roots)
+	}
+	if len(tr.Orphans) != 0 {
+		t.Fatalf("orphans = %+v, want none", tr.Orphans)
+	}
+
+	root := tr.Roots[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want the two RPC hops", len(root.Children))
+	}
+	// Children sorted by start: hop 1 (span 2) then hop 2 (span 3); each
+	// parents exactly one handler span on the right server node.
+	hop1, hop2 := root.Children[0], root.Children[1]
+	if hop1.Span != 2 || hop2.Span != 3 {
+		t.Fatalf("hop order: %d then %d, want 2 then 3", hop1.Span, hop2.Span)
+	}
+	if len(hop1.Children) != 1 || hop1.Children[0].Node != "shard0" {
+		t.Fatalf("hop1 handler = %+v, want shard0", hop1.Children)
+	}
+	if len(hop2.Children) != 1 || hop2.Children[0].Node != "shard1" {
+		t.Fatalf("hop2 handler = %+v, want shard1", hop2.Children)
+	}
+}
+
+func TestStitchOrphanOnDeadNode(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	const trace = "00000000000000000000000000000abc"
+	dumps := syntheticTrace(base)
+	delete(dumps, "client") // the parent node died and was never scraped
+
+	tr := Stitch(trace, dumps)
+	if tr.Spans != 2 {
+		t.Fatalf("spans = %d, want the two handler spans", tr.Spans)
+	}
+	if len(tr.Orphans) != 2 {
+		t.Fatalf("orphans = %d, want 2 (parents lived on the dead node)", len(tr.Orphans))
+	}
+	for _, o := range tr.Orphans {
+		if !o.Orphan {
+			t.Errorf("orphan span not marked: %+v", o)
+		}
+	}
+	out := tr.Render()
+	if !strings.Contains(out, "orphaned subtrees") {
+		t.Errorf("Render lacks orphan section:\n%s", out)
+	}
+}
+
+func TestStitchAmbiguousIDResolvedByTime(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	const trace = "00000000000000000000000000000abc"
+	ev := func(span, parent uint64, start time.Time, d time.Duration) obs.Event {
+		return obs.Event{Trace: trace, Span: span, Parent: parent, Name: "s", Start: start, Duration: d}
+	}
+	// Two nodes both own span ID 7; only one's interval contains the
+	// child's start, so time containment breaks the tie.
+	dumps := map[string]obs.TraceDump{
+		"a": {Events: []obs.Event{ev(7, 0, base, time.Millisecond)}},
+		"b": {Events: []obs.Event{ev(7, 0, base.Add(10*time.Millisecond), 5*time.Millisecond)}},
+		"c": {Events: []obs.Event{ev(2, 7, base.Add(12*time.Millisecond), time.Millisecond)}},
+	}
+	tr := Stitch(trace, dumps)
+	if len(tr.Orphans) != 0 {
+		t.Fatalf("orphans = %+v, want tie broken by containment", tr.Orphans)
+	}
+	var parent *Span
+	for _, r := range tr.Roots {
+		if r.Node == "b" {
+			parent = r
+		}
+	}
+	if parent == nil || len(parent.Children) != 1 || parent.Children[0].Node != "c" {
+		t.Fatalf("child not attached to containing parent: roots=%+v", tr.Roots)
+	}
+}
+
+func TestStitchTruncationPropagates(t *testing.T) {
+	const trace = "00000000000000000000000000000abc"
+	dumps := map[string]obs.TraceDump{
+		"a": {Truncated: true, Dropped: 3, Events: []obs.Event{
+			{Trace: trace, Span: 1, Name: "s", Start: time.Now()},
+		}},
+	}
+	tr := Stitch(trace, dumps)
+	if !tr.Truncated {
+		t.Fatal("tracer truncation not propagated to stitched trace")
+	}
+	if !strings.Contains(tr.Render(), "TRUNCATED") {
+		t.Fatal("Render lacks truncation marker")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	tr := Stitch("00000000000000000000000000000abc", syntheticTrace(base))
+	out := tr.Render()
+	for _, want := range []string{"5 spans across 3 nodes", "[client] client.renew", "[shard0] rpc.renew", "[shard1] rpc.renew"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	// The shard1 handler starts 6ms after the root: its offset is rendered
+	// relative to the trace start.
+	if !strings.Contains(out, "+6ms") {
+		t.Errorf("Render lacks relative offsets:\n%s", out)
+	}
+}

@@ -18,19 +18,25 @@ type HandlerOptions struct {
 	Ready func() bool
 	// Audit, when non-nil, is mounted at /audit (the audit.Log handler).
 	Audit http.Handler
+	// Events, when non-nil, is mounted at /events (the flight-recorder
+	// handler: flight.Recorder.HTTPHandler).
+	Events http.Handler
 	// PProf mounts net/http/pprof under /debug/pprof/.
 	PProf bool
 }
 
 // Handler returns an http.Handler serving the observability endpoints:
 //
-//	/metrics          Prometheus text exposition (?format=json for JSON)
+//	/metrics          Prometheus text exposition (?format=json for the flat
+//	                  JSON snapshot, ?format=export for the full-fidelity
+//	                  form the fleet aggregator merges)
 //	/healthz          200 "ok" liveness probe
 //	/readyz           200 "ready" / 503 "not ready" readiness probe
-//	/trace            JSON dump of the tracer's ring buffer (newest last);
-//	                  ?trace=<hex TraceID> filters to one trace
+//	/trace            TraceDump JSON of the tracer's ring buffer (newest
+//	                  last, with a truncated marker); ?trace=<hex TraceID>
+//	                  filters to one trace
 //
-// tr may be nil, in which case /trace serves an empty list.
+// tr may be nil, in which case /trace serves an empty dump.
 func Handler(reg *Registry, tr *Tracer) http.Handler {
 	return HandlerOpts(reg, tr, HandlerOptions{})
 }
@@ -40,13 +46,19 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 func HandlerOpts(reg *Registry, tr *Tracer, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Query().Get("format") == "json" {
+		switch req.URL.Query().Get("format") {
+		case "json":
 			w.Header().Set("Content-Type", "application/json")
 			_ = reg.Snapshot().WriteJSON(w)
-			return
+		case "export":
+			// Full-fidelity form (raw histogram buckets, positional
+			// labels): what the fleet aggregator scrapes and merges.
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteExport(w, reg.Export())
+		default:
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -62,26 +74,16 @@ func HandlerOpts(reg *Registry, tr *Tracer, opts HandlerOptions) http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
-		events := tr.Events()
-		if want := req.URL.Query().Get("trace"); want != "" {
-			filtered := events[:0:0]
-			for _, ev := range events {
-				if ev.Trace == want {
-					filtered = append(filtered, ev)
-				}
-			}
-			events = filtered
-		}
-		if events == nil {
-			events = []Event{}
-		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(events)
+		_ = enc.Encode(tr.Dump(req.URL.Query().Get("trace")))
 	})
 	if opts.Audit != nil {
 		mux.Handle("/audit", opts.Audit)
+	}
+	if opts.Events != nil {
+		mux.Handle("/events", opts.Events)
 	}
 	if opts.PProf {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

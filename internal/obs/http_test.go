@@ -64,12 +64,15 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 
 	body, _ = get("/trace")
-	var events []Event
-	if err := json.Unmarshal([]byte(body), &events); err != nil {
+	var dump TraceDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
 		t.Fatalf("trace decode: %v\n%s", err, body)
 	}
-	if len(events) != 1 || events[0].Name != "rpc.renew" {
-		t.Fatalf("trace events = %+v", events)
+	if len(dump.Events) != 1 || dump.Events[0].Name != "rpc.renew" {
+		t.Fatalf("trace events = %+v", dump.Events)
+	}
+	if dump.Truncated || dump.Dropped != 0 {
+		t.Fatalf("fresh tracer dump marked truncated: %+v", dump)
 	}
 }
 
@@ -117,15 +120,20 @@ func TestHandlerOptsEndpoints(t *testing.T) {
 
 	// ?trace= filters the dump to one trace.
 	_, body := get("/trace?trace=" + alphaTrace)
-	var events []Event
-	if err := json.Unmarshal([]byte(body), &events); err != nil {
+	var dump TraceDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
 		t.Fatalf("trace decode: %v\n%s", err, body)
 	}
-	if len(events) != 1 || events[0].Name != "alpha" {
-		t.Errorf("filtered trace = %+v, want only alpha", events)
+	if len(dump.Events) != 1 || dump.Events[0].Name != "alpha" {
+		t.Errorf("filtered trace = %+v, want only alpha", dump.Events)
 	}
-	if _, body := get("/trace?trace=" + strings.Repeat("f", 32)); strings.TrimSpace(body) != "[]" {
-		t.Errorf("unknown trace filter = %q, want []", body)
+	var empty TraceDump
+	_, body = get("/trace?trace=" + strings.Repeat("f", 32))
+	if err := json.Unmarshal([]byte(body), &empty); err != nil {
+		t.Fatalf("trace decode: %v\n%s", err, body)
+	}
+	if len(empty.Events) != 0 {
+		t.Errorf("unknown trace filter = %+v, want no events", empty.Events)
 	}
 
 	if code, body := get("/audit"); code != http.StatusOK || body != "audit-dump" {
@@ -171,14 +179,17 @@ func TestStartHTTP(t *testing.T) {
 	if !strings.Contains(string(body), "up 1") {
 		t.Fatalf("metrics = %s", body)
 	}
-	// /trace with a nil tracer serves an empty list, not a panic.
+	// /trace with a nil tracer serves an empty dump, not a panic.
 	resp2, err := http.Get("http://" + srv.Addr() + "/trace")
 	if err != nil {
 		t.Fatalf("GET /trace: %v", err)
 	}
 	defer resp2.Body.Close()
-	b2, _ := io.ReadAll(resp2.Body)
-	if strings.TrimSpace(string(b2)) != "[]" {
-		t.Fatalf("/trace with nil tracer = %q", b2)
+	var dump TraceDump
+	if err := json.NewDecoder(resp2.Body).Decode(&dump); err != nil {
+		t.Fatalf("/trace with nil tracer: decode: %v", err)
+	}
+	if len(dump.Events) != 0 || dump.Truncated {
+		t.Fatalf("/trace with nil tracer = %+v", dump)
 	}
 }

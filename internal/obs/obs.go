@@ -182,36 +182,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil || len(h.bounds) == 0 {
 		return 0
 	}
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	if q <= 0 {
-		q = 0
-	}
-	if q >= 1 {
-		q = 1
-	}
-	rank := q * float64(total)
-	var cum float64
-	for i := range h.counts {
-		n := float64(h.counts[i].Load())
-		if cum+n < rank || n == 0 {
-			cum += n
-			continue
-		}
-		if i == len(h.bounds) {
-			// Overflow bucket: no finite upper edge to interpolate
-			// toward, so clamp like histogram_quantile does.
-			return h.bounds[len(h.bounds)-1]
-		}
-		lower := 0.0
-		if i > 0 {
-			lower = h.bounds[i-1]
-		}
-		return lower + (h.bounds[i]-lower)*((rank-cum)/n)
-	}
-	return h.bounds[len(h.bounds)-1]
+	return BucketQuantile(h.bounds, h.bucketCounts(), q)
 }
 
 // family is one named metric with a label schema and one child per label
@@ -222,6 +193,7 @@ type family struct {
 	kind       Kind
 	labelNames []string
 	buckets    []float64 // histogram families only
+	owner      *Registry // for the label-cardinality cap; nil exempts
 
 	mu       sync.RWMutex
 	children map[string]any // *Counter | *Gauge | *Histogram | funcMetric
@@ -229,6 +201,8 @@ type family struct {
 }
 
 // child returns the metric for the label key, creating it with mk if absent.
+// New label combinations past the registry's per-family cap collapse into
+// the OverflowLabel child instead of growing the family without bound.
 func (f *family) child(key string, mk func() any) any {
 	f.mu.RLock()
 	m, ok := f.children[key]
@@ -237,30 +211,96 @@ func (f *family) child(key string, mk func() any) any {
 		return m
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		f.mu.Unlock()
+		return m
+	}
+	if f.overCapLocked(key) {
+		m = f.newChildLocked(f.overflowKey(), mk)
+		f.mu.Unlock()
+		// Count the drop outside f.mu: the dropped-values vec lives in a
+		// different (exempt) family, so no lock cycle is possible.
+		f.owner.dropped.With(f.name).Inc()
+		return m
+	}
+	m = f.newChildLocked(key, mk)
+	f.mu.Unlock()
+	return m
+}
+
+func (f *family) newChildLocked(key string, mk func() any) any {
 	if m, ok := f.children[key]; ok {
 		return m
 	}
-	m = mk()
+	m := mk()
 	f.children[key] = m
 	f.keys = append(f.keys, key)
 	return m
 }
 
+// overCapLocked reports whether creating a child for key would exceed the
+// owning registry's per-family label cap. The unlabeled singleton, the
+// overflow child itself, and the registry's own drop counter are exempt.
+func (f *family) overCapLocked(key string) bool {
+	if key == "" || len(f.labelNames) == 0 || f.owner == nil || f.name == droppedLabelValuesName {
+		return false
+	}
+	limit := int(f.owner.labelLimit.Load())
+	if limit <= 0 || key == f.overflowKey() {
+		return false
+	}
+	return len(f.children) >= limit
+}
+
+// overflowKey is the child key every over-cap label combination collapses
+// into: OverflowLabel in each label position.
+func (f *family) overflowKey() string {
+	values := make([]string, len(f.labelNames))
+	for i := range values {
+		values[i] = OverflowLabel
+	}
+	return labelKey(values)
+}
+
 // setChild unconditionally installs a metric (func metrics re-register on
-// component re-instrumentation; last registration wins).
+// component re-instrumentation; last registration wins). New keys honor the
+// same cardinality cap as child.
 func (f *family) setChild(key string, m any) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	dropped := false
+	if _, ok := f.children[key]; !ok && f.overCapLocked(key) {
+		key = f.overflowKey()
+		dropped = true
+	}
 	if _, ok := f.children[key]; !ok {
 		f.keys = append(f.keys, key)
 	}
 	f.children[key] = m
+	f.mu.Unlock()
+	if dropped {
+		f.owner.dropped.With(f.name).Inc()
+	}
 }
+
+// DefaultLabelLimit is the per-family cap on distinct label combinations a
+// registry accepts before collapsing new ones into OverflowLabel. Generous
+// on purpose: the cap exists to bound memory against unbounded identifier
+// spaces (per-client gauges at 1M clients), not to trim healthy cardinality.
+const DefaultLabelLimit = 4096
+
+// OverflowLabel is the label value over-cap series collapse into.
+const OverflowLabel = "__other__"
+
+// droppedLabelValuesName is the registry's own drop counter; exempt from
+// the cap so accounting can't recurse into itself.
+const droppedLabelValuesName = "obs_dropped_label_values_total"
 
 // Registry holds metric families. The zero value is not usable; call
 // NewRegistry. A Registry is safe for concurrent use.
 type Registry struct {
+	labelLimit atomic.Int64
+	dropped    *CounterVec // obs_dropped_label_values_total{family}
+
 	mu       sync.RWMutex
 	families map[string]*family
 	order    []string
@@ -268,7 +308,18 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	r := &Registry{families: make(map[string]*family)}
+	r.labelLimit.Store(DefaultLabelLimit)
+	r.dropped = r.CounterVec(droppedLabelValuesName,
+		"Label combinations collapsed into __other__ by the per-family cardinality cap.", "family")
+	return r
+}
+
+// SetLabelLimit sets the per-family cap on distinct label combinations
+// (DefaultLabelLimit initially). n <= 0 removes the cap. Existing children
+// are never evicted; the cap only gates new combinations.
+func (r *Registry) SetLabelLimit(n int) {
+	r.labelLimit.Store(int64(n))
 }
 
 var defaultRegistry = NewRegistry()
@@ -298,6 +349,7 @@ func (r *Registry) familyFor(name, help string, kind Kind, labelNames []string, 
 		kind:       kind,
 		labelNames: append([]string(nil), labelNames...),
 		buckets:    buckets,
+		owner:      r,
 		children:   make(map[string]any),
 	}
 	r.families[name] = f

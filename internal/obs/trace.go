@@ -78,7 +78,8 @@ type Event struct {
 // memory, newest events overwrite the oldest. The /trace endpoint dumps
 // the buffer. A nil *Tracer is safe to use everywhere (all ops no-op).
 type Tracer struct {
-	seq atomic.Uint64
+	seq     atomic.Uint64
+	dropped atomic.Int64 // spans evicted by ring wrap before export
 
 	mu   sync.Mutex
 	buf  []Event
@@ -205,6 +206,11 @@ func (s *Span) End(err error) {
 
 func (t *Tracer) record(ev Event) {
 	t.mu.Lock()
+	if t.full {
+		// The slot being overwritten still holds the oldest event: that
+		// span is gone before any exporter saw it.
+		t.dropped.Add(1)
+	}
 	t.buf[t.next] = ev
 	t.next++
 	if t.next == len(t.buf) {
@@ -212,6 +218,31 @@ func (t *Tracer) record(ev Event) {
 		t.full = true
 	}
 	t.mu.Unlock()
+}
+
+// Dropped returns how many spans the ring has evicted since creation (0 on
+// a nil receiver). A non-zero value means Events is missing spans.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Truncated reports whether any span has been evicted, i.e. whether the
+// buffer's view of past traces is partial.
+func (t *Tracer) Truncated() bool { return t.Dropped() > 0 }
+
+// ExposeMetrics registers the tracer's self-metrics with an obs registry:
+//
+//	obs_trace_dropped_spans_total   spans evicted by ring wrap before export
+func (t *Tracer) ExposeMetrics(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("obs_trace_dropped_spans_total",
+		"Spans evicted from the tracer ring before export.", nil,
+		func() float64 { return float64(t.Dropped()) })
 }
 
 // Events returns the buffered events, oldest first. Safe on a nil receiver
@@ -229,6 +260,35 @@ func (t *Tracer) Events() []Event {
 	out = append(out, t.buf[t.next:]...)
 	out = append(out, t.buf[:t.next]...)
 	return out
+}
+
+// TraceDump is the /trace response: the buffered (optionally filtered)
+// events plus an explicit marker for whether this tracer's view is partial,
+// so a fleet stitcher can report "this node's spans are truncated" instead
+// of silently missing them.
+type TraceDump struct {
+	Truncated bool    `json:"truncated"`
+	Dropped   int64   `json:"dropped"`
+	Events    []Event `json:"events"`
+}
+
+// Dump captures the buffered events (oldest first), filtered to one trace
+// when traceFilter is a non-empty hex TraceID. Safe on a nil receiver.
+func (t *Tracer) Dump(traceFilter string) TraceDump {
+	events := t.Events()
+	if traceFilter != "" {
+		filtered := events[:0:0]
+		for _, ev := range events {
+			if ev.Trace == traceFilter {
+				filtered = append(filtered, ev)
+			}
+		}
+		events = filtered
+	}
+	if events == nil {
+		events = []Event{}
+	}
+	return TraceDump{Truncated: t.Truncated(), Dropped: t.Dropped(), Events: events}
 }
 
 // Len returns how many events are buffered.

@@ -55,6 +55,38 @@ func TestTracerRingWraps(t *testing.T) {
 	}
 }
 
+// TestTracerOverflowVisible pins the overflow contract: a wrapped ring is
+// never silent — the dump carries the truncated marker and drop count, and
+// the obs_trace_dropped_spans_total counter exposes the same number.
+func TestTracerOverflowVisible(t *testing.T) {
+	tr := NewTracer(16)
+	reg := NewRegistry()
+	tr.ExposeMetrics(reg)
+
+	for i := 0; i < 20; i++ {
+		tr.Start(fmt.Sprintf("op-%d", i)).End(nil)
+	}
+	if got := tr.Dropped(); got != 4 {
+		t.Fatalf("Dropped = %d, want 4", got)
+	}
+	if !tr.Truncated() {
+		t.Fatal("wrapped tracer not marked truncated")
+	}
+	dump := tr.Dump("")
+	if !dump.Truncated || dump.Dropped != 4 {
+		t.Fatalf("dump = truncated %v dropped %d, want true/4", dump.Truncated, dump.Dropped)
+	}
+	if got := reg.Snapshot().Get("obs_trace_dropped_spans_total", nil); got != 4 {
+		t.Fatalf("obs_trace_dropped_spans_total = %v, want 4", got)
+	}
+
+	// A filtered dump keeps the marker: the dropped spans might have
+	// belonged to the requested trace.
+	if filtered := tr.Dump("00000000000000000000000000000abc"); !filtered.Truncated {
+		t.Fatal("filtered dump lost the truncation marker")
+	}
+}
+
 func TestTracerNilSafety(t *testing.T) {
 	var tr *Tracer
 	sp := tr.Start("x")

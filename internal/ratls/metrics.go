@@ -1,6 +1,9 @@
 package ratls
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
 
 // ExposeMetrics registers the channel's handshake counters with an obs
 // registry and, when tr is non-nil, records one trace span per handshake
@@ -30,4 +33,10 @@ func (c *Config) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 	if tr != nil {
 		c.tracer.Store(tr)
 	}
+}
+
+// SetFlightRecorder wires the black-box flight recorder; the channel emits
+// handshake failures into it. A nil recorder (the default) is free.
+func (c *Config) SetFlightRecorder(rec *flight.Recorder) {
+	c.flight.Store(rec)
 }

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/attest"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sgx"
 )
 
@@ -104,6 +105,7 @@ type Config struct {
 	handshakeTimeout time.Duration
 
 	tracer atomic.Pointer[obs.Tracer]
+	flight atomic.Pointer[flight.Recorder]
 
 	coldHandshakes    atomic.Int64
 	resumedHandshakes atomic.Int64
@@ -286,6 +288,9 @@ func (c *Config) handshake(tconn *tls.Conn, mode string) (net.Conn, error) {
 	}
 	if err := tconn.Handshake(); err != nil {
 		c.handshakeFailures.Add(1)
+		c.flight.Load().Emit("ratls.handshake_failure",
+			flight.KV{K: "mode", V: mode},
+			flight.KV{K: "err", V: err.Error()})
 		_ = tconn.Close()
 		err = fmt.Errorf("%w: %w", ErrHandshake, err)
 		span.End(err)

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/attest"
 	"repro/internal/lease"
+	"repro/internal/obs/flight"
 	"repro/internal/seccrypto"
 	"repro/internal/store"
 )
@@ -169,6 +171,10 @@ func (s *Server) snapshotLocked() error {
 	if err := s.persist.snap.Snapshot(sealed); err != nil {
 		return fmt.Errorf("slremote: writing snapshot: %w", err)
 	}
+	s.flight.Load().Emit("slremote.wal_compaction",
+		//sllint:ignore lockdisc snapshotLocked's callers hold s.mu; Emit takes only the recorder's own ring mutex
+		flight.KV{K: "compacted_records", V: strconv.Itoa(s.persist.appended)},
+		flight.KV{K: "snapshot_bytes", V: strconv.Itoa(len(sealed))})
 	s.persist.appended = 0
 	return nil
 }

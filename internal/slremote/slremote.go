@@ -29,6 +29,7 @@ import (
 	"repro/internal/attest"
 	"repro/internal/audit"
 	"repro/internal/lease"
+	"repro/internal/obs/flight"
 	"repro/internal/seccrypto"
 	"repro/internal/sgx"
 )
@@ -157,6 +158,14 @@ type Server struct {
 
 	stats   ServerStats
 	metrics atomic.Pointer[serverMetrics]
+	flight  atomic.Pointer[flight.Recorder]
+}
+
+// SetFlightRecorder wires the black-box flight recorder; the server emits
+// denials and WAL compactions into it. A nil recorder (the default) is
+// free.
+func (s *Server) SetFlightRecorder(rec *flight.Recorder) {
+	s.flight.Store(rec)
 }
 
 // AttachAudit connects the tamper-evident lease-lifecycle audit log: from
@@ -520,6 +529,10 @@ func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
 		s.stats.RenewalsDenied++
 		//sllint:ignore lockdisc deny is only invoked inside RenewLease's defer-unlocked region, so s.mu is held when it runs
 		s.auditLocked(audit.Record{Op: audit.OpDeny, SLID: slid, License: licenseID, Err: err.Error()})
+		s.flight.Load().Emit("slremote.denial",
+			flight.KV{K: "slid", V: slid},
+			flight.KV{K: "license", V: licenseID},
+			flight.KV{K: "err", V: err.Error()})
 		return Grant{}, err
 	}
 	if lic.Revoked {

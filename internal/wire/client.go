@@ -472,4 +472,22 @@ func (c *Client) ReplPull(gen uint64, offset int64, maxBytes int) (ReplBatchResp
 	return resp, nil
 }
 
+// ObsPull fetches the server's observability snapshot (metric export,
+// trace dump, flight dump) over the channel. traceFilter, when non-empty,
+// narrows the trace dump to one hex TraceID.
+func (c *Client) ObsPull(traceFilter string) (ObsPullResponse, error) {
+	env, err := c.roundTrip(TypeObsPull, ObsPullRequest{Trace: traceFilter})
+	if err != nil {
+		return ObsPullResponse{}, err
+	}
+	if env.Type != TypeObsPull {
+		return ObsPullResponse{}, RemoteErr(env)
+	}
+	var resp ObsPullResponse
+	if err := DecodePayload(env, &resp); err != nil {
+		return ObsPullResponse{}, err
+	}
+	return resp, nil
+}
+
 var _ sllocal.RemoteAPI = (*Client)(nil)

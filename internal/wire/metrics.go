@@ -91,7 +91,7 @@ func rpcLabel(msgType string) string {
 	switch msgType {
 	case TypeInit, TypeRenew, TypeEscrow, TypeRegisterLicense,
 		TypeReportCrash, TypeSetProfile, TypeLicenseInfo, TypeConsume,
-		TypeReplPull:
+		TypeReplPull, TypeObsPull:
 		return msgType
 	default:
 		return "unknown"

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/ratls"
 	"repro/internal/seccrypto"
 	"repro/internal/slremote"
@@ -39,6 +40,7 @@ type Server struct {
 	drained  atomic.Int64 // connections that shut down after finishing in-flight work
 	aborted  atomic.Int64 // connections force-closed at the Shutdown deadline
 	metrics  atomic.Pointer[serverMetrics]
+	flight   atomic.Pointer[flight.Recorder]
 
 	// preDispatch, when set, runs before each dispatch (tests inject
 	// handler panics through it).
@@ -51,6 +53,9 @@ type Server struct {
 	// replSource, when set, serves TypeReplPull from the server's WAL.
 	// Guarded by mu.
 	replSource ReplSource
+	// obsSource, when set, serves TypeObsPull (attested-channel scraping).
+	// Guarded by mu.
+	obsSource ObsSource
 }
 
 // ShardGate decides license ownership for a sharded deployment: it returns
@@ -85,6 +90,25 @@ func (s *Server) SetReplSource(src ReplSource) {
 	s.mu.Unlock()
 }
 
+// ObsSource builds the server's observability snapshot for one TypeObsPull
+// request: the caller wires a closure over its registry, tracer, and flight
+// recorder.
+type ObsSource func(traceFilter string) ObsPullResponse
+
+// SetObsSource enables attested-channel scraping of this server's
+// observability state. Pass nil to disable.
+func (s *Server) SetObsSource(src ObsSource) {
+	s.mu.Lock()
+	s.obsSource = src
+	s.mu.Unlock()
+}
+
+// SetFlightRecorder wires the black-box flight recorder; the server emits
+// routing and drain events into it. A nil recorder (the default) is free.
+func (s *Server) SetFlightRecorder(rec *flight.Recorder) {
+	s.flight.Store(rec)
+}
+
 func (s *Server) shardGate() ShardGate {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -95,6 +119,12 @@ func (s *Server) replSrc() ReplSource {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.replSource
+}
+
+func (s *Server) obsSrc() ObsSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obsSource
 }
 
 // NewServer wraps a license server for network serving. logf may be nil
@@ -195,6 +225,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.closed = true
 	s.draining = true
+	s.flight.Load().Emit("wire.drain",
+		flight.KV{K: "open_conns", V: strconv.Itoa(len(s.conns))})
 	if s.listener != nil {
 		_ = s.listener.Close()
 	}
@@ -402,6 +434,10 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 			return false, nil
 		}
 		span.Annotate("redirect", leader)
+		s.flight.Load().Emit("wire.redirect",
+			flight.KV{K: "license", V: license},
+			flight.KV{K: "leader", V: leader},
+			flight.KV{K: "epoch", V: strconv.FormatUint(epoch, 10)})
 		return true, WriteMessage(out, TypeNotLeader, NotLeaderResponse{License: license, Leader: leader, Epoch: epoch})
 	}
 	switch env.Type {
@@ -569,6 +605,17 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 			NextOffset: b.NextOffset,
 			Tip:        b.Tip,
 		})
+
+	case TypeObsPull:
+		src := s.obsSrc()
+		if src == nil {
+			return fail(errors.New("observability pull not enabled on this server"))
+		}
+		var req ObsPullRequest
+		if err := DecodePayload(env, &req); err != nil {
+			return fail(err)
+		}
+		return WriteMessage(out, TypeObsPull, src(req.Trace))
 
 	default:
 		return fail(fmt.Errorf("unknown message type %q", env.Type))

@@ -142,13 +142,14 @@ func TestDistributedTraceAcrossTCP(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s /trace: %v", side.name, err)
 		}
-		var events []obs.Event
-		err = json.NewDecoder(resp.Body).Decode(&events)
+		var dump obs.TraceDump
+		err = json.NewDecoder(resp.Body).Decode(&dump)
 		resp.Body.Close()
 		srv.Close()
 		if err != nil {
 			t.Fatalf("%s /trace decode: %v", side.name, err)
 		}
+		events := dump.Events
 		if len(events) == 0 {
 			t.Errorf("%s /trace?trace=%s returned no events", side.name, trace)
 		}

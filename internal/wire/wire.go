@@ -47,6 +47,10 @@ const (
 	// position.
 	TypeReplPull  = "repl_pull"
 	TypeReplBatch = "repl_batch"
+	// TypeObsPull asks a server for its observability state (full-fidelity
+	// metric export, trace dump, flight-recorder dump) over the attested
+	// channel, so a fleet scraper needs no separate plaintext HTTP port.
+	TypeObsPull = "obs_pull"
 )
 
 // TraceContext carries the caller's obs.SpanContext across the wire so
@@ -174,6 +178,22 @@ type ReplBatchResponse struct {
 	Records    [][]byte `json:"records,omitempty"`
 	NextOffset int64    `json:"next_offset"`
 	Tip        int64    `json:"tip"`
+}
+
+// ObsPullRequest asks for a server's observability state. Trace, when
+// non-empty, filters the trace dump to one hex TraceID.
+type ObsPullRequest struct {
+	Trace string `json:"trace,omitempty"`
+}
+
+// ObsPullResponse carries the server's full-fidelity metric export, trace
+// dump, and flight-recorder dump as raw JSON documents (the same bytes the
+// HTTP endpoints serve), so the fleet scraper parses one format regardless
+// of transport.
+type ObsPullResponse struct {
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
+	Events  json.RawMessage `json:"events,omitempty"`
 }
 
 // ErrorResponse reports a server-side failure.
