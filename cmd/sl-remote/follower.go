@@ -177,7 +177,6 @@ func runFollower(p followerParams) error {
 	promoted.Store(true)
 	_, epoch := p.dir.Leader(p.shard)
 	log.Printf("sl-remote: promoted: serving shard %d on %s at epoch %d (%d replicated records)",
-		//sllint:ignore secretflow the logged values are the shard index, listen address, epoch, and record count — the node merely holds the seal key internally, none of it is printed
 		p.shard, node.Addr(), epoch, f.Applied())
 
 	sig := <-sigs

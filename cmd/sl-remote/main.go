@@ -302,7 +302,6 @@ func run() error {
 		}
 		if !rec.Empty() {
 			log.Printf("recovered state from %s (generation %d, %d WAL records replayed, licenses: %s)",
-				//sllint:ignore secretflow LicenseIDs returns public license identifiers, not the sealed key material the server also holds
 				*stateDir, rec.Generation, len(rec.Records), strings.Join(remote.LicenseIDs(), ", "))
 		}
 	} else {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -15,7 +17,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit code = %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"secretflow", "lockdisc", "walorder", "spanend", "obsnames"} {
+	for _, name := range []string{"secretflow", "lockdisc", "guardedby", "lockorder", "walorder", "spanend", "obsnames"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -91,5 +93,77 @@ func TestUnknownCheck(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "bogus") {
 		t.Errorf("stderr does not name the unknown check:\n%s", errb.String())
+	}
+	// The error must also list every valid name, so the fix is one
+	// copy-paste away.
+	for _, name := range []string{"secretflow", "lockdisc", "guardedby", "lockorder", "walorder", "spanend", "obsnames"} {
+		if !strings.Contains(errb.String(), name) {
+			t.Errorf("stderr does not list valid check %q:\n%s", name, errb.String())
+		}
+	}
+}
+
+const lockorderFixture = "../../internal/lint/testdata/src/lockorder"
+
+func TestLockGraphDOT(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lockgraph.dot")
+	var out, errb strings.Builder
+	// The lockorder fixture has cycles, so findings exit 1 — the graph
+	// must be written regardless.
+	if code := run([]string{"-lockgraph", path, lockorderFixture}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("lockgraph artifact not written: %v", err)
+	}
+	dot := string(data)
+	if !strings.HasPrefix(dot, "digraph") {
+		t.Errorf("artifact is not DOT:\n%s", dot)
+	}
+	if !strings.Contains(dot, ".A.mu") || !strings.Contains(dot, ".B.mu") {
+		t.Errorf("DOT graph missing fixture lock classes:\n%s", dot)
+	}
+}
+
+func TestLockGraphJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lockgraph.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-lockgraph", path, lockorderFixture}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("lockgraph artifact not written: %v", err)
+	}
+	var artifact lint.LockGraphArtifact
+	if err := json.Unmarshal(data, &artifact); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, data)
+	}
+	if len(artifact.Nodes) == 0 || len(artifact.Edges) == 0 {
+		t.Errorf("artifact empty: %+v", artifact)
+	}
+	if len(artifact.Cycles) != 3 {
+		t.Errorf("fixture has 3 lock cycles, artifact records %d: %v",
+			len(artifact.Cycles), artifact.Cycles)
+	}
+	for _, e := range artifact.Edges {
+		if e.From == "" || e.To == "" || e.Witness == "" {
+			t.Errorf("incomplete edge: %+v", e)
+		}
+	}
+}
+
+func TestLockGraphRequiresLockOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lockgraph.dot")
+	var out, errb strings.Builder
+	if code := run([]string{"-checks", "lockdisc", "-lockgraph", path, lockorderFixture}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2 when -lockgraph runs without lockorder", code)
+	}
+	if !strings.Contains(errb.String(), "lockorder") {
+		t.Errorf("stderr does not explain the missing check:\n%s", errb.String())
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Error("artifact must not be written on usage error")
 	}
 }

@@ -238,6 +238,79 @@ func (g *Graph) IntraFraction(group map[string]string) float64 {
 	return float64(intra) / float64(total)
 }
 
+// Cycles returns every non-trivial cycle class in the graph: each
+// strongly connected component with more than one node, plus every
+// self-loop, as node-name slices in deterministic order. An empty result
+// means the graph is a DAG — the property the lock-order analyzer gates
+// on, since a cycle in a lock-acquisition graph is a potential deadlock.
+func (g *Graph) Cycles() [][]string {
+	// Tarjan's SCC over the insertion order, with sorted successor
+	// iteration for determinism.
+	index := make(map[string]int, len(g.nodes))
+	lowlink := make(map[string]int, len(g.nodes))
+	onStack := make(map[string]bool, len(g.nodes))
+	var stack []string
+	next := 0
+	var cycles [][]string
+
+	succs := func(v string) []string {
+		out := make([]string, 0, len(g.out[v]))
+		for to := range g.out[v] {
+			out = append(out, to)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs(v) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] != index[v] {
+			return
+		}
+		var scc []string
+		for {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			onStack[w] = false
+			scc = append(scc, w)
+			if w == v {
+				break
+			}
+		}
+		if len(scc) > 1 {
+			// Reverse to pop order → discovery order.
+			for i, j := 0, len(scc)-1; i < j; i, j = i+1, j-1 {
+				scc[i], scc[j] = scc[j], scc[i]
+			}
+			cycles = append(cycles, scc)
+		} else if g.out[v][v] > 0 {
+			cycles = append(cycles, []string{v}) // self-loop
+		}
+	}
+
+	for _, v := range g.order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return cycles
+}
+
 // DOT renders the graph in Graphviz format. migrated marks the functions
 // drawn as filled (the enclave side), reproducing Figure 7's visual.
 func (g *Graph) DOT(title string, migrated map[string]bool) string {

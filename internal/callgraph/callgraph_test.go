@@ -196,3 +196,89 @@ func TestReAddNodeKeepsEdges(t *testing.T) {
 		t.Fatal("re-add dropped edges")
 	}
 }
+
+func cyclesGraph(t *testing.T, nodes []string, edges [][2]string) *Graph {
+	t.Helper()
+	g := New()
+	for _, n := range nodes {
+		if err := g.AddNode(Node{Name: n}); err != nil {
+			t.Fatalf("AddNode(%s): %v", n, err)
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddCall(e[0], e[1], 1); err != nil {
+			t.Fatalf("AddCall(%s→%s): %v", e[0], e[1], err)
+		}
+	}
+	return g
+}
+
+func TestCyclesDAG(t *testing.T) {
+	g := buildSample(t)
+	if cycles := g.Cycles(); len(cycles) != 0 {
+		t.Errorf("sample graph is a DAG, got cycles %v", cycles)
+	}
+}
+
+func TestCyclesTwoNode(t *testing.T) {
+	g := cyclesGraph(t, []string{"a", "b", "c"}, [][2]string{
+		{"a", "b"}, {"b", "a"}, {"b", "c"},
+	})
+	cycles := g.Cycles()
+	if len(cycles) != 1 || len(cycles[0]) != 2 {
+		t.Fatalf("want one 2-cycle, got %v", cycles)
+	}
+	members := map[string]bool{cycles[0][0]: true, cycles[0][1]: true}
+	if !members["a"] || !members["b"] {
+		t.Errorf("cycle = %v, want {a, b}", cycles[0])
+	}
+}
+
+func TestCyclesThreeNodeAndSelfLoop(t *testing.T) {
+	g := cyclesGraph(t, []string{"a", "b", "c", "d"}, [][2]string{
+		{"a", "b"}, {"b", "c"}, {"c", "a"}, {"d", "d"}, {"c", "d"},
+	})
+	cycles := g.Cycles()
+	if len(cycles) != 2 {
+		t.Fatalf("want a 3-cycle and a self-loop, got %v", cycles)
+	}
+	var got3, gotSelf bool
+	for _, c := range cycles {
+		switch len(c) {
+		case 3:
+			got3 = true
+		case 1:
+			gotSelf = c[0] == "d"
+		}
+	}
+	if !got3 || !gotSelf {
+		t.Errorf("cycles = %v, want one 3-cycle and the d self-loop", cycles)
+	}
+}
+
+func TestCyclesSingleNodeNoSelfLoop(t *testing.T) {
+	g := cyclesGraph(t, []string{"a", "b"}, [][2]string{{"a", "b"}})
+	if cycles := g.Cycles(); len(cycles) != 0 {
+		t.Errorf("no self-loop means no cycle, got %v", cycles)
+	}
+}
+
+func TestCyclesDeterministic(t *testing.T) {
+	mk := func() *Graph {
+		return cyclesGraph(t, []string{"a", "b", "c", "d"}, [][2]string{
+			{"a", "b"}, {"b", "a"}, {"c", "d"}, {"d", "c"},
+		})
+	}
+	first := mk().Cycles()
+	for i := 0; i < 10; i++ {
+		again := mk().Cycles()
+		if len(again) != len(first) {
+			t.Fatalf("cycle count changed across runs: %v vs %v", first, again)
+		}
+		for j := range first {
+			if strings.Join(first[j], ",") != strings.Join(again[j], ",") {
+				t.Fatalf("cycle order changed across runs: %v vs %v", first, again)
+			}
+		}
+	}
+}

@@ -121,15 +121,17 @@ func NewSystem(cfg Config) (*System, error) {
 		cfgLocal: cfg.Local,
 		apps:     make(map[string]*App),
 	}
-	if err := sys.startLocal(); err != nil {
+	if err := sys.startLocalLocked(); err != nil {
 		return nil, err
 	}
 	return sys, nil
 }
 
-// startLocal builds and initializes a fresh SL-Local over the persistent
-// untrusted state.
-func (s *System) startLocal() error {
+// startLocalLocked builds and initializes a fresh SL-Local over the
+// persistent untrusted state. s.mu must be held (or s still unpublished,
+// as in New): it installs s.local, which Shutdown/Crash/Running read
+// under the same lock.
+func (s *System) startLocalLocked() error {
 	local, err := sllocal.New(s.cfgLocal, sllocal.Deps{
 		Machine:  s.machine,
 		Platform: s.platform,
@@ -251,7 +253,7 @@ func (s *System) Restart() error {
 	if s.local != nil {
 		return errors.New("core: system is running")
 	}
-	return s.startLocal()
+	return s.startLocalLocked()
 }
 
 // Running reports whether SL-Local is up.

@@ -255,7 +255,7 @@ func (r Record) Validate() error {
 		return err
 	}
 	if len(r.Owner) > MaxOwnerLen {
-		return fmt.Errorf("%w: owner %q exceeds %d bytes", ErrInvalid, r.Owner, MaxOwnerLen)
+		return fmt.Errorf("%w: owner length %d exceeds %d bytes", ErrInvalid, len(r.Owner), MaxOwnerLen)
 	}
 	return nil
 }

@@ -738,7 +738,6 @@ func (t *Tree) walkRestoreCount(n *node) error {
 			continue
 		}
 		if e.evicted() {
-			//sllint:ignore lockdisc the tree is unpublished while Restore runs; nothing can race before the constructor returns
 			child, err := t.restoreNodeLocked(e, n.level+1)
 			if err != nil {
 				return err

@@ -1,0 +1,951 @@
+package lint
+
+// engine.go is the interprocedural core of the v2 suite: a module-wide
+// call graph over every analyzed package plus context-insensitive,
+// summary-based dataflow. Each function gets a computed Summary — taint
+// in/out per parameter and result, locks acquired, fresh-object results —
+// and fixpoint iteration propagates summaries across the graph until
+// nothing changes. Program analyzers (secretflow, lockdisc, guardedby,
+// lockorder) consume the stable summaries through a ProgramPass; the
+// engine itself reports nothing.
+//
+// The design follows the paper's partitioning pipeline: SecureLease
+// decides which code may touch authorization state from whole-program
+// information flow, and SecV (PAPERS.md) tracks secure values across
+// function boundaries the same way — per-function summaries joined over a
+// call graph, not inlining.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/callgraph"
+)
+
+// FuncInfo is one analyzed function: its type object, declaration, and
+// the package it was loaded from, plus the engine-computed summary.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	summary *Summary
+	lock    *lockFacts
+	// paramIdx maps the receiver (index 0 when present) and parameter
+	// objects to their summary index.
+	paramIdx map[types.Object]int
+	// results is the number of declared results.
+	results int
+	// variadic marks a ...T final parameter.
+	variadic bool
+}
+
+// CallEdge is one resolved call site: caller invokes callee at Call.
+type CallEdge struct {
+	Caller *FuncInfo
+	Callee *FuncInfo
+	Call   *ast.CallExpr
+	// Dynamic marks edges resolved through an interface method set (the
+	// callee is one of possibly many implementations).
+	Dynamic bool
+}
+
+// Engine is the whole-program view: packages, call graph, summaries.
+type Engine struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	funcs map[*types.Func]*FuncInfo
+	order []*FuncInfo // deterministic (file/position) iteration order
+
+	calleesOf map[*types.Func][]CallEdge
+	callersOf map[*types.Func][]CallEdge
+
+	// structs indexes every named struct type declared in the analyzed
+	// packages that carries at least one sync.Mutex/RWMutex field.
+	structs map[*types.TypeName]*structInfo
+
+	// fieldTaint records struct fields observed to hold secret bytes
+	// somewhere in the program ((type, field) granularity); reads of such
+	// fields are intrinsically tainted everywhere.
+	fieldTaint map[fieldKey]bool
+
+	// freshOnly marks unexported methods whose every call site passes an
+	// unpublished receiver (directly fresh, or the caller's own receiver
+	// where the caller is itself freshOnly).
+	freshOnly map[*types.Func]bool
+
+	// namedTypes is every named type declared in analyzed packages, for
+	// interface method-set resolution.
+	namedTypes []*types.Named
+}
+
+// structInfo describes a mutex-carrying struct for guardedby/lockorder.
+type structInfo struct {
+	obj *types.TypeName
+	// mutexes maps mutex-typed field names to true when the field is a
+	// sync.RWMutex (false = plain Mutex).
+	mutexes map[string]bool
+	// guardedBy maps data-field names to an annotated mutex field name;
+	// the special value "none" opts the field out of inference.
+	guardedBy map[string]string
+	// guardedByPos positions each annotation, for reporting bad ones.
+	guardedByPos map[string]token.Pos
+}
+
+// fieldKey identifies one field of one named struct type.
+type fieldKey struct {
+	typ   *types.TypeName
+	field string
+}
+
+func (k fieldKey) String() string {
+	pkg := ""
+	if k.typ.Pkg() != nil {
+		pkg = k.typ.Pkg().Path() + "."
+	}
+	return pkg + k.typ.Name() + "." + k.field
+}
+
+// NewEngine builds the call graph and runs every summary fixpoint over
+// the given packages. The packages must share one FileSet (the Loader
+// guarantees this).
+func NewEngine(pkgs []*Package) *Engine {
+	e := &Engine{
+		Pkgs:       pkgs,
+		funcs:      make(map[*types.Func]*FuncInfo),
+		calleesOf:  make(map[*types.Func][]CallEdge),
+		callersOf:  make(map[*types.Func][]CallEdge),
+		structs:    make(map[*types.TypeName]*structInfo),
+		fieldTaint: make(map[fieldKey]bool),
+		freshOnly:  make(map[*types.Func]bool),
+	}
+	if len(pkgs) > 0 {
+		e.Fset = pkgs[0].Fset
+	}
+	e.indexFunctions()
+	e.indexTypes()
+	e.resolveCalls()
+	e.computeFreshness()
+	e.computeLockFacts()
+	e.computeAcquires()
+	e.computeTaint()
+	return e
+}
+
+// FuncOf returns the FuncInfo for fn, or nil when fn is outside the
+// analyzed program (stdlib, unloaded module packages).
+func (e *Engine) FuncOf(fn *types.Func) *FuncInfo { return e.funcs[fn] }
+
+// Funcs returns every analyzed function in deterministic order.
+func (e *Engine) Funcs() []*FuncInfo { return e.order }
+
+// Callers returns the resolved call edges targeting fn.
+func (e *Engine) Callers(fn *types.Func) []CallEdge { return e.callersOf[fn] }
+
+// Callees returns the resolved call edges leaving fn.
+func (e *Engine) Callees(fn *types.Func) []CallEdge { return e.calleesOf[fn] }
+
+// ---- indexing ----
+
+func (e *Engine) indexFunctions() {
+	for _, pkg := range e.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Fn: fn, Decl: fd, Pkg: pkg, paramIdx: make(map[types.Object]int)}
+				idx := 0
+				if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+					if obj := pkg.Info.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+						fi.paramIdx[obj] = idx
+					}
+					idx++
+				} else if fd.Recv != nil {
+					idx++ // unnamed receiver still occupies index 0
+				}
+				if fd.Type.Params != nil {
+					for _, f := range fd.Type.Params.List {
+						if len(f.Names) == 0 {
+							idx++
+							continue
+						}
+						for _, name := range f.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								fi.paramIdx[obj] = idx
+							}
+							idx++
+						}
+					}
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					fi.results = sig.Results().Len()
+					fi.variadic = sig.Variadic()
+				}
+				e.funcs[fn] = fi
+				e.order = append(e.order, fi)
+			}
+		}
+	}
+	sort.Slice(e.order, func(i, j int) bool { return e.order[i].Decl.Pos() < e.order[j].Decl.Pos() })
+}
+
+// indexTypes collects named types (for interface resolution) and
+// mutex-carrying structs with their guardedby annotations.
+func (e *Engine) indexTypes() {
+	for _, pkg := range e.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			e.namedTypes = append(e.namedTypes, named)
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			info := &structInfo{
+				obj:          tn,
+				mutexes:      make(map[string]bool),
+				guardedBy:    make(map[string]string),
+				guardedByPos: make(map[string]token.Pos),
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if rw, isMu := mutexKind(f.Type()); isMu {
+					info.mutexes[f.Name()] = rw
+				}
+			}
+			if len(info.mutexes) > 0 {
+				e.structs[tn] = info
+			}
+		}
+	}
+	// Annotations need the AST: scan struct field comments.
+	for _, pkg := range e.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					return true
+				}
+				info := e.structs[tn]
+				if info == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					mu := guardedByAnnotation(field)
+					if mu == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						info.guardedBy[name.Name] = mu
+						info.guardedByPos[name.Name] = field.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// guardedByAnnotation extracts the mutex field name from a
+// "// guardedby: mu" comment attached to (above or trailing) a struct
+// field. "none" opts the field out of inference.
+func guardedByAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, "guardedby:"); ok {
+				if f := strings.Fields(rest); len(f) > 0 {
+					return f[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// mutexKind reports whether t is sync.Mutex or sync.RWMutex; rw is true
+// for RWMutex.
+func mutexKind(t types.Type) (rw, isMutex bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// structInfoFor returns the mutex-struct info for t (through pointers),
+// or nil.
+func (e *Engine) structInfoFor(t types.Type) *structInfo {
+	named := namedType(t)
+	if named == nil {
+		return nil
+	}
+	return e.structs[named.Obj()]
+}
+
+// ---- call graph ----
+
+func (e *Engine) resolveCalls() {
+	for _, fi := range e.order {
+		// funcVals maps local variables that hold exactly one statically
+		// known function value to that function.
+		funcVals := localFuncValues(fi)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, target := range e.calleeTargets(fi, call, funcVals) {
+				edge := CallEdge{Caller: fi, Callee: target.fi, Call: call, Dynamic: target.dynamic}
+				e.calleesOf[fi.Fn] = append(e.calleesOf[fi.Fn], edge)
+				e.callersOf[target.fi.Fn] = append(e.callersOf[target.fi.Fn], edge)
+			}
+			return true
+		})
+	}
+}
+
+type callTarget struct {
+	fi      *FuncInfo
+	dynamic bool
+}
+
+// calleeTargets resolves a call to its analyzed targets: direct function
+// and method calls, interface method calls (via method sets over the
+// program's named types), and calls through local function-valued
+// variables with a single known assignment.
+func (e *Engine) calleeTargets(fi *FuncInfo, call *ast.CallExpr, funcVals map[types.Object]*types.Func) []callTarget {
+	info := fi.Pkg.Info
+	if fn := calleeFunc(info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+				// Only interfaces declared in analyzed packages resolve to
+				// their implementations; widening stdlib interfaces
+				// (io.Writer, error) would flood the graph with spurious
+				// dynamic edges.
+				if e.analyzedPkg(fn.Pkg()) {
+					return e.resolveInterfaceCall(fn.Name(), iface)
+				}
+				return nil
+			}
+		}
+		if target := e.funcs[fn]; target != nil {
+			return []callTarget{{fi: target}}
+		}
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if fn := funcVals[obj]; fn != nil {
+			if target := e.funcs[fn]; target != nil {
+				return []callTarget{{fi: target}}
+			}
+		}
+	}
+	return nil
+}
+
+// analyzedPkg reports whether p is one of the packages under analysis.
+func (e *Engine) analyzedPkg(p *types.Package) bool {
+	if p == nil {
+		return false
+	}
+	for _, pkg := range e.Pkgs {
+		if pkg.Types == p {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveInterfaceCall returns every analyzed concrete method named name
+// on a program type implementing iface.
+func (e *Engine) resolveInterfaceCall(name string, iface *types.Interface) []callTarget {
+	var targets []callTarget
+	for _, named := range e.namedTypes {
+		var impl types.Type
+		switch {
+		case types.Implements(named, iface):
+			impl = named
+		case types.Implements(types.NewPointer(named), iface):
+			impl = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, nil, name)
+		if m, ok := obj.(*types.Func); ok {
+			if target := e.funcs[m]; target != nil {
+				targets = append(targets, callTarget{fi: target, dynamic: true})
+			}
+		}
+	}
+	return targets
+}
+
+// localFuncValues finds local variables assigned exactly one statically
+// known function value (v := s.handle or v := helper), so calls through
+// them resolve. A variable assigned twice, or from a dynamic expression,
+// resolves to nothing.
+func localFuncValues(fi *FuncInfo) map[types.Object]*types.Func {
+	info := fi.Pkg.Info
+	assigns := make(map[types.Object][]*types.Func)
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		var fn *types.Func
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.Ident:
+			fn, _ = info.Uses[r].(*types.Func)
+		case *ast.SelectorExpr:
+			fn, _ = info.Uses[r.Sel].(*types.Func)
+		}
+		assigns[obj] = append(assigns[obj], fn) // nil marks a dynamic assignment
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i := range asg.Lhs {
+			if _, isFunc := info.Types[asg.Rhs[i]].Type.(*types.Signature); isFunc {
+				record(asg.Lhs[i], asg.Rhs[i])
+			}
+		}
+		return true
+	})
+	out := make(map[types.Object]*types.Func)
+	for obj, fns := range assigns {
+		if len(fns) == 1 && fns[0] != nil {
+			out[obj] = fns[0]
+		}
+	}
+	return out
+}
+
+// ---- freshness ----
+
+// computeFreshness runs two fixpoints: returnsFresh (a function result is
+// a freshly allocated, unpublished object) and freshOnly (an unexported
+// method every caller invokes on an unpublished receiver). Both feed the
+// escape-aware exemptions in lockdisc and guardedby: code touching an
+// object no other goroutine can reach yet needs no lock.
+func (e *Engine) computeFreshness() {
+	// returnsFresh to a fixpoint: fresh locals may come from calls whose
+	// summaries stabilize over rounds, so the per-function cache is
+	// invalidated at the top of each round.
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, fi := range e.order {
+			if fi.lock != nil {
+				fi.lock.freshLocals = nil
+				fi.lock.freshUntil = nil
+			}
+			fresh := e.freshLocals(fi)
+			rf := e.returnsFreshOf(fi, fresh)
+			if fi.summary == nil {
+				fi.summary = newSummary(fi)
+			}
+			if !boolSliceEq(fi.summary.returnsFresh, rf) {
+				fi.summary.returnsFresh = rf
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// freshOnly: greatest fixpoint over unexported methods with at least
+	// one analyzed call site. Start optimistic, knock out any method with
+	// a call site whose receiver cannot be proven unpublished.
+	cand := make(map[*types.Func]bool)
+	for _, fi := range e.order {
+		fn := fi.Fn
+		if fn.Exported() || recvNamed(fn) == nil {
+			continue
+		}
+		if len(e.callersOf[fn]) > 0 {
+			cand[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range cand {
+			for _, edge := range e.callersOf[fn] {
+				if !e.callSiteRecvFresh(edge, cand) {
+					delete(cand, fn)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	e.freshOnly = cand
+}
+
+// callSiteRecvFresh reports whether the receiver expression at edge is
+// unpublished: a fresh local of the caller, or the caller's own receiver
+// when the caller is itself (still assumed) fresh-only.
+func (e *Engine) callSiteRecvFresh(edge CallEdge, cand map[*types.Func]bool) bool {
+	sel, ok := ast.Unparen(edge.Call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	caller := edge.Caller
+	obj := caller.Pkg.Info.Uses[recv]
+	if obj == nil {
+		return false
+	}
+	if e.freshLocals(caller)[obj] {
+		return true
+	}
+	if until, ok := caller.lock.freshUntil[obj]; ok && edge.Call.Pos() < until {
+		return true // receiver not yet published at this call
+	}
+	if idx, isParam := caller.paramIdx[obj]; isParam && idx == 0 && caller.Decl.Recv != nil {
+		return cand[caller.Fn] || e.freshOnly[caller.Fn]
+	}
+	return false
+}
+
+// freshLocals computes the set of local variables in fi that hold a
+// freshly allocated object that never escapes: assigned exactly once from
+// a fresh source (&T{...}, new(T), or a call returning fresh) and never
+// published (stored into a field/index/global, passed as a non-receiver
+// argument, captured by a closure, or sent on a channel). Flow-
+// insensitive and conservative: one publishing use anywhere kills
+// freshness everywhere. Returning the object does not publish it — no
+// concurrent access can have started before the function returns.
+func (e *Engine) freshLocals(fi *FuncInfo) map[types.Object]bool {
+	if fi.lock != nil && fi.lock.freshLocals != nil {
+		return fi.lock.freshLocals
+	}
+	info := fi.Pkg.Info
+	fresh := make(map[types.Object]bool)
+	assigned := make(map[types.Object]int)
+
+	objOf := func(x ast.Expr) types.Object {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			obj := objOf(lhs)
+			if obj == nil {
+				continue
+			}
+			assigned[obj]++
+			var rhs ast.Expr
+			if len(asg.Rhs) == len(asg.Lhs) {
+				rhs = asg.Rhs[i]
+			} else if len(asg.Rhs) == 1 {
+				// Multi-value call: result i of the single call.
+				if call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr); ok {
+					if e.callReturnsFresh(fi, call, i) {
+						fresh[obj] = true
+					}
+					continue
+				}
+			}
+			if rhs != nil && e.freshExpr(fi, rhs) {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Publication scan: any use that could hand the object to another
+	// goroutine or store it somewhere reachable revokes freshness — but
+	// only from its first publication position onward. A publication
+	// inside a loop revokes from the loop's start (a later iteration's
+	// use follows an earlier iteration's publish).
+	var loopRanges [][2]token.Pos
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopRanges = append(loopRanges, [2]token.Pos{n.Pos(), n.End()})
+		}
+		return true
+	})
+	killed := make(map[types.Object]token.Pos)
+	kill := func(obj types.Object, pos token.Pos) {
+		if obj == nil || !fresh[obj] {
+			return
+		}
+		for _, r := range loopRanges {
+			if r[0] <= pos && pos < r[1] && r[0] < pos {
+				pos = r[0]
+			}
+		}
+		if cur, ok := killed[obj]; !ok || pos < cur {
+			killed[obj] = pos
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Arguments publish; the receiver of a method call does not
+			// (calling a method on a fresh object keeps it local).
+			for _, arg := range n.Args {
+				kill(objOf(arg), arg.Pos())
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				// Aliasing or storing into a field, index, or global all
+				// publish; conservative even for plain local rebinding.
+				kill(objOf(rhs), rhs.Pos())
+			}
+		case *ast.FuncLit:
+			// Captured variables may outlive the function; the closure can
+			// run any time after it is created.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					kill(info.Uses[id], n.Pos())
+				}
+				return true
+			})
+			return false
+		case *ast.SendStmt:
+			kill(objOf(n.Value), n.Value.Pos())
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				kill(objOf(v), v.Pos())
+			}
+		}
+		return true
+	})
+
+	until := make(map[types.Object]token.Pos)
+	for obj := range fresh {
+		if assigned[obj] != 1 {
+			delete(fresh, obj)
+			continue
+		}
+		if pos, ok := killed[obj]; ok {
+			delete(fresh, obj)
+			until[obj] = pos
+		}
+	}
+	if fi.lock == nil {
+		fi.lock = &lockFacts{}
+	}
+	fi.lock.freshLocals = fresh
+	fi.lock.freshUntil = until
+	return fresh
+}
+
+// freshExpr reports whether evaluating expr yields a freshly allocated
+// object: &T{...}, new(T), or a single-result call returning fresh.
+func (e *Engine) freshExpr(fi *FuncInfo, expr ast.Expr) bool {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, isLit := ast.Unparen(x.X).(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := fi.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		return e.callReturnsFresh(fi, x, 0)
+	}
+	return false
+}
+
+// callReturnsFresh reports whether result i of the call is fresh per the
+// callee's summary.
+func (e *Engine) callReturnsFresh(fi *FuncInfo, call *ast.CallExpr, i int) bool {
+	fn := calleeFunc(fi.Pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	target := e.funcs[fn]
+	if target == nil || target.summary == nil {
+		return false
+	}
+	rf := target.summary.returnsFresh
+	return i < len(rf) && rf[i]
+}
+
+// returnsFreshOf computes the per-result freshness of fi: result j is
+// fresh when every return statement yields a fresh expression (or nil)
+// in position j. A function with no return statements returns nothing.
+func (e *Engine) returnsFreshOf(fi *FuncInfo, fresh map[types.Object]bool) []bool {
+	if fi.results == 0 {
+		return nil
+	}
+	rf := make([]bool, fi.results)
+	for j := range rf {
+		rf[j] = true
+	}
+	sawReturn := false
+	lits := funcLitRanges(fi.Decl.Body)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if scopeAt(lits, ret.Pos()) != -1 {
+			return true // a closure's return is not the function's
+		}
+		sawReturn = true
+		if len(ret.Results) != fi.results {
+			// Bare return (named results) or tuple forwarding: give up.
+			for j := range rf {
+				rf[j] = false
+			}
+			return true
+		}
+		for j, res := range ret.Results {
+			if !rf[j] {
+				continue
+			}
+			if isNilIdent(res) || e.freshExpr(fi, res) {
+				continue
+			}
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				obj := fi.Pkg.Info.Uses[id]
+				if obj != nil && fresh[obj] {
+					continue
+				}
+			}
+			rf[j] = false
+		}
+		return true
+	})
+	if !sawReturn {
+		return make([]bool, fi.results)
+	}
+	return rf
+}
+
+// ReceiverFreshOnly reports whether every analyzed call site invokes fn
+// on an unpublished receiver.
+func (e *Engine) ReceiverFreshOnly(fn *types.Func) bool { return e.freshOnly[fn] }
+
+// ---- transitive lock acquisition ----
+
+// computeLockFacts runs the lexical lock walk over every function once
+// (the facts are shared by lockdisc, guardedby, and lockorder) and seeds
+// each summary with the function's locally acquired lock classes.
+func (e *Engine) computeLockFacts() {
+	for _, fi := range e.order {
+		f := e.lockFactsOf(fi)
+		if fi.summary == nil {
+			fi.summary = newSummary(fi)
+		}
+		for _, ev := range f.events {
+			if ev.kind == evLock && ev.class != "" {
+				if _, ok := fi.summary.acquires[ev.class]; !ok {
+					fi.summary.acquires[ev.class] = ev.pos
+				}
+			}
+		}
+	}
+}
+
+// computeAcquires closes the per-function acquired-lock sets over the
+// call graph: acquires(F) = local(F) ∪ ⋃ acquires(callees). Round-based
+// union, monotone, so it converges.
+func (e *Engine) computeAcquires() {
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range e.order {
+			sum := fi.summary
+			for _, edge := range e.calleesOf[fi.Fn] {
+				callee := edge.Callee.summary
+				if callee == nil {
+					continue
+				}
+				for class, pos := range callee.acquires {
+					if _, ok := sum.acquires[class]; !ok {
+						sum.acquires[class] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---- taint fixpoint ----
+
+// computeTaint iterates taint summarization over the whole program until
+// summaries and the global field-taint set stop growing. Everything is
+// monotone (sets only grow), so the loop terminates; the round cap is a
+// backstop, not a correctness requirement.
+func (e *Engine) computeTaint() {
+	for round := 0; round < 24; round++ {
+		changed := false
+		for _, fi := range e.order {
+			lt := newLocalTaint(e, fi, nil)
+			lt.run()
+			if fi.summary.mergeTaint(lt) {
+				changed = true
+			}
+		}
+		if e.applyFieldStores() {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// applyFieldStores promotes summary-recorded parameter→field flows into
+// global field taint when some call site passes an intrinsically tainted
+// argument, plus directly observed intrinsic stores. Returns true when
+// the field-taint set grew.
+func (e *Engine) applyFieldStores() bool {
+	grew := false
+	mark := func(k fieldKey) {
+		if !e.fieldTaint[k] {
+			e.fieldTaint[k] = true
+			grew = true
+		}
+	}
+	for _, fi := range e.order {
+		for _, k := range fi.summary.intrinsicFieldStores {
+			mark(k)
+		}
+	}
+	for _, fi := range e.order {
+		if len(fi.summary.paramToField) == 0 {
+			continue
+		}
+		for _, edge := range e.callersOf[fi.Fn] {
+			lt := newLocalTaint(e, edge.Caller, nil)
+			lt.seed()
+			lt.propagate()
+			args := argsByParam(edge.Call, fi)
+			for p, keys := range fi.summary.paramToField {
+				if p >= len(args) {
+					continue
+				}
+				for _, a := range args[p] {
+					if lt.exprTaint(a).intr {
+						for _, k := range keys {
+							mark(k)
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	return grew
+}
+
+// CallGraph exports the engine's function-level call graph as a
+// callgraph.Graph (nodes named pkgpath.Func, modules = package paths),
+// tying the lint engine to the partitioning model the paper's SL-Manager
+// builds on.
+func (e *Engine) CallGraph() *callgraph.Graph {
+	g := callgraph.New()
+	name := func(fi *FuncInfo) string { return fi.Fn.Pkg().Path() + "." + funcDisplayName(fi.Fn) }
+	for _, fi := range e.order {
+		_ = g.AddNode(callgraph.Node{
+			Name:      name(fi),
+			Module:    fi.Fn.Pkg().Path(),
+			CodeBytes: int64(fi.Decl.End() - fi.Decl.Pos()),
+		})
+	}
+	for _, fi := range e.order {
+		for _, edge := range e.calleesOf[fi.Fn] {
+			_ = g.AddCall(name(fi), name(edge.Callee), 1)
+		}
+	}
+	return g
+}
+
+// funcDisplayName renders "Type.Method" for methods, "Func" otherwise.
+func funcDisplayName(fn *types.Func) string {
+	if named := recvNamed(fn); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func boolSliceEq(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

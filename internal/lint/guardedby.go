@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+)
+
+// guardedBy infers which fields of a mutex-carrying struct are guarded by
+// which mutex, then flags every access that does not hold the guard.
+//
+// Inference is by majority: a field accessed under mutex m in a strict
+// majority of its (non-fresh) accesses — and at least twice — is inferred
+// guarded by m. An explicit annotation on the field overrides inference:
+//
+//	type Tree struct {
+//		mu    sync.RWMutex
+//		nodes map[string]*node // guardedby: mu
+//		hits  uint64           // guardedby: none
+//	}
+//
+// "guardedby: none" opts a field out entirely (e.g. atomics). Structs may
+// carry several mutexes — each field is matched to its own guard — and
+// RWMutex strength is checked: reads are legal under RLock or Lock,
+// writes require Lock. Accesses to unpublished objects (fresh locals,
+// constructors, restore walks over fresh receivers) are exempt, which is
+// what lets constructor code initialize fields without locks and keeps
+// the planned striped leasetree verifiable rather than suppressed.
+//
+// Fields never written outside construction are immutable-after-publish
+// and never inferred; write-locked entry via the *Locked naming
+// convention counts as holding the receiver's mu.
+type guardedBy struct{}
+
+// NewGuardedBy returns the guardedby analyzer.
+func NewGuardedBy() Analyzer { return &guardedBy{} }
+
+func (*guardedBy) Name() string { return "guardedby" }
+func (*guardedBy) Doc() string {
+	return "struct fields guarded by a mutex (inferred or annotated) are only accessed with it held"
+}
+
+// Run is a no-op: guardedby needs program-wide access counts.
+func (a *guardedBy) Run(*Pass) {}
+
+// fieldAccess is one observed access to a guarded-candidate field.
+type fieldAccess struct {
+	ev   lockEvent
+	held map[string]lockStrength // this object's mutex fields → strength
+}
+
+func (a *guardedBy) RunProgram(pass *ProgramPass) {
+	e := pass.Engine
+
+	// Collect every access to a field of a mutex-carrying struct, with
+	// the holding state of that object's own mutexes at the access.
+	byField := make(map[fieldKey][]fieldAccess)
+	for _, fi := range e.Funcs() {
+		facts := e.lockFactsOf(fi)
+		for i, ev := range facts.events {
+			if ev.kind != evFieldAccess {
+				continue
+			}
+			if unpublishedObj(e, fi, facts, ev.baseObj, ev.pos) {
+				continue // construction: nothing can race yet
+			}
+			h := facts.held(i)
+			held := make(map[string]lockStrength, len(ev.sinfo.mutexes))
+			for mu := range ev.sinfo.mutexes {
+				held[mu] = h[ev.chain+"."+mu].strength
+			}
+			byField[ev.fkey] = append(byField[ev.fkey], fieldAccess{ev: ev, held: held})
+		}
+	}
+
+	// Bad annotations are findings regardless of access counts.
+	for _, tn := range sortedStructKeys(e) {
+		si := e.structs[tn]
+		for field, mu := range si.guardedBy {
+			if mu == "none" {
+				continue
+			}
+			if _, ok := si.mutexes[mu]; !ok {
+				pass.Reportf(a.Name(), si.guardedByPos[field],
+					"guardedby annotation on %s.%s names unknown mutex field %q",
+					tn.Name(), field, mu)
+			}
+		}
+	}
+
+	for _, fkey := range sortedFieldKeys(byField) {
+		accesses := byField[fkey]
+		si := e.structs[fkey.typ]
+		if si == nil {
+			continue
+		}
+		guard, ok := a.guardFor(si, fkey.field, accesses)
+		if !ok {
+			continue
+		}
+		rw := si.mutexes[guard]
+		tname := fkey.typ.Name()
+		muName := tname + "." + guard
+		for _, acc := range accesses {
+			s := acc.held[guard]
+			switch {
+			case acc.ev.isWrite && s == heldRead && rw:
+				pass.Reportf(a.Name(), acc.ev.pos,
+					"write to %s.%s under RLock: %s must be write-locked",
+					tname, fkey.field, muName)
+			case acc.ev.isWrite && s != heldWrite:
+				pass.Reportf(a.Name(), acc.ev.pos,
+					"write to %s.%s without %s held", tname, fkey.field, muName)
+			case !acc.ev.isWrite && s == heldNone:
+				pass.Reportf(a.Name(), acc.ev.pos,
+					"read of %s.%s without %s held", tname, fkey.field, muName)
+			}
+		}
+	}
+}
+
+// guardFor decides which mutex guards the field: an explicit annotation
+// wins; otherwise a mutex held for a strict majority (and at least two)
+// of the accesses is inferred — but only for fields that are ever written
+// after publication (immutable fields need no guard).
+func (a *guardedBy) guardFor(si *structInfo, field string, accesses []fieldAccess) (string, bool) {
+	if ann, ok := si.guardedBy[field]; ok {
+		if ann == "none" {
+			return "", false
+		}
+		if _, known := si.mutexes[ann]; !known {
+			return "", false // bad annotation, reported separately
+		}
+		return ann, true
+	}
+	writes := 0
+	for _, acc := range accesses {
+		if acc.ev.isWrite {
+			writes++
+		}
+	}
+	if writes == 0 {
+		return "", false
+	}
+	best, bestCnt := "", 0
+	for _, mu := range sortedMutexNames(si) {
+		cnt := 0
+		for _, acc := range accesses {
+			if acc.held[mu] != heldNone {
+				cnt++
+			}
+		}
+		if cnt > bestCnt {
+			best, bestCnt = mu, cnt
+		}
+	}
+	if bestCnt < 2 || 2*bestCnt <= len(accesses) {
+		return "", false
+	}
+	return best, true
+}
+
+// ---- deterministic iteration helpers ----
+
+func sortedStructKeys(e *Engine) []*types.TypeName {
+	keys := make([]*types.TypeName, 0, len(e.structs))
+	for tn := range e.structs {
+		keys = append(keys, tn)
+	}
+	sort.Slice(keys, func(i, j int) bool { return typeClass(keys[i]) < typeClass(keys[j]) })
+	return keys
+}
+
+func sortedFieldKeys(m map[fieldKey][]fieldAccess) []fieldKey {
+	keys := make([]fieldKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+func sortedMutexNames(si *structInfo) []string {
+	names := make([]string, 0, len(si.mutexes))
+	for mu := range si.mutexes {
+		names = append(names, mu)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -20,11 +20,15 @@ const checkSuppression = "sllint"
 // finding — ignoring a security invariant requires a written argument.
 const ignorePrefix = "//sllint:ignore"
 
-// suppression is one parsed, well-formed ignore comment.
+// suppression is one parsed, well-formed ignore comment. matched records
+// whether it silenced at least one finding this run; an unmatched
+// suppression is itself reported (lint.go), so discharged proof
+// obligations cannot linger as stale ignores.
 type suppression struct {
-	file  string
-	line  int
-	check string
+	file    string
+	line    int
+	check   string
+	matched bool
 }
 
 // collectSuppressions scans a package's comments for ignore markers,

@@ -79,11 +79,35 @@ type Finisher interface {
 	Finish(report func(check string, pos token.Position, msg string))
 }
 
+// ProgramPass hands the whole-program engine to a program analyzer after
+// every package has been collected.
+type ProgramPass struct {
+	Engine *Engine
+
+	report func(check string, pos token.Pos, msg string)
+}
+
+// Reportf records a finding for the given check at pos.
+func (p *ProgramPass) Reportf(check string, pos token.Pos, format string, args ...any) {
+	p.report(check, pos, fmt.Sprintf(format, args...))
+}
+
+// ProgramAnalyzer is implemented by analyzers that need the
+// interprocedural engine (call graph + function summaries) rather than
+// one package at a time. Their Run is a no-op; RunProgram fires once,
+// after the last package.
+type ProgramAnalyzer interface {
+	Analyzer
+	RunProgram(*ProgramPass)
+}
+
 // DefaultAnalyzers returns the full SecureLease suite, in stable order.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		NewSecretFlow(),
 		NewLockDisc(),
+		NewGuardedBy(),
+		NewLockOrder(),
 		NewWALOrder(),
 		NewSpanEnd(),
 		NewObsNames(),
@@ -100,7 +124,16 @@ type Runner struct {
 
 	diags []Diagnostic
 	supps []suppression
+	pkgs  []*Package
+
+	// engine is the whole-program analysis built at Finish; exposed so
+	// callers (cmd/sllint's -lockgraph) can extract artifacts after a run.
+	engine *Engine
 }
+
+// Engine returns the interprocedural engine built during Finish, or nil
+// when no program analyzer was in the suite.
+func (r *Runner) Engine() *Engine { return r.engine }
 
 // Package runs every analyzer over one loaded package and collects that
 // package's suppression comments.
@@ -118,14 +151,33 @@ func (r *Runner) Package(pkg *Package) {
 	r.supps = append(r.supps, collectSuppressions(pkg, r.knownChecks(), func(pos token.Position, msg string) {
 		r.add(checkSuppression, pos, msg)
 	})...)
+	r.pkgs = append(r.pkgs, pkg)
 	for _, a := range r.Analyzers {
 		a.Run(pass)
 	}
 }
 
-// Finish runs cross-package finishers, filters suppressed findings, and
-// returns the remaining diagnostics sorted by position.
+// Finish builds the interprocedural engine and runs program analyzers,
+// runs cross-package finishers, filters suppressed findings, flags
+// suppressions that no longer suppress anything, and returns the
+// remaining diagnostics sorted by position.
 func (r *Runner) Finish() []Diagnostic {
+	var progs []ProgramAnalyzer
+	for _, a := range r.Analyzers {
+		if p, ok := a.(ProgramAnalyzer); ok {
+			progs = append(progs, p)
+		}
+	}
+	if len(progs) > 0 && len(r.pkgs) > 0 {
+		r.engine = NewEngine(r.pkgs)
+		pp := &ProgramPass{Engine: r.engine}
+		pp.report = func(check string, pos token.Pos, msg string) {
+			r.add(check, r.engine.Fset.Position(pos), msg)
+		}
+		for _, p := range progs {
+			p.RunProgram(pp)
+		}
+	}
 	for _, a := range r.Analyzers {
 		if f, ok := a.(Finisher); ok {
 			f.Finish(func(check string, pos token.Position, msg string) {
@@ -138,6 +190,17 @@ func (r *Runner) Finish() []Diagnostic {
 		if !r.suppressed(d) {
 			kept = append(kept, d)
 		}
+	}
+	// A suppression that matched nothing is dead weight — and, after an
+	// engine upgrade, usually a discharged proof obligation. Deleting it
+	// is mandatory: stale ignores hide future regressions.
+	for _, s := range r.supps {
+		if s.matched {
+			continue
+		}
+		kept = append(kept, r.makeDiag(checkSuppression,
+			token.Position{Filename: s.file, Line: s.line, Column: 1},
+			fmt.Sprintf("unused suppression: no %s finding on this or the next line — delete it", s.check)))
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -156,19 +219,23 @@ func (r *Runner) Finish() []Diagnostic {
 }
 
 func (r *Runner) add(check string, pos token.Position, msg string) {
+	r.diags = append(r.diags, r.makeDiag(check, pos, msg))
+}
+
+func (r *Runner) makeDiag(check string, pos token.Position, msg string) Diagnostic {
 	file := pos.Filename
 	if r.TrimDir != "" {
 		if rel, err := filepath.Rel(r.TrimDir, file); err == nil && !strings.HasPrefix(rel, "..") {
 			file = rel
 		}
 	}
-	r.diags = append(r.diags, Diagnostic{
+	return Diagnostic{
 		Check:   check,
 		File:    file,
 		Line:    pos.Line,
 		Col:     pos.Column,
 		Message: msg,
-	})
+	}
 }
 
 func (r *Runner) knownChecks() map[string]bool {
@@ -183,7 +250,8 @@ func (r *Runner) suppressed(d Diagnostic) bool {
 	if d.Check == checkSuppression {
 		return false // the suppression machinery cannot silence itself
 	}
-	for _, s := range r.supps {
+	for i := range r.supps {
+		s := &r.supps[i]
 		if s.check != d.Check {
 			continue
 		}
@@ -193,6 +261,7 @@ func (r *Runner) suppressed(d Diagnostic) bool {
 		// A suppression covers its own line and the line below it
 		// (comment-above style).
 		if d.Line == s.line || d.Line == s.line+1 {
+			s.matched = true
 			return true
 		}
 	}

@@ -112,7 +112,10 @@ func TestAnalyzersGolden(t *testing.T) {
 		mk  func() lint.Analyzer
 	}{
 		{"secretflow", lint.NewSecretFlow},
+		{"secretflowx", lint.NewSecretFlow},
 		{"lockdisc", lint.NewLockDisc},
+		{"guardedby", lint.NewGuardedBy},
+		{"lockorder", lint.NewLockOrder},
 		{"walorder", lint.NewWALOrder},
 		{"spanend", lint.NewSpanEnd},
 		{"obsnames", lint.NewObsNames},
@@ -160,7 +163,7 @@ func TestDiagnosticString(t *testing.T) {
 // -checks flag and suppression grammar rely on.
 func TestDefaultAnalyzers(t *testing.T) {
 	got := lint.DefaultAnalyzers()
-	want := []string{"secretflow", "lockdisc", "walorder", "spanend", "obsnames"}
+	want := []string{"secretflow", "lockdisc", "guardedby", "lockorder", "walorder", "spanend", "obsnames"}
 	if len(got) != len(want) {
 		t.Fatalf("DefaultAnalyzers: %d analyzers, want %d", len(got), len(want))
 	}

@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/token"
-	"sort"
 	"strings"
 )
 
@@ -15,12 +14,23 @@ import (
 //     (it would self-deadlock or release a lock it does not own);
 //  2. a call to x.fooLocked() is legal only from another *Locked function,
 //     or lexically between x.mu.Lock() (or RLock) and the next non-deferred
-//     x.mu.Unlock() in the same lexical scope. Closure bodies are separate
-//     scopes: a lock held when a closure is created is not known to be held
-//     when it runs.
+//     x.mu.Unlock() in the same lexical scope.
 //
-// The check is lexical, not path-sensitive — exactly the discipline the
-// code is written in (Lock; defer Unlock; ...Locked calls...).
+// Since v2 the check is escape-aware and closure-aware, using the
+// engine's summaries to discharge cases the lexical rule cannot see:
+//
+//   - calling x.fooLocked() on an unpublished object needs no lock — x is
+//     a fresh local (allocated here or returned fresh by a constructor)
+//     that no other goroutine can reach yet;
+//   - the same holds through unexported helpers whose every call site
+//     passes an unpublished receiver (freshness flows down the call
+//     graph, so a recursive restore walk over a fresh tree is clean);
+//   - a closure that provably runs only at its direct call sites inherits
+//     the locks held there, so a `deny := func(...)` helper invoked under
+//     mu may call auditLocked.
+//
+// Everything else is the v1 lexical discipline — exactly the discipline
+// the code is written in (Lock; defer Unlock; ...Locked calls...).
 type lockDisc struct{}
 
 // NewLockDisc returns the lockdisc analyzer.
@@ -28,43 +38,22 @@ func NewLockDisc() Analyzer { return &lockDisc{} }
 
 func (*lockDisc) Name() string { return "lockdisc" }
 func (*lockDisc) Doc() string {
-	return "*Locked functions are called only with the receiver's mu held, and never lock/unlock it themselves"
+	return "*Locked functions are called only with the receiver's mu held (or on unpublished objects), and never lock/unlock it themselves"
 }
 
-// lockEvent is one mu operation or *Locked call, in lexical order.
-type lockEvent struct {
-	pos   token.Pos
-	scope int    // funcLit index, -1 for the function body
-	chain string // "s.mu" for lock ops, "s" for calls
-	kind  lockEventKind
-	name  string // callee name for calls, mu method name for lock ops
-}
+// Run is a no-op: lockdisc needs whole-program freshness facts.
+func (a *lockDisc) Run(*Pass) {}
 
-type lockEventKind uint8
-
-const (
-	evLock        lockEventKind = iota // Lock / RLock / TryLock
-	evUnlock                           // non-deferred Unlock / RUnlock
-	evDeferUnlock                      // deferred Unlock (region stays open)
-	evUnlockAbort                      // Unlock in an aborting branch (outer region stays open)
-	evLockedCall                       // call to a *Locked function
-)
-
-func (a *lockDisc) Run(pass *Pass) {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			a.checkFunc(pass, fd)
-		}
+func (a *lockDisc) RunProgram(pass *ProgramPass) {
+	for _, fi := range pass.Engine.Funcs() {
+		a.checkFunc(pass, fi)
 	}
 }
 
-func (a *lockDisc) checkFunc(pass *Pass, fd *ast.FuncDecl) {
-	lits := funcLitRanges(fd.Body)
-	events := collectLockEvents(pass, fd, lits)
+func (a *lockDisc) checkFunc(pass *ProgramPass, fi *FuncInfo) {
+	e := pass.Engine
+	facts := e.lockFactsOf(fi)
+	fd := fi.Decl
 	inLocked := strings.HasSuffix(fd.Name.Name, "Locked")
 	recvName := receiverName(fd)
 
@@ -72,115 +61,48 @@ func (a *lockDisc) checkFunc(pass *Pass, fd *ast.FuncDecl) {
 	// anywhere in its body (including deferred closures).
 	if inLocked && recvName != "" {
 		own := recvName + ".mu"
-		for _, ev := range events {
-			if ev.chain == own && ev.kind != evLockedCall {
-				pass.Reportf(a.Name(), ev.pos,
-					"%s must run with %s held and must not call %s.%s itself",
-					fd.Name.Name, own, own, ev.name)
+		for _, ev := range facts.events {
+			switch ev.kind {
+			case evLock, evUnlock, evDeferUnlock, evUnlockAbort:
+				if ev.chain == own {
+					pass.Reportf(a.Name(), ev.pos,
+						"%s must run with %s held and must not call %s.%s itself",
+						fd.Name.Name, own, own, ev.name)
+				}
 			}
 		}
 	}
 
 	// Rule 2: *Locked calls need the matching mu held in their scope.
-	type heldKey struct {
-		scope int
-		chain string
-	}
-	held := make(map[heldKey]bool)
-	key := func(scope int, chain string) heldKey {
-		return heldKey{scope, chain}
-	}
-	for _, ev := range events {
-		switch ev.kind {
-		case evLock:
-			held[key(ev.scope, ev.chain)] = true
-		case evUnlock:
-			held[key(ev.scope, ev.chain)] = false
-		case evDeferUnlock, evUnlockAbort:
-			// A deferred Unlock runs at function exit, and an Unlock in an
-			// early-exit branch balances that branch's own return: either
-			// way the region stays open for the code that follows.
-		case evLockedCall:
-			if inLocked && ev.scope == -1 {
-				continue // Locked calling Locked in its own body is the norm
-			}
-			if ev.chain == "" {
-				// Package-level fooLocked() or a computed receiver: only a
-				// *Locked context can justify it.
-				if !inLocked || ev.scope != -1 {
-					pass.Reportf(a.Name(), ev.pos,
-						"%s called without a visible lock for it", ev.name)
-				}
-				continue
-			}
-			if !held[key(ev.scope, ev.chain+".mu")] {
-				pass.Reportf(a.Name(), ev.pos,
-					"%s.%s called without %s.mu held (no preceding %s.mu.Lock in this scope)",
-					ev.chain, ev.name, ev.chain, ev.chain)
-			}
+	for i, ev := range facts.events {
+		if ev.kind != evLockedCall {
+			continue
 		}
+		if inLocked && ev.scope == -1 {
+			continue // Locked calling Locked in its own body is the norm
+		}
+		if ev.chain == "" {
+			// Package-level fooLocked() or a computed receiver: only a
+			// *Locked context can justify it.
+			if !inLocked || ev.scope != -1 {
+				pass.Reportf(a.Name(), ev.pos,
+					"%s called without a visible lock for it", ev.name)
+			}
+			continue
+		}
+		if facts.heldStrength(i, ev.chain+".mu") != heldNone {
+			continue // held lexically, via a *Locked entry, or inherited by the closure
+		}
+		if unpublishedObj(e, fi, facts, ev.baseObj, ev.pos) {
+			continue // no other goroutine can reach the object yet
+		}
+		pass.Reportf(a.Name(), ev.pos,
+			"%s.%s called without %s.mu held (no preceding %s.mu.Lock in this scope)",
+			ev.chain, ev.name, ev.chain, ev.chain)
 	}
 }
 
-// collectLockEvents gathers mu operations and *Locked calls under fd in
-// lexical order, tagged with the innermost closure scope containing them.
-func collectLockEvents(pass *Pass, fd *ast.FuncDecl, lits [][2]token.Pos) []lockEvent {
-	var events []lockEvent
-	deferred := make(map[*ast.CallExpr]bool)
-	aborting := abortingUnlockPositions(fd.Body)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if ds, ok := n.(*ast.DeferStmt); ok {
-			deferred[ds.Call] = true
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok {
-			// Plain fooLocked() calls.
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && strings.HasSuffix(id.Name, "Locked") {
-				events = append(events, lockEvent{
-					pos: call.Pos(), scope: scopeAt(lits, call.Pos()),
-					kind: evLockedCall, name: id.Name,
-				})
-			}
-			return true
-		}
-		name := sel.Sel.Name
-		switch name {
-		case "Lock", "RLock", "TryLock", "Unlock", "RUnlock":
-			chain := chainString(sel.X)
-			if chain == "" || !strings.HasSuffix(chain, ".mu") {
-				return true
-			}
-			kind := evLock
-			if name == "Unlock" || name == "RUnlock" {
-				kind = evUnlock
-				switch {
-				case deferred[call]:
-					kind = evDeferUnlock
-				case aborting[call.Pos()]:
-					kind = evUnlockAbort
-				}
-			}
-			events = append(events, lockEvent{
-				pos: call.Pos(), scope: scopeAt(lits, call.Pos()),
-				chain: chain, kind: kind, name: name,
-			})
-		default:
-			if strings.HasSuffix(name, "Locked") {
-				events = append(events, lockEvent{
-					pos: call.Pos(), scope: scopeAt(lits, call.Pos()),
-					chain: chainString(sel.X), kind: evLockedCall, name: name,
-				})
-			}
-		}
-		return true
-	})
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-	return events
-}
+// ---- lexical helpers shared with lockfacts.go ----
 
 // abortingUnlockPositions finds Unlock/RUnlock calls that sit in a nested
 // statement list which leaves the function afterwards — the early-exit

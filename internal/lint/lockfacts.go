@@ -1,0 +1,532 @@
+package lint
+
+// lockfacts.go computes, per function, the lexical lock facts shared by
+// the lockdisc, guardedby, and lockorder analyzers: one position-sorted
+// event stream (mutex operations, *Locked calls, resolved call sites,
+// struct-field accesses) simulated once to record which lock chains are
+// held at every event. Closure bodies are separate lexical scopes, as in
+// v1 — but a closure that provably runs only at its direct call sites
+// (bound to a local used solely in call position, or an IIFE) inherits
+// the intersection of the held sets at those sites.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockStrength orders how a mutex is held.
+type lockStrength uint8
+
+const (
+	heldNone  lockStrength = iota
+	heldRead               // RLock
+	heldWrite              // Lock / TryLock
+)
+
+// heldInfo is one held lock: its strength and canonical class.
+type heldInfo struct {
+	strength lockStrength
+	class    string
+}
+
+type lockEventKind uint8
+
+const (
+	evLock        lockEventKind = iota // Lock / RLock / TryLock
+	evUnlock                           // non-deferred Unlock / RUnlock
+	evDeferUnlock                      // deferred Unlock (region stays open)
+	evUnlockAbort                      // Unlock in an aborting branch (outer region stays open)
+	evLockedCall                       // call to a *Locked function
+	evCall                             // resolved call site (static or closure-bound)
+	evFieldAccess                      // access to a field of a mutex-carrying struct
+)
+
+// lockEvent is one entry of the per-function event stream.
+type lockEvent struct {
+	pos   token.Pos
+	scope int // funcLit index, -1 for the function body
+	kind  lockEventKind
+	chain string // "s.mu" for lock ops; "s" for *Locked calls and accesses
+	class string // canonical lock class for lock ops ("" when unresolvable)
+	read  bool   // RLock/RUnlock
+	name  string // method/field name
+
+	callee       *FuncInfo    // resolved callee (evCall, evLockedCall)
+	goCall       bool         // call sits in a go statement
+	deferCall    bool         // call sits in a defer statement
+	closureScope int          // directly-invoked closure's scope index, -1 otherwise
+	baseObj      types.Object // root object of a single-ident base chain
+	fkey         fieldKey     // evFieldAccess
+	isWrite      bool         // evFieldAccess
+	sinfo        *structInfo  // evFieldAccess owner
+}
+
+// lockFacts is the computed lock model of one function.
+type lockFacts struct {
+	built       bool
+	freshLocals map[types.Object]bool
+	// freshUntil: locals that start fresh but are published at a known
+	// position; accesses strictly before it are still unpublished.
+	freshUntil map[types.Object]token.Pos
+	events     []lockEvent
+	// heldAt[i]: chains held (per this event's scope) just before event i.
+	heldAt []map[string]heldInfo
+	// inherited[scope]: holds a closure scope inherits from its call sites.
+	inherited map[int]map[string]heldInfo
+	lits      [][2]token.Pos
+}
+
+// held returns the effective held set at event i: the lexical holds of
+// the event's scope plus anything the scope inherits from call sites.
+func (f *lockFacts) held(i int) map[string]heldInfo {
+	ev := f.events[i]
+	inh := f.inherited[ev.scope]
+	if len(inh) == 0 {
+		return f.heldAt[i]
+	}
+	merged := make(map[string]heldInfo, len(f.heldAt[i])+len(inh))
+	for k, v := range inh {
+		merged[k] = v
+	}
+	for k, v := range f.heldAt[i] {
+		if have, ok := merged[k]; !ok || v.strength > have.strength {
+			merged[k] = v
+		}
+	}
+	return merged
+}
+
+// heldStrength looks up one chain in the effective held set at event i.
+func (f *lockFacts) heldStrength(i int, chain string) lockStrength {
+	return f.held(i)[chain].strength
+}
+
+// mutexMethodNames are the sync.Mutex/RWMutex operations the simulation
+// models.
+var mutexMethodNames = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "Unlock": true, "RUnlock": true,
+}
+
+// lockFactsOf builds (and caches) the lock facts for fi.
+func (e *Engine) lockFactsOf(fi *FuncInfo) *lockFacts {
+	if fi.lock != nil && fi.lock.built {
+		return fi.lock
+	}
+	if fi.lock == nil {
+		fi.lock = &lockFacts{}
+	}
+	f := fi.lock
+	f.built = true
+	f.freshLocals = e.freshLocals(fi)
+	f.lits = funcLitRanges(fi.Decl.Body)
+	f.inherited = make(map[int]map[string]heldInfo)
+
+	info := fi.Pkg.Info
+	body := fi.Decl.Body
+
+	// Call-position context: deferred and go-spawned calls.
+	deferred := make(map[*ast.CallExpr]bool)
+	goCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+		}
+		return true
+	})
+	aborting := abortingUnlockPositions(body)
+
+	// Write positions: selectors assigned to, incremented, or
+	// address-taken count as writes.
+	writeSel := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writeSel[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writeSel[ast.Unparen(n.X)] = true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				writeSel[ast.Unparen(n.X)] = true
+			}
+		}
+		return true
+	})
+
+	// Closure bindings: locals holding exactly one FuncLit and used only
+	// in direct (non-go, non-defer) call position inherit held sets.
+	bound, callUse := e.closureBindings(fi, deferred, goCalls)
+
+	litIndex := func(pos token.Pos) int {
+		for i, r := range f.lits {
+			if r[0] == pos {
+				return i
+			}
+		}
+		return -1
+	}
+	rootObj := func(chain string, x ast.Expr) types.Object {
+		if strings.Contains(chain, ".") || chain == "" {
+			return nil
+		}
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return info.Uses[id]
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			e.collectCallEvent(fi, f, n, info, deferred, goCalls, aborting, bound, litIndex, rootObj)
+		case *ast.SelectorExpr:
+			v, ok := info.Uses[n.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return true
+			}
+			tv, ok := info.Types[n.X]
+			if !ok {
+				return true
+			}
+			sinfo := e.structInfoFor(tv.Type)
+			if sinfo == nil {
+				return true
+			}
+			if _, isMu := sinfo.mutexes[n.Sel.Name]; isMu {
+				return true // mutex fields are lock-op territory
+			}
+			chain := chainString(n.X)
+			if chain == "" {
+				return true // computed base: cannot match held chains
+			}
+			f.events = append(f.events, lockEvent{
+				pos: n.Sel.Pos(), scope: scopeAt(f.lits, n.Pos()),
+				kind: evFieldAccess, chain: chain, name: n.Sel.Name,
+				isWrite: writeSel[n], baseObj: rootObj(chain, n.X),
+				fkey:  fieldKey{typ: sinfo.obj, field: n.Sel.Name},
+				sinfo: sinfo, closureScope: -1,
+			})
+		}
+		return true
+	})
+	_ = callUse
+
+	sort.SliceStable(f.events, func(i, j int) bool { return f.events[i].pos < f.events[j].pos })
+
+	// Simulate: per-scope held state in lexical order, snapshotting the
+	// state just before each event. A *Locked function starts with its
+	// receiver's mu write-held — that is the convention's contract.
+	state := make(map[int]map[string]heldInfo)
+	if recv := receiverName(fi.Decl); recv != "" && strings.HasSuffix(fi.Fn.Name(), "Locked") {
+		class := ""
+		if named := recvNamed(fi.Fn); named != nil {
+			if si := e.structs[named.Obj()]; si != nil {
+				if _, ok := si.mutexes["mu"]; ok {
+					class = typeClass(named.Obj()) + ".mu"
+				}
+			}
+		}
+		state[-1] = map[string]heldInfo{recv + ".mu": {strength: heldWrite, class: class}}
+	}
+	f.heldAt = make([]map[string]heldInfo, len(f.events))
+	for i, ev := range f.events {
+		cur := state[ev.scope]
+		if cur == nil {
+			cur = make(map[string]heldInfo)
+			state[ev.scope] = cur
+		}
+		snap := make(map[string]heldInfo, len(cur))
+		for k, v := range cur {
+			snap[k] = v
+		}
+		f.heldAt[i] = snap
+		switch ev.kind {
+		case evLock:
+			if ev.chain != "" {
+				strength := heldWrite
+				if ev.read {
+					strength = heldRead
+				}
+				if have, ok := cur[ev.chain]; !ok || strength > have.strength {
+					cur[ev.chain] = heldInfo{strength: strength, class: ev.class}
+				}
+			}
+		case evUnlock:
+			if ev.chain != "" {
+				delete(cur, ev.chain)
+			}
+		}
+	}
+
+	// Closure inheritance: intersection of held sets over all direct call
+	// sites, iterated so nested closures converge.
+	sites := make(map[int][]int)
+	for i, ev := range f.events {
+		if ev.closureScope >= 0 {
+			sites[ev.closureScope] = append(sites[ev.closureScope], i)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for scope, idxs := range sites {
+			var inter map[string]heldInfo
+			for _, i := range idxs {
+				h := f.held(i)
+				if inter == nil {
+					inter = make(map[string]heldInfo, len(h))
+					for k, v := range h {
+						inter[k] = v
+					}
+					continue
+				}
+				for k, v := range inter {
+					hv, ok := h[k]
+					if !ok {
+						delete(inter, k)
+						continue
+					}
+					if hv.strength < v.strength {
+						inter[k] = hv
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[string]heldInfo{}
+			}
+			f.inherited[scope] = inter
+		}
+	}
+	return f
+}
+
+// collectCallEvent classifies one call expression into lock-op, *Locked,
+// resolved-call, or closure-call events.
+func (e *Engine) collectCallEvent(fi *FuncInfo, f *lockFacts, call *ast.CallExpr, info *types.Info,
+	deferred, goCalls map[*ast.CallExpr]bool, aborting map[token.Pos]bool,
+	bound map[types.Object]int, litIndex func(token.Pos) int, rootObj func(string, ast.Expr) types.Object) {
+
+	scope := scopeAt(f.lits, call.Pos())
+	fn := calleeFunc(info, call)
+
+	// Mutex operations: type-based (any sync.Mutex/RWMutex method), with
+	// the v1 name-based ".mu" chain as fallback for non-sync mutexes.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && mutexMethodNames[sel.Sel.Name] {
+		isSyncMutex := fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+			recvNamed(fn) != nil && (recvNamed(fn).Obj().Name() == "Mutex" || recvNamed(fn).Obj().Name() == "RWMutex")
+		chain := chainString(sel.X)
+		if isSyncMutex || (chain != "" && strings.HasSuffix(chain, ".mu")) {
+			name := sel.Sel.Name
+			kind := evLock
+			if name == "Unlock" || name == "RUnlock" {
+				kind = evUnlock
+				switch {
+				case deferred[call]:
+					kind = evDeferUnlock
+				case aborting[call.Pos()]:
+					kind = evUnlockAbort
+				}
+			}
+			f.events = append(f.events, lockEvent{
+				pos: call.Pos(), scope: scope, kind: kind, chain: chain,
+				class: e.lockClassOf(fi, sel.X), name: name,
+				read: name == "RLock" || name == "RUnlock", closureScope: -1,
+			})
+			return
+		}
+	}
+
+	ev := lockEvent{
+		pos: call.Pos(), scope: scope, kind: evCall,
+		goCall: goCalls[call], deferCall: deferred[call], closureScope: -1,
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if strings.HasSuffix(fun.Sel.Name, "Locked") {
+			ev.kind = evLockedCall
+			ev.name = fun.Sel.Name
+			ev.chain = chainString(fun.X)
+			ev.baseObj = rootObj(ev.chain, fun.X)
+		}
+	case *ast.Ident:
+		if strings.HasSuffix(fun.Name, "Locked") {
+			ev.kind = evLockedCall
+			ev.name = fun.Name
+		} else if obj := info.Uses[fun]; obj != nil {
+			if scopeIdx, ok := bound[obj]; ok {
+				ev.closureScope = scopeIdx
+			}
+		}
+	case *ast.FuncLit:
+		ev.closureScope = litIndex(fun.Pos()) // IIFE
+	}
+	if fn != nil {
+		ev.callee = e.funcs[fn]
+	}
+	if ev.kind == evCall && ev.callee == nil && ev.closureScope < 0 {
+		return // nothing any analyzer can use
+	}
+	f.events = append(f.events, ev)
+}
+
+// closureBindings finds local variables bound to exactly one function
+// literal and used only in direct call position (never deferred, spawned,
+// passed, or stored): calls through them transfer the caller's held set
+// into the literal's scope. Returns the obj→scope map and the set of
+// idents that are call-position uses.
+func (e *Engine) closureBindings(fi *FuncInfo, deferred, goCalls map[*ast.CallExpr]bool) (map[types.Object]int, map[*ast.Ident]bool) {
+	info := fi.Pkg.Info
+	lits := funcLitRanges(fi.Decl.Body)
+	litIdx := func(pos token.Pos) int {
+		for i, r := range lits {
+			if r[0] == pos {
+				return i
+			}
+		}
+		return -1
+	}
+	cand := make(map[types.Object]int)
+	assignments := make(map[types.Object]int)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, isSig := obj.Type().(*types.Signature); !isSig {
+				continue
+			}
+			assignments[obj]++
+			if lit, ok := ast.Unparen(asg.Rhs[i]).(*ast.FuncLit); ok {
+				cand[obj] = litIdx(lit.Pos())
+			}
+		}
+		return true
+	})
+	// A second assignment, or any use outside direct call position,
+	// disqualifies.
+	callUse := make(map[*ast.Ident]bool)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isCand := cand[obj]; !isCand {
+			return true
+		}
+		if deferred[call] || goCalls[call] {
+			delete(cand, obj) // runs at an unknown time
+			return true
+		}
+		callUse[id] = true
+		return true
+	})
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isCand := cand[obj]; isCand && !callUse[id] {
+			delete(cand, obj)
+		}
+		return true
+	})
+	for obj := range cand {
+		if assignments[obj] != 1 || cand[obj] < 0 {
+			delete(cand, obj)
+		}
+	}
+	return cand, callUse
+}
+
+// lockClassOf renders the canonical class of a mutex expression: a field
+// mutex is "<pkg>.<Type>.<field>", a package-level mutex "<pkg>.<var>",
+// and a function-local mutex "<pkg>.<func>.<var>".
+func (e *Engine) lockClassOf(fi *FuncInfo, muExpr ast.Expr) string {
+	info := fi.Pkg.Info
+	switch x := ast.Unparen(muExpr).(type) {
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[x.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return ""
+		}
+		tv, ok := info.Types[x.X]
+		if !ok {
+			return ""
+		}
+		named := namedType(tv.Type)
+		if named == nil {
+			return ""
+		}
+		return typeClass(named.Obj()) + "." + x.Sel.Name
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			return ""
+		}
+		pkgPath := fi.Fn.Pkg().Path()
+		if v.Parent() == fi.Pkg.Types.Scope() {
+			return pkgPath + "." + v.Name()
+		}
+		return pkgPath + "." + funcDisplayName(fi.Fn) + "." + v.Name()
+	}
+	return ""
+}
+
+// typeClass renders "<pkgpath>.<TypeName>".
+func typeClass(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+// unpublishedObj reports whether obj is provably unreachable by any other
+// goroutine while fi runs: a fresh local of fi, or fi's receiver when
+// every analyzed call site passes an unpublished receiver. This is the
+// escape-aware exemption lockdisc and guardedby share — locking an object
+// nothing else can see proves nothing, and not locking it risks nothing.
+func unpublishedObj(e *Engine, fi *FuncInfo, facts *lockFacts, obj types.Object, pos token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	if facts.freshLocals[obj] {
+		return true
+	}
+	if until, ok := facts.freshUntil[obj]; ok && pos < until {
+		return true // before the object's first publication point
+	}
+	if idx, ok := fi.paramIdx[obj]; ok && idx == 0 && fi.Decl.Recv != nil {
+		return e.freshOnly[fi.Fn]
+	}
+	return false
+}

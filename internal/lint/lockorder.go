@@ -1,0 +1,188 @@
+package lint
+
+// lockOrder builds the program's global lock-acquisition graph from the
+// engine's summaries and fails on any cycle: nodes are lock classes (a
+// struct's mutex field, a package-level mutex, a function-local mutex),
+// and an edge A → B is witnessed wherever B is acquired — directly or
+// anywhere down the call graph — while A is held. A cycle means two
+// executions can acquire the same locks in opposite orders: a potential
+// deadlock that no test run is guaranteed to hit.
+//
+// Deferred unlocks keep their region open (lock A; defer unlock; lock B
+// is an A → B edge), goroutine launches are excluded (the spawned stack
+// orders its own acquisitions), and acquisitions of the same class are
+// not self-edges (re-locking distinct instances of one class is a
+// striping concern the classifier cannot yet order).
+//
+// The graph is retained after the run so cmd/sllint can emit it as a
+// DOT or JSON artifact (-lockgraph).
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/callgraph"
+)
+
+type lockOrder struct {
+	graph    *callgraph.Graph
+	artifact LockGraphArtifact
+}
+
+// NewLockOrder returns the lockorder analyzer.
+func NewLockOrder() Analyzer { return &lockOrder{} }
+
+func (*lockOrder) Name() string { return "lockorder" }
+func (*lockOrder) Doc() string {
+	return "the global lock-acquisition graph is acyclic (no potential lock-order deadlock)"
+}
+
+// Run is a no-op: lockorder needs the whole-program acquisition graph.
+func (a *lockOrder) Run(*Pass) {}
+
+// LockGraphArtifact is the serializable form of the acquisition graph.
+type LockGraphArtifact struct {
+	Nodes  []string        `json:"nodes"`
+	Edges  []LockGraphEdge `json:"edges"`
+	Cycles [][]string      `json:"cycles"`
+}
+
+// LockGraphEdge is one held→acquired ordering with its first witness.
+type LockGraphEdge struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Witness string `json:"witness"` // file:line of the first acquisition seen
+}
+
+// LockGraph exposes the graph built by the last RunProgram, for artifact
+// output; nil before any run.
+func (a *lockOrder) LockGraph() (*callgraph.Graph, LockGraphArtifact) {
+	return a.graph, a.artifact
+}
+
+type lockEdgeKey struct{ from, to string }
+
+func (a *lockOrder) RunProgram(pass *ProgramPass) {
+	e := pass.Engine
+	classes := make(map[string]bool)
+	edges := make(map[lockEdgeKey]token.Pos)
+
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == "" || to == "" || from == to {
+			return
+		}
+		classes[from], classes[to] = true, true
+		if _, ok := edges[lockEdgeKey{from, to}]; !ok {
+			edges[lockEdgeKey{from, to}] = pos
+		}
+	}
+
+	for _, fi := range e.Funcs() {
+		facts := e.lockFactsOf(fi)
+		for i, ev := range facts.events {
+			var acquired map[string]token.Pos
+			switch ev.kind {
+			case evLock:
+				if ev.class == "" {
+					continue
+				}
+				classes[ev.class] = true
+				acquired = map[string]token.Pos{ev.class: ev.pos}
+			case evCall, evLockedCall:
+				if ev.goCall {
+					continue // the spawned goroutine orders its own locks
+				}
+				if ev.callee == nil || ev.callee.summary == nil {
+					continue
+				}
+				if len(ev.callee.summary.acquires) == 0 {
+					continue
+				}
+				acquired = make(map[string]token.Pos, len(ev.callee.summary.acquires))
+				for class := range ev.callee.summary.acquires {
+					acquired[class] = ev.pos
+				}
+			default:
+				continue
+			}
+			held := facts.held(i)
+			for _, h := range held {
+				for class, pos := range acquired {
+					addEdge(h.class, class, pos)
+				}
+			}
+		}
+	}
+
+	a.graph = callgraph.New()
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		_ = a.graph.AddNode(callgraph.Node{Name: c, Module: lockClassModule(c)})
+	}
+	keys := make([]lockEdgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	a.artifact = LockGraphArtifact{Nodes: names, Cycles: [][]string{}}
+	for _, k := range keys {
+		_ = a.graph.AddCall(k.from, k.to, 1)
+		a.artifact.Edges = append(a.artifact.Edges, LockGraphEdge{
+			From: k.from, To: k.to,
+			Witness: e.Fset.Position(edges[k]).String(),
+		})
+	}
+
+	for _, scc := range a.graph.Cycles() {
+		sorted := append([]string(nil), scc...)
+		sort.Strings(sorted)
+		a.artifact.Cycles = append(a.artifact.Cycles, sorted)
+		pos := a.cycleWitness(sorted, edges)
+		pass.Reportf(a.Name(), pos,
+			"lock acquisition cycle: %s (potential deadlock: these locks are taken in conflicting orders)",
+			strings.Join(sorted, " ⇄ "))
+	}
+}
+
+// cycleWitness picks the earliest witness position among the cycle's
+// internal edges, so the diagnostic lands on real code.
+func (a *lockOrder) cycleWitness(scc []string, edges map[lockEdgeKey]token.Pos) token.Pos {
+	in := make(map[string]bool, len(scc))
+	for _, c := range scc {
+		in[c] = true
+	}
+	best := token.NoPos
+	for k, pos := range edges {
+		if !in[k.from] || !in[k.to] {
+			continue
+		}
+		if len(scc) == 1 && k.from != k.to {
+			continue
+		}
+		if best == token.NoPos || pos < best {
+			best = pos
+		}
+	}
+	return best
+}
+
+// lockClassModule extracts the package path prefix of a lock class like
+// "repro/internal/slremote.Server.mu".
+func lockClassModule(class string) string {
+	slash := strings.LastIndex(class, "/")
+	rest := class[slash+1:]
+	dot := strings.Index(rest, ".")
+	if dot < 0 {
+		return class
+	}
+	return class[:slash+1+dot]
+}

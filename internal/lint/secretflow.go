@@ -1,17 +1,14 @@
 package lint
 
 import (
-	"go/ast"
-	"go/token"
 	"go/types"
-	"strconv"
 	"strings"
 )
 
-// secretFlow is a Glamdring-style intra-procedural taint analysis: values
-// that carry key material (anything typed seccrypto.Key, identifiers named
-// after root keys / OBKs / seal secrets, plaintext recovered by
-// seccrypto.Validate) must never reach an untrusted sink:
+// secretFlow is a Glamdring-style taint analysis, interprocedural since
+// v2: values that carry key material (anything typed seccrypto.Key,
+// identifiers named after root keys / OBKs / seal secrets, plaintext
+// recovered by seccrypto.Validate) must never reach an untrusted sink:
 //
 //   - log.* and fmt.Print*/Fprint* output,
 //   - fmt.Errorf / fmt.Sprintf when a %v/%s/%x/%X/%q verb consumes the
@@ -19,7 +16,16 @@ import (
 //   - obs metric, label, or span-annotation values (the /metrics and
 //     /trace endpoints are unauthenticated),
 //   - fields of wire structs (the envelope is untrusted transport; secrets
-//     must be sealed with seccrypto before crossing it).
+//     must be sealed with seccrypto before crossing it),
+//   - any analyzed function whose summary says the parameter flows to one
+//     of the above — a helper that forwards a root key to log.Printf two
+//     frames down is a sink at the call site.
+//
+// Taint also flows through the program: functions that return secrets
+// taint their callers (summary result taint), struct fields that ever
+// store a secret taint every read of that field, and sanitizer summaries
+// transfer across call boundaries — a wrapper whose result is
+// seccrypto.Protect(...) of its input is as clean as Protect itself.
 //
 // Sealing (seccrypto.Protect/ProtectWithKey), hashing, and channel
 // sealing (ratls.SealForChannel, which only releases key bytes onto an
@@ -35,18 +41,19 @@ func NewSecretFlow() Analyzer { return &secretFlow{} }
 
 func (*secretFlow) Name() string { return "secretflow" }
 func (*secretFlow) Doc() string {
-	return "key material must not reach logs, fmt output, obs values, or unsealed wire fields"
+	return "key material must not reach logs, fmt output, obs values, or unsealed wire fields — across function boundaries"
 }
 
-func (a *secretFlow) Run(pass *Pass) {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			a.checkFunc(pass, fd)
-		}
+// Run is a no-op: secretflow needs whole-program summaries.
+func (a *secretFlow) Run(*Pass) {}
+
+// RunProgram replays the taint walk over every function in report mode:
+// the engine's summaries are stable by now, so call sites answer from
+// them and intrinsic taint reaching a sink becomes a diagnostic.
+func (a *secretFlow) RunProgram(pass *ProgramPass) {
+	for _, fi := range pass.Engine.Funcs() {
+		lt := newLocalTaint(pass.Engine, fi, pass)
+		lt.run()
 	}
 }
 
@@ -101,175 +108,6 @@ func taintableType(t types.Type) bool {
 	}
 }
 
-type taintState struct {
-	pass    *Pass
-	tainted map[types.Object]bool
-}
-
-func (a *secretFlow) checkFunc(pass *Pass, fd *ast.FuncDecl) {
-	st := &taintState{pass: pass, tainted: make(map[types.Object]bool)}
-
-	// Seed: every object declared in this function whose type is
-	// seccrypto.Key, or whose name marks it as key material (params,
-	// locals, receivers).
-	ast.Inspect(fd, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj := pass.Info.Defs[id]
-		if obj == nil {
-			return true
-		}
-		if _, isVar := obj.(*types.Var); !isVar {
-			return true
-		}
-		if isSeccryptoKey(obj.Type()) || (secretName(id.Name) && taintableType(obj.Type())) {
-			st.tainted[obj] = true
-		}
-		return true
-	})
-
-	// Propagate through assignments to a fixpoint.
-	for changed := true; changed; {
-		changed = false
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			asg, ok := n.(*ast.AssignStmt)
-			if !ok {
-				return true
-			}
-			anyRHS := false
-			for _, rhs := range asg.Rhs {
-				if st.exprTainted(rhs) {
-					anyRHS = true
-					break
-				}
-			}
-			if !anyRHS {
-				return true
-			}
-			for _, lhs := range asg.Lhs {
-				id, ok := ast.Unparen(lhs).(*ast.Ident)
-				if !ok {
-					continue
-				}
-				obj := pass.Info.Defs[id]
-				if obj == nil {
-					obj = pass.Info.Uses[id]
-				}
-				if obj == nil || st.tainted[obj] || !taintableType(obj.Type()) {
-					continue
-				}
-				st.tainted[obj] = true
-				changed = true
-			}
-			return true
-		})
-	}
-
-	// Sinks.
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			a.checkCallSink(pass, st, n)
-		case *ast.CompositeLit:
-			a.checkWireComposite(pass, st, n)
-		case *ast.AssignStmt:
-			a.checkWireFieldAssign(pass, st, n)
-		}
-		return true
-	})
-}
-
-// exprTainted reports whether evaluating e can yield secret bytes.
-func (st *taintState) exprTainted(e ast.Expr) bool {
-	if e == nil {
-		return false
-	}
-	if tv, ok := st.pass.Info.Types[e]; ok && !taintableType(tv.Type) {
-		return false
-	}
-	switch e := e.(type) {
-	case *ast.Ident:
-		obj := st.pass.Info.Uses[e]
-		if obj == nil {
-			obj = st.pass.Info.Defs[e]
-		}
-		if obj != nil {
-			if st.tainted[obj] {
-				return true
-			}
-			if isSeccryptoKey(obj.Type()) {
-				return true
-			}
-		}
-		return secretName(e.Name)
-	case *ast.SelectorExpr:
-		if sel := st.pass.Info.Uses[e.Sel]; sel != nil && isSeccryptoKey(sel.Type()) {
-			return true
-		}
-		return secretName(e.Sel.Name) || st.exprTainted(e.X)
-	case *ast.CallExpr:
-		return st.callTainted(e)
-	case *ast.BinaryExpr:
-		switch e.Op {
-		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
-			token.LAND, token.LOR:
-			return false
-		}
-		return st.exprTainted(e.X) || st.exprTainted(e.Y)
-	case *ast.UnaryExpr:
-		return st.exprTainted(e.X)
-	case *ast.StarExpr:
-		return st.exprTainted(e.X)
-	case *ast.ParenExpr:
-		return st.exprTainted(e.X)
-	case *ast.IndexExpr:
-		return st.exprTainted(e.X)
-	case *ast.SliceExpr:
-		return st.exprTainted(e.X)
-	case *ast.CompositeLit:
-		for _, el := range e.Elts {
-			if st.exprTainted(el) {
-				return true
-			}
-		}
-		return false
-	case *ast.KeyValueExpr:
-		return st.exprTainted(e.Value)
-	case *ast.TypeAssertExpr:
-		return st.exprTainted(e.X)
-	default:
-		return false
-	}
-}
-
-// callTainted decides whether a call's result carries taint: sanitizers
-// (sealing, hashing) launder, seccrypto.Validate re-introduces plaintext,
-// and everything else propagates taint from arguments and receiver.
-func (st *taintState) callTainted(call *ast.CallExpr) bool {
-	fn := calleeFunc(st.pass.Info, call)
-	if fn != nil {
-		if isSanitizer(fn) {
-			return false
-		}
-		if pkgPathHasSuffix(fn.Pkg(), "internal/seccrypto") && fn.Name() == "Validate" {
-			return true // recovered plaintext payload
-		}
-	}
-	// Conversions like string(rootKey) keep the taint of their operand;
-	// builtin len/cap land on untaintable result types upstream.
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && st.exprTainted(sel.X) {
-		return true
-	}
-	for _, arg := range call.Args {
-		if st.exprTainted(arg) {
-			return true
-		}
-	}
-	return false
-}
-
 // isSanitizer reports whether fn launders secret inputs: authenticated
 // sealing and cryptographic hashing produce values safe for untrusted
 // sinks. ratls.SealForChannel qualifies because it refuses at runtime to
@@ -294,79 +132,6 @@ func isSanitizer(fn *types.Func) bool {
 
 // flaggedVerbs are the fmt verbs that render an argument's contents.
 var flaggedVerbs = map[byte]bool{'v': true, 's': true, 'x': true, 'X': true, 'q': true}
-
-func (a *secretFlow) checkCallSink(pass *Pass, st *taintState, call *ast.CallExpr) {
-	fn := calleeFunc(pass.Info, call)
-	if fn == nil || fn.Pkg() == nil {
-		return
-	}
-	path := fn.Pkg().Path()
-	switch {
-	case path == "log":
-		switch fn.Name() {
-		case "Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln",
-			"Panic", "Panicf", "Panicln", "Output":
-			a.reportTaintedArgs(pass, st, call, "log."+fn.Name())
-		}
-	case path == "fmt":
-		switch fn.Name() {
-		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
-			a.reportTaintedArgs(pass, st, call, "fmt."+fn.Name())
-		case "Errorf", "Sprintf":
-			a.reportTaintedVerbArgs(pass, st, call, "fmt."+fn.Name())
-		}
-	case pkgPathHasSuffix(fn.Pkg(), "internal/obs"):
-		// Every value handed to obs becomes scrape- or trace-visible on an
-		// unauthenticated endpoint.
-		for _, arg := range call.Args {
-			if st.exprTainted(arg) {
-				pass.Reportf(a.Name(), arg.Pos(),
-					"secret value reaches obs.%s: metric/label/annotation values are exported unauthenticated", fn.Name())
-			}
-		}
-	case pkgPathHasSuffix(fn.Pkg(), "internal/cli"):
-		// Whitelisted: cli.Fatalf is the single audited fatal path for
-		// flag-validation errors.
-	}
-}
-
-func (a *secretFlow) reportTaintedArgs(pass *Pass, st *taintState, call *ast.CallExpr, sink string) {
-	for _, arg := range call.Args {
-		if st.exprTainted(arg) {
-			pass.Reportf(a.Name(), arg.Pos(), "secret value reaches untrusted sink %s", sink)
-		}
-	}
-}
-
-// reportTaintedVerbArgs maps fmt verbs to arguments and flags tainted
-// arguments consumed by a rendering verb (%v %s %x %X %q). %w is exempt:
-// wrapping an error does not print key bytes (errors are untaintable).
-func (a *secretFlow) reportTaintedVerbArgs(pass *Pass, st *taintState, call *ast.CallExpr, sink string) {
-	if len(call.Args) == 0 {
-		return
-	}
-	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
-	if !ok || lit.Kind != token.STRING {
-		// Non-constant format: flag any tainted argument.
-		a.reportTaintedArgs(pass, st, call, sink)
-		return
-	}
-	format, err := strconv.Unquote(lit.Value)
-	if err != nil {
-		return
-	}
-	verbs := parseVerbs(format)
-	for i, verb := range verbs {
-		argIdx := 1 + i
-		if argIdx >= len(call.Args) {
-			break
-		}
-		if flaggedVerbs[verb] && st.exprTainted(call.Args[argIdx]) {
-			pass.Reportf(a.Name(), call.Args[argIdx].Pos(),
-				"secret value rendered by %%%c verb in %s", verb, sink)
-		}
-	}
-}
 
 // parseVerbs extracts the verb letters of a format string in argument
 // order ('%%' is skipped; flags, width, and precision are ignored).
@@ -396,48 +161,4 @@ func isWireStruct(t types.Type) bool {
 	}
 	_, isStruct := named.Underlying().(*types.Struct)
 	return isStruct
-}
-
-func (a *secretFlow) checkWireComposite(pass *Pass, st *taintState, lit *ast.CompositeLit) {
-	tv, ok := pass.Info.Types[lit]
-	if !ok || !isWireStruct(tv.Type) {
-		return
-	}
-	for _, el := range lit.Elts {
-		val := el
-		field := ""
-		if kv, ok := el.(*ast.KeyValueExpr); ok {
-			val = kv.Value
-			if id, ok := kv.Key.(*ast.Ident); ok {
-				field = id.Name
-			}
-		}
-		if st.exprTainted(val) {
-			pass.Reportf(a.Name(), val.Pos(),
-				"secret value stored in unsealed wire field %s.%s: seal with seccrypto before it crosses the wire",
-				namedType(tv.Type).Obj().Name(), field)
-		}
-	}
-}
-
-func (a *secretFlow) checkWireFieldAssign(pass *Pass, st *taintState, asg *ast.AssignStmt) {
-	for i, lhs := range asg.Lhs {
-		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
-		if !ok {
-			continue
-		}
-		tv, ok := pass.Info.Types[sel.X]
-		if !ok || !isWireStruct(tv.Type) {
-			continue
-		}
-		rhs := asg.Rhs[0]
-		if len(asg.Rhs) == len(asg.Lhs) {
-			rhs = asg.Rhs[i]
-		}
-		if st.exprTainted(rhs) {
-			pass.Reportf(a.Name(), rhs.Pos(),
-				"secret value stored in unsealed wire field %s.%s: seal with seccrypto before it crosses the wire",
-				namedType(tv.Type).Obj().Name(), sel.Sel.Name)
-		}
-	}
 }

@@ -1,0 +1,110 @@
+// Package guardedby is a golden fixture for the guardedby analyzer:
+// majority inference, multi-mutex structs, RWMutex strength, explicit
+// annotations, and the near-miss that must stay silent.
+package guardedby
+
+import "sync"
+
+// Ledger carries two mutexes guarding disjoint fields: bal is inferred
+// guarded by mu, hist by rw — each from its own access majority.
+type Ledger struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	bal  int
+	hist []string
+}
+
+// Deposit and Balance access bal under mu: the inference majority.
+func (l *Ledger) Deposit(n int) {
+	l.mu.Lock()
+	l.bal += n
+	l.mu.Unlock()
+}
+
+func (l *Ledger) Balance() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bal
+}
+
+// Cheat writes bal with no lock at all.
+func (l *Ledger) Cheat() {
+	l.bal = 0 // want `write to Ledger.bal without Ledger.mu held`
+}
+
+// Append holds the write lock: both the read and the write of hist count
+// as guarded accesses.
+func (l *Ledger) Append(s string) {
+	l.rw.Lock()
+	l.hist = append(l.hist, s)
+	l.rw.Unlock()
+}
+
+// Last reads hist under RLock — reads are legal under either strength.
+func (l *Ledger) Last() string {
+	l.rw.RLock()
+	defer l.rw.RUnlock()
+	return l.hist[len(l.hist)-1]
+}
+
+// Mutate writes hist under RLock: a read lock does not license writes.
+func (l *Ledger) Mutate() {
+	l.rw.RLock()
+	defer l.rw.RUnlock()
+	l.hist = nil // want `write to Ledger.hist under RLock: Ledger.rw must be write-locked`
+}
+
+// Annotated: explicit annotations beat inference in both directions.
+type Annotated struct {
+	mu sync.Mutex
+	// guardedby: mu
+	seen []string
+	// guardedby: none
+	hits int
+}
+
+// Observe has the only accesses to both fields: far too few for majority
+// inference, but the annotations decide anyway.
+func (a *Annotated) Observe(k string) {
+	a.hits++
+	a.seen = append(a.seen, k) // want `write to Annotated.seen without Annotated.mu held` `read of Annotated.seen without Annotated.mu held`
+}
+
+// Typo names a mutex field that does not exist.
+type Typo struct {
+	mu sync.Mutex
+	// guardedby: mux
+	v int // want `guardedby annotation on Typo.v names unknown mutex field "mux"`
+}
+
+// Touch keeps v accessed so the struct is not dead code; the bad
+// annotation suppresses inference, so no access findings appear.
+func (t *Typo) Touch() {
+	t.v++
+}
+
+// Loose is the near-miss: bare is written under mu in only one of three
+// accesses — no majority, no inference, no findings.
+type Loose struct {
+	mu   sync.Mutex
+	bare int
+}
+
+func (l *Loose) A() {
+	l.mu.Lock()
+	l.bare++
+	l.mu.Unlock()
+}
+
+func (l *Loose) B() { l.bare++ }
+
+func (l *Loose) C() int { return l.bare }
+
+// Builder writes fields on a fresh local before publication: exempt, and
+// the constructor write does not poison the inference of guarded use.
+func NewLedger() *Ledger {
+	l := &Ledger{}
+	l.bal = 100
+	l.hist = []string{"open"}
+	return l
+}

@@ -65,3 +65,57 @@ func (c *Counter) selfLockLocked() {
 	c.n++
 	c.mu.Unlock() // want `selfLockLocked must run with c.mu held and must not call c.mu.Unlock itself`
 }
+
+// NewCounter initializes through the Locked helper on a fresh local:
+// nothing else can see the object yet, so no lock is needed.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.bumpLocked()
+	return c
+}
+
+// restoreLocked is called only on fresh receivers (below) and from other
+// exempt contexts: the receiver-freshness fixpoint proves every call site.
+func (c *Counter) restoreLocked(n int) {
+	c.n = n
+	c.bumpLocked()
+}
+
+// NewRestored drives restoreLocked on a fresh local: clean.
+func NewRestored(n int) *Counter {
+	c := &Counter{}
+	c.restoreLocked(n)
+	return c
+}
+
+// published is a sink that publishes its argument.
+var published *Counter
+
+// BuildAndPublish calls the Locked helper after the object escaped: from
+// the publication point on, freshness no longer excuses the call.
+func BuildAndPublish() *Counter {
+	c := &Counter{}
+	c.bumpLocked() // clean: still unpublished here
+	published = c
+	c.bumpLocked() // want `c.bumpLocked called without c.mu held`
+	return c
+}
+
+// Inherit binds a closure and invokes it only inside the locked region:
+// the closure inherits the held set from its single call site.
+func (c *Counter) Inherit() {
+	bump := func() {
+		c.bumpLocked()
+	}
+	c.mu.Lock()
+	bump()
+	c.mu.Unlock()
+}
+
+// Escape spawns the closure on a goroutine: no call-site inheritance, so
+// the Locked call inside is bare.
+func (c *Counter) Escape() {
+	go func() {
+		c.bumpLocked() // want `c.bumpLocked called without c.mu held`
+	}()
+}

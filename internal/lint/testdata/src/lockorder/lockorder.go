@@ -1,0 +1,103 @@
+// Package lockorder is a golden fixture for the lockorder analyzer:
+// a direct 2-cycle, a 3-cycle closed through a callee's summary, the
+// defer-unlock region that still orders later acquisitions, and the
+// consistently-ordered baseline that must stay silent.
+package lockorder
+
+import "sync"
+
+// ---- 2-cycle: two functions acquire A and B in opposite orders ----
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func AB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock acquisition cycle: .*\.A\.mu ⇄ .*\.B\.mu \(potential deadlock`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// ---- 3-cycle: C → D through a helper's summary, D → E and E → C
+// directly; no single function sees the whole cycle ----
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func CD(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want `lock acquisition cycle: .*\.C\.mu ⇄ .*\.D\.mu ⇄ .*\.E\.mu \(potential deadlock`
+	c.mu.Unlock()
+}
+
+func DE(d *D, e *E) {
+	d.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	d.mu.Unlock()
+}
+
+func EC(c *C, e *E) {
+	e.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// ---- defer-unlock: the deferred release keeps F.mu's region open, so
+// the G acquisition below it is still ordered F → G, closing a cycle
+// with GF ----
+
+type F struct{ mu sync.Mutex }
+type G struct{ mu sync.Mutex }
+
+func FG(f *F, g *G) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g.mu.Lock() // want `lock acquisition cycle: .*\.F\.mu ⇄ .*\.G\.mu \(potential deadlock`
+	g.mu.Unlock()
+}
+
+func GF(f *F, g *G) {
+	g.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// ---- baseline: H before I everywhere, including through the helper —
+// a diamond, not a cycle; no findings ----
+
+type H struct{ mu sync.Mutex }
+type I struct{ mu sync.Mutex }
+
+func lockI(i *I) {
+	i.mu.Lock()
+	i.mu.Unlock()
+}
+
+func HI(h *H, i *I) {
+	h.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	h.mu.Unlock()
+}
+
+func HIViaHelper(h *H, i *I) {
+	h.mu.Lock()
+	lockI(i)
+	h.mu.Unlock()
+}

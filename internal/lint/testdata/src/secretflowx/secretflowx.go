@@ -1,0 +1,70 @@
+// Package secretflowx is a golden fixture for interprocedural secretflow:
+// taint crossing function boundaries through parameters, returns, and
+// sanitizing wrappers — none of these flows is visible to a single-
+// function analysis.
+package secretflowx
+
+import (
+	"crypto/rand"
+	"log"
+
+	"repro/internal/seccrypto"
+)
+
+// relay is a neutral helper: nothing in its body names a secret, but its
+// summary records that the parameter reaches log.Printf.
+func relay(note string) {
+	log.Printf("note: %s", note)
+}
+
+// LeakViaRelay passes key bytes through the neutral helper: the report
+// lands at the call site, where the secret actually enters the flow.
+func LeakViaRelay(key seccrypto.Key) {
+	relay(string(key.Bytes())) // want `secret value passed to relay, which forwards it to log.Printf`
+}
+
+// RelayClean passes an honest note through the same helper: the summary
+// is parameter-relative, so clean arguments stay clean.
+func RelayClean() {
+	relay("lease renewed")
+}
+
+// loadRootKey returns secret material: its result summary carries
+// intrinsic taint into every caller.
+func loadRootKey() []byte {
+	rootKey := []byte("0123456789abcdef")
+	return rootKey
+}
+
+// LeakViaReturn logs the tainted return value of a helper whose body it
+// never sees.
+func LeakViaReturn() {
+	k := loadRootKey()
+	log.Printf("boot key %x", k) // want `secret value reaches untrusted sink log.Printf`
+}
+
+// sealFor wraps the sanitizer: the helper's return is sealed ciphertext,
+// so the transfer of the sanitizer summary keeps callers clean.
+func sealFor(key seccrypto.Key, payload []byte) []byte {
+	sealed, err := seccrypto.ProtectWithKey(payload, key, rand.Reader)
+	if err != nil {
+		return nil
+	}
+	return sealed
+}
+
+// SealedViaHelper logs ciphertext produced by the wrapping helper: clean.
+func SealedViaHelper(key seccrypto.Key, payload []byte) {
+	log.Printf("sealed %x", sealFor(key, payload))
+}
+
+// forward hops taint across two levels: relay's summary feeds forward's,
+// and the report still lands on the outermost call site.
+func forward(v string) {
+	relay(v)
+}
+
+// LeakTwoHops exercises summary transitivity.
+func LeakTwoHops(key seccrypto.Key) {
+	forward(string(key.Bytes())) // want `secret value passed to forward, which forwards it to log.Printf`
+}

@@ -193,7 +193,11 @@ func New(cfg Config, deps Deps) (*Service, error) {
 
 // Enclave returns the SL-Local enclave (nil before Init). Applications use
 // its measurement to decide whom to attest against.
-func (s *Service) Enclave() *sgx.Enclave { return s.enclave }
+func (s *Service) Enclave() *sgx.Enclave {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enclave
+}
 
 // SLID returns the identifier assigned by SL-Remote (empty before Init).
 func (s *Service) SLID() string {
@@ -346,6 +350,7 @@ func (s *Service) RequestToken(requester *sgx.Enclave, licenseID string) (lease.
 	}
 	s.stats.Requests++
 	enclave := s.enclave
+	tree := s.tree
 	s.mu.Unlock()
 
 	// Step ❶: local attestation between SL-Manager and SL-Local, then the
@@ -400,7 +405,7 @@ func (s *Service) RequestToken(requester *sgx.Enclave, licenseID string) (lease.
 		}
 		return nil
 	}
-	if err := s.tree.Update(id, consume); err != nil {
+	if err := tree.Update(id, consume); err != nil {
 		return lease.Token{}, fmt.Errorf("sllocal: lease update: %w", err)
 	}
 	if granted < want {

@@ -172,7 +172,6 @@ func (s *Server) snapshotLocked() error {
 		return fmt.Errorf("slremote: writing snapshot: %w", err)
 	}
 	s.flight.Load().Emit("slremote.wal_compaction",
-		//sllint:ignore lockdisc snapshotLocked's callers hold s.mu; Emit takes only the recorder's own ring mutex
 		flight.KV{K: "compacted_records", V: strconv.Itoa(s.persist.appended)},
 		flight.KV{K: "snapshot_bytes", V: strconv.Itoa(len(sealed))})
 	s.persist.appended = 0
@@ -319,7 +318,6 @@ func RecoverServer(cfg Config, service *attest.Service, rec *store.Recovered, pc
 			if err := json.Unmarshal(plain, &img); err != nil {
 				return nil, fmt.Errorf("slremote: decoding snapshot: %w", err)
 			}
-			//sllint:ignore lockdisc the server is unpublished during recovery; no goroutine can hold or want s.mu yet
 			if err := s.restoreImageLocked(img); err != nil {
 				return nil, err
 			}
@@ -329,7 +327,6 @@ func RecoverServer(cfg Config, service *attest.Service, rec *store.Recovered, pc
 			if err := json.Unmarshal(raw, &ev); err != nil {
 				return nil, fmt.Errorf("slremote: decoding WAL record %d: %w", i, err)
 			}
-			//sllint:ignore lockdisc the server is unpublished during recovery; no goroutine can hold or want s.mu yet
 			if err := s.applyEventLocked(ev); err != nil { //sllint:ignore walorder replay folds records already durable in the WAL; logging them again would double-append
 				return nil, fmt.Errorf("slremote: replaying WAL record %d (%s): %w", i, ev.Op, err)
 			}

@@ -52,6 +52,8 @@ func (r *Replica) Rebase(sealed []byte) error {
 	if r.promoted {
 		return errors.New("slremote: replica already promoted")
 	}
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
 	var img snapshotImage
 	if sealed != nil {
 		plain, err := seccrypto.Validate(sealed, r.s.persist.sealKey)
@@ -62,8 +64,6 @@ func (r *Replica) Rebase(sealed []byte) error {
 			return fmt.Errorf("slremote: decoding shipped snapshot: %w", err)
 		}
 	}
-	r.s.mu.Lock()
-	defer r.s.mu.Unlock()
 	r.s.resetLocked()
 	if sealed == nil {
 		return nil

@@ -527,7 +527,6 @@ func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
 	}
 	deny := func(err error) (Grant, error) {
 		s.stats.RenewalsDenied++
-		//sllint:ignore lockdisc deny is only invoked inside RenewLease's defer-unlocked region, so s.mu is held when it runs
 		s.auditLocked(audit.Record{Op: audit.OpDeny, SLID: slid, License: licenseID, Err: err.Error()})
 		s.flight.Load().Emit("slremote.denial",
 			flight.KV{K: "slid", V: slid},

@@ -371,7 +371,10 @@ func (c *Client) EscrowRootKey(slid string, key seccrypto.Key) error {
 func (c *Client) EscrowRootKeySpan(parent *obs.Span, slid string, key seccrypto.Key) error {
 	// SealForChannel releases the key only into an attested (or explicitly
 	// insecure) connection; a plain net.Conn is refused at runtime.
-	sealed, err := ratls.SealForChannel(key, c.conn)
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	sealed, err := ratls.SealForChannel(key, conn)
 	if err != nil {
 		return err
 	}
