@@ -37,6 +37,14 @@ const (
 	// record MAC fails and the session dies with an authentication
 	// error. Severing keeps the fault self-contained, as with Dup.
 	Corrupt = "corrupt"
+	// Reorder holds one write's bytes back and releases them after the
+	// connection's NEXT write goes through first. The wire layer frames
+	// each envelope with a single Write call, so this swaps two whole
+	// messages — the out-of-order delivery a pipelining client's demux
+	// must survive. A frame still held when the connection closes is
+	// flushed before the close, so a reorder never degrades to a drop;
+	// a severing fault firing while a frame is held may still lose it.
+	Reorder = "reorder"
 )
 
 // ErrConnFault reports a write the injector failed on purpose.
@@ -168,6 +176,9 @@ type Conn struct {
 	net.Conn
 	dir  *NetDirector
 	name string
+
+	hmu  sync.Mutex
+	held []byte // one frame held back by a Reorder fault; guarded by hmu
 }
 
 // WrapConn attaches a director to one connection.
@@ -177,6 +188,18 @@ func WrapConn(c net.Conn, d *NetDirector) *Conn {
 
 func (c *Conn) Write(p []byte) (int, error) {
 	switch c.dir.decide(c.name) {
+	case Reorder:
+		c.hmu.Lock()
+		if c.held == nil {
+			c.held = append([]byte(nil), p...)
+			c.hmu.Unlock()
+			// Held, not lost: the next write (or Close) releases it.
+			return len(p), nil
+		}
+		c.hmu.Unlock()
+		// A frame is already held; a second hold would just shift which
+		// frame waits, so fall through and write normally (which also
+		// releases the held frame).
 	case Drop:
 		// Swallowed whole: report success, deliver nothing.
 		return len(p), nil
@@ -207,5 +230,26 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		return n, nil
 	}
-	return c.Conn.Write(p)
+	n, err := c.Conn.Write(p)
+	c.flushHeld()
+	return n, err
+}
+
+// flushHeld writes out a frame held by a Reorder fault, after the write
+// that overtook it.
+func (c *Conn) flushHeld() {
+	c.hmu.Lock()
+	h := c.held
+	c.held = nil
+	c.hmu.Unlock()
+	if len(h) != 0 {
+		_, _ = c.Conn.Write(h)
+	}
+}
+
+// Close flushes any frame a Reorder fault is still holding, then closes
+// the connection: reordering delays delivery, it never suppresses it.
+func (c *Conn) Close() error {
+	c.flushHeld()
+	return c.Conn.Close()
 }

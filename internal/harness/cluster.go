@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/attest"
@@ -46,6 +47,14 @@ type ClusterBenchOptions struct {
 	// Seed drives every random choice (event jitter, consume decisions),
 	// making runs reproducible.
 	Seed int64
+	// Pipeline is the maximum number of renewals in flight at once
+	// (default 1: the classic lock-step loop). With Pipeline > 1 renewal
+	// RPCs are dispatched to a worker pool, modelling the pipelined wire
+	// client: conservation, audit, and totals-vs-ground-truth checks are
+	// unchanged, but per-event completion order — and therefore the exact
+	// grant/denial split for a given seed — is no longer deterministic.
+	// Leader kills act as barriers: in-flight renewals drain first.
+	Pipeline int
 	// Dir is the state root (default: a fresh temp dir, removed after).
 	Dir string
 	// Registry receives cluster_* metrics (nil: none).
@@ -248,27 +257,83 @@ func ClusterBench(opts ClusterBenchOptions) (*ClusterBenchResult, error) {
 	latencies := make([][]float64, opts.Shards)
 	runStart := time.Now()
 	var processed int64
-	for h.Len() > 0 {
-		ev := heap.Pop(&h).(clusterEvent)
-		cl := &clients[ev.client]
-		shard := int(licShard[cl.license])
-		remote := c.Leader(shard).Remote()
 
+	// renew runs one client's renewal (and, on a coin flip, its consume
+	// report) and folds the outcome into the result. In pipelined mode it
+	// runs on worker goroutines, so the fold is under resMu.
+	var resMu sync.Mutex
+	var rpcErr error
+	renew := func(slid string, license int32, coin bool) {
+		shard := int(licShard[license])
+		remote := c.Leader(shard).Remote()
 		start := time.Now()
-		grant, err := remote.RenewLease(cl.slid, licenses[cl.license])
-		latencies[shard] = append(latencies[shard], float64(time.Since(start).Microseconds()))
+		grant, err := remote.RenewLease(slid, licenses[license])
+		micros := float64(time.Since(start).Microseconds())
+		var consumeErr error
+		consumed := false
+		if err == nil && grant.Units > 1 && coin {
+			// Half the time the client reports half its grant spent,
+			// exercising the consumed side of the ledger.
+			consumeErr = remote.ConsumeReport(slid, licenses[license], grant.Units/2)
+			consumed = consumeErr == nil
+		}
+		resMu.Lock()
+		defer resMu.Unlock()
+		latencies[shard] = append(latencies[shard], micros)
 		res.PerShard[shard].Renewals++
 		res.Renewals++
 		if err != nil {
 			res.PerShard[shard].Denials++
 			res.Denials++
-		} else if grant.Units > 1 && rng.Intn(2) == 0 {
-			// Half the time the client reports half its grant spent,
-			// exercising the consumed side of the ledger.
-			if err := remote.ConsumeReport(cl.slid, licenses[cl.license], grant.Units/2); err != nil {
-				return nil, fmt.Errorf("harness: consume: %w", err)
-			}
+		}
+		if consumed {
 			res.Consumes++
+		}
+		if consumeErr != nil && rpcErr == nil {
+			rpcErr = fmt.Errorf("harness: consume: %w", consumeErr)
+		}
+	}
+
+	// Pipelined dispatch: an unbuffered channel into Pipeline workers
+	// bounds in-flight renewals at exactly Pipeline. drain is the barrier
+	// used before every leader kill and at end of run — FailOver must never
+	// race an in-flight RPC.
+	var inflight sync.WaitGroup
+	var tasks chan func()
+	if opts.Pipeline > 1 {
+		tasks = make(chan func())
+		defer close(tasks)
+		for w := 0; w < opts.Pipeline; w++ {
+			go func() {
+				for f := range tasks {
+					f()
+					inflight.Done()
+				}
+			}()
+		}
+	}
+	drain := func() error {
+		inflight.Wait()
+		resMu.Lock()
+		defer resMu.Unlock()
+		return rpcErr
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(clusterEvent)
+		cl := &clients[ev.client]
+		if tasks != nil {
+			// The coin is drawn on the event loop so the rng sequence stays
+			// a pure function of the options even though completion order
+			// is not.
+			slid, license, coin := cl.slid, cl.license, rng.Intn(2) == 0
+			inflight.Add(1)
+			tasks <- func() { renew(slid, license, coin) }
+		} else {
+			renew(cl.slid, cl.license, rng.Intn(2) == 0)
+			if rpcErr != nil {
+				return nil, rpcErr
+			}
 		}
 		cl.left--
 		if cl.left > 0 {
@@ -276,7 +341,13 @@ func ClusterBench(opts ClusterBenchOptions) (*ClusterBenchResult, error) {
 		}
 
 		processed++
-		if killEvery > 0 && processed >= nextKill && opts.Kills > 0 && res.killsDone() < opts.Kills {
+		// killShard counts kills performed; summing res.PerShard Failovers
+		// would say the same thing, but reading res here would race the
+		// worker pool's resMu-guarded folds.
+		if killEvery > 0 && processed >= nextKill && opts.Kills > 0 && killShard < opts.Kills {
+			if err := drain(); err != nil {
+				return nil, err
+			}
 			shard := killShard % opts.Shards
 			killShard++
 			nextKill += killEvery
@@ -285,6 +356,9 @@ func ClusterBench(opts ClusterBenchOptions) (*ClusterBenchResult, error) {
 			}
 			res.PerShard[shard].Failovers++
 		}
+	}
+	if err := drain(); err != nil {
+		return nil, err
 	}
 	res.RunTime = time.Since(runStart)
 
@@ -403,14 +477,6 @@ func dumpFile(path string, write func(io.Writer) error) error {
 		return fmt.Errorf("harness: obs dump %s: %w", path, err)
 	}
 	return f.Close()
-}
-
-func (r *ClusterBenchResult) killsDone() int {
-	n := 0
-	for _, s := range r.PerShard {
-		n += s.Failovers
-	}
-	return n
 }
 
 // percentile returns the p-th percentile of samples (sorted in place).

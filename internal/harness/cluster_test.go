@@ -86,6 +86,45 @@ func TestClusterBenchSmall(t *testing.T) {
 	}
 }
 
+// TestClusterBenchPipelined runs the cluster experiment with eight
+// renewals in flight and a mid-run leader kill: the kill barrier must
+// drain in-flight RPCs before failover, and conservation plus the audit
+// chain must survive exactly as in lock-step mode. Event totals are still
+// exact — only completion order is concurrent.
+func TestClusterBenchPipelined(t *testing.T) {
+	res, err := ClusterBench(ClusterBenchOptions{
+		Clients:           1000,
+		Shards:            2,
+		ClientsPerLicense: 10,
+		RenewalsPerClient: 2,
+		Kills:             1,
+		Pipeline:          8,
+		Seed:              13,
+		Dir:               t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("ClusterBench: %v", err)
+	}
+	if res.Renewals != 2000 {
+		t.Fatalf("Renewals = %d, want 2000 (1000 clients × 2)", res.Renewals)
+	}
+	var perShard int64
+	var failovers int
+	for _, s := range res.PerShard {
+		perShard += s.Renewals
+		failovers += s.Failovers
+	}
+	if perShard != res.Renewals {
+		t.Fatalf("per-shard renewals %d != total %d", perShard, res.Renewals)
+	}
+	if failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", failovers)
+	}
+	if !res.AuditVerified {
+		t.Fatal("audit chains not verified despite kills")
+	}
+}
+
 func TestClusterBenchDeterministicCounts(t *testing.T) {
 	run := func() *ClusterBenchResult {
 		res, err := ClusterBench(ClusterBenchOptions{

@@ -8,6 +8,8 @@ import (
 	"net"
 	"path/filepath"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -40,14 +42,19 @@ const (
 // listener: a transport-level failure (dropped reply, cut frame, reset)
 // closes the connection so the next call redials — the real SL-Local
 // daemon's retry posture, minus retries, which the deterministic schedule
-// cannot afford (an op either lands or is charged as a denial).
+// cannot afford (an op either lands or is charged as a denial). It is safe
+// for concurrent use: the pipelined swarm shares the admin dialer across
+// client goroutines, so many calls ride one wire connection at once.
 type chaosDialer struct {
 	h  *swarmHarness
 	rc *ratls.Config
-	c  *wire.Client
+	mu sync.Mutex
+	c  *wire.Client // guardedby: mu
 }
 
 func (d *chaosDialer) client() (*wire.Client, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.c == nil {
 		c, err := wire.DialTimeout(d.h.addr, swarmRPCWait, d.rc)
 		if err != nil {
@@ -60,6 +67,8 @@ func (d *chaosDialer) client() (*wire.Client, error) {
 
 // reset drops the connection; the next call redials the current server.
 func (d *chaosDialer) reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.c != nil {
 		_ = d.c.Close()
 		d.c = nil
@@ -67,11 +76,19 @@ func (d *chaosDialer) reset() {
 }
 
 // after inspects a call's error: a transport failure poisons the stream
-// (desync, half frames), so the connection is discarded. Server-side
-// denials (ErrRemote) leave it usable.
-func (d *chaosDialer) after(err error) {
-	if err != nil && !errors.Is(err, wire.ErrRemote) {
-		d.reset()
+// (desync, half frames), so the connection the call used is discarded —
+// unless a concurrent caller already replaced it, in which case the new
+// connection is left alone. Server-side denials (ErrRemote) leave the
+// connection usable.
+func (d *chaosDialer) after(c *wire.Client, err error) {
+	if err == nil || errors.Is(err, wire.ErrRemote) {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.c == c {
+		_ = d.c.Close()
+		d.c = nil
 	}
 }
 
@@ -81,7 +98,7 @@ func (d *chaosDialer) InitClient(slid string, quote attest.Quote, m *sgx.Machine
 		return slremote.InitResult{}, err
 	}
 	res, err := c.InitClient(slid, quote, m)
-	d.after(err)
+	d.after(c, err)
 	return res, err
 }
 
@@ -91,7 +108,7 @@ func (d *chaosDialer) RenewLease(slid, licenseID string) (slremote.Grant, error)
 		return slremote.Grant{}, err
 	}
 	g, err := c.RenewLease(slid, licenseID)
-	d.after(err)
+	d.after(c, err)
 	return g, err
 }
 
@@ -101,7 +118,7 @@ func (d *chaosDialer) EscrowRootKey(slid string, key seccrypto.Key) error {
 		return err
 	}
 	err = c.EscrowRootKey(slid, key)
-	d.after(err)
+	d.after(c, err)
 	return err
 }
 
@@ -111,7 +128,7 @@ func (d *chaosDialer) ConsumeReport(slid, licenseID string, units int64) error {
 		return err
 	}
 	err = c.ConsumeReport(slid, licenseID, units)
-	d.after(err)
+	d.after(c, err)
 	return err
 }
 
@@ -121,7 +138,7 @@ func (d *chaosDialer) ReportCrash(slid string) error {
 		return err
 	}
 	err = c.ReportCrash(slid)
-	d.after(err)
+	d.after(c, err)
 	return err
 }
 
@@ -131,7 +148,7 @@ func (d *chaosDialer) SetProfile(slid string, health, reliability, weight float6
 		return err
 	}
 	err = c.SetProfile(slid, health, reliability, weight)
-	d.after(err)
+	d.after(c, err)
 	return err
 }
 
@@ -180,8 +197,8 @@ type swarmHarness struct {
 	admin   *chaosDialer
 	clients []*swarmClient
 
-	crashes int
-	denials int
+	crashes atomic.Int64
+	denials atomic.Int64
 }
 
 func (h *swarmHarness) fatalf(format string, args ...any) {
@@ -302,7 +319,7 @@ func (h *swarmHarness) crashClient(c *swarmClient) {
 	if c.slid != "" {
 		_ = h.admin.ReportCrash(c.slid)
 	}
-	h.crashes++
+	h.crashes.Add(1)
 }
 
 func (h *swarmHarness) quiesce(step int) {
@@ -328,12 +345,12 @@ func (h *swarmHarness) runStep(i int, st chaos.Step) {
 	case chaos.OpToken:
 		c := h.clients[st.Client]
 		if err := h.ensureClient(c); err != nil {
-			h.denials++
+			h.denials.Add(1)
 			return
 		}
 		tok, err := c.svc.RequestToken(c.app, lic)
 		if err != nil {
-			h.denials++
+			h.denials.Add(1)
 			return
 		}
 		for tok.Use() {
@@ -341,16 +358,16 @@ func (h *swarmHarness) runStep(i int, st chaos.Step) {
 	case chaos.OpConsume:
 		c := h.clients[st.Client]
 		if err := h.ensureClient(c); err != nil {
-			h.denials++
+			h.denials.Add(1)
 			return
 		}
 		if err := h.admin.ConsumeReport(c.slid, lic, st.Units); err != nil {
-			h.denials++
+			h.denials.Add(1)
 		}
 	case chaos.OpProfile:
 		c := h.clients[st.Client]
 		if err := h.ensureClient(c); err != nil {
-			h.denials++
+			h.denials.Add(1)
 			return
 		}
 		_ = h.admin.SetProfile(c.slid, st.Health, st.Reliability, st.Weight)
@@ -366,7 +383,7 @@ func (h *swarmHarness) runStep(i int, st chaos.Step) {
 			c.svc = nil
 		}
 		if err := h.ensureClient(c); err != nil {
-			h.denials++
+			h.denials.Add(1)
 		}
 	case chaos.OpClientCrash:
 		h.crashClient(h.clients[st.Client])
@@ -420,11 +437,11 @@ func (h *swarmHarness) newChannel(name string) *ratls.Config {
 	return h.channelOn(m, plat, name)
 }
 
-// runSwarm executes one full seeded swarm and returns the combined fault
-// trace (filesystem events, then network events). With attested set, every
-// connection is an ratls channel: handshakes run through the same chaos
-// director, so armed faults land mid-TLS-record and mid-handshake.
-func runSwarm(t *testing.T, seed int64, attested bool) []chaos.Event {
+// newSwarm builds a fully booted swarm: durable SL-Remote behind the chaos
+// listener, licenses registered, every client machine attested and wired
+// through its own chaosDialer. With attested set, every connection is an
+// ratls channel (and the mid-handshake fault probes run before return).
+func newSwarm(t *testing.T, seed int64, attested bool) *swarmHarness {
 	t.Helper()
 	h := &swarmHarness{
 		t:        t,
@@ -515,15 +532,28 @@ func runSwarm(t *testing.T, seed int64, attested bool) []chaos.Event {
 			h.fatalf("corrupted TLS record surfaced as a server denial: %v", err)
 		}
 	}
+	return h
+}
 
+// runSwarm executes one full seeded swarm sequentially and returns the
+// combined fault trace (filesystem events, then network events).
+func runSwarm(t *testing.T, seed int64, attested bool) []chaos.Event {
+	t.Helper()
+	h := newSwarm(t, seed, attested)
 	sched := chaos.NewSchedule(seed, swarmClients, swarmSteps)
 	for i, st := range sched.Steps {
 		h.runStep(i, st)
 	}
+	return h.finish(len(sched.Steps), attested)
+}
 
-	// Final accounting: the invariants hold, the required faults fired, and
-	// the swarm really was a swarm.
-	h.quiesce(len(sched.Steps))
+// finish runs the end-of-swarm accounting — invariants hold, the required
+// faults fired, the swarm really was a swarm — then kills the server and
+// returns the fault trace.
+func (h *swarmHarness) finish(steps int, attested bool) []chaos.Event {
+	h.t.Helper()
+	t := h.t
+	h.quiesce(steps)
 	trace := append(h.fsys.Trace(), h.net.Trace()...)
 	var torn, cut int
 	for _, ev := range trace {
@@ -540,11 +570,11 @@ func runSwarm(t *testing.T, seed int64, attested bool) []chaos.Event {
 	if cut == 0 {
 		h.fatalf("no mid-envelope connection cut fired (trace: %v)", trace)
 	}
-	if h.crashes == 0 {
+	if h.crashes.Load() == 0 {
 		h.fatalf("no client crash executed")
 	}
 	if h.aud.Len() == 0 {
-		h.fatalf("empty audit chain after %d steps", len(sched.Steps))
+		h.fatalf("empty audit chain after %d steps", steps)
 	}
 	if attested {
 		st := h.srvRC.Stats()
@@ -566,7 +596,7 @@ func runSwarm(t *testing.T, seed int64, attested bool) []chaos.Event {
 		t.Logf("attested channel: %+v", st)
 	}
 	t.Logf("chaos swarm seed %d: %d steps, %d denials, %d client crashes, %d fault events",
-		seed, len(sched.Steps), h.denials, h.crashes, len(trace))
+		h.seed, steps, h.denials.Load(), h.crashes.Load(), len(trace))
 
 	h.kill()
 	return trace
@@ -589,6 +619,80 @@ func TestChaosSwarm(t *testing.T) {
 	if !reflect.DeepEqual(tr1, tr2) {
 		t.Fatalf("seed %d is not reproducible: fault traces differ\nrun 1: %v\nrun 2: %v", seed, tr1, tr2)
 	}
+}
+
+// TestChaosSwarmPipelined runs the seeded swarm with the schedule's
+// clients driven concurrently: between global barriers (server restarts
+// and quiesce points) every client executes its own steps in order on its
+// own goroutine, while admin traffic (consume reports, profile changes,
+// crash reports) from all of them shares ONE dialer — so many requests
+// pipeline on a single wire connection under live chaos faults. The same
+// conservation, audit, and fault-coverage assertions as the sequential
+// swarm must hold; trace identity is not asserted (completion order is
+// concurrent by design). Run under -race in CI.
+func TestChaosSwarmPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos swarm takes seconds of injected stalls")
+	}
+	seed := *chaosSeed
+	h := newSwarm(t, seed, false)
+	sched := chaos.NewSchedule(seed, swarmClients, swarmSteps)
+
+	// peak tracks the most steps ever in flight at once: if it never
+	// reaches 2, the "pipelined" swarm silently degenerated to lock-step
+	// and the test is not testing what it claims.
+	var inFlight, peak atomic.Int64
+	runWindow := func(lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		// Partition the window by client, preserving each client's own step
+		// order: a client's crash must not overtake its token request.
+		lanes := make(map[int][]int)
+		var order []int
+		for i := lo; i < hi; i++ {
+			cl := sched.Steps[i].Client
+			if _, ok := lanes[cl]; !ok {
+				order = append(order, cl)
+			}
+			lanes[cl] = append(lanes[cl], i)
+		}
+		var wg sync.WaitGroup
+		for _, cl := range order {
+			idxs := lanes[cl]
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				for _, i := range idxs {
+					cur := inFlight.Add(1)
+					for {
+						p := peak.Load()
+						if cur <= p || peak.CompareAndSwap(p, cur) {
+							break
+						}
+					}
+					h.runStep(i, sched.Steps[i])
+					inFlight.Add(-1)
+				}
+			}(idxs)
+		}
+		wg.Wait()
+	}
+
+	start := 0
+	for i, st := range sched.Steps {
+		if st.Op == chaos.OpServerRestart || st.Op == chaos.OpQuiesce {
+			runWindow(start, i)
+			h.runStep(i, st) // global barrier op, on the test goroutine
+			start = i + 1
+		}
+	}
+	runWindow(start, len(sched.Steps))
+
+	if got := peak.Load(); got < 2 {
+		t.Fatalf("peak in-flight steps = %d, want >= 2 (swarm ran lock-step)", got)
+	}
+	h.finish(len(sched.Steps), false)
 }
 
 // TestChaosSwarmAttested runs the same seeded swarm with every connection

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lease"
 	"repro/internal/seccrypto"
@@ -74,47 +75,98 @@ var (
 //	rec != nil            → resident leaf record (level 3 only)
 //	ref != 0              → offloaded child; key decrypts blob ref
 //	all zero              → empty slot
+//
+// rec is an atomic pointer to an immutable snapshot: read-locked updates
+// never mutate the pointee in place — they clone, apply, and publish a
+// fresh snapshot under the record's stripe. That is what lets a
+// read-locked Find copy the record without any per-record lock.
+// Write-lock holders may still mutate the pointee in place (all readers
+// are excluded then).
 type entry struct {
 	child *node
-	rec   *lease.Record
+	rec   atomic.Pointer[lease.Record]
 	key   seccrypto.Key
 	ref   uint64
 }
 
-func (e *entry) empty() bool   { return e.child == nil && e.rec == nil && e.ref == 0 }
-func (e *entry) evicted() bool { return e.child == nil && e.rec == nil && e.ref != 0 }
+func (e *entry) clear() {
+	e.child = nil
+	e.rec.Store(nil)
+	e.key = seccrypto.Key{}
+	e.ref = 0
+}
+
+func (e *entry) empty() bool   { return e.child == nil && e.rec.Load() == nil && e.ref == 0 }
+func (e *entry) evicted() bool { return e.child == nil && e.rec.Load() == nil && e.ref != 0 }
 
 // node is one 4 KB tree node.
 type node struct {
 	level   int // 0 = root … 3 = leaf-parent
 	entries [fanout]entry
-	used    int    // non-empty entries
-	lastUse uint64 // tree op counter at last traversal, for cold detection
+	used    int // non-empty entries
+
+	// lastUse is the tree op counter at the node's last traversal, for
+	// cold detection. Atomic because read-locked walks stamp it
+	// concurrently; it is only compared under the write lock (eviction),
+	// where readers are excluded. Concurrent stamps may land slightly out
+	// of order, which LRU cold detection tolerates.
+	lastUse atomic.Uint64
 }
 
-// Tree is the lease tree. It is safe for concurrent use; operations take a
-// single tree-wide mutex, which corresponds to the paper's per-lease
-// sgx_spin_lock at the granularity our simulations need.
+// recStripes is the number of record-mutation stripes; a power of two so
+// the stripe index is a mask of the lease ID.
+const recStripes = 64
+
+// Tree is the lease tree. It is safe for concurrent use under a
+// reader–writer discipline: token validation (Find/Update along a fully
+// resident path) runs under mu.RLock — Find lock-free past that (records
+// are immutable snapshots), Update under the record's recMu stripe — so
+// validations proceed in parallel and never block behind a commit or
+// eviction. Every structural operation — insert, delete, restore of
+// offloaded state, budget eviction, shutdown — holds the write lock, which
+// excludes all readers. This refines the paper's per-lease sgx_spin_lock:
+// the stripes play the per-lease locks, mu the tree structure lock.
+//
+// Lock order: mu (either strength) is acquired before a recMu stripe,
+// never the reverse; stripes are never held across a mu acquisition.
 type Tree struct {
-	mu   sync.Mutex
-	root *node
-	down bool // shut down
+	mu   sync.RWMutex
+	root *node // pointer immutable after construction; node contents guarded by mu
+	down bool  // guardedby: mu
 
-	count    int    // live records (resident + offloaded)
-	resident int    // resident records
-	nodes    int    // resident nodes (incl. root)
-	ops      uint64 // monotonic operation counter (drives LRU)
+	count    int // guardedby: mu — live records (resident + offloaded)
+	resident int // guardedby: mu — resident records
+	nodes    int // guardedby: mu — resident nodes (incl. root)
 
-	budget int64 // max trusted bytes (0 = unlimited)
+	// ops is the roughly monotonic operation counter that drives LRU cold
+	// detection; atomic so read-locked walks charge ops without the write
+	// lock. Read-locked walks bump it with a racy load+store — concurrent
+	// walks may reuse a tick, which approximate LRU tolerates and which
+	// keeps the validation fast path free of read-modify-write atomics.
+	ops atomic.Uint64 // guardedby: none
+
+	budget int64 // guardedby: mu — max trusted bytes (0 = unlimited)
+
+	// recMu stripes record mutations by lease ID: a read-locked Update
+	// holds the record's stripe while it clones the current snapshot,
+	// applies fn, and publishes the result, so concurrent updaters of one
+	// record serialize. Reads take no stripe — snapshots are immutable.
+	// Structure never changes under a stripe alone.
+	recMu [recStripes]sync.Mutex
 
 	// entropy is a buffered CSPRNG stream for commit keys/nonces; the
 	// buffering amortizes getrandom syscalls across the thousands of
-	// per-record commits an eviction storm performs. Guarded by mu.
-	entropy io.Reader
+	// per-record commits an eviction storm performs.
+	entropy io.Reader // guardedby: mu
 
-	untrusted *blobStore
+	untrusted *blobStore // guardedby: mu
 
-	stats TreeStats
+	stats TreeStats // guardedby: mu
+}
+
+// stripe returns the record-mutation lock for a lease ID.
+func (t *Tree) stripe(id lease.ID) *sync.Mutex {
+	return &t.recMu[uint32(id)&(recStripes-1)]
 }
 
 // TreeStats counts tree maintenance events.
@@ -146,30 +198,30 @@ func (t *Tree) SetBudget(maxBytes int64) {
 
 // Len returns the number of live records (resident or offloaded).
 func (t *Tree) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.count
 }
 
 // ResidentRecords returns how many records are currently in trusted memory.
 func (t *Tree) ResidentRecords() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.resident
 }
 
 // ResidentNodes returns how many tree nodes are currently in trusted memory.
 func (t *Tree) ResidentNodes() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.nodes
 }
 
 // Footprint returns the trusted-memory bytes occupied: resident nodes at
 // 4 KB each (their EPC pages) plus resident records at 312 B each.
 func (t *Tree) Footprint() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.footprintLocked()
 }
 
@@ -179,8 +231,8 @@ func (t *Tree) footprintLocked() int64 {
 
 // Stats returns a copy of the maintenance counters.
 func (t *Tree) Stats() TreeStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.stats
 }
 
@@ -195,9 +247,9 @@ func (t *Tree) Put(rec lease.Record) error {
 		return ErrShutdown
 	}
 	n := t.root
-	t.ops++
+	op := t.ops.Add(1)
 	for l := 0; l < levels-1; l++ {
-		n.lastUse = t.ops
+		n.lastUse.Store(op)
 		idx := rec.ID.Level(l)
 		e := &n.entries[idx]
 		if e.child == nil {
@@ -215,7 +267,7 @@ func (t *Tree) Put(rec lease.Record) error {
 		}
 		n = e.child
 	}
-	n.lastUse = t.ops
+	n.lastUse.Store(op)
 	idx := rec.ID.Level(levels - 1)
 	e := &n.entries[idx]
 	replacing := !e.empty()
@@ -227,13 +279,13 @@ func (t *Tree) Put(rec lease.Record) error {
 		t.untrusted.drop(e.ref)
 		e.ref = 0
 		e.key = seccrypto.Key{}
-	case e.rec != nil:
+	case e.rec.Load() != nil:
 		t.resident--
 	default:
 		n.used++
 	}
 	r := rec
-	e.rec = &r
+	e.rec.Store(&r)
 	e.child = nil
 	t.resident++
 	if !replacing {
@@ -244,8 +296,14 @@ func (t *Tree) Put(rec lease.Record) error {
 }
 
 // Find returns a copy of the record, restoring any committed subtrees along
-// the path (charging a restore per hop).
+// the path (charging a restore per hop). A lookup whose whole path is
+// resident — the token-validation shape — completes under the read lock
+// and never blocks behind a commit or eviction; only a walk that must
+// restore offloaded state takes the write lock.
 func (t *Tree) Find(id lease.ID) (lease.Record, error) {
+	if rec, done, err := t.findFast(id); done {
+		return rec, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rec, err := t.findLocked(id)
@@ -257,12 +315,40 @@ func (t *Tree) Find(id lease.ID) (lease.Record, error) {
 	return out, nil
 }
 
-// Update applies fn to the record in place under the tree lock. If fn
-// returns an error the record is left as fn left it (fn owns atomicity of
-// its own mutation), and the error is returned.
+// findFast is Find's read-locked path. done=false means an offloaded node
+// or record sits on the path; restoring mutates structure, so the caller
+// must retry under the write lock.
+func (t *Tree) findFast(id lease.ID) (rec lease.Record, done bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.down {
+		return lease.Record{}, true, ErrShutdown
+	}
+	e, resident := t.walkFast(id)
+	if !resident {
+		return lease.Record{}, false, nil
+	}
+	if e == nil {
+		return lease.Record{}, true, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	// No per-record lock: the pointee is an immutable snapshot (fast
+	// updates publish a fresh copy; in-place mutators hold the write
+	// lock, which excludes this path), so the copy cannot tear.
+	rec = *e.rec.Load()
+	return rec, true, nil
+}
+
+// Update applies fn to the record in place. If fn returns an error the
+// record is left as fn left it (fn owns atomicity of its own mutation),
+// and the error is returned. Like Find, a fully resident path runs under
+// the read lock plus the record's stripe, so concurrent validations of
+// different leases never serialize on the tree.
 func (t *Tree) Update(id lease.ID, fn func(*lease.Record) error) error {
 	if fn == nil {
 		return errors.New("leasetree: nil update function")
+	}
+	if done, err := t.updateFast(id, fn); done {
+		return err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -277,6 +363,69 @@ func (t *Tree) Update(id lease.ID, fn func(*lease.Record) error) error {
 	return nil
 }
 
+// updateFast is Update's read-locked path: under the record's stripe it
+// clones the current snapshot, applies fn to the clone, and publishes it
+// (copy-on-write — concurrent Finds keep reading the old snapshot untorn).
+// done=false means the path needs a write-locked restore.
+func (t *Tree) updateFast(id lease.ID, fn func(*lease.Record) error) (done bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.down {
+		return true, ErrShutdown
+	}
+	e, resident := t.walkFast(id)
+	if !resident {
+		return false, nil
+	}
+	if e == nil {
+		return true, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	s := t.stripe(id)
+	s.Lock()
+	defer s.Unlock()
+	// The reload under the stripe sees the latest published snapshot; it
+	// cannot be nil — unpublishing (commit, delete) needs the write lock.
+	cp := *e.rec.Load()
+	err = fn(&cp)
+	// Publish even on error: fn owns the atomicity of its own mutation
+	// (same contract as the in-place write-locked path).
+	e.rec.Store(&cp)
+	return true, err
+}
+
+// walkFast descends to the leaf entry for id without mutating structure,
+// stamping lastUse along the path. resident=false reports an offloaded
+// node or record on the path (only the write-locked walk may restore it);
+// e == nil with resident=true means definitively not found — structure
+// cannot change while the read lock is held. Callers hold mu (either
+// strength).
+func (t *Tree) walkFast(id lease.ID) (e *entry, resident bool) {
+	// Recency bookkeeping is deliberately minimal here: atomic stores are
+	// full fences, and a validation-rate fast path cannot afford four of
+	// them per lookup. Only the leaf-parent is stamped — the LRU
+	// comparator (coldestNodeWithRecordLocked) never reads interior
+	// stamps — the stamp is skipped when already current, and ops is not
+	// advanced, so accesses between two structural operations tie in
+	// recency. Approximate LRU tolerates all three.
+	op := t.ops.Load()
+	n := t.root
+	for l := 0; l < levels-1; l++ {
+		e := &n.entries[id.Level(l)]
+		if e.child == nil {
+			return nil, !e.evicted()
+		}
+		n = e.child
+	}
+	if n.lastUse.Load() != op {
+		n.lastUse.Store(op)
+	}
+	e = &n.entries[id.Level(levels-1)]
+	if e.rec.Load() == nil {
+		return nil, !e.evicted()
+	}
+	return e, true
+}
+
 // Delete removes a record (resident or offloaded).
 func (t *Tree) Delete(id lease.ID) error {
 	t.mu.Lock()
@@ -285,7 +434,7 @@ func (t *Tree) Delete(id lease.ID) error {
 		return ErrShutdown
 	}
 	n := t.root
-	t.ops++
+	t.ops.Add(1)
 	for l := 0; l < levels-1; l++ {
 		e := &n.entries[id.Level(l)]
 		if e.child == nil {
@@ -303,14 +452,14 @@ func (t *Tree) Delete(id lease.ID) error {
 	}
 	e := &n.entries[id.Level(levels-1)]
 	switch {
-	case e.rec != nil:
+	case e.rec.Load() != nil:
 		t.resident--
 	case e.evicted():
 		t.untrusted.drop(e.ref)
 	default:
 		return fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
-	*e = entry{}
+	e.clear()
 	n.used--
 	t.count--
 	return nil
@@ -339,7 +488,7 @@ func (t *Tree) CommitLease(id lease.ID) error {
 	if e.evicted() {
 		return nil
 	}
-	if e.rec == nil {
+	if e.rec.Load() == nil {
 		return fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
 	return t.commitRecordLocked(e)
@@ -351,9 +500,9 @@ func (t *Tree) findLocked(id lease.ID) (*lease.Record, error) {
 		return nil, ErrShutdown
 	}
 	n := t.root
-	t.ops++
+	op := t.ops.Add(1)
 	for l := 0; l < levels-1; l++ {
-		n.lastUse = t.ops
+		n.lastUse.Store(op)
 		e := &n.entries[id.Level(l)]
 		if e.child == nil {
 			if e.evicted() {
@@ -368,9 +517,9 @@ func (t *Tree) findLocked(id lease.ID) (*lease.Record, error) {
 		}
 		n = e.child
 	}
-	n.lastUse = t.ops
+	n.lastUse.Store(op)
 	e := &n.entries[id.Level(levels-1)]
-	if e.rec == nil {
+	if e.rec.Load() == nil {
 		if !e.evicted() {
 			return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
 		}
@@ -378,16 +527,16 @@ func (t *Tree) findLocked(id lease.ID) (*lease.Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.rec = rec
+		e.rec.Store(rec)
 		t.resident++
 	}
-	return e.rec, nil
+	return e.rec.Load(), nil
 }
 
 // commitRecordLocked protects a resident record (Algorithm 2) and moves its
 // ciphertext to untrusted memory; the fresh key stays in the parent entry.
 func (t *Tree) commitRecordLocked(e *entry) error {
-	buf, err := e.rec.MarshalBinary()
+	buf, err := e.rec.Load().MarshalBinary()
 	if err != nil {
 		return err
 	}
@@ -400,7 +549,7 @@ func (t *Tree) commitRecordLocked(e *entry) error {
 	}
 	e.ref = t.untrusted.put(p.Ciphertext)
 	e.key = p.Key
-	e.rec = nil
+	e.rec.Store(nil)
 	t.resident--
 	t.stats.Commits++
 	return nil
@@ -438,7 +587,7 @@ func (t *Tree) commitNodeLocked(n *node) (seccrypto.Key, uint64, error) {
 	buf = append(buf, hdr[:]...)
 	for i := range n.entries {
 		e := &n.entries[i]
-		if e.child != nil || e.rec != nil {
+		if e.child != nil || e.rec.Load() != nil {
 			return seccrypto.Key{}, 0, errors.New("leasetree: committing node with resident children")
 		}
 		var refBytes [8]byte
@@ -501,7 +650,8 @@ func decodeNode(buf []byte) (*node, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
-		n.entries[i] = entry{key: key, ref: ref}
+		n.entries[i].key = key
+		n.entries[i].ref = ref
 		n.used++
 	}
 	return n, nil
@@ -540,7 +690,7 @@ func (t *Tree) evictColdestRecordLocked() bool {
 	evicted := false
 	for i := range target.entries {
 		e := &target.entries[i]
-		if e.rec == nil {
+		if e.rec.Load() == nil {
 			continue
 		}
 		if err := t.commitRecordLocked(e); err != nil {
@@ -560,8 +710,8 @@ func (t *Tree) evictColdestRecordLocked() bool {
 func (t *Tree) coldestNodeWithRecordLocked(n *node) (*node, uint64) {
 	if n.level == levels-1 {
 		for i := range n.entries {
-			if n.entries[i].rec != nil {
-				return n, n.lastUse
+			if n.entries[i].rec.Load() != nil {
+				return n, n.lastUse.Load()
 			}
 		}
 		return nil, 0
@@ -599,7 +749,7 @@ func (t *Tree) evictEmptySubtreeLocked() bool {
 			}
 			committable := true
 			for j := range child.entries {
-				if child.entries[j].child != nil || child.entries[j].rec != nil {
+				if child.entries[j].child != nil || child.entries[j].rec.Load() != nil {
 					committable = false
 					break
 				}
@@ -671,7 +821,7 @@ func (t *Tree) Shutdown() (Snapshot, seccrypto.Key, error) {
 func (t *Tree) commitSubtreeLocked(n *node) error {
 	for i := range n.entries {
 		e := &n.entries[i]
-		if e.rec != nil {
+		if e.rec.Load() != nil {
 			if err := t.commitRecordLocked(e); err != nil {
 				return err
 			}

@@ -193,9 +193,15 @@ func (r *Runner) Finish() []Diagnostic {
 	}
 	// A suppression that matched nothing is dead weight — and, after an
 	// engine upgrade, usually a discharged proof obligation. Deleting it
-	// is mandatory: stale ignores hide future regressions.
+	// is mandatory: stale ignores hide future regressions. Only enabled
+	// checks count: a suppression of a check that did not run this pass
+	// had nothing to match and proves nothing either way.
+	enabled := make(map[string]bool, len(r.Analyzers))
+	for _, a := range r.Analyzers {
+		enabled[a.Name()] = true
+	}
 	for _, s := range r.supps {
-		if s.matched {
+		if s.matched || !enabled[s.check] {
 			continue
 		}
 		kept = append(kept, r.makeDiag(checkSuppression,
@@ -238,8 +244,16 @@ func (r *Runner) makeDiag(check string, pos token.Position, msg string) Diagnost
 	}
 }
 
+// knownChecks is the set of check names a suppression may legally target:
+// the full registry plus anything extra this runner carries — NOT just the
+// enabled subset, or a run scoped with -checks would reclassify every
+// suppression of a disabled check as malformed.
 func (r *Runner) knownChecks() map[string]bool {
-	known := make(map[string]bool, len(r.Analyzers))
+	defaults := DefaultAnalyzers()
+	known := make(map[string]bool, len(defaults)+len(r.Analyzers))
+	for _, a := range defaults {
+		known[a.Name()] = true
+	}
 	for _, a := range r.Analyzers {
 		known[a.Name()] = true
 	}

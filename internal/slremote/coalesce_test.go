@@ -1,0 +1,288 @@
+package slremote
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/lease"
+	"repro/internal/seccrypto"
+	"repro/internal/store"
+)
+
+// recordingLogger counts and keeps every WAL append so tests can assert
+// how many records a workload produced and what they decode to.
+type recordingLogger struct {
+	inner store.Logger
+	mu    sync.Mutex
+	recs  [][]byte
+}
+
+func (l *recordingLogger) Append(rec []byte) error {
+	if err := l.inner.Append(rec); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.recs = append(l.recs, append([]byte(nil), rec...))
+	l.mu.Unlock()
+	return nil
+}
+
+func (l *recordingLogger) renewRecords(t *testing.T) []event {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []event
+	for _, rec := range l.recs {
+		var ev event
+		if err := json.Unmarshal(rec, &ev); err != nil {
+			t.Fatalf("decoding WAL record: %v", err)
+		}
+		if ev.Op == opRenew || ev.Op == opRenewBatch {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestRenewalCoalescingGroupCommit pins the group commit: N renewals that
+// arrive while the batch leader is blocked fold into ONE opRenewBatch WAL
+// record (plus the leader's own singleton), every caller still gets its
+// own grant, and the license pool conserves units across the batch.
+func TestRenewalCoalescingGroupCommit(t *testing.T) {
+	const followers = 24
+	st, rec := openTestStore(t, t.TempDir())
+	defer st.Close()
+	if !rec.Empty() {
+		t.Fatal("fresh dir not empty")
+	}
+	s, err := NewServer(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &recordingLogger{inner: st}
+	if err := s.AttachPersistence(PersistConfig{Log: log, Snap: st, SealKey: testSealKey(t)}); err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 1_000_000
+	if err := s.RegisterLicense("lic", lease.CountBased, total); err != nil {
+		t.Fatal(err)
+	}
+	slids := make([]string, followers+1)
+	for i := range slids {
+		res, err := s.InitClient("", attest.Quote{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slids[i] = res.SLID
+	}
+
+	// Hold the state lock: the first renewal becomes the batch leader and
+	// blocks inside renewBatch, everyone who arrives meanwhile parks in
+	// the pending queue.
+	s.mu.Lock()
+	grants := make([]Grant, followers+1)
+	errs := make([]error, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		grants[0], errs[0] = s.RenewLease(slids[0], "lic")
+	}()
+	waitFor(t, "leader to drain its own call", func() bool {
+		s.renews.mu.Lock()
+		defer s.renews.mu.Unlock()
+		return s.renews.leading && len(s.renews.pending) == 0
+	})
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			grants[i], errs[i] = s.RenewLease(slids[i], "lic")
+		}(i)
+	}
+	waitFor(t, "followers to park in the pending queue", func() bool {
+		s.renews.mu.Lock()
+		defer s.renews.mu.Unlock()
+		return len(s.renews.pending) == followers
+	})
+	s.mu.Unlock()
+	wg.Wait()
+
+	var granted int64
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("renewal %d: %v", i, err)
+		}
+		if grants[i].Units < 1 {
+			t.Fatalf("renewal %d granted %d units", i, grants[i].Units)
+		}
+		granted += grants[i].Units
+	}
+
+	// One singleton record for the leader, one batch record for everyone
+	// who piled up behind it.
+	renews := log.renewRecords(t)
+	if len(renews) != 2 {
+		t.Fatalf("renewal WAL appends = %d, want 2 (leader + one group commit)", len(renews))
+	}
+	if renews[0].Op != opRenew {
+		t.Fatalf("first renewal record op = %q, want %q", renews[0].Op, opRenew)
+	}
+	if renews[1].Op != opRenewBatch || len(renews[1].Batch) != followers {
+		t.Fatalf("second renewal record = op %q with %d grants, want %q with %d",
+			renews[1].Op, len(renews[1].Batch), opRenewBatch, followers)
+	}
+
+	// Conservation: what the callers received is exactly what left the
+	// pool, and the audit/stats view agrees.
+	state := s.ExportState()
+	lic := state.Licenses["lic"]
+	if total-lic.Remaining != granted {
+		t.Fatalf("pool lost %d units but callers received %d", total-lic.Remaining, granted)
+	}
+	if got := s.Stats().Renewals; got != int64(followers+1) {
+		t.Fatalf("Renewals stat = %d, want %d", got, followers+1)
+	}
+}
+
+// TestRenewBatchReplay proves opRenewBatch records recover: a WAL holding
+// a group commit replays to exactly the state the live server exported.
+func TestRenewBatchReplay(t *testing.T) {
+	dir := t.TempDir()
+	var sawBatch bool
+	want := persistedServer(t, dir, 0, func(s *Server) {
+		if err := s.RegisterLicense("lic", lease.CountBased, 50_000); err != nil {
+			t.Fatal(err)
+		}
+		const n = 8
+		slids := make([]string, n)
+		for i := range slids {
+			res, err := s.InitClient("", attest.Quote{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slids[i] = res.SLID
+		}
+		// Same leader-blocking trick as the group-commit test: force one
+		// real multi-grant batch into the WAL.
+		s.mu.Lock()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.RenewLease(slids[0], "lic"); err != nil {
+				t.Errorf("leader renewal: %v", err)
+			}
+		}()
+		waitFor(t, "leader to drain its own call", func() bool {
+			s.renews.mu.Lock()
+			defer s.renews.mu.Unlock()
+			return s.renews.leading && len(s.renews.pending) == 0
+		})
+		for i := 1; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := s.RenewLease(slids[i], "lic"); err != nil {
+					t.Errorf("follower renewal %d: %v", i, err)
+				}
+			}(i)
+		}
+		waitFor(t, "followers to park in the pending queue", func() bool {
+			s.renews.mu.Lock()
+			defer s.renews.mu.Unlock()
+			return len(s.renews.pending) == n-1
+		})
+		s.mu.Unlock()
+		wg.Wait()
+		sawBatch = true
+	})
+	if !sawBatch {
+		t.Fatal("workload did not run")
+	}
+	recovered, st := recoverTestServer(t, dir)
+	defer st.Close()
+	if got := recovered.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed state diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// BenchmarkRenewalCoalescing is the server-side throughput regression
+// test: many goroutines renew concurrently against one persisted license,
+// so batches form naturally and N renewals share WAL appends and fsync
+// windows. Reported ops are renewals completed.
+func BenchmarkRenewalCoalescing(b *testing.B) {
+	st, _, err := store.Open(store.Options{Dir: b.TempDir(), Mode: store.SyncBatched})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	s, err := NewServer(DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := testSealKeyBench(b)
+	if err := s.AttachPersistence(PersistConfig{Log: st, Snap: st, SealKey: key}); err != nil {
+		b.Fatal(err)
+	}
+	// Perpetual: count-based pools drain geometrically (each renewal
+	// grants a share of the remainder), which caps how many iterations
+	// the benchmark can run before exhaustion. Perpetual renewals hit
+	// the same Algorithm-1 + WAL path without consuming the pool.
+	if err := s.RegisterLicense("lic", lease.Perpetual, 1<<50); err != nil {
+		b.Fatal(err)
+	}
+	const clients = 64
+	slids := make([]string, clients)
+	for i := range slids {
+		res, err := s.InitClient("", attest.Quote{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slids[i] = res.SLID
+	}
+	var next atomic.Int64
+	// RunParallel defaults to GOMAXPROCS goroutines; on a small box that
+	// can mean one renewal per sync window and no batching at all. Force
+	// enough concurrent renewers that batches form regardless of core
+	// count — the coalescing win is what this benchmark exists to pin.
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		slid := slids[int(next.Add(1))%clients]
+		for pb.Next() {
+			if _, err := s.RenewLease(slid, "lic"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func testSealKeyBench(b *testing.B) seccrypto.Key {
+	b.Helper()
+	key, err := seccrypto.KeyFromBytes(bytes.Repeat([]byte{0x5e}, seccrypto.KeySize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return key
+}

@@ -41,6 +41,11 @@ const (
 	opCrash    = "crash"
 	opRenew    = "renew"
 	opConsume  = "consume"
+	// opRenewBatch is a group-committed renewal: every grant from one
+	// coalesced RenewLease batch in a single record. A singleton batch is
+	// logged as a plain opRenew, so WALs written before coalescing existed
+	// replay unchanged and single-caller servers keep their old format.
+	opRenewBatch = "renew_batch"
 )
 
 // event is one WAL record: a state mutation with its outcome. Fields are
@@ -58,6 +63,15 @@ type event struct {
 	Reliability float64 `json:"reliability,omitempty"`
 	Weight      float64 `json:"weight,omitempty"`
 	SealedKey   []byte  `json:"sealed_key,omitempty"`
+	// Batch carries an opRenewBatch record's grants, in batch order.
+	Batch []batchGrant `json:"batch,omitempty"`
+}
+
+// batchGrant is one grant inside an opRenewBatch record.
+type batchGrant struct {
+	SLID    string `json:"slid"`
+	License string `json:"license"`
+	Units   int64  `json:"units"`
 }
 
 // PersistConfig wires a Server to a durability backend.
@@ -406,6 +420,18 @@ func (s *Server) applyEventLocked(ev event) error {
 			return fmt.Errorf("%w: %q", ErrUnknownLicense, ev.License)
 		}
 		s.applyRenewLocked(c, lic, ev.Units)
+	case opRenewBatch:
+		for _, g := range ev.Batch {
+			c, ok := s.clients[g.SLID]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrUnknownClient, g.SLID)
+			}
+			lic, ok := s.licenses[g.License]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrUnknownLicense, g.License)
+			}
+			s.applyRenewLocked(c, lic, g.Units)
+		}
 	case opConsume:
 		c, ok := s.clients[ev.SLID]
 		if !ok {

@@ -159,6 +159,11 @@ type Server struct {
 	stats   ServerStats
 	metrics atomic.Pointer[serverMetrics]
 	flight  atomic.Pointer[flight.Recorder]
+
+	// renews coalesces concurrent RenewLease calls into group-committed
+	// batches; it has its own mutex, taken strictly before (never inside)
+	// mu.
+	renews renewBatcher
 }
 
 // SetFlightRecorder wires the black-box flight recorder; the server emits
@@ -508,100 +513,244 @@ type Grant struct {
 	GCL lease.GCL
 }
 
+// renewCall is one waiter in the renewal batcher: a request parked until
+// the batch that carries it commits (or is denied).
+type renewCall struct {
+	slid    string
+	license string
+	grant   Grant
+	err     error
+	done    chan struct{}
+}
+
+// renewBatcher coalesces concurrent RenewLease calls into group commits.
+// The first caller to find no leader becomes the leader: it drains the
+// pending queue, processes the whole batch under ONE hold of Server.mu
+// with ONE write-ahead-log append (which rides the store's batched-fsync
+// window), fans the per-caller results back out, and keeps draining until
+// the queue is empty. Callers that arrive while a leader is active just
+// park — their request rides the leader's next batch.
+//
+// Lock order: renewBatcher.mu is released before Server.mu is taken and
+// is never acquired while holding it.
+type renewBatcher struct {
+	mu      sync.Mutex
+	pending []*renewCall // guardedby: mu — calls waiting for the next batch
+	leading bool         // guardedby: mu — a leader is draining the queue
+}
+
 // RenewLease runs Algorithm 1 for the named client and license and, on
 // success, transfers g_i units from the license pool to the client.
 //
 // The concurrency C and the weight normalization Σα = 1 are computed over
 // the clients currently holding or requesting this license.
+//
+// Concurrent calls coalesce: one caller leads, folding every pending
+// renewal into a single pass under the state lock with a single
+// group-committed WAL append, so N pipelined renewals cost one fsync
+// window instead of N.
 func (s *Server) RenewLease(slid, licenseID string) (Grant, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	c, ok := s.clients[slid]
-	if !ok {
-		return Grant{}, fmt.Errorf("%w: %q", ErrUnknownClient, slid)
+	call := &renewCall{slid: slid, license: licenseID, done: make(chan struct{})}
+	s.renews.mu.Lock()
+	s.renews.pending = append(s.renews.pending, call)
+	if s.renews.leading {
+		s.renews.mu.Unlock()
+		<-call.done
+		return call.grant, call.err
 	}
-	lic, ok := s.licenses[licenseID]
-	if !ok {
-		return Grant{}, fmt.Errorf("%w: %q", ErrUnknownLicense, licenseID)
-	}
-	deny := func(err error) (Grant, error) {
-		s.stats.RenewalsDenied++
-		s.auditLocked(audit.Record{Op: audit.OpDeny, SLID: slid, License: licenseID, Err: err.Error()})
-		s.flight.Load().Emit("slremote.denial",
-			flight.KV{K: "slid", V: slid},
-			flight.KV{K: "license", V: licenseID},
-			flight.KV{K: "err", V: err.Error()})
-		return Grant{}, err
-	}
-	if lic.Revoked {
-		return deny(fmt.Errorf("%w: %q", ErrLicenseRevoked, licenseID))
-	}
-	if lic.Remaining <= 0 {
-		return deny(fmt.Errorf("%w: %q", ErrLicenseExhausted, licenseID))
-	}
-
-	var units int64
-	var st alg1State
-	if lic.Kind == lease.Perpetual {
-		// A perpetual license is a seat, not a consumable budget:
-		// activation transfers one whole unit, never a sub-division.
-		units = 1
-		st = alg1State{alpha: 1, gMax: 1, health: c.health, reliability: c.reliability}
-	} else {
-		units, st = s.computeGrantLocked(c, lic)
-		if units <= 0 && lic.Remaining > 0 {
-			// Algorithm 1's scale-downs can floor small pools to zero;
-			// a live license always yields at least one unit so small
-			// (e.g. 3-interval trial) licenses remain usable.
-			units = 1
+	s.renews.leading = true
+	for {
+		batch := s.renews.pending
+		s.renews.pending = nil
+		s.renews.mu.Unlock()
+		s.renewBatch(batch)
+		s.renews.mu.Lock()
+		if len(s.renews.pending) == 0 {
+			s.renews.leading = false
+			s.renews.mu.Unlock()
+			break
 		}
 	}
-	if units <= 0 {
-		return deny(fmt.Errorf("%w: %q (policy granted zero units)", ErrLicenseExhausted, licenseID))
-	}
-	if units > lic.Remaining {
-		units = lic.Remaining
-	}
-	// The WAL records the Algorithm 1 *outcome* (the granted units), not
-	// the request, so replay applies the exact historical transfer instead
-	// of re-running the policy against a drifting view.
-	if err := s.logLocked(event{Op: opRenew, SLID: slid, License: licenseID, Units: units}); err != nil {
-		return Grant{}, err
-	}
-	s.applyRenewLocked(c, lic, units)
+	<-call.done
+	return call.grant, call.err
+}
 
-	// Effective scale-down: the ratio the policy actually applied between
-	// the client's proportional ceiling G_i and the granted g_i. It starts
-	// at the configured D and grows as health/reliability/expected-loss
-	// corrections bite.
-	scale := s.cfg.D
-	if units > 0 && st.gMax > 0 {
-		scale = st.gMax / float64(units)
+// renewBatch processes one drained batch: every call's Algorithm-1 grant
+// is computed against the batch-start state (with a per-license running
+// pool balance so the batch can never over-grant), the surviving grants
+// are made durable with one WAL append, and only then applied. Denials
+// are audited individually and never logged — a denial mutates nothing.
+func (s *Server) renewBatch(batch []*renewCall) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		for _, call := range batch {
+			close(call.done)
+		}
+	}()
+
+	type grantPlan struct {
+		call  *renewCall
+		c     *clientState
+		lic   *License
+		units int64
+		st    alg1State
 	}
-	if m := s.metrics.Load(); m != nil {
-		m.alg1Alpha.With(slid).Set(st.alpha)
-		m.alg1ScaleDown.With(slid).Set(scale)
-		m.alg1Health.With(slid).Set(st.health)
-		m.alg1Reliability.With(slid).Set(st.reliability)
+	plans := make([]grantPlan, 0, len(batch))
+	// remaining simulates each license's pool across the batch: grants
+	// planned earlier in the batch shrink what later ones may take, even
+	// though nothing is applied until the WAL append succeeds.
+	remaining := make(map[*License]int64)
+
+	// Resolve every call first and collect, per license, the distinct
+	// requesters in this batch: Algorithm 1 prices each grant against the
+	// license's holders plus ALL of its batch co-requesters, so a
+	// thundering herd renewing one license divides the pool the same way
+	// sequential arrival would, instead of each request pricing itself as
+	// the only newcomer.
+	type resolved struct {
+		c   *clientState
+		lic *License
 	}
-	s.auditLocked(audit.Record{
-		Op: audit.OpRenew, SLID: slid, License: licenseID, Units: units,
-		Alg1: &audit.Alg1{
-			Alpha:        st.alpha,
-			ScaleDown:    scale,
-			Health:       st.health,
-			Reliability:  st.reliability,
-			ExpectedLoss: st.expLoss,
-		},
-	})
+	rcs := make([]resolved, len(batch))
+	coByLic := make(map[string][]*clientState)
+	coSeen := make(map[string]map[string]bool)
+	for i, call := range batch {
+		c, ok := s.clients[call.slid]
+		if !ok {
+			call.err = fmt.Errorf("%w: %q", ErrUnknownClient, call.slid)
+			continue
+		}
+		lic, ok := s.licenses[call.license]
+		if !ok {
+			call.err = fmt.Errorf("%w: %q", ErrUnknownLicense, call.license)
+			continue
+		}
+		rcs[i] = resolved{c: c, lic: lic}
+		if coSeen[lic.ID] == nil {
+			coSeen[lic.ID] = make(map[string]bool)
+		}
+		if !coSeen[lic.ID][c.slid] {
+			coSeen[lic.ID][c.slid] = true
+			coByLic[lic.ID] = append(coByLic[lic.ID], c)
+		}
+	}
+
+	for i, call := range batch {
+		c, lic := rcs[i].c, rcs[i].lic
+		if c == nil || lic == nil {
+			continue // unresolved above
+		}
+		deny := func(err error) {
+			s.stats.RenewalsDenied++
+			s.auditLocked(audit.Record{Op: audit.OpDeny, SLID: call.slid, License: call.license, Err: err.Error()})
+			s.flight.Load().Emit("slremote.denial",
+				flight.KV{K: "slid", V: call.slid},
+				flight.KV{K: "license", V: call.license},
+				flight.KV{K: "err", V: err.Error()})
+			call.err = err
+		}
+		rem, seen := remaining[lic]
+		if !seen {
+			rem = lic.Remaining
+		}
+		if lic.Revoked {
+			deny(fmt.Errorf("%w: %q", ErrLicenseRevoked, call.license))
+			continue
+		}
+		if rem <= 0 {
+			deny(fmt.Errorf("%w: %q", ErrLicenseExhausted, call.license))
+			continue
+		}
+
+		var units int64
+		var st alg1State
+		if lic.Kind == lease.Perpetual {
+			// A perpetual license is a seat, not a consumable budget:
+			// activation transfers one whole unit, never a sub-division.
+			units = 1
+			st = alg1State{alpha: 1, gMax: 1, health: c.health, reliability: c.reliability}
+		} else {
+			holders, weightSum := s.holdersBatchLocked(lic.ID, c, coByLic[lic.ID])
+			units, st = s.computeGrantWithLocked(c, lic, holders, weightSum)
+			if units <= 0 && rem > 0 {
+				// Algorithm 1's scale-downs can floor small pools to zero;
+				// a live license always yields at least one unit so small
+				// (e.g. 3-interval trial) licenses remain usable.
+				units = 1
+			}
+		}
+		if units <= 0 {
+			deny(fmt.Errorf("%w: %q (policy granted zero units)", ErrLicenseExhausted, call.license))
+			continue
+		}
+		if units > rem {
+			units = rem
+		}
+		remaining[lic] = rem - units
+		plans = append(plans, grantPlan{call: call, c: c, lic: lic, units: units, st: st})
+	}
+
+	if len(plans) == 0 {
+		return
+	}
+
+	// The WAL records the Algorithm 1 *outcomes* (the granted units), not
+	// the requests, so replay applies the exact historical transfers
+	// instead of re-running the policy against a drifting view. A
+	// singleton batch logs the classic opRenew record, byte-identical to
+	// the pre-coalescing WAL.
+	var ev event
+	if len(plans) == 1 {
+		ev = event{Op: opRenew, SLID: plans[0].call.slid, License: plans[0].call.license, Units: plans[0].units}
+	} else {
+		entries := make([]batchGrant, len(plans))
+		for i, p := range plans {
+			entries[i] = batchGrant{SLID: p.call.slid, License: p.call.license, Units: p.units}
+		}
+		ev = event{Op: opRenewBatch, Batch: entries}
+	}
+	if err := s.logLocked(ev); err != nil {
+		for i := range plans {
+			plans[i].call.err = err
+		}
+		return
+	}
+
+	for _, p := range plans {
+		s.applyRenewLocked(p.c, p.lic, p.units)
+
+		// Effective scale-down: the ratio the policy actually applied
+		// between the client's proportional ceiling G_i and the granted
+		// g_i. It starts at the configured D and grows as
+		// health/reliability/expected-loss corrections bite.
+		scale := s.cfg.D
+		if p.units > 0 && p.st.gMax > 0 {
+			scale = p.st.gMax / float64(p.units)
+		}
+		if m := s.metrics.Load(); m != nil {
+			m.alg1Alpha.With(p.call.slid).Set(p.st.alpha)
+			m.alg1ScaleDown.With(p.call.slid).Set(scale)
+			m.alg1Health.With(p.call.slid).Set(p.st.health)
+			m.alg1Reliability.With(p.call.slid).Set(p.st.reliability)
+		}
+		s.auditLocked(audit.Record{
+			Op: audit.OpRenew, SLID: p.call.slid, License: p.call.license, Units: p.units,
+			Alg1: &audit.Alg1{
+				Alpha:        p.st.alpha,
+				ScaleDown:    scale,
+				Health:       p.st.health,
+				Reliability:  p.st.reliability,
+				ExpectedLoss: p.st.expLoss,
+			},
+		})
+		p.call.grant = Grant{
+			License: p.call.license,
+			Units:   p.units,
+			GCL:     lease.GCL{Kind: p.lic.Kind, Counter: p.units, Interval: p.lic.Interval},
+		}
+	}
 	s.maybeSnapshotLocked()
-
-	return Grant{
-		License: licenseID,
-		Units:   units,
-		GCL:     lease.GCL{Kind: lic.Kind, Counter: units, Interval: lic.Interval},
-	}, nil
 }
 
 // applyRenewLocked transfers units from the license pool to the client.
@@ -632,6 +781,14 @@ type alg1State struct {
 // computeGrantLocked is Algorithm 1 (RenewLease) from the paper.
 func (s *Server) computeGrantLocked(c *clientState, lic *License) (int64, alg1State) {
 	holders, weightSum := s.holdersLocked(lic.ID, c)
+	return s.computeGrantWithLocked(c, lic, holders, weightSum)
+}
+
+// computeGrantWithLocked is the Algorithm 1 body against an explicit
+// concurrency set: holders must include c, and weightSum must span
+// exactly holders. Coalesced batches pass a set with their co-requesters
+// folded in; the single-renewal path passes holdersLocked's view.
+func (s *Server) computeGrantWithLocked(c *clientState, lic *License, holders []*clientState, weightSum float64) (int64, alg1State) {
 	concurrency := float64(len(holders))
 	alpha := c.weight / weightSum // α_i with Σα_i = 1
 
@@ -698,6 +855,45 @@ func (s *Server) holdersLocked(licenseID string, requester *clientState) ([]*cli
 		other := idx[slid]
 		holders = append(holders, other)
 		weightSum += other.weight
+	}
+	if weightSum <= 0 {
+		weightSum = 1
+	}
+	return holders, weightSum
+}
+
+// holdersBatchLocked is holdersLocked with the rest of a coalesced
+// batch's requesters for the same license folded into the concurrency
+// set: the batch prices every grant as if all its requesters already
+// held the license, which is the state sequential arrival converges to.
+// With co = {requester} it degenerates to holdersLocked exactly, so
+// singleton batches price like the pre-coalescing server.
+func (s *Server) holdersBatchLocked(licenseID string, requester *clientState, co []*clientState) ([]*clientState, float64) {
+	idx := s.holders[licenseID]
+	members := make(map[string]*clientState, len(idx)+len(co))
+	for slid, other := range idx {
+		if other == requester || other.crashed {
+			continue
+		}
+		members[slid] = other
+	}
+	for _, r := range co {
+		if r == requester || r.crashed {
+			continue
+		}
+		members[r.slid] = r
+	}
+	slids := make([]string, 0, len(members))
+	for slid := range members {
+		slids = append(slids, slid)
+	}
+	sort.Strings(slids)
+	holders := make([]*clientState, 0, len(slids)+1)
+	holders = append(holders, requester)
+	weightSum := requester.weight
+	for _, slid := range slids {
+		holders = append(holders, members[slid])
+		weightSum += members[slid].weight
 	}
 	if weightSum <= 0 {
 		weightSum = 1

@@ -1,10 +1,12 @@
 package wire
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,25 +90,65 @@ func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
 var ErrNilChannelConfig = errors.New("wire: nil channel config (use ratls.Insecure() for explicit plaintext)")
 
 // Client is the TCP binding of SL-Remote: it implements sllocal.RemoteAPI
-// over a connection to a wire.Server, so an sllocal.Service runs against a
+// over connections to a wire.Server, so an sllocal.Service runs against a
 // real license-server daemon unchanged.
 //
-// Client serializes requests on one connection; it is safe for concurrent
-// use.
+// Client pipelines requests: every envelope carries a correlation ID, a
+// demux reader goroutine per connection matches responses to waiters, and
+// many RPCs can be in flight on one connection at once. It is safe for
+// concurrent use; concurrent callers share the pipeline instead of
+// queueing behind a per-roundtrip lock. SetPoolSize grows the connection
+// pool for callers that want more than one pipe; the default is a single
+// connection so handshake-count expectations (cold vs resumed RA-TLS) are
+// unchanged from the serialized client.
 type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	addr    string // address of the server conn speaks to (moves on redirect)
-	rc      *ratls.Config
-	timeout time.Duration
-	policy  RetryPolicy
-	rng     *rand.Rand // jitter stream; guarded by mu after construction
+	mu       sync.Mutex
+	conns    []*clientConn // guardedby: mu — the connection pool for addr
+	next     uint64        // guardedby: mu — round-robin cursor over conns
+	poolSize int           // guardedby: mu
+	addr     string        // guardedby: mu — server the pool speaks to (moves on redirect)
+	closed   bool          // guardedby: mu
+	rc       *ratls.Config
+	timeout  time.Duration
+	policy   RetryPolicy
+	rng      *rand.Rand // jitter stream; guarded by mu after construction
 
+	nextID      atomic.Uint64 // correlation IDs, client-global so redirects cannot collide
 	bytesOut    atomic.Int64
 	bytesIn     atomic.Int64
 	dialRetries atomic.Int64
 	redirects   atomic.Int64
+	poolHits    atomic.Int64 // RPCs served by an already-open pooled connection
+	poolMisses  atomic.Int64 // RPCs (or redirects) that had to dial
+	wrongID     atomic.Int64 // responses bearing an unknown correlation ID, rejected
 	metrics     atomic.Pointer[clientMetrics]
+}
+
+// clientConn is one pipelined connection: a write mutex serializing
+// outgoing frames, and a demux reader goroutine delivering each response
+// to the waiter whose correlation ID it carries.
+type clientConn struct {
+	c net.Conn
+
+	// Outgoing frames coalesce: each send buffers its frame under wmu,
+	// and the sender that drops wpend to zero flushes the burst with one
+	// Write syscall. A lone request flushes immediately, so sequential
+	// callers keep per-RPC latency.
+	wpend atomic.Int64
+	wmu   sync.Mutex    // serializes frame writes onto bw
+	bw    *bufio.Writer // guardedby: wmu — buffers frames onto c
+
+	mu      sync.Mutex
+	waiters map[uint64]chan Envelope // guardedby: mu — in-flight requests by ID
+	readErr error                    // guardedby: mu — set before done closes
+	retired bool                     // guardedby: mu — close once the last waiter drains
+	closed  bool                     // guardedby: mu
+	done    chan struct{}            // closed when the reader exits
+
+	// Shared counters owned by the parent Client.
+	wrongID  *atomic.Int64
+	bytesIn  *atomic.Int64
+	bytesOut *atomic.Int64
 }
 
 // Dial connects to a wire.Server at addr with DefaultTimeout for the
@@ -134,18 +176,33 @@ func DialPolicy(addr string, timeout time.Duration, rc *ratls.Config, policy Ret
 		return nil, ErrNilChannelConfig
 	}
 	c := &Client{
-		timeout: timeout,
-		rc:      rc,
-		policy:  policy,
-		rng:     rand.New(rand.NewSource(policy.Seed)),
+		timeout:  timeout,
+		rc:       rc,
+		policy:   policy,
+		poolSize: 1,
+		rng:      rand.New(rand.NewSource(policy.Seed)),
 	}
-	conn, err := c.dial(addr)
+	cc, err := c.newConn(addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
-	c.conn = conn
+	c.conns = []*clientConn{cc}
 	c.addr = addr
 	return c, nil
+}
+
+// SetPoolSize sets how many pipelined connections the client may open to
+// its server (minimum 1; the default). Extra connections are dialed
+// lazily on demand and counted as pool misses. Callers that care about
+// exact handshake counts (the RA-TLS resumption tests, the chaos
+// harness) keep the default single pipe.
+func (c *Client) SetPoolSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.poolSize = n
+	c.mu.Unlock()
 }
 
 // dial runs the policy's connect-attempt loop: every transient failure
@@ -168,6 +225,26 @@ func (c *Client) dial(addr string) (net.Conn, error) {
 		}
 	}
 	return nil, err
+}
+
+// newConn dials addr and wraps the channel connection in a pipelined
+// clientConn with its reader running.
+func (c *Client) newConn(addr string) (*clientConn, error) {
+	conn, err := c.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{
+		c:        conn,
+		waiters:  make(map[uint64]chan Envelope),
+		done:     make(chan struct{}),
+		wrongID:  &c.wrongID,
+		bytesIn:  &c.bytesIn,
+		bytesOut: &c.bytesOut,
+	}
+	cc.bw = bufio.NewWriterSize(countWriter{conn, cc.bytesOut}, 32<<10)
+	go cc.readLoop()
+	return cc, nil
 }
 
 // connect performs one TCP connect plus channel handshake. On handshake
@@ -200,11 +277,203 @@ func transientDialErr(err error) bool {
 	return false
 }
 
-// Close shuts the connection down.
+// Close shuts every pooled connection down.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	c.closed = true
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	var first error
+	for _, cc := range conns {
+		if err := cc.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// readLoop is the demux reader: it delivers each response to the waiter
+// registered under the response's correlation ID. A response carrying no
+// ID or an ID with no waiter (a stale reply after a timeout, or a
+// misbehaving server) is counted and dropped — never handed to an
+// arbitrary waiter. On read error every pending waiter is failed.
+func (cc *clientConn) readLoop() {
+	// Mirror of the server's buffered reader: batches of pipelined replies
+	// land in one Read instead of two syscalls per frame.
+	br := bufio.NewReaderSize(countReader{cc.c, cc.bytesIn}, 32<<10)
+	for {
+		env, err := ReadMessage(br)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.waiters[env.ID]
+		if ok {
+			delete(cc.waiters, env.ID)
+		}
+		closeNow := cc.retired && len(cc.waiters) == 0 && !cc.closed
+		cc.mu.Unlock()
+		if !ok {
+			cc.wrongID.Add(1)
+			continue
+		}
+		ch <- env // buffered; never blocks
+		if closeNow {
+			_ = cc.close()
+			return
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every pending waiter.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.readErr == nil {
+		cc.readErr = err
+		close(cc.done)
+	}
+	cc.waiters = nil
+	cc.mu.Unlock()
+	_ = cc.close()
+}
+
+// lastErr returns the reader's terminal error (nil while the connection
+// is live).
+func (cc *clientConn) lastErr() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.readErr
+}
+
+// load returns how many requests are in flight.
+func (cc *clientConn) load() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.waiters)
+}
+
+// register claims a waiter slot for a correlation ID.
+func (cc *clientConn) register(id uint64) (chan Envelope, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.readErr != nil {
+		return nil, cc.readErr
+	}
+	if cc.closed || cc.retired {
+		return nil, net.ErrClosed
+	}
+	ch := make(chan Envelope, 1)
+	cc.waiters[id] = ch
+	return ch, nil
+}
+
+// unregister abandons a waiter (send failure or timeout); the conn closes
+// if it was retired and this was the last one.
+func (cc *clientConn) unregister(id uint64) {
+	cc.mu.Lock()
+	delete(cc.waiters, id)
+	closeNow := cc.retired && len(cc.waiters) == 0 && !cc.closed
+	cc.mu.Unlock()
+	if closeNow {
+		_ = cc.close()
+	}
+}
+
+// retire schedules the connection to close as soon as its in-flight
+// requests drain (immediately when idle). Redirected-away connections are
+// retired, not cut, so sibling RPCs racing the redirect still get their
+// answers.
+func (cc *clientConn) retire() {
+	cc.mu.Lock()
+	cc.retired = true
+	closeNow := len(cc.waiters) == 0 && !cc.closed
+	cc.mu.Unlock()
+	if closeNow {
+		_ = cc.close()
+	}
+}
+
+// close closes the underlying connection exactly once.
+func (cc *clientConn) close() error {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return nil
+	}
+	cc.closed = true
+	cc.mu.Unlock()
+	return cc.c.Close()
+}
+
+// send writes one framed request; the write deadline bounds a peer that
+// stopped reading.
+func (cc *clientConn) send(id uint64, msgType string, payload any, tc *TraceContext, timeout time.Duration) error {
+	cc.wpend.Add(1)
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	if timeout > 0 {
+		_ = cc.c.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	err := WriteMessageID(cc.bw, msgType, id, payload, tc)
+	if cc.wpend.Add(-1) == 0 {
+		// Last sender in the burst: pay the one Write syscall for every
+		// coalesced frame. A sender that skips this has a successor
+		// already queued on wmu who will flush for it.
+		if ferr := cc.bw.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// acquire picks a pooled connection for one RPC: the least-loaded live
+// connection when one exists (a pool hit), growing the pool up to
+// poolSize by dialing (a pool miss). A pool whose connections all died
+// surfaces the first reader error — reconnecting is the caller's policy
+// (chaos harnesses redial; redirects dial through the pool).
+func (c *Client) acquire() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	var best *clientConn
+	bestLoad := 0
+	var firstErr error
+	for _, cc := range c.conns {
+		if err := cc.lastErr(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if l := cc.load(); best == nil || l < bestLoad {
+			best, bestLoad = cc, l
+		}
+	}
+	if best != nil && (bestLoad == 0 || len(c.conns) >= c.poolSize) {
+		c.mu.Unlock()
+		c.poolHits.Add(1)
+		return best, nil
+	}
+	if len(c.conns) < c.poolSize {
+		cc, err := c.newConn(c.addr)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.conns = append(c.conns, cc)
+		c.mu.Unlock()
+		c.poolMisses.Add(1)
+		return cc, nil
+	}
+	c.mu.Unlock()
+	if firstErr == nil {
+		firstErr = net.ErrClosed
+	}
+	return nil, firstErr
 }
 
 // roundTrip sends one request and reads the reply, bounded by the client's
@@ -218,6 +487,13 @@ func (c *Client) roundTrip(msgType string, payload any) (Envelope, error) {
 // client tracer — and the span's context is injected into the outgoing
 // envelope so the server's handler span joins the same trace.
 func (c *Client) roundTripSpan(parent *obs.Span, msgType string, payload any) (Envelope, error) {
+	return c.roundTripConn(nil, parent, msgType, payload)
+}
+
+// roundTripConn is roundTripSpan pinned to a specific pooled connection
+// (nil cc acquires one): the escrow path must seal its payload for the
+// very connection the request leaves on.
+func (c *Client) roundTripConn(cc *clientConn, parent *obs.Span, msgType string, payload any) (Envelope, error) {
 	m := c.metrics.Load()
 	label := rpcLabel(msgType)
 	var span *obs.Span
@@ -231,26 +507,72 @@ func (c *Client) roundTripSpan(parent *obs.Span, msgType string, payload any) (E
 		tc = &TraceContext{TraceID: sc.Trace.String(), SpanID: sc.Span}
 	}
 	start := time.Now()
-	c.mu.Lock()
-	if c.timeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	var env Envelope
+	var err error
+	if cc == nil {
+		cc, err = c.acquire()
 	}
-	env, err := c.roundTripLocked(msgType, payload, tc)
-	c.mu.Unlock()
+	if err == nil {
+		env, err = c.doOn(cc, msgType, payload, tc)
+	}
 	if m != nil {
-		m.rpcs.With(label).Inc()
-		m.latency.With(label).Observe(time.Since(start).Seconds())
+		rm := m.forType(label)
+		rm.rpcs.Inc()
+		rm.latency.Observe(time.Since(start).Seconds())
 		if err != nil {
-			m.errors.With(label).Inc()
+			rm.errors.Inc()
 		}
 	}
 	span.End(err)
 	return env, err
 }
 
+// doOn runs one pipelined exchange on cc: register a waiter under a fresh
+// correlation ID, write the frame, and wait for the demux reader to
+// deliver the correlated reply, the connection to die, or the
+// per-roundtrip deadline to pass.
+func (c *Client) doOn(cc *clientConn, msgType string, payload any, tc *TraceContext) (Envelope, error) {
+	id := c.nextID.Add(1)
+	ch, err := cc.register(id)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if err := cc.send(id, msgType, payload, tc, c.timeout); err != nil {
+		cc.unregister(id)
+		return Envelope{}, err
+	}
+	var timeoutC <-chan time.Time
+	if c.timeout > 0 {
+		timer := time.NewTimer(c.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case env := <-ch:
+		return env, nil
+	case <-cc.done:
+		// A reply may have been delivered in the same instant the reader
+		// died; prefer it.
+		select {
+		case env := <-ch:
+			return env, nil
+		default:
+		}
+		return Envelope{}, cc.lastErr()
+	case <-timeoutC:
+		cc.unregister(id)
+		select {
+		case env := <-ch:
+			return env, nil
+		default:
+		}
+		return Envelope{}, fmt.Errorf("wire: %s round trip: %w", msgType, os.ErrDeadlineExceeded)
+	}
+}
+
 // roundTripRoute is roundTripSpan for license-scoped requests against a
-// sharded cluster: a TypeNotLeader reply re-dials the connection to the
-// named leader and retries, so SL-Local re-routes transparently across
+// sharded cluster: a TypeNotLeader reply re-points the connection pool at
+// the named leader and retries, so SL-Local re-routes transparently across
 // failovers. Hops are bounded; a loop of stale servers or a leaderless
 // shard surfaces as ErrNotLeader.
 func (c *Client) roundTripRoute(parent *obs.Span, msgType string, payload any) (Envelope, error) {
@@ -273,32 +595,30 @@ func (c *Client) roundTripRoute(parent *obs.Span, msgType string, payload any) (
 	}
 }
 
-// redirect moves the client's connection to addr (with the dial policy's
-// backoff), closing the old connection once the new one is up. A no-op
-// when another RPC already moved there.
+// redirect re-points the connection pool at addr (with the dial policy's
+// backoff). The old pool is retired, not cut: redirected-away connections
+// finish their in-flight requests and close when they drain, so a
+// redirect hop never strands a sibling RPC's reply. The replacement dial
+// is counted as a pool miss. A no-op when another RPC already moved there.
 func (c *Client) redirect(addr string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if addr == c.addr {
 		return nil
 	}
-	conn, err := c.dial(addr)
+	cc, err := c.newConn(addr)
 	if err != nil {
 		return fmt.Errorf("wire: redirecting to %s: %w", addr, err)
 	}
-	old := c.conn
-	c.conn = conn
+	c.poolMisses.Add(1)
+	old := c.conns
+	c.conns = []*clientConn{cc}
 	c.addr = addr
-	_ = old.Close()
+	for _, o := range old {
+		o.retire()
+	}
 	c.redirects.Add(1)
 	return nil
-}
-
-func (c *Client) roundTripLocked(msgType string, payload any, tc *TraceContext) (Envelope, error) {
-	if err := WriteMessageTrace(countWriter{c.conn, &c.bytesOut}, msgType, payload, tc); err != nil {
-		return Envelope{}, err
-	}
-	return ReadMessage(countReader{c.conn, &c.bytesIn})
 }
 
 // InitClient implements sllocal.RemoteAPI over the wire. The remote
@@ -370,15 +690,17 @@ func (c *Client) EscrowRootKey(slid string, key seccrypto.Key) error {
 // EscrowRootKeySpan is EscrowRootKey with the RPC span linked under parent.
 func (c *Client) EscrowRootKeySpan(parent *obs.Span, slid string, key seccrypto.Key) error {
 	// SealForChannel releases the key only into an attested (or explicitly
-	// insecure) connection; a plain net.Conn is refused at runtime.
-	c.mu.Lock()
-	conn := c.conn
-	c.mu.Unlock()
-	sealed, err := ratls.SealForChannel(key, conn)
+	// insecure) connection; a plain net.Conn is refused at runtime. The
+	// request is pinned to the very connection the key was sealed for.
+	cc, err := c.acquire()
 	if err != nil {
 		return err
 	}
-	env, err := c.roundTripSpan(parent, TypeEscrow, EscrowRequest{SLID: slid, Key: sealed})
+	sealed, err := ratls.SealForChannel(key, cc.c)
+	if err != nil {
+		return err
+	}
+	env, err := c.roundTripConn(cc, parent, TypeEscrow, EscrowRequest{SLID: slid, Key: sealed})
 	if err != nil {
 		return err
 	}

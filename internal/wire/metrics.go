@@ -7,13 +7,46 @@ import (
 	"repro/internal/obs"
 )
 
+// rpcTypeMetrics is one message type's pre-resolved counter/histogram
+// handles. Resolving them once at ExposeMetrics time keeps the hot path
+// free of per-RPC label-map lookups.
+type rpcTypeMetrics struct {
+	rpcs    *obs.Counter
+	errors  *obs.Counter
+	latency *obs.Histogram
+}
+
+// resolveTypeMetrics pre-resolves every known message type's handles (plus
+// the "unknown" bucket) from the three vectors. The returned map is
+// read-only after construction and therefore safe for concurrent lookups.
+func resolveTypeMetrics(rpcs, errs *obs.CounterVec, latency *obs.HistogramVec) map[string]rpcTypeMetrics {
+	labels := []string{
+		TypeInit, TypeRenew, TypeEscrow, TypeRegisterLicense,
+		TypeReportCrash, TypeSetProfile, TypeLicenseInfo, TypeConsume,
+		TypeReplPull, TypeObsPull, "unknown",
+	}
+	byType := make(map[string]rpcTypeMetrics, len(labels))
+	for _, l := range labels {
+		byType[l] = rpcTypeMetrics{
+			rpcs:    rpcs.With(l),
+			errors:  errs.With(l),
+			latency: latency.With(l),
+		}
+	}
+	return byType
+}
+
 // clientMetrics holds the client's active metrics; nil until ExposeMetrics
 // runs. tracer may be nil (spans become no-ops).
 type clientMetrics struct {
-	rpcs    *obs.CounterVec   // wire_client_rpcs_total{type}
-	errors  *obs.CounterVec   // wire_client_rpc_errors_total{type}
-	latency *obs.HistogramVec // wire_client_rpc_latency_seconds{type}
-	tracer  *obs.Tracer
+	byType map[string]rpcTypeMetrics // read-only after ExposeMetrics
+	tracer *obs.Tracer
+}
+
+// forType returns the pre-resolved handles for a message type label (the
+// caller passes rpcLabel output, so the lookup always hits).
+func (m *clientMetrics) forType(label string) rpcTypeMetrics {
+	return m.byType[label]
 }
 
 // ExposeMetrics registers the client's RPC metrics with an obs registry
@@ -23,7 +56,9 @@ type clientMetrics struct {
 //
 // Metric inventory: wire_client_rpcs_total{type}, wire_client_rpc_errors_total{type},
 // wire_client_rpc_latency_seconds{type} (histogram), wire_client_bytes_sent_total,
-// wire_client_bytes_received_total, wire_client_dial_retries_total.
+// wire_client_bytes_received_total, wire_client_dial_retries_total,
+// wire_client_redirects_total, wire_client_pool_hits_total,
+// wire_client_pool_misses_total, wire_client_wrong_id_total.
 func (c *Client) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 	if reg == nil {
 		return
@@ -34,24 +69,34 @@ func (c *Client) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 		func() float64 { return float64(c.bytesIn.Load()) })
 	reg.CounterFunc("wire_client_dial_retries_total", "Connect attempts retried after a transient failure.", nil,
 		func() float64 { return float64(c.dialRetries.Load()) })
-	reg.CounterFunc("wire_client_redirects_total", "Connections re-dialed after a not-leader redirect.", nil,
+	reg.CounterFunc("wire_client_redirects_total", "Connection pools re-pointed after a not-leader redirect.", nil,
 		func() float64 { return float64(c.redirects.Load()) })
+	reg.CounterFunc("wire_client_pool_hits_total", "RPCs served by an already-open pooled connection.", nil,
+		func() float64 { return float64(c.poolHits.Load()) })
+	reg.CounterFunc("wire_client_pool_misses_total", "RPCs or redirect hops that had to dial a connection.", nil,
+		func() float64 { return float64(c.poolMisses.Load()) })
+	reg.CounterFunc("wire_client_wrong_id_total", "Responses rejected for carrying no or an unknown correlation ID.", nil,
+		func() float64 { return float64(c.wrongID.Load()) })
 	c.metrics.Store(&clientMetrics{
-		rpcs:    reg.CounterVec("wire_client_rpcs_total", "RPC round trips, by message type.", "type"),
-		errors:  reg.CounterVec("wire_client_rpc_errors_total", "Failed RPC round trips, by message type.", "type"),
-		latency: reg.HistogramVec("wire_client_rpc_latency_seconds", "RPC round-trip latency, by message type.", nil, "type"),
-		tracer:  tr,
+		byType: resolveTypeMetrics(
+			reg.CounterVec("wire_client_rpcs_total", "RPC round trips, by message type.", "type"),
+			reg.CounterVec("wire_client_rpc_errors_total", "Failed RPC round trips, by message type.", "type"),
+			reg.HistogramVec("wire_client_rpc_latency_seconds", "RPC round-trip latency, by message type.", nil, "type"),
+		),
+		tracer: tr,
 	})
 }
 
 // serverMetrics holds the server's active metrics; nil until ExposeMetrics
 // runs. tracer may be nil (spans become no-ops).
 type serverMetrics struct {
-	rpcs    *obs.CounterVec   // wire_server_rpcs_total{type}
-	errors  *obs.CounterVec   // wire_server_rpc_errors_total{type}
-	latency *obs.HistogramVec // wire_server_rpc_latency_seconds{type}
-	conns   *obs.Gauge        // wire_server_open_connections
-	tracer  *obs.Tracer
+	byType map[string]rpcTypeMetrics // read-only after ExposeMetrics
+	conns  *obs.Gauge                // wire_server_open_connections
+	tracer *obs.Tracer
+}
+
+func (m *serverMetrics) forType(label string) rpcTypeMetrics {
+	return m.byType[label]
 }
 
 // ExposeMetrics registers the server's RPC metrics with an obs registry
@@ -77,11 +122,13 @@ func (s *Server) ExposeMetrics(reg *obs.Registry, tr *obs.Tracer) {
 	reg.CounterFunc("wire_server_shutdown_aborted_total", "Connections force-closed at the Shutdown deadline.", nil,
 		func() float64 { return float64(s.aborted.Load()) })
 	s.metrics.Store(&serverMetrics{
-		rpcs:    reg.CounterVec("wire_server_rpcs_total", "RPCs handled, by message type.", "type"),
-		errors:  reg.CounterVec("wire_server_rpc_errors_total", "RPCs answered with an error envelope, by message type.", "type"),
-		latency: reg.HistogramVec("wire_server_rpc_latency_seconds", "Server-side RPC handling latency, by message type.", nil, "type"),
-		conns:   reg.Gauge("wire_server_open_connections", "Currently open client connections."),
-		tracer:  tr,
+		byType: resolveTypeMetrics(
+			reg.CounterVec("wire_server_rpcs_total", "RPCs handled, by message type.", "type"),
+			reg.CounterVec("wire_server_rpc_errors_total", "RPCs answered with an error envelope, by message type.", "type"),
+			reg.HistogramVec("wire_server_rpc_latency_seconds", "Server-side RPC handling latency, by message type.", nil, "type"),
+		),
+		conns:  reg.Gauge("wire_server_open_connections", "Currently open client connections."),
+		tracer: tr,
 	})
 }
 

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -21,7 +22,11 @@ import (
 )
 
 // Server exposes an slremote.Server over TCP. Each connection is handled
-// by its own goroutine; requests within a connection are sequential.
+// by its own goroutine. Envelopes carrying a correlation ID are dispatched
+// concurrently — one goroutine per in-flight envelope, replies serialized
+// onto the connection with the request's ID echoed so a pipelining client
+// can match them; envelopes without an ID (legacy hand-rolled peers) keep
+// the sequential one-at-a-time protocol.
 type Server struct {
 	remote *slremote.Server
 	logf   func(format string, args ...any)
@@ -144,12 +149,43 @@ func NewServer(remote *slremote.Server, logf func(string, ...any), rc *ratls.Con
 	return &Server{remote: remote, logf: logf, rc: rc, conns: make(map[net.Conn]*connState)}, nil
 }
 
-// connState tracks what Shutdown needs to know about one connection:
-// whether an envelope is in flight, and whether the connection was already
-// counted toward the drained/aborted totals.
+// connState tracks what Shutdown needs to know about one connection: how
+// many envelopes are in flight (pipelined requests dispatch concurrently),
+// and whether the connection was already counted toward the
+// drained/aborted totals.
 type connState struct {
-	busy    bool
+	busy    int
 	counted bool
+}
+
+// connWriter serializes reply frames from concurrent handler goroutines
+// onto one connection, echoing each request's correlation ID so the
+// client's demux reader can deliver the reply to the right waiter.
+// Replies coalesce: each frame lands in a buffered writer, and only the
+// last writer in a burst pays the Write syscall (pend tracks queued
+// writers; whoever decrements it to zero flushes). A lone reply flushes
+// immediately, so the sequential protocol's latency is unchanged.
+type connWriter struct {
+	pend atomic.Int64 // writers queued for mu; the one that drops it to 0 flushes
+	mu   sync.Mutex
+	bw   *bufio.Writer // guardedby: mu
+}
+
+func newConnWriter(w io.Writer) *connWriter {
+	return &connWriter{bw: bufio.NewWriterSize(w, 32<<10)}
+}
+
+func (cw *connWriter) reply(id uint64, msgType string, payload any) error {
+	cw.pend.Add(1)
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	err := WriteMessageID(cw.bw, msgType, id, payload, nil)
+	if cw.pend.Add(-1) == 0 {
+		if ferr := cw.bw.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return err
 }
 
 // Serve accepts connections until the listener is closed (by Close).
@@ -231,7 +267,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		_ = s.listener.Close()
 	}
 	for conn, cs := range s.conns {
-		if !cs.busy {
+		if cs.busy == 0 {
 			// Nothing in flight: the blocked ReadMessage fails with
 			// net.ErrClosed and the handler exits cleanly.
 			s.countLocked(cs, false)
@@ -275,8 +311,9 @@ func (s *Server) countLocked(cs *connState, abortedAtDeadline bool) {
 	}
 }
 
-// beginEnvelope marks a connection busy; it refuses new work once a drain
-// started (the envelope read raced Shutdown's idle sweep).
+// beginEnvelope counts an envelope in flight on the connection; it
+// refuses new work once a drain started (the envelope read raced
+// Shutdown's idle sweep).
 func (s *Server) beginEnvelope(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -284,12 +321,13 @@ func (s *Server) beginEnvelope(conn net.Conn) bool {
 	if !ok || s.draining {
 		return false
 	}
-	cs.busy = true
+	cs.busy++
 	return true
 }
 
-// endEnvelope marks the envelope done and reports whether the connection
-// should now close because a drain is in progress.
+// endEnvelope marks one envelope done and reports whether the connection
+// should now close because a drain is in progress and nothing else is in
+// flight.
 func (s *Server) endEnvelope(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -297,8 +335,8 @@ func (s *Server) endEnvelope(conn net.Conn) bool {
 	if !ok {
 		return true
 	}
-	cs.busy = false
-	if s.draining {
+	cs.busy--
+	if s.draining && cs.busy == 0 {
 		s.countLocked(cs, false)
 		return true
 	}
@@ -329,8 +367,13 @@ func (s *Server) handle(conn net.Conn) {
 		s.logf("wire: handshake with %s: %v", conn.RemoteAddr(), err)
 		return
 	}
+	cw := newConnWriter(countWriter{wc, &s.bytesOut})
+	// Buffered reads: ReadMessage costs two Reads per frame (header, body);
+	// over a pipelined connection many frames arrive back-to-back, so a
+	// read buffer turns 2N syscalls into ~N/batch.
+	br := bufio.NewReaderSize(countReader{wc, &s.bytesIn}, 32<<10)
 	for {
-		env, err := ReadMessage(countReader{wc, &s.bytesIn})
+		env, err := ReadMessage(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("wire: connection %s: %v", conn.RemoteAddr(), err)
@@ -340,7 +383,27 @@ func (s *Server) handle(conn net.Conn) {
 		if !s.beginEnvelope(conn) {
 			return
 		}
-		err = s.handleEnvelope(wc, env)
+		if env.ID != 0 {
+			// Pipelined request: dispatch concurrently and go straight back
+			// to reading. The reply carries the correlation ID, so ordering
+			// across in-flight envelopes is the client's problem to demux.
+			s.wg.Add(1)
+			go func(env Envelope) {
+				defer s.wg.Done()
+				herr := s.handleEnvelope(wc, cw, env)
+				stop := s.endEnvelope(conn)
+				if herr != nil {
+					s.logf("wire: reply to %s: %v", conn.RemoteAddr(), herr)
+				}
+				if herr != nil || stop {
+					// Closing the raw conn unblocks the read loop, which
+					// owns the connection teardown.
+					_ = conn.Close()
+				}
+			}(env)
+			continue
+		}
+		err = s.handleEnvelope(wc, cw, env)
 		stop := s.endEnvelope(conn)
 		if err != nil {
 			s.logf("wire: reply to %s: %v", conn.RemoteAddr(), err)
@@ -354,9 +417,9 @@ func (s *Server) handle(conn net.Conn) {
 
 // handleEnvelope dispatches one request with panic isolation: a handler
 // panic is counted, logged, and answered with an error envelope instead of
-// killing the connection goroutine silently. The returned error is a
+// killing the handler goroutine silently. The returned error is a
 // transport failure (the connection is then dropped).
-func (s *Server) handleEnvelope(conn net.Conn, env Envelope) (err error) {
+func (s *Server) handleEnvelope(conn net.Conn, cw *connWriter, env Envelope) (err error) {
 	m := s.metrics.Load()
 	var tr *obs.Tracer
 	if m != nil {
@@ -376,9 +439,9 @@ func (s *Server) handleEnvelope(conn net.Conn, env Envelope) (err error) {
 		}
 		finished = true
 		if m != nil {
-			label := rpcLabel(env.Type)
-			m.rpcs.With(label).Inc()
-			m.latency.With(label).Observe(time.Since(start).Seconds())
+			rm := m.forType(rpcLabel(env.Type))
+			rm.rpcs.Inc()
+			rm.latency.Observe(time.Since(start).Seconds())
 		}
 		span.End(handlerErr)
 	}
@@ -387,14 +450,14 @@ func (s *Server) handleEnvelope(conn net.Conn, env Envelope) (err error) {
 			s.panics.Add(1)
 			s.logf("wire: panic handling %q from %s: %v", env.Type, conn.RemoteAddr(), r)
 			done(fmt.Errorf("panic: %v", r))
-			err = WriteMessage(countWriter{conn, &s.bytesOut}, TypeError,
+			err = cw.reply(env.ID, TypeError,
 				ErrorResponse{Message: fmt.Sprintf("internal error handling %q", env.Type)})
 		}
 	}()
 	if s.preDispatch != nil {
 		s.preDispatch(env)
 	}
-	err = s.dispatch(conn, env, span)
+	err = s.dispatch(conn, cw, env, span)
 	done(err)
 	return err
 }
@@ -413,13 +476,17 @@ func extractSpanContext(env Envelope) obs.SpanContext {
 	return obs.SpanContext{Trace: id, Span: env.Trace.SpanID}
 }
 
-func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
-	out := countWriter{conn, &s.bytesOut}
+func (s *Server) dispatch(conn net.Conn, cw *connWriter, env Envelope, span *obs.Span) error {
+	// reply frames one response, serialized against concurrent handlers on
+	// the same connection and carrying the request's correlation ID.
+	reply := func(msgType string, payload any) error {
+		return cw.reply(env.ID, msgType, payload)
+	}
 	fail := func(err error) error {
 		if m := s.metrics.Load(); m != nil {
-			m.errors.With(rpcLabel(env.Type)).Inc()
+			m.forType(rpcLabel(env.Type)).errors.Inc()
 		}
-		return WriteMessage(out, TypeError, ErrorResponse{Message: err.Error()})
+		return reply(TypeError, ErrorResponse{Message: err.Error()})
 	}
 	// redirect answers a license-scoped request with the owning shard's
 	// leader when this server's gate disowns the license. A not-leader
@@ -438,7 +505,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 			flight.KV{K: "license", V: license},
 			flight.KV{K: "leader", V: leader},
 			flight.KV{K: "epoch", V: strconv.FormatUint(epoch, 10)})
-		return true, WriteMessage(out, TypeNotLeader, NotLeaderResponse{License: license, Leader: leader, Epoch: epoch})
+		return true, reply(TypeNotLeader, NotLeaderResponse{License: license, Leader: leader, Epoch: epoch})
 	}
 	switch env.Type {
 	case TypeInit:
@@ -464,7 +531,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 			}
 			resp.OBK = sealed
 		}
-		return WriteMessage(out, TypeInit, resp)
+		return reply(TypeInit, resp)
 
 	case TypeRenew:
 		var req RenewRequest
@@ -484,7 +551,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		}
 		child.Annotate("units", strconv.FormatInt(grant.Units, 10))
 		child.End(nil)
-		return WriteMessage(out, TypeRenew, RenewResponse{
+		return reply(TypeRenew, RenewResponse{
 			Units:      grant.Units,
 			Kind:       uint8(grant.GCL.Kind),
 			Counter:    grant.GCL.Counter,
@@ -507,7 +574,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 			return fail(err)
 		}
 		child.End(nil)
-		return WriteMessage(out, TypeOK, nil)
+		return reply(TypeOK, nil)
 
 	case TypeRegisterLicense:
 		var req RegisterLicenseRequest
@@ -520,7 +587,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err := s.remote.RegisterLicense(req.ID, lease.Kind(req.Kind), req.TotalGCL); err != nil {
 			return fail(err)
 		}
-		return WriteMessage(out, TypeOK, nil)
+		return reply(TypeOK, nil)
 
 	case TypeReportCrash:
 		var req ReportCrashRequest
@@ -530,7 +597,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err := s.remote.ReportCrash(req.SLID); err != nil {
 			return fail(err)
 		}
-		return WriteMessage(out, TypeOK, nil)
+		return reply(TypeOK, nil)
 
 	case TypeSetProfile:
 		var req SetProfileRequest
@@ -540,7 +607,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err := s.remote.SetClientProfile(req.SLID, req.Health, req.Reliability, req.Weight); err != nil {
 			return fail(err)
 		}
-		return WriteMessage(out, TypeOK, nil)
+		return reply(TypeOK, nil)
 
 	case TypeConsume:
 		var req ConsumeRequest
@@ -553,7 +620,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err := s.remote.ConsumeReport(req.SLID, req.License, req.Units); err != nil {
 			return fail(err)
 		}
-		return WriteMessage(out, TypeOK, nil)
+		return reply(TypeOK, nil)
 
 	case TypeLicenseInfo:
 		var req LicenseInfoRequest
@@ -567,7 +634,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err != nil {
 			return fail(err)
 		}
-		return WriteMessage(out, TypeLicenseInfo, LicenseInfoResponse{
+		return reply(TypeLicenseInfo, LicenseInfoResponse{
 			ID:        lic.ID,
 			Kind:      uint8(lic.Kind),
 			TotalGCL:  lic.TotalGCL,
@@ -597,7 +664,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err != nil {
 			return fail(err)
 		}
-		return WriteMessage(out, TypeReplBatch, ReplBatchResponse{
+		return reply(TypeReplBatch, ReplBatchResponse{
 			Gen:        b.Gen,
 			Rebase:     b.Rebase,
 			Snapshot:   b.Snapshot,
@@ -615,7 +682,7 @@ func (s *Server) dispatch(conn net.Conn, env Envelope, span *obs.Span) error {
 		if err := DecodePayload(env, &req); err != nil {
 			return fail(err)
 		}
-		return WriteMessage(out, TypeObsPull, src(req.Trace))
+		return reply(TypeObsPull, src(req.Trace))
 
 	default:
 		return fail(fmt.Errorf("unknown message type %q", env.Type))

@@ -61,10 +61,18 @@ type TraceContext struct {
 	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
-// Envelope frames every message: a type tag, an optional trace context,
-// and the JSON payload.
+// Envelope frames every message: a type tag, an optional correlation ID,
+// an optional trace context, and the JSON payload.
+//
+// ID correlates pipelined requests with their responses: a client may have
+// many envelopes in flight on one connection, and the server echoes each
+// request's ID on its reply so the client's demux reader hands every
+// response to the waiter that sent it. ID 0 (absent on the wire) is the
+// legacy one-at-a-time protocol: the server answers in order, which is
+// what hand-rolled peers that never set IDs still get.
 type Envelope struct {
 	Type    string          `json:"type"`
+	ID      uint64          `json:"id,omitempty"`
 	Trace   *TraceContext   `json:"trace,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
@@ -212,36 +220,22 @@ var ErrNotLeader = errors.New("wire: not the shard leader")
 
 // WriteMessage frames and writes one envelope.
 func WriteMessage(w io.Writer, msgType string, payload any) error {
-	return WriteMessageTrace(w, msgType, payload, nil)
+	return WriteMessageID(w, msgType, 0, payload, nil)
 }
 
 // WriteMessageTrace is WriteMessage with an optional trace context
 // injected into the envelope (nil tc for untraced messages).
 func WriteMessageTrace(w io.Writer, msgType string, payload any, tc *TraceContext) error {
-	var raw json.RawMessage
-	if payload != nil {
-		b, err := json.Marshal(payload)
-		if err != nil {
-			return fmt.Errorf("wire: marshaling payload: %w", err)
-		}
-		raw = b
-	}
-	frame, err := json.Marshal(Envelope{Type: msgType, Trace: tc, Payload: raw})
-	if err != nil {
-		return fmt.Errorf("wire: marshaling envelope: %w", err)
-	}
-	if len(frame) > MaxMessageSize {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(frame))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: writing header: %w", err)
-	}
-	if _, err := w.Write(frame); err != nil {
-		return fmt.Errorf("wire: writing frame: %w", err)
-	}
-	return nil
+	return WriteMessageID(w, msgType, 0, payload, tc)
+}
+
+// WriteMessageID is WriteMessageTrace with a correlation ID (0 omits the
+// field, byte-identical to the pre-pipelining framing). The frame is
+// encoded into a pooled buffer and written with ONE Write call — header
+// and body together — so message boundaries align with Write boundaries
+// (which fault injectors that reorder or drop whole writes rely on).
+func WriteMessageID(w io.Writer, msgType string, id uint64, payload any, tc *TraceContext) error {
+	return writeMessageFast(w, msgType, id, payload, tc)
 }
 
 // ReadMessage reads one envelope.
